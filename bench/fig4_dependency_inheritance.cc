@@ -1,0 +1,161 @@
+// Fig 4 / Example 1: dependency inheritance along the call trees.
+//
+// Part 1 replays the exact scenario: two inserts of different keys
+// (DBS, DBMS) sharing a leaf page — the dependency is inherited to the
+// leaf and *stops* there — and an insert/search pair on the same key —
+// the dependency is inherited all the way to the top-level transactions.
+//
+// Part 2 is the quantitative version of the paper's argument "every node
+// and therefore the corresponding page contains many keys (rough up to
+// 500). Operations on these keys will often conflict at the page level
+// but commute at the node level": a sweep over keys-per-page, measuring
+// on random histories how many page-level dependencies stop at commuting
+// callers vs. propagate to the top.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "containers/bptree.h"
+#include "containers/page_ops.h"
+#include "schedule/dependency_engine.h"
+#include "schedule/validator.h"
+#include "workload/random_history.h"
+
+using namespace oodb;
+
+namespace {
+
+void BuildPath(TransactionSystem* ts, ObjectId tree, ObjectId leaf,
+               ObjectId page, const std::string& txn,
+               const std::string& method, const std::string& key) {
+  ActionId top = ts->BeginTopLevel(txn);
+  Invocation inv(method, {Value(key)});
+  ActionId tree_op = ts->Call(top, tree, inv);
+  ActionId leaf_op = ts->Call(tree_op, leaf, inv);
+  if (method == "insert") {
+    ActionId r = ts->Call(leaf_op, page, Invocation("read"));
+    ActionId w = ts->Call(leaf_op, page, Invocation("write"));
+    ts->SetTimestamp(r, ts->NextTimestamp());
+    ts->SetTimestamp(w, ts->NextTimestamp());
+  } else {
+    ActionId r = ts->Call(leaf_op, page, Invocation("read"));
+    ts->SetTimestamp(r, ts->NextTimestamp());
+  }
+}
+
+void PrintExampleOne() {
+  std::printf("Fig 4 part 1: the two situations of Example 1 "
+              "(scripted exactly)\n\n");
+  struct Case {
+    const char* label;
+    const char* method2;
+    const char* key2;
+  };
+  for (const Case& c :
+       {Case{"T1 insert(DBS) vs T2 insert(DBMS):", "insert", "DBMS"},
+        Case{"T3 insert(DBS) vs T4 search(DBS): ", "search", "DBS"}}) {
+    TransactionSystem ts;
+    ObjectId tree = ts.AddObject(BpTreeObjectType(), "BpTree");
+    ObjectId leaf = ts.AddObject(LeafObjectType(), "Leaf11");
+    ObjectId page = ts.AddObject(PageObjectType(), "Page4712");
+    BuildPath(&ts, tree, leaf, page, "Ta", "insert", "DBS");
+    BuildPath(&ts, tree, leaf, page, "Tb", c.method2, c.key2);
+    DependencyEngine engine(ts);
+    if (!engine.Compute().ok()) return;
+    bool top = engine.TopLevelOrder().EdgeCount() > 0;
+    std::printf(
+        "  %-36s page-conflicts=%zu inherited=%zu stopped=%zu "
+        "top-level-dep=%s\n",
+        c.label, engine.stats().primitive_conflicts,
+        engine.stats().inherited_txn_deps,
+        engine.stats().stopped_inheritance, top ? "yes" : "no");
+  }
+  std::printf(
+      "\n  Shape check: the page dependency between the two inserts is\n"
+      "  inherited to Leaf11 and STOPS (commuting keys, no top-level\n"
+      "  dependency); insert/search on the same key propagates to the\n"
+      "  top-level transactions.\n\n");
+}
+
+struct SweepRow {
+  size_t keys_per_page;
+  double page_conflict_pairs;   // avg page-level ordered conflicts
+  double stopped;               // avg stopped at commuting callers
+  double top_deps;              // avg top-level dependencies
+  double oo_accept;             // acceptance rates
+  double conv_accept;
+};
+
+SweepRow RunSweepPoint(size_t keys_per_page, size_t trials) {
+  SweepRow row{keys_per_page, 0, 0, 0, 0, 0};
+  for (size_t trial = 0; trial < trials; ++trial) {
+    RandomHistoryConfig config;
+    config.num_txns = 4;
+    config.ops_per_txn = 3;
+    config.num_leaves = 1;  // one leaf = one shared page, as in Fig 4
+    config.keys_per_leaf = keys_per_page;
+    config.search_fraction = 0.3;
+    config.seed = 1000 + trial;
+    RandomHistory h = GenerateRandomHistory(config);
+    ValidationReport report = Validator::Validate(h.ts.get());
+    row.page_conflict_pairs += double(report.stats.primitive_conflicts);
+    row.stopped += double(report.stats.stopped_inheritance);
+    DependencyEngine engine(*h.ts);
+    (void)engine.Compute();
+    row.top_deps += double(engine.TopLevelOrder().EdgeCount());
+    row.oo_accept += report.oo_serializable ? 1 : 0;
+    row.conv_accept += report.conventionally_serializable ? 1 : 0;
+  }
+  double n = double(trials);
+  row.page_conflict_pairs /= n;
+  row.stopped /= n;
+  row.top_deps /= n;
+  row.oo_accept /= n;
+  row.conv_accept /= n;
+  return row;
+}
+
+void PrintSweep() {
+  constexpr size_t kTrials = 100;
+  std::printf("Fig 4 part 2: keys-per-page sweep (4 txns x 3 ops on one "
+              "shared page, %zu random interleavings each)\n\n", kTrials);
+  std::printf("%10s %14s %10s %10s %10s %10s\n", "keys/page",
+              "page-conflicts", "stopped", "top-deps", "oo-accept",
+              "conv-accept");
+  for (size_t k : {1, 2, 5, 10, 50, 100, 500}) {
+    SweepRow row = RunSweepPoint(k, kTrials);
+    std::printf("%10zu %14.1f %10.1f %10.1f %9.0f%% %9.0f%%\n",
+                row.keys_per_page, row.page_conflict_pairs, row.stopped,
+                row.top_deps, row.oo_accept * 100, row.conv_accept * 100);
+  }
+  std::printf(
+      "\nShape check: page-level conflicts stay roughly constant, but as\n"
+      "keys/page grows the share that STOPS at commuting leaf operations\n"
+      "rises and top-level dependencies fall - so the oo acceptance rate\n"
+      "climbs toward 100%% while the conventional rate stays low. That\n"
+      "gap is the paper's claimed concurrency gain.\n\n");
+}
+
+void BM_DependencyEngine(benchmark::State& state) {
+  RandomHistoryConfig config;
+  config.num_txns = size_t(state.range(0));
+  config.ops_per_txn = 4;
+  config.keys_per_leaf = 50;
+  RandomHistory h = GenerateRandomHistory(config);
+  for (auto _ : state) {
+    DependencyEngine engine(*h.ts);
+    benchmark::DoNotOptimize(engine.Compute());
+  }
+}
+BENCHMARK(BM_DependencyEngine)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExampleOne();
+  PrintSweep();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig 7 / Example 4: the four top-level transactions on the
+// encyclopedia, executed through the real runtime (open nested semantic
+// locking), with their call trees and inherited dependencies — plus a
+// benchmark of replaying the whole scenario.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/encyclopedia.h"
+#include "schedule/printer.h"
+#include "schedule/validator.h"
+
+using namespace oodb;
+
+namespace {
+
+/// Runs T1..T4 of Example 4; returns the database for inspection.
+std::unique_ptr<Database> RunExample4() {
+  auto db = std::make_unique<Database>();
+  Encyclopedia::RegisterMethods(db.get());
+  ObjectId enc = Encyclopedia::Create(db.get(), "Enc", 8, 8, 4);
+  (void)db->RunTransaction("T1", [&](MethodContext& txn) {
+    return txn.Call(enc, Encyclopedia::Insert("DBS", "database systems"));
+  });
+  (void)db->RunTransaction("T2", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(
+        txn.Call(enc, Encyclopedia::Insert("DBMS", "dbms v1")));
+    return txn.Call(enc, Encyclopedia::Change("DBMS", "dbms v2"));
+  });
+  (void)db->RunTransaction("T3", [&](MethodContext& txn) {
+    Value out;
+    return txn.Call(enc, Encyclopedia::Search("DBS"), &out);
+  });
+  (void)db->RunTransaction("T4", [&](MethodContext& txn) {
+    Value out;
+    return txn.Call(enc, Encyclopedia::ReadSeq(), &out);
+  });
+  return db;
+}
+
+void PrintFig7() {
+  std::unique_ptr<Database> db = RunExample4();
+  std::printf("Fig 7: object-oriented transactions of Example 4 "
+              "(executed through the runtime)\n\n");
+  std::printf("%s\n", SchedulePrinter::AllTrees(db->ts()).c_str());
+
+  ValidationReport report = Validator::Validate(&db->ts());
+  std::printf("verdict: %s\n", report.Summary().c_str());
+  if (!report.serialization_order.empty()) {
+    std::printf("equivalent serial order:");
+    for (ActionId t : report.serialization_order) {
+      std::printf(" %s", db->ts().action(t).label.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check: T3 (search DBS) serializes after T1 (insert DBS);\n"
+      "T4 (readSeq) after T1 and T2; T1 vs T2 stay unordered - their\n"
+      "page conflicts commute at the leaf (Example 1).\n\n");
+}
+
+void BM_Example4Replay(benchmark::State& state) {
+  for (auto _ : state) {
+    std::unique_ptr<Database> db = RunExample4();
+    benchmark::DoNotOptimize(db->counters().committed.load());
+  }
+}
+BENCHMARK(BM_Example4Replay);
+
+void BM_Example4Validation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::unique_ptr<Database> db = RunExample4();
+    state.ResumeTiming();
+    ValidationReport report = Validator::Validate(&db->ts());
+    benchmark::DoNotOptimize(report.oo_serializable);
+  }
+}
+BENCHMARK(BM_Example4Validation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFig7();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

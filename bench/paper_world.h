@@ -1,0 +1,39 @@
+// Shared object types for the figure benches (the same commutativity
+// specifications the tests use, without linking the container method
+// implementations).
+
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "model/object_type.h"
+
+namespace oodb {
+namespace bench_world {
+
+inline const ObjectType* PageType() {
+  static const ObjectType* type = [] {
+    return new ObjectType("Page",
+                          std::make_unique<ReadWriteCommutativity>(
+                              std::set<std::string>{"read"}),
+                          /*primitive=*/true);
+  }();
+  return type;
+}
+
+inline const ObjectType* LeafType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    auto diff = PredicateCommutativity::DifferentParam(0);
+    spec->SetPredicate("insert", "insert", diff);
+    spec->SetPredicate("insert", "search", diff);
+    spec->SetPredicate("op", "op", diff);
+    spec->SetCommutes("search", "search");
+    return new ObjectType("Leaf", std::move(spec));
+  }();
+  return type;
+}
+
+}  // namespace bench_world
+}  // namespace oodb

@@ -1,0 +1,95 @@
+// S1 (shape experiment): admission rates. The headline claim — "a lower
+// rate of conflicting accesses than with the conventional definition of
+// serializability is achieved" — quantified: across random
+// interleavings, what fraction does each criterion accept?
+//
+// oo-serializability must accept a superset of conventional
+// serializability (inclusion is also property-tested in the test suite);
+// the gap must widen with more keys per page (commuting likelier) and
+// narrow with more transactions (contradictions likelier).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "schedule/validator.h"
+#include "workload/random_history.h"
+
+using namespace oodb;
+
+namespace {
+
+struct Rates {
+  double oo = 0;
+  double conv = 0;
+  double oo_only = 0;
+};
+
+Rates Measure(size_t num_txns, size_t keys_per_leaf, size_t trials) {
+  Rates rates;
+  for (size_t trial = 0; trial < trials; ++trial) {
+    RandomHistoryConfig config;
+    config.num_txns = num_txns;
+    config.ops_per_txn = 3;
+    config.num_leaves = 2;
+    config.keys_per_leaf = keys_per_leaf;
+    config.search_fraction = 0.3;
+    config.seed = trial * 7919 + num_txns * 13 + keys_per_leaf;
+    RandomHistory h = GenerateRandomHistory(config);
+    ValidationReport report = Validator::Validate(h.ts.get());
+    if (report.oo_serializable) rates.oo += 1;
+    if (report.conventionally_serializable) rates.conv += 1;
+    if (report.oo_serializable && !report.conventionally_serializable) {
+      rates.oo_only += 1;
+    }
+  }
+  rates.oo /= double(trials);
+  rates.conv /= double(trials);
+  rates.oo_only /= double(trials);
+  return rates;
+}
+
+void PrintTable() {
+  constexpr size_t kTrials = 150;
+  std::printf("S1: schedule admission rates over %zu random "
+              "interleavings per cell\n(2 leaves/pages, 3 ops per "
+              "transaction, 30%% searches)\n\n", kTrials);
+  std::printf("%6s %10s %10s %10s %12s\n", "txns", "keys/page",
+              "oo-accept", "conv-accept", "oo-only gain");
+  for (size_t txns : {2, 4, 8}) {
+    for (size_t keys : {2, 8, 64}) {
+      Rates r = Measure(txns, keys, kTrials);
+      std::printf("%6zu %10zu %9.0f%% %9.0f%% %11.0f%%\n", txns, keys,
+                  r.oo * 100, r.conv * 100, r.oo_only * 100);
+    }
+  }
+  std::printf(
+      "\nShape check: oo-accept >= conv-accept everywhere (inclusion);\n"
+      "the oo-only gain grows with keys/page (page conflicts commute at\n"
+      "the leaf) and both rates fall as transactions are added.\n\n");
+}
+
+void BM_ValidateHistory(benchmark::State& state) {
+  RandomHistoryConfig config;
+  config.num_txns = size_t(state.range(0));
+  config.ops_per_txn = 3;
+  config.keys_per_leaf = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    config.seed += 1;
+    RandomHistory h = GenerateRandomHistory(config);
+    state.ResumeTiming();
+    ValidationReport report = Validator::Validate(h.ts.get());
+    benchmark::DoNotOptimize(report.oo_serializable);
+  }
+}
+BENCHMARK(BM_ValidateHistory)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// S2 (shape experiment): scheduler throughput on the encyclopedia
+// workload. The paper's promise is runtime concurrency: open nested
+// semantic locking should beat flat page-level 2PL — and crush the
+// object-exclusive strawman — on nested workloads with shared pages,
+// with the gap growing under contention and thread count.
+//
+// This is a plain timing harness (no google-benchmark): the harness
+// measures wall time, commits, aborts, deadlocks, and lock waits per
+// scheduler x thread-count x contention cell.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "apps/encyclopedia.h"
+#include "util/random.h"
+#include "workload/harness.h"
+
+using namespace oodb;
+
+namespace {
+
+constexpr size_t kKeys = 256;
+
+HarnessResult RunCell(SchedulerKind scheduler, size_t threads,
+                      double zipf_theta, size_t txns_per_thread) {
+  DatabaseOptions opts;
+  opts.scheduler = scheduler;
+  opts.lock_options.wait_timeout = std::chrono::milliseconds(300);
+  Database db(opts);
+  Encyclopedia::RegisterMethods(&db);
+  ObjectId enc = Encyclopedia::Create(&db, "Enc", /*leaf_capacity=*/32,
+                                      /*fanout=*/32, /*items_per_page=*/8);
+  // Preload under open-nested-equivalent single thread (no contention).
+  for (size_t i = 0; i < kKeys; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%05zu", i);
+    (void)db.RunTransaction("seed", [&](MethodContext& txn) {
+      return txn.Call(enc, Encyclopedia::Insert(key, "seed"));
+    });
+  }
+  db.counters().Reset();
+
+  HarnessConfig config;
+  config.threads = threads;
+  config.txns_per_thread = txns_per_thread;
+  return Harness::Run(
+      &db, config,
+      [enc, zipf_theta](size_t thread, size_t index) -> TransactionBody {
+        return [enc, zipf_theta, thread, index](MethodContext& txn) {
+          thread_local std::unique_ptr<ZipfGenerator> zipf;
+          thread_local double zipf_theta_cached = -1;
+          if (!zipf || zipf_theta_cached != zipf_theta) {
+            zipf = std::make_unique<ZipfGenerator>(kKeys, zipf_theta,
+                                                   thread * 31 + 7);
+            zipf_theta_cached = zipf_theta;
+          }
+          thread_local Rng rng(thread * 1009 + 1);
+          char key[16];
+          std::snprintf(key, sizeof(key), "k%05llu",
+                        (unsigned long long)zipf->Next());
+          (void)index;
+          double dice = rng.NextDouble();
+          Status st;
+          if (dice < 0.5) {
+            Value out;
+            st = txn.Call(enc, Encyclopedia::Search(key), &out);
+          } else {
+            st = txn.Call(enc, Encyclopedia::Change(
+                                   key, "rev" + std::to_string(index)));
+          }
+          OODB_RETURN_IF_ERROR(st);
+          // Keep the transaction open for a moment (user think time /
+          // downstream IO) while its locks are held: the window in
+          // which schedulers differ.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          return Status::OK();
+        };
+      });
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kTxnsPerThread = 60;
+  std::printf("S2: encyclopedia workload (50%% search / 50%% change over "
+              "256 preloaded items),\n%zu txns per thread, each holding its locks ~200us\n\n",
+              kTxnsPerThread);
+  for (double theta : {0.0, 0.9}) {
+    std::printf("--- contention: zipf theta = %.1f ---\n", theta);
+    std::printf("%-18s %8s %s\n", "scheduler", "threads", "result");
+    for (SchedulerKind kind :
+         {SchedulerKind::kOpenNested, SchedulerKind::kClosedNested,
+          SchedulerKind::kFlat2PL, SchedulerKind::kObjectExclusive}) {
+      for (size_t threads : {1, 2, 4, 8}) {
+        HarnessResult r = RunCell(kind, threads, theta, kTxnsPerThread);
+        std::printf("%-18s %8zu %s\n", SchedulerKindName(kind), threads,
+                    r.Row().c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: open-nested >= flat-2pl >= object-exclusive in\n"
+      "throughput at >1 thread; the object-exclusive strawman collapses\n"
+      "(every transaction locks Enc until commit), flat 2PL suffers lock\n"
+      "waits on shared pages under contention, open nested waits only on\n"
+      "genuine same-key conflicts. At 1 thread the three are comparable\n"
+      "(the S3 bench isolates the CC overhead).\n");
+  return 0;
+}

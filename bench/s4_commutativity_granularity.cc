@@ -1,0 +1,80 @@
+// S4 (ablation): how much does commutativity precision buy? The same
+// bank-transfer workload runs over three account-type variants that
+// differ only in their declared commutativity:
+//
+//   escrow      parameter/state-aware ([9,14,17]): everything commutes,
+//   name-only   method names only: deposit/deposit commutes,
+//   read-write  classical R/W: all mutators conflict.
+//
+// Correctness (the audited total) is identical; waits, deadlocks, and
+// throughput are not — semantics is the paper's lever for concurrency.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "apps/bank.h"
+#include "util/random.h"
+#include "workload/harness.h"
+
+using namespace oodb;
+
+namespace {
+
+void RunVariant(BankSemantics semantics, const char* label,
+                size_t threads) {
+  DatabaseOptions opts;
+  opts.lock_options.wait_timeout = std::chrono::milliseconds(300);
+  Database db(opts);
+  Bank::RegisterMethods(&db, semantics);
+  ObjectId bank = Bank::Create(&db, "Bank", semantics, /*accounts=*/4,
+                               /*initial_balance=*/100000);
+
+  HarnessConfig config;
+  config.threads = threads;
+  config.txns_per_thread = 100;
+  HarnessResult result = Harness::Run(
+      &db, config, [bank](size_t thread, size_t index) -> TransactionBody {
+        return [bank, thread, index](MethodContext& txn) {
+          thread_local Rng rng(thread * 7 + 3);
+          (void)index;
+          int from = int(rng.NextBelow(4));
+          int to = int((from + 1 + rng.NextBelow(3)) % 4);
+          OODB_RETURN_IF_ERROR(
+              txn.Call(bank, Bank::Transfer(from, to, 1)));
+          // Hold the transfer's semantic locks briefly (an external
+          // confirmation round-trip); this is where coarse semantics
+          // make everyone else wait.
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          return Status::OK();
+        };
+      });
+
+  Value total;
+  (void)db.RunTransaction("audit", [&](MethodContext& txn) {
+    return txn.Call(bank, Bank::Audit(), &total);
+  });
+  std::printf("%-11s %8zu %s total=%lld\n", label, threads,
+              result.Row().c_str(), (long long)total.AsInt());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("S4: commutativity granularity ablation - bank transfers "
+              "between 4 hot accounts,\n100 txns per thread (each holding its locks ~100us). The audited "
+              "total must always equal 400000.\n\n");
+  std::printf("%-11s %8s\n", "variant", "threads");
+  for (size_t threads : {1, 4, 8}) {
+    RunVariant(BankSemantics::kEscrow, "escrow", threads);
+    RunVariant(BankSemantics::kNameOnly, "name-only", threads);
+    RunVariant(BankSemantics::kReadWrite, "read-write", threads);
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: identical totals; waits and deadlocks grow as the\n"
+      "declared semantics coarsens (escrow ~0 waits; name-only waits on\n"
+      "withdraw pairs; read-write waits on every pair), and throughput\n"
+      "orders escrow > name-only > read-write at >1 thread.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// S5 (ablation): what does *early lock release* buy? Open and closed
+// nested transactions use identical semantic lock modes; they differ
+// only in when inherited locks release (at each action's completion vs
+// at top-level commit). The paper's claim rests on open nesting:
+// "Subtransactions of open nested transactions are isolated against
+// other subtransactions" — and nothing more.
+//
+// Workload: inserts of distinct keys that all land on a small number of
+// shared leaf pages, each transaction holding its locks briefly after
+// the insert. Keys always commute, so every wait is pure page-lock
+// retention.
+
+#include <cstdio>
+#include <thread>
+
+#include "containers/bptree.h"
+#include "containers/page_ops.h"
+#include "util/random.h"
+#include "workload/harness.h"
+
+using namespace oodb;
+
+namespace {
+
+HarnessResult RunCell(SchedulerKind kind, size_t threads) {
+  DatabaseOptions opts;
+  opts.scheduler = kind;
+  opts.lock_options.wait_timeout = std::chrono::milliseconds(2000);
+  Database db(opts);
+  RegisterPageMethods(&db);
+  BpTree::RegisterMethods(&db);
+  // Large leaves: many distinct keys share one page, like the paper's
+  // "rough up to 500" keys per node.
+  ObjectId tree = BpTree::Create(&db, "T", /*leaf_capacity=*/512,
+                                 /*fanout=*/64);
+
+  HarnessConfig config;
+  config.threads = threads;
+  config.txns_per_thread = 50;
+  return Harness::Run(
+      &db, config, [tree](size_t thread, size_t index) -> TransactionBody {
+        return [tree, thread, index](MethodContext& txn) {
+          std::string key = "k" + std::to_string(thread) + "_" +
+                            std::to_string(index);
+          OODB_RETURN_IF_ERROR(
+              txn.Call(tree, BpTree::Insert(key, "v")));
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          return Status::OK();
+        };
+      });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("S5: open vs closed nesting - distinct-key inserts onto "
+              "shared leaf pages,\n50 txns per thread, locks held ~200us "
+              "after each insert\n\n");
+  std::printf("%-15s %8s %s\n", "discipline", "threads", "result");
+  for (SchedulerKind kind :
+       {SchedulerKind::kOpenNested, SchedulerKind::kClosedNested}) {
+    for (size_t threads : {1, 2, 4, 8}) {
+      HarnessResult r = RunCell(kind, threads);
+      std::printf("%-15s %8zu %s\n", SchedulerKindName(kind), threads,
+                  r.Row().c_str());
+    }
+  }
+  std::printf(
+      "\nShape check: all keys commute semantically, so open nesting\n"
+      "scales with threads and records ~0 waits; closed nesting retains\n"
+      "every page write lock until commit and serializes on the shared\n"
+      "pages - its throughput stays near the 1-thread line. The gap IS\n"
+      "the value of open nesting (and of this paper over closed-nested\n"
+      "models).\n");
+  return 0;
+}

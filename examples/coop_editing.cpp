@@ -1,0 +1,93 @@
+// Cooperative document editing — the section 1 motivation. Several
+// authors edit one paper concurrently. Under the object-exclusive
+// strawman ("locking the whole object for the possibly long time a
+// transaction may last") authors serialize; under open nested semantic
+// locking, authors in different sections proceed in parallel.
+//
+// Run: ./build/examples/coop_editing
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/document.h"
+#include "schedule/validator.h"
+#include "util/stopwatch.h"
+
+using namespace oodb;
+
+namespace {
+
+struct Outcome {
+  double seconds;
+  uint64_t committed, waits, deadlocks;
+};
+
+Outcome RunAuthors(SchedulerKind scheduler) {
+  DatabaseOptions opts;
+  opts.scheduler = scheduler;
+  opts.lock_options.wait_timeout = std::chrono::milliseconds(5000);
+  Database db(opts);
+  Document::RegisterMethods(&db);
+  ObjectId doc = Document::Create(&db, "Paper", /*sections=*/4);
+
+  constexpr int kAuthors = 4;
+  constexpr int kRevisions = 25;
+  Stopwatch clock;
+  std::vector<std::thread> authors;
+  for (int a = 0; a < kAuthors; ++a) {
+    authors.emplace_back([&db, doc, a] {
+      for (int rev = 0; rev < kRevisions; ++rev) {
+        (void)db.RunTransaction("edit", [&](MethodContext& txn) {
+          OODB_RETURN_IF_ERROR(txn.Call(
+              doc, Document::EditSection(
+                       a, "author " + std::to_string(a) + ", revision " +
+                              std::to_string(rev))));
+          // "Thinking" inside the transaction, while the edit's locks
+          // are held: the long operation the paper worries about.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          return Status::OK();
+        });
+      }
+    });
+  }
+  for (auto& t : authors) t.join();
+
+  Outcome out;
+  out.seconds = clock.ElapsedSeconds();
+  out.committed = db.counters().committed.load();
+  out.waits = db.locks().wait_count();
+  out.deadlocks = db.counters().deadlocks.load();
+
+  ValidationReport report = Validator::Validate(&db.ts());
+  if (!report.oo_serializable) {
+    std::fprintf(stderr, "history not oo-serializable!\n%s\n",
+                 report.Summary().c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("4 authors x 25 revisions, each author in their own "
+              "section, 2ms think time per edit\n\n");
+  std::printf("%-18s %9s %9s %7s %10s\n", "scheduler", "seconds",
+              "committed", "waits", "deadlocks");
+  for (SchedulerKind kind :
+       {SchedulerKind::kObjectExclusive, SchedulerKind::kFlat2PL,
+        SchedulerKind::kOpenNested}) {
+    Outcome out = RunAuthors(kind);
+    std::printf("%-18s %9.3f %9llu %7llu %10llu\n", SchedulerKindName(kind),
+                out.seconds, (unsigned long long)out.committed,
+                (unsigned long long)out.waits,
+                (unsigned long long)out.deadlocks);
+  }
+  std::printf(
+      "\nExpected shape: object-exclusive serializes the whole document\n"
+      "(every edit locks Document until commit), so ~4x the wall time of\n"
+      "open nested semantic locking, where edits of different sections\n"
+      "commute and never wait.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: define an object type with a commutativity specification,
+// run concurrent transactions against it under open nested semantic
+// locking, and validate the recorded execution for oo-serializability.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cc/database.h"
+#include "schedule/printer.h"
+#include "schedule/validator.h"
+
+using namespace oodb;
+
+// 1. State: a counter with named slots.
+struct CounterState : public ObjectState {
+  std::map<std::string, int64_t> slots;
+};
+
+// 2. Semantics: increments commute with each other (order never matters
+//    for "+="); reads conflict with increments (they observe the value).
+const ObjectType* CounterType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<MatrixCommutativity>();
+    spec->SetCommutes("inc", "inc");
+    spec->SetCommutes("get", "get");
+    return new ObjectType("Counter", std::move(spec), /*primitive=*/true);
+  }();
+  return type;
+}
+
+int main() {
+  Database db;
+
+  // 3. Methods: inc(slot, delta) and get(slot). Mutators register their
+  //    compensation so aborts can undo semantically.
+  db.Register(CounterType(), "inc",
+              [](MethodContext& ctx, const ValueList& params,
+                 Value* result) -> Status {
+                auto* state = ctx.state<CounterState>();
+                state->slots[params[0].AsString()] += params[1].AsInt();
+                ctx.SetCompensation(Invocation(
+                    "inc", {params[0], Value(-params[1].AsInt())}));
+                *result = Value(state->slots[params[0].AsString()]);
+                return Status::OK();
+              });
+  db.Register(CounterType(), "get",
+              [](MethodContext& ctx, const ValueList& params,
+                 Value* result) -> Status {
+                auto* state = ctx.state<CounterState>();
+                auto it = state->slots.find(params[0].AsString());
+                *result = it == state->slots.end() ? Value()
+                                                   : Value(it->second);
+                return Status::OK();
+              });
+
+  ObjectId counter =
+      db.CreateObject(CounterType(), "Hits", std::make_unique<CounterState>());
+
+  // 4. Concurrent transactions: four threads increment the same slot.
+  //    Increments commute, so nobody ever waits for a lock.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&db, counter] {
+      for (int i = 0; i < 100; ++i) {
+        Status st = db.RunTransaction("bump", [&](MethodContext& txn) {
+          return txn.Call(counter, Invocation("inc", {Value("page"), Value(1)}));
+        });
+        if (!st.ok()) std::fprintf(stderr, "bump failed: %s\n",
+                                   st.ToString().c_str());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Value total;
+  (void)db.RunTransaction("read", [&](MethodContext& txn) {
+    return txn.Call(counter, Invocation("get", {Value("page")}), &total);
+  });
+  std::printf("total after 4x100 concurrent increments: %lld\n",
+              static_cast<long long>(total.AsInt()));
+  std::printf("lock waits: %llu (commuting increments never block)\n",
+              static_cast<unsigned long long>(db.locks().wait_count()));
+
+  // 5. Validate the recorded execution (Defs 13/16).
+  ValidationReport report = Validator::Validate(&db.ts());
+  std::printf("validation: %s\n", report.Summary().c_str());
+  return report.oo_serializable ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Bank over accounts: the paper's Fig 1 "financial markets" column —
+// short transactions on small objects — and the playground for the
+// commutativity-granularity ablation (S4).
+//
+// The key modeling point (section 2: "the implementor of an object type
+// ... can specify the semantics of the implemented object type ... the
+// DBMS can connect the specified semantics of different object types in
+// one framework"): the Bank type's commutativity must be *justified by*
+// the account semantics underneath, because once a transfer action
+// completes, its account-level locks pass up and only the bank-level
+// lock keeps protecting it. Hence three bank/account semantic variants:
+//
+//   kEscrow     escrow accounts [9,14,17]: transfers/deposits/withdraws
+//               commute unconditionally (admissibility is checked
+//               atomically inside the account),
+//   kNameOnly   accounts where only deposit/deposit commutes: two bank
+//               operations commute iff every account they share is
+//               touched by deposits (or reads) on both sides,
+//   kReadWrite  classical R/W accounts: two bank operations commute iff
+//               they share no account, or only read shared ones.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/database.h"
+#include "containers/escrow.h"
+
+namespace oodb {
+
+enum class BankSemantics { kEscrow, kNameOnly, kReadWrite };
+
+const char* BankSemanticsName(BankSemantics semantics);
+
+struct BankState : public ObjectState {
+  std::vector<ObjectId> accounts;
+};
+
+/// The Bank type for the given semantics (parameter-aware commutativity
+/// over the account indices mentioned by each invocation).
+const ObjectType* BankObjectType(BankSemantics semantics);
+
+/// The matching account type (EscrowAccountType / NameOnlyAccountType /
+/// RWAccountType).
+const ObjectType* AccountTypeFor(BankSemantics semantics);
+
+class Bank {
+ public:
+  /// Registers bank methods for the variant plus its account methods.
+  static void RegisterMethods(Database* db, BankSemantics semantics);
+
+  /// Creates a bank with `accounts` accounts, each holding
+  /// `initial_balance`.
+  static ObjectId Create(Database* db, const std::string& name,
+                         BankSemantics semantics, size_t accounts,
+                         int64_t initial_balance);
+
+  static Invocation Transfer(int64_t from, int64_t to, int64_t amount) {
+    return Invocation("transfer", {Value(from), Value(to), Value(amount)});
+  }
+  static Invocation Deposit(int64_t account, int64_t amount) {
+    return Invocation("deposit", {Value(account), Value(amount)});
+  }
+  static Invocation Withdraw(int64_t account, int64_t amount) {
+    return Invocation("withdraw", {Value(account), Value(amount)});
+  }
+  static Invocation Balance(int64_t account) {
+    return Invocation("balance", {Value(account)});
+  }
+  /// Sums all balances (the consistency probe: the total is invariant
+  /// under transfers).
+  static Invocation Audit() { return Invocation("audit"); }
+};
+
+}  // namespace oodb

@@ -1,0 +1,143 @@
+#include "apps/document.h"
+
+#include <memory>
+
+#include "containers/codec.h"
+#include "containers/page_ops.h"
+#include "model/type_registry.h"
+
+namespace oodb {
+
+namespace {
+
+Result<ObjectId> SectionAt(MethodContext& ctx, int64_t index) {
+  ObjectId section = ctx.WithState<DocumentState>([&](DocumentState* s) {
+    if (index < 0 || static_cast<size_t>(index) >= s->sections.size()) {
+      return ObjectId();
+    }
+    return s->sections[index];
+  });
+  if (!section.valid()) {
+    return Status::InvalidArgument("no section " + std::to_string(index));
+  }
+  return section;
+}
+
+Status DocEditSection(MethodContext& ctx, const ValueList& params,
+                      Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("editSection needs index, text");
+  }
+  OODB_ASSIGN_OR_RETURN(ObjectId section,
+                        SectionAt(ctx, params[0].AsInt()));
+  Value old;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(section, Invocation("edit", {params[1]}), &old));
+  ctx.SetCompensation(Invocation("editSection", {params[0], old}));
+  *result = old;
+  return Status::OK();
+}
+
+Status DocReadSection(MethodContext& ctx, const ValueList& params,
+                      Value* result) {
+  if (params.empty()) {
+    return Status::InvalidArgument("readSection needs an index");
+  }
+  OODB_ASSIGN_OR_RETURN(ObjectId section,
+                        SectionAt(ctx, params[0].AsInt()));
+  return ctx.Call(section, Invocation("read"), result);
+}
+
+Status DocReadAll(MethodContext& ctx, const ValueList&, Value* result) {
+  std::vector<ObjectId> sections = ctx.WithState<DocumentState>(
+      [](DocumentState* s) { return s->sections; });
+  std::vector<std::string> texts;
+  texts.reserve(sections.size());
+  for (ObjectId section : sections) {
+    Value text;
+    OODB_RETURN_IF_ERROR(ctx.Call(section, Invocation("read"), &text));
+    texts.push_back(text.AsString());
+  }
+  *result = Value(JoinFields(texts));
+  return Status::OK();
+}
+
+Status SectionEdit(MethodContext& ctx, const ValueList& params,
+                   Value* result) {
+  if (params.empty()) return Status::InvalidArgument("edit needs text");
+  ObjectId page =
+      ctx.WithState<SectionState>([](SectionState* s) { return s->page; });
+  Value old;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(page, Invocation("read", {Value("text")}), &old));
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(page, Invocation("write", {Value("text"), params[0]})));
+  ctx.SetCompensation(
+      Invocation("edit", {Value(old.IsNone() ? "" : old.AsString())}));
+  *result = old.IsNone() ? Value("") : old;
+  return Status::OK();
+}
+
+Status SectionRead(MethodContext& ctx, const ValueList&, Value* result) {
+  ObjectId page =
+      ctx.WithState<SectionState>([](SectionState* s) { return s->page; });
+  Value text;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(page, Invocation("read", {Value("text")}), &text));
+  *result = text.IsNone() ? Value("") : text;
+  return Status::OK();
+}
+
+}  // namespace
+
+const ObjectType* SectionObjectType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<MatrixCommutativity>();
+    spec->SetCommutes("read", "read");
+    return new ObjectType("Section", std::move(spec), /*primitive=*/false);
+  }();
+  return type;
+}
+
+const ObjectType* DocumentObjectType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    auto diff = PredicateCommutativity::DifferentParam(0);
+    spec->SetPredicate("editSection", "editSection", diff);
+    spec->SetPredicate("editSection", "readSection", diff);
+    spec->SetCommutes("readSection", "readSection");
+    spec->SetCommutes("readAll", "readAll");
+    spec->SetCommutes("readAll", "readSection");
+    // editSection vs readAll conflicts (unregistered).
+    return new ObjectType("Document", std::move(spec), /*primitive=*/false);
+  }();
+  return type;
+}
+
+void Document::RegisterMethods(Database* db) {
+  TypeRegistry::Global().Register(DocumentObjectType());
+  TypeRegistry::Global().Register(SectionObjectType());
+  RegisterPageMethods(db);
+  db->Register(DocumentObjectType(), "editSection", DocEditSection);
+  db->Register(DocumentObjectType(), "readSection", DocReadSection);
+  db->Register(DocumentObjectType(), "readAll", DocReadAll);
+  db->Register(SectionObjectType(), "edit", SectionEdit);
+  db->Register(SectionObjectType(), "read", SectionRead);
+}
+
+ObjectId Document::Create(Database* db, const std::string& name,
+                          size_t sections) {
+  auto doc_state = std::make_unique<DocumentState>();
+  for (size_t i = 0; i < sections; ++i) {
+    ObjectId page = CreatePage(
+        db, name + ".SectionPage" + std::to_string(i), /*capacity=*/4);
+    auto section_state = std::make_unique<SectionState>();
+    section_state->page = page;
+    doc_state->sections.push_back(db->CreateObject(
+        SectionObjectType(), name + ".Section" + std::to_string(i),
+        std::move(section_state)));
+  }
+  return db->CreateObject(DocumentObjectType(), name, std::move(doc_state));
+}
+
+}  // namespace oodb

@@ -1,0 +1,55 @@
+// Cooperative document editing — the paper's opening motivation: "consider
+// a publication system which allows the cooperative editing of documents
+// by several authors (like this paper). Every author wants to write down
+// his ideas immediately... If a system ensures that all authors see a
+// consistent view, concurrent work is possible."
+//
+// A Document is a composite object over Section objects, each backed by
+// a page. Edits of different sections commute; reading the whole
+// document conflicts with every edit. Under the object-exclusive
+// strawman, one author's open edit blocks all others; under open nested
+// semantic locking, authors in different sections proceed concurrently.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/database.h"
+
+namespace oodb {
+
+struct SectionState : public ObjectState {
+  ObjectId page;
+};
+
+struct DocumentState : public ObjectState {
+  std::vector<ObjectId> sections;
+};
+
+/// read Θ read; edit conflicts with edit and read.
+const ObjectType* SectionObjectType();
+
+/// editSection(i, ..) Θ editSection(j, ..) iff i != j;
+/// readSection(i) Θ editSection(j) iff i != j; readAll conflicts with
+/// every edit; readAll Θ readAll Θ readSection.
+const ObjectType* DocumentObjectType();
+
+class Document {
+ public:
+  static void RegisterMethods(Database* db);
+
+  /// Creates a document with `sections` empty sections.
+  static ObjectId Create(Database* db, const std::string& name,
+                         size_t sections);
+
+  static Invocation EditSection(int64_t index, const std::string& text) {
+    return Invocation("editSection", {Value(index), Value(text)});
+  }
+  static Invocation ReadSection(int64_t index) {
+    return Invocation("readSection", {Value(index)});
+  }
+  static Invocation ReadAll() { return Invocation("readAll"); }
+};
+
+}  // namespace oodb

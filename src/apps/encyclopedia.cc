@@ -1,0 +1,441 @@
+#include "apps/encyclopedia.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+#include "containers/bptree.h"
+#include "containers/codec.h"
+#include "containers/page_ops.h"
+#include "model/type_registry.h"
+
+namespace oodb {
+
+namespace {
+
+std::atomic<uint64_t> g_enc_counter{0};
+
+std::string SeqKey(uint64_t seq) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+// ---------------------------------------------------------------------
+// Item methods
+// ---------------------------------------------------------------------
+
+Status ItemRead(MethodContext& ctx, const ValueList&, Value* result) {
+  auto snap = ctx.WithState<ItemState>(
+      [](ItemState* s) { return std::make_pair(s->page, s->key); });
+  return ctx.Call(snap.first, Invocation("read", {Value(snap.second)}),
+                  result);
+}
+
+Status ItemChange(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.empty()) return Status::InvalidArgument("change needs data");
+  auto snap = ctx.WithState<ItemState>(
+      [](ItemState* s) { return std::make_pair(s->page, s->key); });
+  Value old;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.first, Invocation("read", {Value(snap.second)}), &old));
+  OODB_RETURN_IF_ERROR(ctx.Call(
+      snap.first, Invocation("write", {Value(snap.second), params[0]})));
+  if (old.IsNone()) {
+    ctx.SetCompensation(Invocation("clear"));
+  } else {
+    ctx.SetCompensation(Invocation("change", {old}));
+  }
+  *result = old;
+  return Status::OK();
+}
+
+Status ItemClear(MethodContext& ctx, const ValueList&, Value* result) {
+  auto snap = ctx.WithState<ItemState>(
+      [](ItemState* s) { return std::make_pair(s->page, s->key); });
+  Value old;
+  OODB_RETURN_IF_ERROR(ctx.Call(
+      snap.first, Invocation("erase", {Value(snap.second)}), &old));
+  if (!old.IsNone()) {
+    ctx.SetCompensation(Invocation("change", {old}));
+  }
+  *result = old;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// LinkedList methods
+// ---------------------------------------------------------------------
+
+Status ListAppend(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("append needs item key, item id");
+  }
+  // Entry: seq -> "<item key> US <item id>".
+  uint64_t seq = 0;
+  ObjectId page;
+  size_t capacity = 0;
+  ctx.WithState<LinkedListState>([&](LinkedListState* s) {
+    seq = s->next_seq++;
+    page = s->pages.empty() ? ObjectId() : s->pages.back();
+    capacity = s->page_capacity;
+    return 0;
+  });
+  const std::string entry =
+      JoinPair(params[0].AsString(), params[1].AsString());
+  const std::string key = SeqKey(seq);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (page.valid()) {
+      Status st = ctx.Call(
+          page, Invocation("write", {Value(key), Value(entry)}));
+      if (st.ok()) {
+        ctx.SetCompensation(Invocation("removeSeq", {Value(key)}));
+        *result = Value(static_cast<int64_t>(seq));
+        return Status::OK();
+      }
+      if (st.code() != StatusCode::kCapacity) return st;
+    }
+    // Last page full (or none yet): extend the list.
+    ObjectId fresh = CreatePage(
+        ctx.db(), "ListPage" + std::to_string(++g_enc_counter), capacity);
+    page = ctx.WithState<LinkedListState>([&](LinkedListState* s) {
+      if (s->pages.empty() || s->pages.back() == page || !page.valid()) {
+        s->pages.push_back(fresh);
+        return fresh;
+      }
+      return s->pages.back();  // someone else already extended
+    });
+  }
+  return Status::Capacity("list pages keep filling up");
+}
+
+Status ListReadSeq(MethodContext& ctx, const ValueList&, Value* result) {
+  std::vector<ObjectId> pages = ctx.WithState<LinkedListState>(
+      [](LinkedListState* s) { return s->pages; });
+  // Collect (seq -> entry) across pages; seq keys sort lexicographically.
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (ObjectId page : pages) {
+    Value scan;
+    OODB_RETURN_IF_ERROR(ctx.Call(page, Invocation("scan"), &scan));
+    std::vector<std::string> fields = SplitFields(scan.AsString());
+    for (size_t i = 0; i + 1 < fields.size(); i += 2) {
+      entries.emplace_back(fields[i], fields[i + 1]);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  // Read every item in sequence order.
+  std::vector<std::string> out;
+  for (const auto& [seq, entry] : entries) {
+    (void)seq;
+    auto [item_key, item_id] = SplitPair(entry);
+    if (item_id.empty()) continue;
+    Value data;
+    OODB_RETURN_IF_ERROR(ctx.Call(ObjectId(std::stoull(item_id)),
+                                  Invocation("read"), &data));
+    out.push_back(item_key);
+    out.push_back(data.AsString());
+  }
+  *result = Value(JoinFields(out));
+  return Status::OK();
+}
+
+/// Finds the page holding `seq` and erases it (compensation of append).
+Status ListRemoveSeq(MethodContext& ctx, const ValueList& params,
+                     Value* result) {
+  if (params.empty()) return Status::InvalidArgument("removeSeq needs seq");
+  std::vector<ObjectId> pages = ctx.WithState<LinkedListState>(
+      [](LinkedListState* s) { return s->pages; });
+  for (ObjectId page : pages) {
+    Value present;
+    OODB_RETURN_IF_ERROR(
+        ctx.Call(page, Invocation("contains", {params[0]}), &present));
+    if (present.AsInt() == 1) {
+      Value old;
+      OODB_RETURN_IF_ERROR(
+          ctx.Call(page, Invocation("erase", {params[0]}), &old));
+      ctx.SetCompensation(Invocation("restore", {params[0], old}));
+      *result = old;
+      return Status::OK();
+    }
+  }
+  *result = Value();
+  return Status::OK();
+}
+
+/// Removes the entry whose *item key* is `key` (used by Enc.erase).
+Status ListRemove(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.empty()) return Status::InvalidArgument("remove needs a key");
+  std::vector<ObjectId> pages = ctx.WithState<LinkedListState>(
+      [](LinkedListState* s) { return s->pages; });
+  const std::string target = params[0].AsString();
+  for (ObjectId page : pages) {
+    Value scan;
+    OODB_RETURN_IF_ERROR(ctx.Call(page, Invocation("scan"), &scan));
+    std::vector<std::string> fields = SplitFields(scan.AsString());
+    for (size_t i = 0; i + 1 < fields.size(); i += 2) {
+      auto [item_key, item_id] = SplitPair(fields[i + 1]);
+      if (!item_id.empty() && item_key == target) {
+        Value old;
+        OODB_RETURN_IF_ERROR(ctx.Call(
+            page, Invocation("erase", {Value(fields[i])}), &old));
+        ctx.SetCompensation(
+            Invocation("restore", {Value(fields[i]), old}));
+        *result = old;
+        return Status::OK();
+      }
+    }
+  }
+  *result = Value();
+  return Status::OK();
+}
+
+/// Re-inserts a (seq, entry) pair (compensation of remove/removeSeq).
+Status ListRestore(MethodContext& ctx, const ValueList& params,
+                   Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("restore needs seq, entry");
+  }
+  std::vector<ObjectId> pages = ctx.WithState<LinkedListState>(
+      [](LinkedListState* s) { return s->pages; });
+  for (ObjectId page : pages) {
+    Status st = ctx.Call(page, Invocation("write", {params[0], params[1]}));
+    if (st.ok()) {
+      ctx.SetCompensation(Invocation("removeSeq", {params[0]}));
+      *result = Value();
+      return Status::OK();
+    }
+    if (st.code() != StatusCode::kCapacity) return st;
+  }
+  return Status::Capacity("no list page has room for the restore");
+}
+
+// ---------------------------------------------------------------------
+// Enc methods
+// ---------------------------------------------------------------------
+
+struct EncSnapshot {
+  ObjectId tree, list;
+};
+
+EncSnapshot SnapEnc(MethodContext& ctx) {
+  return ctx.WithState<EncState>(
+      [](EncState* s) { return EncSnapshot{s->tree, s->list}; });
+}
+
+Status EncInsert(MethodContext& ctx, const ValueList& params,
+                 Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("insert needs key, data");
+  }
+  EncSnapshot snap = SnapEnc(ctx);
+  const std::string key = params[0].AsString();
+
+  // Duplicate keys are an application error (the caller may search
+  // first); refuse rather than silently link a second item.
+  Value existing;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.tree, Invocation("search", {params[0]}), &existing));
+  if (!existing.IsNone()) {
+    return Status::AlreadyExists("item '" + key + "' already present");
+  }
+
+  // Allocate a slot on a shared item page (several items per page: the
+  // Fig 7 situation where item operations conflict at the page level).
+  ObjectId item_page = ctx.WithState<EncState>([&](EncState* s) {
+    if (!s->item_pages.empty() &&
+        (s->item_count % s->items_per_page) != 0) {
+      ++s->item_count;
+      return s->item_pages.back();
+    }
+    return ObjectId();
+  });
+  if (!item_page.valid()) {
+    size_t per_page = ctx.WithState<EncState>(
+        [](EncState* s) { return s->items_per_page; });
+    ObjectId fresh = CreatePage(
+        ctx.db(), "ItemPage" + std::to_string(++g_enc_counter), per_page);
+    item_page = ctx.WithState<EncState>([&](EncState* s) {
+      s->item_pages.push_back(fresh);
+      ++s->item_count;
+      return fresh;
+    });
+  }
+
+  auto item_state = std::make_unique<ItemState>();
+  item_state->page = item_page;
+  item_state->key = key;
+  ObjectId item =
+      ctx.CreateObject(ItemObjectType(), "Item_" + key,
+                       std::move(item_state));
+  OODB_RETURN_IF_ERROR(ctx.Call(item, Invocation("change", {params[1]})));
+  OODB_RETURN_IF_ERROR(ctx.Call(
+      snap.tree,
+      Invocation("insert", {params[0],
+                            Value(std::to_string(item.value))})));
+  OODB_RETURN_IF_ERROR(ctx.Call(
+      snap.list,
+      Invocation("append", {params[0],
+                            Value(std::to_string(item.value))})));
+  ctx.SetCompensation(Invocation("erase", {params[0]}));
+  *result = Value(static_cast<int64_t>(item.value));
+  return Status::OK();
+}
+
+Status EncSearch(MethodContext& ctx, const ValueList& params,
+                 Value* result) {
+  if (params.empty()) return Status::InvalidArgument("search needs a key");
+  EncSnapshot snap = SnapEnc(ctx);
+  Value item_id;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.tree, Invocation("search", {params[0]}), &item_id));
+  if (item_id.IsNone()) {
+    *result = Value();
+    return Status::OK();
+  }
+  return ctx.Call(ObjectId(std::stoull(item_id.AsString())),
+                  Invocation("read"), result);
+}
+
+Status EncChange(MethodContext& ctx, const ValueList& params,
+                 Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("change needs key, data");
+  }
+  EncSnapshot snap = SnapEnc(ctx);
+  Value item_id;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.tree, Invocation("search", {params[0]}), &item_id));
+  if (item_id.IsNone()) {
+    return Status::NotFound("no item '" + params[0].AsString() + "'");
+  }
+  Value old;
+  OODB_RETURN_IF_ERROR(ctx.Call(ObjectId(std::stoull(item_id.AsString())),
+                                Invocation("change", {params[1]}), &old));
+  ctx.SetCompensation(Invocation("change", {params[0], old}));
+  *result = old;
+  return Status::OK();
+}
+
+Status EncErase(MethodContext& ctx, const ValueList& params,
+                Value* result) {
+  if (params.empty()) return Status::InvalidArgument("erase needs a key");
+  EncSnapshot snap = SnapEnc(ctx);
+  Value item_id;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.tree, Invocation("search", {params[0]}), &item_id));
+  if (item_id.IsNone()) {
+    *result = Value();
+    return Status::OK();
+  }
+  ObjectId item(std::stoull(item_id.AsString()));
+  Value data;
+  OODB_RETURN_IF_ERROR(ctx.Call(item, Invocation("read"), &data));
+  OODB_RETURN_IF_ERROR(ctx.Call(item, Invocation("clear")));
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.tree, Invocation("erase", {params[0]})));
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.list, Invocation("remove", {params[0]})));
+  ctx.SetCompensation(
+      Invocation("insert", {params[0], Value(data.AsString())}));
+  *result = data;
+  return Status::OK();
+}
+
+Status EncReadSeq(MethodContext& ctx, const ValueList&, Value* result) {
+  EncSnapshot snap = SnapEnc(ctx);
+  return ctx.Call(snap.list, Invocation("readSeq"), result);
+}
+
+}  // namespace
+
+const ObjectType* ItemObjectType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<MatrixCommutativity>();
+    spec->SetCommutes("read", "read");
+    return new ObjectType("Item", std::move(spec), /*primitive=*/false);
+  }();
+  return type;
+}
+
+const ObjectType* LinkedListObjectType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    auto diff = PredicateCommutativity::DifferentParam(0);
+    spec->SetPredicate("append", "append", diff);
+    spec->SetPredicate("append", "remove", diff);
+    spec->SetPredicate("remove", "remove", diff);
+    spec->SetCommutes("readSeq", "readSeq");
+    // removeSeq / restore (compensations) conflict with everything.
+    return new ObjectType("LinkedList", std::move(spec),
+                          /*primitive=*/false);
+  }();
+  return type;
+}
+
+const ObjectType* EncObjectType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    auto diff = PredicateCommutativity::DifferentParam(0);
+    spec->SetPredicate("insert", "insert", diff);
+    spec->SetPredicate("insert", "search", diff);
+    spec->SetPredicate("insert", "change", diff);
+    spec->SetPredicate("insert", "erase", diff);
+    spec->SetPredicate("change", "change", diff);
+    spec->SetPredicate("change", "search", diff);
+    spec->SetPredicate("change", "erase", diff);
+    spec->SetPredicate("erase", "erase", diff);
+    spec->SetPredicate("erase", "search", diff);
+    spec->SetCommutes("search", "search");
+    spec->SetCommutes("readSeq", "readSeq");
+    spec->SetCommutes("readSeq", "search");
+    // insert/change/erase vs readSeq conflict (phantoms).
+    return new ObjectType("Enc", std::move(spec), /*primitive=*/false);
+  }();
+  return type;
+}
+
+void Encyclopedia::RegisterMethods(Database* db) {
+  TypeRegistry::Global().Register(ItemObjectType());
+  TypeRegistry::Global().Register(LinkedListObjectType());
+  TypeRegistry::Global().Register(EncObjectType());
+  RegisterPageMethods(db);
+  BpTree::RegisterMethods(db);
+  db->Register(ItemObjectType(), "read", ItemRead);
+  db->Register(ItemObjectType(), "change", ItemChange);
+  db->Register(ItemObjectType(), "clear", ItemClear);
+  db->Register(LinkedListObjectType(), "append", ListAppend);
+  db->Register(LinkedListObjectType(), "readSeq", ListReadSeq);
+  db->Register(LinkedListObjectType(), "remove", ListRemove);
+  db->Register(LinkedListObjectType(), "removeSeq", ListRemoveSeq);
+  db->Register(LinkedListObjectType(), "restore", ListRestore);
+  db->Register(EncObjectType(), "insert", EncInsert);
+  db->Register(EncObjectType(), "search", EncSearch);
+  db->Register(EncObjectType(), "change", EncChange);
+  db->Register(EncObjectType(), "erase", EncErase);
+  db->Register(EncObjectType(), "readSeq", EncReadSeq);
+}
+
+ObjectId Encyclopedia::Create(Database* db, const std::string& name,
+                              size_t leaf_capacity, size_t fanout,
+                              size_t items_per_page,
+                              size_t list_page_capacity) {
+  ObjectId tree =
+      BpTree::Create(db, name + ".BpTree", leaf_capacity, fanout);
+  auto list_state = std::make_unique<LinkedListState>();
+  list_state->page_capacity = list_page_capacity;
+  ObjectId list = db->CreateObject(LinkedListObjectType(),
+                                   name + ".LinkedList",
+                                   std::move(list_state));
+  auto enc_state = std::make_unique<EncState>();
+  enc_state->tree = tree;
+  enc_state->list = list;
+  enc_state->items_per_page = items_per_page;
+  return db->CreateObject(EncObjectType(), name, std::move(enc_state));
+}
+
+}  // namespace oodb

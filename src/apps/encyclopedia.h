@@ -1,0 +1,87 @@
+// The paper's running application (section 2, Fig 2): an encyclopedia
+// with often-changing items, indexed by a B+ tree and threaded through a
+// linked list:
+//
+//   Enc ── BpTree ── Node* ── Leaf* ── LeafPage*   (keys -> item ids)
+//    └──── LinkedList ── ListPage*                 (sequence of items)
+//    └──── Item* ── ItemPage*                      (item contents)
+//
+// Every arrow is a message; items share pages (several items per item
+// page, so concurrent changes to different items conflict at the page
+// and commute at the item — the Fig 7 situation at Item8/Page4713).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/database.h"
+
+namespace oodb {
+
+/// Item: a handle onto (shared item page, key).
+struct ItemState : public ObjectState {
+  ObjectId page;
+  std::string key;
+};
+
+/// LinkedList: item ids in insertion order, stored on list pages.
+struct LinkedListState : public ObjectState {
+  std::vector<ObjectId> pages;  ///< list pages, in order
+  size_t page_capacity;
+  uint64_t next_seq = 0;        ///< position counter for ordering
+};
+
+/// Enc: the encyclopedia root.
+struct EncState : public ObjectState {
+  ObjectId tree;
+  ObjectId list;
+  std::vector<ObjectId> item_pages;  ///< shared item pages
+  size_t items_per_page;
+  uint64_t item_count = 0;
+};
+
+/// read Θ read; change conflicts with read and change.
+const ObjectType* ItemObjectType();
+
+/// append Θ append (different keys); readSeq conflicts with append and
+/// remove; readSeq Θ readSeq.
+const ObjectType* LinkedListObjectType();
+
+/// Keyed operations commute on distinct keys; readSeq conflicts with all
+/// mutations; search Θ search Θ readSeq.
+const ObjectType* EncObjectType();
+
+/// The encyclopedia public interface.
+class Encyclopedia {
+ public:
+  /// Registers all methods this app needs (pages, tree, list, item, enc).
+  static void RegisterMethods(Database* db);
+
+  /// Creates an empty encyclopedia.
+  ///   leaf_capacity: keys per B+ tree leaf page (the paper notes real
+  ///                  pages hold "rough up to 500" keys);
+  ///   fanout:        routing entries per inner node;
+  ///   items_per_page: items sharing one item page.
+  static ObjectId Create(Database* db, const std::string& name,
+                         size_t leaf_capacity = 64, size_t fanout = 64,
+                         size_t items_per_page = 16,
+                         size_t list_page_capacity = 256);
+
+  // Invocation builders for the Enc methods.
+  static Invocation Insert(const std::string& key, const std::string& data) {
+    return Invocation("insert", {Value(key), Value(data)});
+  }
+  static Invocation Search(const std::string& key) {
+    return Invocation("search", {Value(key)});
+  }
+  static Invocation Change(const std::string& key, const std::string& data) {
+    return Invocation("change", {Value(key), Value(data)});
+  }
+  static Invocation Erase(const std::string& key) {
+    return Invocation("erase", {Value(key)});
+  }
+  static Invocation ReadSeq() { return Invocation("readSeq"); }
+};
+
+}  // namespace oodb

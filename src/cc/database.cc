@@ -1,0 +1,269 @@
+#include "cc/database.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace oodb {
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kOpenNested:
+      return "open-nested";
+    case SchedulerKind::kClosedNested:
+      return "closed-nested";
+    case SchedulerKind::kFlat2PL:
+      return "flat-2pl";
+    case SchedulerKind::kObjectExclusive:
+      return "object-exclusive";
+    case SchedulerKind::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+Database::Database(DatabaseOptions options)
+    : options_(options), locks_(&ts_, options.lock_options) {}
+
+void Database::Register(const ObjectType* type, const std::string& method,
+                        MethodImpl impl) {
+  registry_.Register(type, method, std::move(impl));
+}
+
+ObjectId Database::CreateObject(const ObjectType* type, std::string name,
+                                std::unique_ptr<ObjectState> state) {
+  ObjectId id = ts_.AddObject(type, std::move(name));
+  auto runtime = std::make_unique<RuntimeObject>();
+  runtime->type = type;
+  runtime->state = std::move(state);
+  std::lock_guard<std::mutex> guard(objects_mutex_);
+  objects_[id.value] = std::move(runtime);
+  return id;
+}
+
+Database::RuntimeObject* Database::RuntimeOf(ObjectId id) {
+  std::lock_guard<std::mutex> guard(objects_mutex_);
+  auto it = objects_.find(id.value);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+Status MethodContext::Call(ObjectId obj, Invocation inv, Value* result) {
+  Value scratch;
+  return db_->ExecuteCall(action_, obj, std::move(inv),
+                          result ? result : &scratch);
+}
+
+Status MethodContext::CallParallel(const std::vector<ParallelCall>& calls,
+                                   std::vector<Value>* results) {
+  if (results != nullptr) {
+    results->assign(calls.size(), Value());
+  }
+  std::vector<Status> statuses(calls.size());
+  std::vector<std::thread> branches;
+  branches.reserve(calls.size());
+  for (size_t i = 0; i < calls.size(); ++i) {
+    branches.emplace_back([this, &calls, &statuses, results, i] {
+      Value scratch;
+      uint32_t process =
+          db_->next_process_.fetch_add(1, std::memory_order_relaxed);
+      statuses[i] = db_->ExecuteCall(
+          action_, calls[i].object, calls[i].inv,
+          results ? &(*results)[i] : &scratch, process);
+    });
+  }
+  for (auto& b : branches) b.join();
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+ObjectId MethodContext::CreateObject(const ObjectType* type,
+                                     std::string name,
+                                     std::unique_ptr<ObjectState> state) {
+  return db_->CreateObject(type, std::move(name), std::move(state));
+}
+
+void MethodContext::SetCompensation(Invocation inv) {
+  compensation_ = std::move(inv);
+}
+
+Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
+                             Value* result, uint32_t process) {
+  RuntimeObject* runtime = RuntimeOf(obj);
+  if (runtime == nullptr) {
+    return Status::NotFound("no object with id " +
+                            std::to_string(obj.value));
+  }
+  const MethodImpl* impl = registry_.Find(runtime->type, inv.method);
+  if (impl == nullptr) {
+    return Status::Unsupported("no method '" + inv.method + "' on type " +
+                               runtime->type->name());
+  }
+  // Def 3: primitive actions call no other action. (The parent is the
+  // top-level action when `parent`'s object is the system object.)
+  if (ts_.action(parent).object.valid() &&
+      !ts_.action(parent).object.IsSystem() &&
+      ts_.object(ts_.action(parent).object).type->primitive()) {
+    return Status::Internal(
+        "primitive method attempted to call " + inv.method +
+        " (Def 3: primitive actions call no other action)");
+  }
+
+  // Record the call (Def 2) before locking: lock ancestry needs it.
+  // Parallel branches run in their own process (Def 9) with no
+  // precedence edge from earlier siblings.
+  ActionId action =
+      ts_.Call(parent, obj, inv, /*sequential=*/process == 0);
+  if (process != 0) ts_.SetProcess(action, process);
+  ActionId top = ts_.TopLevelOf(action);
+
+  // Acquire per the scheduler mode.
+  Status lock_status;
+  switch (options_.scheduler) {
+    case SchedulerKind::kOpenNested:
+    case SchedulerKind::kClosedNested:
+      lock_status = locks_.Acquire(obj, runtime->type, inv, action, top,
+                                   LockSemantics::kCommutativity,
+                                   /*hold_at_top=*/false);
+      break;
+    case SchedulerKind::kFlat2PL:
+      // Only the primitive layer is locked; composite calls pass
+      // through (the conventional system does not know them).
+      if (runtime->type->primitive()) {
+        lock_status = locks_.Acquire(obj, runtime->type, inv, action, top,
+                                     LockSemantics::kCommutativity,
+                                     /*hold_at_top=*/true);
+      }
+      break;
+    case SchedulerKind::kObjectExclusive:
+      lock_status = locks_.Acquire(obj, runtime->type, inv, action, top,
+                                   LockSemantics::kExclusive,
+                                   /*hold_at_top=*/true);
+      break;
+    case SchedulerKind::kNone:
+      break;
+  }
+  if (!lock_status.ok()) {
+    counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    return lock_status;
+  }
+
+  MethodContext ctx(this, action, obj, runtime->state.get(),
+                    &runtime->latch);
+  Status body_status;
+  if (runtime->type->primitive()) {
+    // Primitive action: atomic under the object latch, with the Axiom 1
+    // timestamp taken inside the critical section so the recorded order
+    // is the real conflict order.
+    std::lock_guard<std::mutex> latch(runtime->latch);
+    body_status = (*impl)(ctx, inv.params, result);
+    if (body_status.ok()) {
+      ts_.SetTimestamp(action, ts_.NextTimestamp());
+    }
+    counters_.operations.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    body_status = (*impl)(ctx, inv.params, result);
+  }
+
+  if (!body_status.ok()) {
+    // The action failed: undo its completed children (in reverse), then
+    // drop everything it holds. The caller decides whether the error is
+    // recoverable (e.g. Capacity -> split) or aborts further up.
+    CompensateChildren(action);
+    locks_.ReleaseAllHeldBy(action);
+    {
+      std::lock_guard<std::mutex> guard(comp_mutex_);
+      comp_log_.erase(action.value);
+    }
+    return body_status;
+  }
+
+  ts_.MarkCompleted(action);
+  if (ctx.compensation_.has_value()) {
+    std::lock_guard<std::mutex> guard(comp_mutex_);
+    comp_log_[parent.value].push_back(
+        CompensationEntry{obj, std::move(*ctx.compensation_)});
+  }
+  {
+    // The completed action's children compensations are superseded by
+    // its own registered compensation.
+    std::lock_guard<std::mutex> guard(comp_mutex_);
+    comp_log_.erase(action.value);
+  }
+  locks_.OnActionComplete(
+      action, parent,
+      /*release_children=*/options_.scheduler !=
+          SchedulerKind::kClosedNested);
+  return Status::OK();
+}
+
+void Database::CompensateChildren(ActionId action) {
+  std::vector<CompensationEntry> entries;
+  {
+    std::lock_guard<std::mutex> guard(comp_mutex_);
+    auto it = comp_log_.find(action.value);
+    if (it == comp_log_.end()) return;
+    entries = std::move(it->second);
+    comp_log_.erase(it);
+  }
+  Value scratch;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    Status st = ExecuteCall(action, it->object, it->inv, &scratch);
+    if (!st.ok()) {
+      // Compensation runs inside the transaction's own lock sphere, so
+      // failures here are method bugs or extreme contention; surface
+      // loudly but keep unwinding.
+      OODB_ERROR("compensation " << it->inv.ToString() << " on object "
+                                 << it->object.value
+                                 << " failed: " << st.ToString());
+    }
+  }
+}
+
+Status Database::RunTransaction(const std::string& name,
+                                const TransactionBody& body) {
+  thread_local Rng backoff_rng(
+      std::hash<std::thread::id>()(std::this_thread::get_id()));
+  for (int attempt = 0;; ++attempt) {
+    ActionId top = ts_.BeginTopLevel(
+        attempt == 0 ? name : name + "#r" + std::to_string(attempt));
+    MethodContext ctx(this, top, ObjectId(), nullptr, nullptr);
+    Status st = body(ctx);
+    if (st.ok()) {
+      ts_.MarkCompleted(top);
+      locks_.OnActionComplete(top, ActionId());
+      {
+        std::lock_guard<std::mutex> guard(comp_mutex_);
+        comp_log_.erase(top.value);
+      }
+      counters_.committed.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    // Abort: semantically undo completed top-level children, then
+    // release everything. The compensations themselves re-register
+    // their own compensations under `top`; drop those too.
+    CompensateChildren(top);
+    {
+      std::lock_guard<std::mutex> guard(comp_mutex_);
+      comp_log_.erase(top.value);
+    }
+    locks_.ReleaseAllHeldBy(top);
+    counters_.aborted.fetch_add(1, std::memory_order_relaxed);
+    if (st.IsDeadlock()) {
+      counters_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      if (attempt < options_.max_retries) {
+        counters_.retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            100 + backoff_rng.NextBelow(400) * (attempt + 1)));
+        continue;
+      }
+    }
+    return st;
+  }
+}
+
+}  // namespace oodb

@@ -1,0 +1,159 @@
+// Database: the object store plus the transaction runtime.
+//
+// A Database owns the objects (encapsulated state + type), the method
+// registry, the semantic lock manager, and the TransactionSystem that
+// records every execution (the input to the schedule validator). Its
+// scheduler mode selects the concurrency control protocol:
+//
+//   kOpenNested       open nested semantic 2PL — the paper's protocol:
+//                     every action locks in commutativity modes; locks
+//                     pass up at completion and unwind at commit.
+//   kClosedNested     closed nested transactions [12]: same semantic
+//                     modes, but nothing releases before top-level
+//                     commit — "only top-level-transactions are
+//                     isolated from each other".
+//   kFlat2PL          conventional strict 2PL at the primitive (page)
+//                     layer: the baseline the paper compares against.
+//   kObjectExclusive  the section 1 strawman: every touched object is
+//                     locked exclusively until commit ("locking the
+//                     whole object for the possibly long time a
+//                     transaction may last is not acceptable").
+//   kNone             no concurrency control (to produce the anomalous
+//                     histories the validator must reject).
+//
+// Aborts (voluntary, deadlock, or failure) are compensation-based, as
+// open nesting requires: each completed action registers a compensating
+// invocation; abort executes the direct children's compensations in
+// reverse completion order as ordinary actions.
+
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "cc/method.h"
+#include "cc/method_registry.h"
+#include "model/transaction_system.h"
+#include "util/histogram.h"
+
+namespace oodb {
+
+enum class SchedulerKind {
+  kOpenNested,
+  kClosedNested,
+  kFlat2PL,
+  kObjectExclusive,
+  kNone,
+};
+
+/// Human-readable scheduler name for reports.
+const char* SchedulerKindName(SchedulerKind kind);
+
+struct DatabaseOptions {
+  SchedulerKind scheduler = SchedulerKind::kOpenNested;
+  LockManagerOptions lock_options;
+  /// RunTransaction retries after deadlock up to this many times.
+  int max_retries = 16;
+};
+
+/// The body of a transaction: issues top-level calls through the
+/// context and returns OK to commit or an error to abort.
+using TransactionBody = std::function<Status(MethodContext& txn)>;
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- setup ----------------------------------------------------------
+
+  /// Registers the implementation of `method` for `type`.
+  void Register(const ObjectType* type, const std::string& method,
+                MethodImpl impl);
+
+  /// Creates an object with the given state. Thread-safe (splits create
+  /// objects mid-transaction).
+  ObjectId CreateObject(const ObjectType* type, std::string name,
+                        std::unique_ptr<ObjectState> state);
+
+  // --- execution -------------------------------------------------------
+
+  /// Runs `body` as a top-level transaction named `name`, committing on
+  /// OK. Deadlocks abort (with compensation), back off, and retry up to
+  /// max_retries; other errors abort and return. Every attempt —
+  /// including aborted ones and their compensations — is recorded in the
+  /// transaction system, so validation sees the real history.
+  Status RunTransaction(const std::string& name, const TransactionBody& body);
+
+  // --- introspection ---------------------------------------------------
+
+  /// The recorded execution (for the validator and the printers).
+  TransactionSystem& ts() { return ts_; }
+  const TransactionSystem& ts() const { return ts_; }
+
+  LockManager& locks() { return locks_; }
+  RunCounters& counters() { return counters_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Direct, unsynchronized state peek for tests and for loading data
+  /// outside any transaction. Do not use while transactions run.
+  template <typename T>
+  T* StateOf(ObjectId id) {
+    return static_cast<T*>(RuntimeOf(id)->state.get());
+  }
+
+ private:
+  friend class MethodContext;
+
+  struct RuntimeObject {
+    const ObjectType* type;
+    std::unique_ptr<ObjectState> state;
+    std::mutex latch;
+  };
+
+  RuntimeObject* RuntimeOf(ObjectId id);
+
+  /// Records, locks, and executes one call; the heart of the runtime.
+  /// `process` overrides the inherited intra-transaction process id
+  /// (0 = inherit); used by CallParallel.
+  Status ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
+                     Value* result, uint32_t process = 0);
+
+  /// Runs the registered compensations of `action`'s completed children
+  /// in reverse completion order (as ordinary actions under `action`).
+  void CompensateChildren(ActionId action);
+
+  struct CompensationEntry {
+    ObjectId object;
+    Invocation inv;
+  };
+
+  DatabaseOptions options_;
+  TransactionSystem ts_;
+  LockManager locks_;
+  MethodRegistry registry_;
+  RunCounters counters_;
+
+  std::mutex objects_mutex_;
+  std::unordered_map<uint64_t, std::unique_ptr<RuntimeObject>> objects_;
+
+  std::mutex comp_mutex_;
+  /// parent action -> compensations of its completed children, in
+  /// completion order.
+  std::unordered_map<uint64_t, std::vector<CompensationEntry>> comp_log_;
+
+  /// Fresh intra-transaction process ids for CallParallel (Def 9);
+  /// process 0 is the default sequential process of every transaction.
+  std::atomic<uint32_t> next_process_{1};
+};
+
+}  // namespace oodb

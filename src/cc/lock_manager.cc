@@ -1,0 +1,222 @@
+#include "cc/lock_manager.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace oodb {
+
+const char* DeadlockPolicyName(DeadlockPolicy policy) {
+  switch (policy) {
+    case DeadlockPolicy::kDetect:
+      return "detect";
+    case DeadlockPolicy::kWaitDie:
+      return "wait-die";
+  }
+  return "?";
+}
+
+LockManager::LockManager(const TransactionSystem* ts,
+                         LockManagerOptions options)
+    : ts_(ts), options_(options) {}
+
+bool LockManager::InSphere(ActionId holder, ActionId action) const {
+  ActionId cur = action;
+  while (cur.valid()) {
+    if (cur == holder) return true;
+    cur = ts_->action(cur).parent;
+  }
+  return false;
+}
+
+bool LockManager::Compatible(const Lock& lock, const ObjectType* type,
+                             const Invocation& inv, ActionId action,
+                             LockSemantics semantics) const {
+  if (InSphere(lock.holder, action)) return true;
+  if (lock.semantics == LockSemantics::kExclusive ||
+      semantics == LockSemantics::kExclusive) {
+    return false;
+  }
+  return type->Commutes(lock.inv, inv);
+}
+
+std::vector<uint64_t> LockManager::Blockers(ObjectId obj,
+                                            const ObjectType* type,
+                                            const Invocation& inv,
+                                            ActionId action,
+                                            LockSemantics semantics) const {
+  std::vector<uint64_t> blockers;
+  auto it = table_.find(obj);
+  if (it == table_.end()) return blockers;
+  for (const Lock& lock : it->second) {
+    if (!Compatible(lock, type, inv, action, semantics)) {
+      uint64_t holder_top = ts_->TopLevelOf(lock.holder).value;
+      blockers.push_back(holder_top);
+    }
+  }
+  return blockers;
+}
+
+bool LockManager::WouldDeadlock(
+    uint64_t requester_top, const std::vector<uint64_t>& blocker_tops) const {
+  // Cycle iff requester_top is reachable from any blocker through the
+  // waits-for edges (the requester is about to add edges to all
+  // blockers). Intra-transaction waits (blocker == requester) are not
+  // deadlocks: lock pass-up resolves them.
+  std::deque<uint64_t> frontier;
+  std::unordered_set<uint64_t> visited;
+  for (uint64_t b : blocker_tops) {
+    if (b == requester_top) continue;
+    if (visited.insert(b).second) frontier.push_back(b);
+  }
+  while (!frontier.empty()) {
+    uint64_t t = frontier.front();
+    frontier.pop_front();
+    if (t == requester_top) return true;
+    auto it = waits_for_.find(t);
+    if (it == waits_for_.end()) continue;
+    for (uint64_t next : it->second) {
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
+                            const Invocation& inv, ActionId action,
+                            ActionId top, LockSemantics semantics,
+                            bool hold_at_top) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto deadline = std::chrono::steady_clock::now() + options_.wait_timeout;
+  bool waited = false;
+  for (;;) {
+    std::vector<uint64_t> blockers =
+        Blockers(obj, type, inv, action, semantics);
+    if (blockers.empty()) break;
+    if (!waited) {
+      ++waits_;
+      ++waits_per_object_[obj.value];
+      waited = true;
+    }
+    if (options_.deadlock_policy == DeadlockPolicy::kWaitDie) {
+      // Wait only for younger transactions; die when an older one
+      // blocks us. Intra-transaction waits are always allowed.
+      for (uint64_t blocker : blockers) {
+        if (blocker < top.value) {
+          ++deadlocks_;
+          waits_for_.erase(top.value);
+          return Status::Deadlock(
+              "wait-die: blocked by older transaction on " +
+              ts_->object(obj).name);
+        }
+      }
+    } else if (WouldDeadlock(top.value, blockers)) {
+      ++deadlocks_;
+      waits_for_.erase(top.value);
+      return Status::Deadlock("waits-for cycle on " +
+                              ts_->object(obj).name);
+    }
+    auto& edges = waits_for_[top.value];
+    edges.clear();
+    edges.insert(blockers.begin(), blockers.end());
+    if (released_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      ++deadlocks_;
+      waits_for_.erase(top.value);
+      return Status::Deadlock("lock wait timeout on " +
+                              ts_->object(obj).name);
+    }
+  }
+  waits_for_.erase(top.value);
+
+  ActionId holder = hold_at_top ? top : action;
+  auto& locks = table_[obj];
+  locks.push_back(Lock{obj, type, inv, action, holder, top, semantics});
+  held_by_[holder.value].push_back(&locks.back());
+  return Status::OK();
+}
+
+void LockManager::MoveHolder(Lock* lock, ActionId new_holder) {
+  auto& old_list = held_by_[lock->holder.value];
+  old_list.erase(std::remove(old_list.begin(), old_list.end(), lock),
+                 old_list.end());
+  if (old_list.empty()) held_by_.erase(lock->holder.value);
+  lock->holder = new_holder;
+  held_by_[new_holder.value].push_back(lock);
+}
+
+void LockManager::EraseLock(Lock* lock) {
+  auto& holder_list = held_by_[lock->holder.value];
+  holder_list.erase(
+      std::remove(holder_list.begin(), holder_list.end(), lock),
+      holder_list.end());
+  if (holder_list.empty()) held_by_.erase(lock->holder.value);
+  auto& locks = table_[lock->object];
+  for (auto it = locks.begin(); it != locks.end(); ++it) {
+    if (&*it == lock) {
+      locks.erase(it);
+      break;
+    }
+  }
+}
+
+void LockManager::OnActionComplete(ActionId action, ActionId parent,
+                                   bool release_children) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = held_by_.find(action.value);
+  if (it == held_by_.end()) return;
+  // Copy: EraseLock/MoveHolder mutate held_by_.
+  std::vector<Lock*> held = it->second;
+  for (Lock* lock : held) {
+    if (!parent.valid()) {
+      // Top-level completion unwinds everything in both disciplines.
+      EraseLock(lock);
+    } else if (lock->owner == action || !release_children) {
+      // The action's own semantic lock passes up to the caller; under
+      // closed nesting the children's locks ride along instead of
+      // being released.
+      MoveHolder(lock, parent);
+    } else {
+      // Open nesting: locks passed up by (now completed) children are
+      // released — the action's semantic footprint covers them.
+      EraseLock(lock);
+    }
+  }
+  released_.notify_all();
+}
+
+void LockManager::ReleaseAllHeldBy(ActionId holder) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = held_by_.find(holder.value);
+  if (it == held_by_.end()) return;
+  std::vector<Lock*> held = it->second;
+  for (Lock* lock : held) EraseLock(lock);
+  released_.notify_all();
+}
+
+std::vector<std::pair<ObjectId, uint64_t>> LockManager::HottestObjects(
+    size_t top_n) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<std::pair<ObjectId, uint64_t>> rows;
+  rows.reserve(waits_per_object_.size());
+  for (const auto& [obj, waits] : waits_per_object_) {
+    rows.push_back({ObjectId(obj), waits});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+size_t LockManager::LockCount() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  size_t n = 0;
+  for (const auto& [obj, locks] : table_) {
+    (void)obj;
+    n += locks.size();
+  }
+  return n;
+}
+
+}  // namespace oodb

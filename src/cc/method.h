@@ -1,0 +1,117 @@
+// Method implementations and their execution context.
+//
+// "In an object-oriented database the objects are encapsulated, i.e.,
+// objects are only accessible by methods defined in the database
+// system." A MethodImpl is the body of one method; it receives a
+// MethodContext through which it can read/modify its own object's state
+// and send messages (child actions) to other objects — every such call
+// goes through the concurrency control.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cc/object_state.h"
+#include "model/ids.h"
+#include "model/invocation.h"
+#include "model/object_type.h"
+#include "util/result.h"
+
+namespace oodb {
+
+class Database;
+class MethodContext;
+
+/// The body of one method. `params` are the invocation parameters;
+/// `result` (never null) receives the return value. Errors propagate to
+/// the caller, which may handle them (e.g. Capacity triggers a split) or
+/// let them abort the transaction.
+using MethodImpl = std::function<Status(
+    MethodContext& ctx, const ValueList& params, Value* result)>;
+
+/// Execution context of one action (or of a transaction body, where it
+/// represents the top-level action).
+class MethodContext {
+ public:
+  /// Sends `inv` to `obj` as a child action of the current action:
+  /// records the call (Def 1/2), acquires the semantic lock, executes
+  /// the method. `result` may be null.
+  Status Call(ObjectId obj, Invocation inv, Value* result = nullptr);
+
+  /// One branch of a parallel call set.
+  struct ParallelCall {
+    ObjectId object;
+    Invocation inv;
+  };
+
+  /// Executes the calls concurrently, each as a child action in its own
+  /// intra-transaction *process* (Def 2: the precedence relation within
+  /// an action set is partial; Def 9: actions of different processes of
+  /// one transaction may genuinely conflict and are serialized by the
+  /// lock manager like strangers, resolved by lock pass-up).
+  ///
+  /// Returns OK iff every branch succeeded; otherwise the first error.
+  /// Completed sibling branches are NOT rolled back here — the caller
+  /// decides whether to fail (its own compensation pass then undoes
+  /// them). `results`, when non-null, is resized to match `calls`.
+  Status CallParallel(const std::vector<ParallelCall>& calls,
+                      std::vector<Value>* results = nullptr);
+
+  /// Creates a new object mid-transaction (e.g. a leaf split allocating
+  /// a new leaf and page). Object creation is not itself an action.
+  ObjectId CreateObject(const ObjectType* type, std::string name,
+                        std::unique_ptr<ObjectState> state);
+
+  /// Registers the compensating invocation (on the same object) that
+  /// semantically undoes this action; executed in reverse completion
+  /// order if the enclosing transaction aborts (open nested transactions
+  /// cannot rely on physical undo once sub-locks are released).
+  /// Read-only methods register nothing.
+  void SetCompensation(Invocation inv);
+
+  /// The object this method runs on (invalid for a transaction body).
+  ObjectId self() const { return self_; }
+
+  /// The current action (the top-level action for a transaction body).
+  ActionId action() const { return action_; }
+
+  /// Typed access to this object's state. Primitive methods run under
+  /// the object latch and may touch state freely; composite methods must
+  /// use WithState for anything racy.
+  template <typename T>
+  T* state() {
+    return static_cast<T*>(raw_state_);
+  }
+
+  /// Runs `fn(state)` under the object's latch (for composite methods
+  /// whose semantic locks admit concurrent commuting operations that
+  /// still share bytes).
+  template <typename T, typename Fn>
+  auto WithState(Fn fn) {
+    std::lock_guard<std::mutex> guard(*latch_);
+    return fn(static_cast<T*>(raw_state_));
+  }
+
+  Database* db() { return db_; }
+
+ private:
+  friend class Database;
+  MethodContext(Database* db, ActionId action, ObjectId self,
+                ObjectState* raw_state, std::mutex* latch)
+      : db_(db), action_(action), self_(self), raw_state_(raw_state),
+        latch_(latch) {}
+
+  Database* db_;
+  ActionId action_;
+  ObjectId self_;
+  ObjectState* raw_state_;
+  std::mutex* latch_;
+  std::optional<Invocation> compensation_;
+};
+
+}  // namespace oodb

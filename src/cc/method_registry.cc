@@ -1,0 +1,16 @@
+#include "cc/method_registry.h"
+
+namespace oodb {
+
+void MethodRegistry::Register(const ObjectType* type,
+                              const std::string& method, MethodImpl impl) {
+  impls_[{type, method}] = std::move(impl);
+}
+
+const MethodImpl* MethodRegistry::Find(const ObjectType* type,
+                                       const std::string& method) const {
+  auto it = impls_.find({type, method});
+  return it == impls_.end() ? nullptr : &it->second;
+}
+
+}  // namespace oodb

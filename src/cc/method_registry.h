@@ -1,0 +1,31 @@
+// MethodRegistry: maps (object type, method name) to implementations.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "cc/method.h"
+
+namespace oodb {
+
+/// Registration happens at database setup, before transactions run;
+/// lookup afterwards is lock-free.
+class MethodRegistry {
+ public:
+  /// Registers `impl` for `method` of `type`. Re-registration replaces.
+  void Register(const ObjectType* type, const std::string& method,
+                MethodImpl impl);
+
+  /// The implementation, or null when unknown.
+  const MethodImpl* Find(const ObjectType* type,
+                         const std::string& method) const;
+
+  size_t size() const { return impls_.size(); }
+
+ private:
+  std::map<std::pair<const ObjectType*, std::string>, MethodImpl> impls_;
+};
+
+}  // namespace oodb

@@ -1,0 +1,19 @@
+// ObjectState: base class for the encapsulated state of runtime objects.
+//
+// Objects are only accessible through methods (the paper's premise);
+// method implementations receive their object's state via MethodContext
+// and never hand out references across action boundaries.
+
+#pragma once
+
+namespace oodb {
+
+/// Polymorphic base for per-object state. Concrete states (PageState,
+/// LeafState, AccountState, ...) derive from it. Synchronization is the
+/// runtime's job: state is only touched under the object latch.
+class ObjectState {
+ public:
+  virtual ~ObjectState() = default;
+};
+
+}  // namespace oodb

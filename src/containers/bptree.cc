@@ -1,0 +1,597 @@
+#include "containers/bptree.h"
+
+#include <atomic>
+
+#include "containers/codec.h"
+#include "containers/page_ops.h"
+#include "model/type_registry.h"
+
+namespace oodb {
+
+namespace {
+
+std::atomic<uint64_t> g_name_counter{0};
+
+std::string FreshName(const char* prefix) {
+  return std::string(prefix) + std::to_string(++g_name_counter);
+}
+
+/// Keyed commutativity shared by tree, node, and leaf: operations on
+/// distinct keys commute; same-key pairs conflict unless both read.
+/// Range scans conflict exactly with mutations of keys inside their
+/// range — predicate locking against phantoms, in commutativity form.
+std::unique_ptr<PredicateCommutativity> KeyedSpec() {
+  auto spec = std::make_unique<PredicateCommutativity>();
+  auto diff = PredicateCommutativity::DifferentParam(0);
+  spec->SetPredicate("insert", "insert", diff);
+  spec->SetPredicate("insert", "search", diff);
+  spec->SetPredicate("insert", "erase", diff);
+  spec->SetPredicate("erase", "erase", diff);
+  spec->SetPredicate("erase", "search", diff);
+  spec->SetCommutes("search", "search");
+  // scan(lo, hi) commutes with a keyed mutation iff the key lies
+  // outside [lo, hi] (the registration order fixes a = scan).
+  auto outside_range = [](const Invocation& scan, const Invocation& keyed) {
+    if (scan.params.size() < 2 || keyed.params.empty()) return false;
+    const std::string& lo = scan.params[0].AsString();
+    const std::string& hi = scan.params[1].AsString();
+    const std::string& key = keyed.params[0].AsString();
+    return key < lo || key > hi;
+  };
+  spec->SetPredicate("scan", "insert", outside_range);
+  spec->SetPredicate("scan", "erase", outside_range);
+  spec->SetCommutes("scan", "scan");
+  spec->SetCommutes("scan", "search");
+  // split / insertSep / growRoot stay unregistered: they conflict with
+  // everything (structural changes serialize per object).
+  return spec;
+}
+
+struct LeafSnapshot {
+  ObjectId page, next;
+  std::string high_key;
+  size_t capacity;
+};
+
+LeafSnapshot SnapLeaf(MethodContext& ctx) {
+  return ctx.WithState<LeafState>([](LeafState* s) {
+    return LeafSnapshot{s->page, s->next, s->high_key, s->capacity};
+  });
+}
+
+struct NodeSnapshot {
+  ObjectId page, next;
+  std::string high_key;
+  size_t fanout;
+};
+
+NodeSnapshot SnapNode(MethodContext& ctx) {
+  return ctx.WithState<NodeState>([](NodeState* s) {
+    return NodeSnapshot{s->page, s->next, s->high_key, s->fanout};
+  });
+}
+
+/// True when `key` falls beyond this node/leaf after a split.
+bool Overshoots(const std::string& key, const std::string& high_key) {
+  return !high_key.empty() && key >= high_key;
+}
+
+constexpr int kMaxSplitRetries = 4;
+
+// ---------------------------------------------------------------------
+// Leaf methods
+// ---------------------------------------------------------------------
+
+Status LeafInsert(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("leaf insert needs key, value");
+  }
+  const std::string key = params[0].AsString();
+  InsertOutcome outcome;
+  for (int attempt = 0; attempt < kMaxSplitRetries; ++attempt) {
+    LeafSnapshot snap = SnapLeaf(ctx);
+    if (Overshoots(key, snap.high_key)) {
+      // B-link forward. One split separator can ride each result
+      // upward: prefer our own (earlier in this call), else relay the
+      // forwarded leaf's, so chained splits eventually get posted to
+      // the parent instead of lingering as chain-only leaves.
+      Value fwd;
+      OODB_RETURN_IF_ERROR(
+          ctx.Call(snap.next, Invocation("insert", params), &fwd));
+      InsertOutcome inner = InsertOutcome::Decode(fwd);
+      outcome.had_old = inner.had_old;
+      outcome.old_value = inner.old_value;
+      if (!outcome.split && inner.split) {
+        outcome.split = true;
+        outcome.split_sep = inner.split_sep;
+        outcome.split_child = inner.split_child;
+      }
+      *result = outcome.Encode();
+      return Status::OK();
+    }
+    Value old;
+    OODB_RETURN_IF_ERROR(
+        ctx.Call(snap.page, Invocation("read", {params[0]}), &old));
+    Status wr = ctx.Call(snap.page, Invocation("write", params));
+    if (wr.ok()) {
+      outcome.had_old = !old.IsNone();
+      outcome.old_value = old.AsString();
+      if (outcome.had_old) {
+        ctx.SetCompensation(
+            Invocation("insert", {params[0], Value(outcome.old_value)}));
+      } else {
+        ctx.SetCompensation(Invocation("erase", {params[0]}));
+      }
+      *result = outcome.Encode();
+      return Status::OK();
+    }
+    if (wr.code() != StatusCode::kCapacity) return wr;
+    // Full: split ourselves (a subtransaction on the same object — the
+    // paper's rearrange case) and retry.
+    Value split_result;
+    OODB_RETURN_IF_ERROR(
+        ctx.Call(ctx.self(), Invocation("split"), &split_result));
+    InsertOutcome split = InsertOutcome::Decode(split_result);
+    if (split.split && !outcome.split) {
+      outcome.split = true;
+      outcome.split_sep = split.split_sep;
+      outcome.split_child = split.split_child;
+    }
+  }
+  return Status::Capacity("leaf keeps filling up during insert of '" +
+                          key + "'");
+}
+
+Status LeafSplit(MethodContext& ctx, const ValueList&, Value* result) {
+  InsertOutcome outcome;
+  LeafSnapshot snap = SnapLeaf(ctx);
+  Value count;
+  OODB_RETURN_IF_ERROR(ctx.Call(snap.page, Invocation("count"), &count));
+  if (static_cast<size_t>(count.AsInt()) < snap.capacity) {
+    *result = outcome.Encode();  // someone else already made room
+    return Status::OK();
+  }
+  Value scan;
+  OODB_RETURN_IF_ERROR(ctx.Call(snap.page, Invocation("scan"), &scan));
+  std::vector<std::string> fields = SplitFields(scan.AsString());
+  size_t entries = fields.size() / 2;
+  size_t mid = entries / 2;
+  const std::string sep = fields[2 * mid];
+
+  // Build the right sibling: fresh page + leaf, inheriting our link.
+  ObjectId new_page = CreatePage(ctx.db(), FreshName("LeafPage"),
+                                 snap.capacity);
+  auto leaf_state = std::make_unique<LeafState>();
+  leaf_state->page = new_page;
+  leaf_state->next = snap.next;
+  leaf_state->high_key = snap.high_key;
+  leaf_state->capacity = snap.capacity;
+  ObjectId new_leaf = ctx.CreateObject(LeafObjectType(), FreshName("Leaf"),
+                                       std::move(leaf_state));
+  for (size_t i = mid; i < entries; ++i) {
+    OODB_RETURN_IF_ERROR(ctx.Call(
+        new_page, Invocation("write", {Value(fields[2 * i]),
+                                       Value(fields[2 * i + 1])})));
+  }
+  // Publish the B-link before removing moved keys, so overshooting
+  // operations always find their data on one side or the other.
+  ctx.WithState<LeafState>([&](LeafState* s) {
+    s->next = new_leaf;
+    s->high_key = sep;
+    return 0;
+  });
+  for (size_t i = mid; i < entries; ++i) {
+    OODB_RETURN_IF_ERROR(
+        ctx.Call(snap.page, Invocation("erase", {Value(fields[2 * i])})));
+  }
+  outcome.split = true;
+  outcome.split_sep = sep;
+  outcome.split_child = new_leaf.value;
+  *result = outcome.Encode();
+  // No compensation: splits are content-neutral reorganizations.
+  return Status::OK();
+}
+
+Status LeafSearch(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.empty()) return Status::InvalidArgument("search needs a key");
+  LeafSnapshot snap = SnapLeaf(ctx);
+  if (Overshoots(params[0].AsString(), snap.high_key)) {
+    return ctx.Call(snap.next, Invocation("search", params), result);
+  }
+  return ctx.Call(snap.page, Invocation("read", {params[0]}), result);
+}
+
+Status LeafErase(MethodContext& ctx, const ValueList& params,
+                 Value* result) {
+  if (params.empty()) return Status::InvalidArgument("erase needs a key");
+  LeafSnapshot snap = SnapLeaf(ctx);
+  if (Overshoots(params[0].AsString(), snap.high_key)) {
+    return ctx.Call(snap.next, Invocation("erase", params), result);
+  }
+  Value old;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.page, Invocation("erase", {params[0]}), &old));
+  if (!old.IsNone()) {
+    ctx.SetCompensation(Invocation("insert", {params[0], old}));
+  }
+  *result = old;
+  return Status::OK();
+}
+
+Status LeafScan(MethodContext& ctx, const ValueList& params,
+                Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("scan needs lo, hi");
+  }
+  const std::string lo = params[0].AsString();
+  const std::string hi = params[1].AsString();
+  LeafSnapshot snap = SnapLeaf(ctx);
+  if (Overshoots(lo, snap.high_key)) {
+    return ctx.Call(snap.next, Invocation("scan", params), result);
+  }
+  Value page_scan;
+  OODB_RETURN_IF_ERROR(ctx.Call(snap.page, Invocation("scan"), &page_scan));
+  std::vector<std::string> fields = SplitFields(page_scan.AsString());
+  std::vector<std::string> out;
+  for (size_t i = 0; i + 1 < fields.size(); i += 2) {
+    if (fields[i] >= lo && fields[i] <= hi) {
+      out.push_back(fields[i]);
+      out.push_back(fields[i + 1]);
+    }
+  }
+  // Continue along the B-link while the next leaf can hold in-range
+  // keys (its lowest key is our high key).
+  if (!snap.high_key.empty() && snap.high_key <= hi && snap.next.valid()) {
+    Value rest;
+    OODB_RETURN_IF_ERROR(ctx.Call(
+        snap.next,
+        Invocation("scan", {Value(snap.high_key), Value(hi)}), &rest));
+    std::vector<std::string> rest_fields = SplitFields(rest.AsString());
+    out.insert(out.end(), rest_fields.begin(), rest_fields.end());
+  }
+  *result = Value(JoinFields(out));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Node methods
+// ---------------------------------------------------------------------
+
+Result<ObjectId> RouteChild(MethodContext& ctx, ObjectId page,
+                            const Value& key) {
+  Value child;
+  Status st = ctx.Call(page, Invocation("routeLE", {key}), &child);
+  if (!st.ok()) return st;
+  if (child.IsNone()) {
+    return Status::Internal("node page missing the low sentinel");
+  }
+  return ObjectId(std::stoull(child.AsString()));
+}
+
+Status NodeInsert(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("node insert needs key, value");
+  }
+  const std::string key = params[0].AsString();
+  NodeSnapshot snap = SnapNode(ctx);
+  if (Overshoots(key, snap.high_key)) {
+    return ctx.Call(snap.next, Invocation("insert", params), result);
+  }
+  OODB_ASSIGN_OR_RETURN(ObjectId child,
+                        RouteChild(ctx, snap.page, params[0]));
+  Value down;
+  OODB_RETURN_IF_ERROR(ctx.Call(child, Invocation("insert", params), &down));
+  InsertOutcome outcome = InsertOutcome::Decode(down);
+  if (outcome.split) {
+    // The child split: record the new separator in ourselves — a call
+    // on our own object, serialized by the structural lock.
+    Value sep_result;
+    OODB_RETURN_IF_ERROR(ctx.Call(
+        ctx.self(),
+        Invocation("insertSep",
+                   {Value(outcome.split_sep),
+                    Value(std::to_string(outcome.split_child))}),
+        &sep_result));
+    InsertOutcome own = InsertOutcome::Decode(sep_result);
+    outcome.split = own.split;
+    outcome.split_sep = own.split_sep;
+    outcome.split_child = own.split_child;
+  }
+  if (outcome.had_old) {
+    ctx.SetCompensation(
+        Invocation("insert", {params[0], Value(outcome.old_value)}));
+  } else {
+    ctx.SetCompensation(Invocation("erase", {params[0]}));
+  }
+  *result = outcome.Encode();
+  return Status::OK();
+}
+
+Status NodeSplit(MethodContext& ctx, const ValueList&, Value* result);
+
+Status NodeInsertSep(MethodContext& ctx, const ValueList& params,
+                     Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("insertSep needs separator, child");
+  }
+  const std::string sep = params[0].AsString();
+  InsertOutcome outcome;
+  for (int attempt = 0; attempt < kMaxSplitRetries; ++attempt) {
+    NodeSnapshot snap = SnapNode(ctx);
+    if (Overshoots(sep, snap.high_key)) {
+      Value fwd;
+      OODB_RETURN_IF_ERROR(
+          ctx.Call(snap.next, Invocation("insertSep", params), &fwd));
+      // Relay the forwarded node's split (or our own earlier one) so
+      // the caller can post it one level up.
+      InsertOutcome inner = InsertOutcome::Decode(fwd);
+      if (!outcome.split && inner.split) outcome = inner;
+      *result = outcome.Encode();
+      return Status::OK();
+    }
+    Status wr = ctx.Call(snap.page, Invocation("write", params));
+    if (wr.ok()) {
+      *result = outcome.Encode();
+      return Status::OK();
+    }
+    if (wr.code() != StatusCode::kCapacity) return wr;
+    Value split_result;
+    OODB_RETURN_IF_ERROR(
+        ctx.Call(ctx.self(), Invocation("split"), &split_result));
+    InsertOutcome split = InsertOutcome::Decode(split_result);
+    if (split.split && !outcome.split) {
+      outcome.split = true;
+      outcome.split_sep = split.split_sep;
+      outcome.split_child = split.split_child;
+    }
+  }
+  return Status::Capacity("node keeps filling up");
+}
+
+Status NodeSplit(MethodContext& ctx, const ValueList&, Value* result) {
+  InsertOutcome outcome;
+  NodeSnapshot snap = SnapNode(ctx);
+  Value count;
+  OODB_RETURN_IF_ERROR(ctx.Call(snap.page, Invocation("count"), &count));
+  if (static_cast<size_t>(count.AsInt()) < snap.fanout) {
+    *result = outcome.Encode();
+    return Status::OK();
+  }
+  Value scan;
+  OODB_RETURN_IF_ERROR(ctx.Call(snap.page, Invocation("scan"), &scan));
+  std::vector<std::string> fields = SplitFields(scan.AsString());
+  size_t entries = fields.size() / 2;
+  size_t mid = entries / 2;
+  if (mid == 0) return Status::Internal("node split with < 2 entries");
+  const std::string sep = fields[2 * mid];
+
+  ObjectId new_page =
+      CreatePage(ctx.db(), FreshName("NodePage"), snap.fanout);
+  auto node_state = std::make_unique<NodeState>();
+  node_state->page = new_page;
+  node_state->next = snap.next;
+  node_state->high_key = snap.high_key;
+  node_state->fanout = snap.fanout;
+  ObjectId new_node = ctx.CreateObject(NodeObjectType(), FreshName("Node"),
+                                       std::move(node_state));
+  for (size_t i = mid; i < entries; ++i) {
+    OODB_RETURN_IF_ERROR(ctx.Call(
+        new_page, Invocation("write", {Value(fields[2 * i]),
+                                       Value(fields[2 * i + 1])})));
+  }
+  ctx.WithState<NodeState>([&](NodeState* s) {
+    s->next = new_node;
+    s->high_key = sep;
+    return 0;
+  });
+  for (size_t i = mid; i < entries; ++i) {
+    OODB_RETURN_IF_ERROR(
+        ctx.Call(snap.page, Invocation("erase", {Value(fields[2 * i])})));
+  }
+  outcome.split = true;
+  outcome.split_sep = sep;
+  outcome.split_child = new_node.value;
+  *result = outcome.Encode();
+  return Status::OK();
+}
+
+Status NodeSearch(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.empty()) return Status::InvalidArgument("search needs a key");
+  NodeSnapshot snap = SnapNode(ctx);
+  if (Overshoots(params[0].AsString(), snap.high_key)) {
+    return ctx.Call(snap.next, Invocation("search", params), result);
+  }
+  OODB_ASSIGN_OR_RETURN(ObjectId child,
+                        RouteChild(ctx, snap.page, params[0]));
+  return ctx.Call(child, Invocation("search", params), result);
+}
+
+Status NodeScan(MethodContext& ctx, const ValueList& params,
+                Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("scan needs lo, hi");
+  }
+  NodeSnapshot snap = SnapNode(ctx);
+  if (Overshoots(params[0].AsString(), snap.high_key)) {
+    return ctx.Call(snap.next, Invocation("scan", params), result);
+  }
+  // Descend toward the leaf holding lo; the leaf-level B-link chain
+  // carries the scan rightward across leaves (and across our own node
+  // boundary, so no second descent is needed).
+  OODB_ASSIGN_OR_RETURN(ObjectId child,
+                        RouteChild(ctx, snap.page, params[0]));
+  return ctx.Call(child, Invocation("scan", params), result);
+}
+
+Status NodeErase(MethodContext& ctx, const ValueList& params,
+                 Value* result) {
+  if (params.empty()) return Status::InvalidArgument("erase needs a key");
+  NodeSnapshot snap = SnapNode(ctx);
+  if (Overshoots(params[0].AsString(), snap.high_key)) {
+    return ctx.Call(snap.next, Invocation("erase", params), result);
+  }
+  OODB_ASSIGN_OR_RETURN(ObjectId child,
+                        RouteChild(ctx, snap.page, params[0]));
+  Value old;
+  OODB_RETURN_IF_ERROR(ctx.Call(child, Invocation("erase", params), &old));
+  if (!old.IsNone()) {
+    ctx.SetCompensation(Invocation("insert", {params[0], old}));
+  }
+  *result = old;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Tree methods
+// ---------------------------------------------------------------------
+
+Status TreeInsert(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("tree insert needs key, value");
+  }
+  ObjectId root = ctx.WithState<BpTreeState>(
+      [](BpTreeState* s) { return s->root; });
+  Value down;
+  OODB_RETURN_IF_ERROR(ctx.Call(root, Invocation("insert", params), &down));
+  InsertOutcome outcome = InsertOutcome::Decode(down);
+  if (outcome.split) {
+    // Grow a new root above the old one.
+    size_t fanout = ctx.WithState<BpTreeState>(
+        [](BpTreeState* s) { return s->fanout; });
+    ObjectId new_page = CreatePage(ctx.db(), FreshName("NodePage"), fanout);
+    auto node_state = std::make_unique<NodeState>();
+    node_state->page = new_page;
+    node_state->fanout = fanout;
+    ObjectId new_root = ctx.CreateObject(
+        NodeObjectType(), FreshName("Node"), std::move(node_state));
+    OODB_RETURN_IF_ERROR(ctx.Call(
+        new_page, Invocation("write", {Value(""),
+                                       Value(std::to_string(root.value))})));
+    OODB_RETURN_IF_ERROR(ctx.Call(
+        new_page,
+        Invocation("write",
+                   {Value(outcome.split_sep),
+                    Value(std::to_string(outcome.split_child))})));
+    bool installed = ctx.WithState<BpTreeState>([&](BpTreeState* s) {
+      if (s->root == root) {
+        s->root = new_root;
+        return true;
+      }
+      return false;
+    });
+    if (!installed) {
+      // A concurrent insert grew the root first; hand our separator to
+      // the current root instead.
+      ObjectId current = ctx.WithState<BpTreeState>(
+          [](BpTreeState* s) { return s->root; });
+      OODB_RETURN_IF_ERROR(ctx.Call(
+          current,
+          Invocation("insertSep",
+                     {Value(outcome.split_sep),
+                      Value(std::to_string(outcome.split_child))})));
+    }
+  }
+  if (outcome.had_old) {
+    ctx.SetCompensation(
+        Invocation("insert", {params[0], Value(outcome.old_value)}));
+  } else {
+    ctx.SetCompensation(Invocation("erase", {params[0]}));
+  }
+  *result = Value(outcome.had_old ? 0 : 1);  // 1 = newly inserted
+  return Status::OK();
+}
+
+Status TreeSearch(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.empty()) return Status::InvalidArgument("search needs a key");
+  ObjectId root = ctx.WithState<BpTreeState>(
+      [](BpTreeState* s) { return s->root; });
+  return ctx.Call(root, Invocation("search", params), result);
+}
+
+Status TreeScan(MethodContext& ctx, const ValueList& params,
+                Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("scan needs lo, hi");
+  }
+  ObjectId root = ctx.WithState<BpTreeState>(
+      [](BpTreeState* s) { return s->root; });
+  return ctx.Call(root, Invocation("scan", params), result);
+}
+
+Status TreeErase(MethodContext& ctx, const ValueList& params,
+                 Value* result) {
+  if (params.empty()) return Status::InvalidArgument("erase needs a key");
+  ObjectId root = ctx.WithState<BpTreeState>(
+      [](BpTreeState* s) { return s->root; });
+  Value old;
+  OODB_RETURN_IF_ERROR(ctx.Call(root, Invocation("erase", params), &old));
+  if (!old.IsNone()) {
+    ctx.SetCompensation(Invocation("insert", {params[0], old}));
+  }
+  *result = old;
+  return Status::OK();
+}
+
+}  // namespace
+
+const ObjectType* BpTreeObjectType() {
+  static const ObjectType* type =
+      new ObjectType("BpTree", KeyedSpec(), /*primitive=*/false);
+  return type;
+}
+
+const ObjectType* NodeObjectType() {
+  static const ObjectType* type =
+      new ObjectType("Node", KeyedSpec(), /*primitive=*/false);
+  return type;
+}
+
+const ObjectType* LeafObjectType() {
+  static const ObjectType* type =
+      new ObjectType("Leaf", KeyedSpec(), /*primitive=*/false);
+  return type;
+}
+
+void BpTree::RegisterMethods(Database* db) {
+  TypeRegistry::Global().Register(BpTreeObjectType());
+  TypeRegistry::Global().Register(NodeObjectType());
+  TypeRegistry::Global().Register(LeafObjectType());
+  db->Register(LeafObjectType(), "insert", LeafInsert);
+  db->Register(LeafObjectType(), "split", LeafSplit);
+  db->Register(LeafObjectType(), "search", LeafSearch);
+  db->Register(LeafObjectType(), "erase", LeafErase);
+  db->Register(LeafObjectType(), "scan", LeafScan);
+  db->Register(NodeObjectType(), "insert", NodeInsert);
+  db->Register(NodeObjectType(), "insertSep", NodeInsertSep);
+  db->Register(NodeObjectType(), "split", NodeSplit);
+  db->Register(NodeObjectType(), "search", NodeSearch);
+  db->Register(NodeObjectType(), "erase", NodeErase);
+  db->Register(NodeObjectType(), "scan", NodeScan);
+  db->Register(BpTreeObjectType(), "insert", TreeInsert);
+  db->Register(BpTreeObjectType(), "search", TreeSearch);
+  db->Register(BpTreeObjectType(), "erase", TreeErase);
+  db->Register(BpTreeObjectType(), "scan", TreeScan);
+}
+
+ObjectId BpTree::Create(Database* db, const std::string& name,
+                        size_t leaf_capacity, size_t fanout) {
+  ObjectId page = CreatePage(db, name + ".LeafPage0", leaf_capacity);
+  auto leaf_state = std::make_unique<LeafState>();
+  leaf_state->page = page;
+  leaf_state->capacity = leaf_capacity;
+  ObjectId leaf = db->CreateObject(LeafObjectType(), name + ".Leaf0",
+                                   std::move(leaf_state));
+  auto tree_state = std::make_unique<BpTreeState>();
+  tree_state->root = leaf;
+  tree_state->leaf_capacity = leaf_capacity;
+  tree_state->fanout = fanout;
+  return db->CreateObject(BpTreeObjectType(), name, std::move(tree_state));
+}
+
+}  // namespace oodb

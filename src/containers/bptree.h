@@ -1,0 +1,90 @@
+// A B+ tree built from encapsulated objects, following section 2 of the
+// paper: a BpTree object routes through Node objects into Leaf objects
+// whose keys live on Page objects; every hop is a message, so the
+// concurrency control sees the full call tree.
+//
+// Design points taken from the paper:
+//   * keyed operations commute on distinct keys at the tree, node, and
+//     leaf levels, while the underlying page operations conflict — the
+//     Example 1 situation ("operations on these keys will often conflict
+//     at the page level but commute at the node level");
+//   * structural changes run as subtransactions called from the insert
+//     itself: a full leaf calls split() on itself, a full node calls
+//     split() on itself from insertSep() — the Def 5 virtual-object case
+//     ("the rearrangement of the father(s) may be implemented as a
+//     single subtransaction, called from the insert subtransaction");
+//   * lock coupling is replaced by B-links [15]: after a split, the old
+//     leaf/node keeps a link to the new sibling and a high key, and
+//     operations that overshoot forward themselves along the link.
+//
+// Deletion does not rebalance (erase leaves sparse pages); this matches
+// common practice and keeps splits the only structural change.
+
+#pragma once
+
+#include <string>
+
+#include "cc/database.h"
+#include "storage/page.h"
+
+namespace oodb {
+
+/// State of the BpTree root object.
+struct BpTreeState : public ObjectState {
+  ObjectId root;          ///< current root (Leaf or Node object)
+  size_t leaf_capacity;   ///< max entries per leaf page
+  size_t fanout;          ///< max routing entries per node page
+};
+
+/// State of an inner node: routing entries live on `page` as
+/// separator -> child-object-id; "" is the low sentinel.
+struct NodeState : public ObjectState {
+  ObjectId page;
+  ObjectId next;          ///< B-link right sibling (invalid = none)
+  std::string high_key;   ///< "" = +infinity
+  size_t fanout;
+};
+
+/// State of a leaf: data entries live on `page`.
+struct LeafState : public ObjectState {
+  ObjectId page;
+  ObjectId next;          ///< B-link right sibling (invalid = none)
+  std::string high_key;   ///< "" = +infinity
+  size_t capacity;
+};
+
+/// Object types with the keyed commutativity of Example 1.
+const ObjectType* BpTreeObjectType();
+const ObjectType* NodeObjectType();
+const ObjectType* LeafObjectType();
+
+/// B+ tree public interface: type registration and instance creation.
+class BpTree {
+ public:
+  /// Registers all tree/node/leaf methods (page methods must also be
+  /// registered; see RegisterPageMethods).
+  static void RegisterMethods(Database* db);
+
+  /// Creates an empty tree whose root is a single leaf.
+  static ObjectId Create(Database* db, const std::string& name,
+                         size_t leaf_capacity, size_t fanout);
+
+  // Invocation builders for the public tree methods.
+  static Invocation Insert(const std::string& key, const std::string& value) {
+    return Invocation("insert", {Value(key), Value(value)});
+  }
+  static Invocation Search(const std::string& key) {
+    return Invocation("search", {Value(key)});
+  }
+  static Invocation Erase(const std::string& key) {
+    return Invocation("erase", {Value(key)});
+  }
+  /// Range scan over [lo, hi] (inclusive). The scan's semantic lock
+  /// conflicts exactly with mutations of keys inside the range —
+  /// predicate-style phantom protection.
+  static Invocation Scan(const std::string& lo, const std::string& hi) {
+    return Invocation("scan", {Value(lo), Value(hi)});
+  }
+};
+
+}  // namespace oodb

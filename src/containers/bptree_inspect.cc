@@ -1,0 +1,172 @@
+#include "containers/bptree_inspect.h"
+
+#include <set>
+#include <sstream>
+
+#include "containers/bptree.h"
+#include "storage/page.h"
+
+namespace oodb {
+
+namespace {
+
+bool IsLeaf(Database* db, ObjectId id) {
+  return db->ts().object(id).type == LeafObjectType();
+}
+
+bool IsNode(Database* db, ObjectId id) {
+  return db->ts().object(id).type == NodeObjectType();
+}
+
+void Problem(BpTreeInspection* out, const std::string& what) {
+  out->ok = false;
+  out->problems.push_back(what);
+}
+
+/// Collects all leaves reachable through routing pages, checking node
+/// invariants on the way. `low_bound` is the smallest key that can be
+/// routed into this subtree ("" at the leftmost edge).
+void WalkRouting(Database* db, ObjectId id, size_t depth,
+                 const std::string& low_bound,
+                 std::set<uint64_t>* routed_leaves,
+                 BpTreeInspection* out) {
+  if (IsLeaf(db, id)) {
+    routed_leaves->insert(id.value);
+    if (out->depth == 0) {
+      out->depth = depth;
+    } else if (out->depth != depth) {
+      Problem(out, "uneven routing depth at leaf " +
+                       db->ts().object(id).name);
+    }
+    return;
+  }
+  if (!IsNode(db, id)) {
+    Problem(out, "routing reached a non-node, non-leaf object " +
+                     db->ts().object(id).name);
+    return;
+  }
+  ++out->node_count;
+  auto* node = db->StateOf<NodeState>(id);
+  auto* page = db->StateOf<PageState>(node->page);
+  if (page->entries().empty()) {
+    Problem(out, "node " + db->ts().object(id).name +
+                     " has an empty routing page");
+    return;
+  }
+  // routeLE must never miss for any key >= low_bound routed here: the
+  // node's first separator must not exceed the low bound. (Only the
+  // leftmost node of a level carries the "" sentinel; right siblings
+  // start at their split separator.)
+  if (page->entries().begin()->first > low_bound) {
+    Problem(out, "node " + db->ts().object(id).name + " first separator '" +
+                     page->entries().begin()->first +
+                     "' exceeds its low bound '" + low_bound + "'");
+    return;
+  }
+  for (auto it = page->entries().begin(); it != page->entries().end();
+       ++it) {
+    const std::string& sep = it->first;
+    if (!node->high_key.empty() && !sep.empty() &&
+        sep >= node->high_key) {
+      Problem(out, "node " + db->ts().object(id).name + " separator '" +
+                       sep + "' is not below its high key '" +
+                       node->high_key + "'");
+    }
+    // The child's low bound is the larger of our bound and its
+    // separator.
+    const std::string& child_low = sep > low_bound ? sep : low_bound;
+    WalkRouting(db, ObjectId(std::stoull(it->second)), depth + 1,
+                child_low, routed_leaves, out);
+  }
+}
+
+}  // namespace
+
+std::string BpTreeInspection::Summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "BROKEN") << ": depth=" << depth
+     << " nodes=" << node_count << " leaves=" << leaf_count
+     << " chain-only=" << chain_only_leaves
+     << " entries=" << contents.size();
+  for (const std::string& p : problems) os << "\n  ! " << p;
+  return os.str();
+}
+
+BpTreeInspection InspectBpTree(Database* db, ObjectId tree) {
+  BpTreeInspection out;
+  auto* tree_state = db->StateOf<BpTreeState>(tree);
+  ObjectId root = tree_state->root;
+
+  // Phase 1: routing walk.
+  std::set<uint64_t> routed_leaves;
+  WalkRouting(db, root, 1, "", &routed_leaves, &out);
+
+  // Phase 2: find the leftmost leaf (descend first children), then walk
+  // the B-link chain.
+  ObjectId cur = root;
+  while (IsNode(db, cur)) {
+    auto* node = db->StateOf<NodeState>(cur);
+    auto* page = db->StateOf<PageState>(node->page);
+    if (page->entries().empty()) {
+      Problem(&out, "empty routing page during leftmost descent");
+      return out;
+    }
+    cur = ObjectId(std::stoull(page->entries().begin()->second));
+  }
+
+  std::set<uint64_t> chain_seen;
+  std::string last_high;  // previous leaf's high key
+  bool first = true;
+  while (cur.valid()) {
+    if (!IsLeaf(db, cur)) {
+      Problem(&out, "leaf chain reached a non-leaf object");
+      break;
+    }
+    if (!chain_seen.insert(cur.value).second) {
+      Problem(&out, "cycle in the leaf chain at " +
+                        db->ts().object(cur).name);
+      break;
+    }
+    ++out.leaf_count;
+    auto* leaf = db->StateOf<LeafState>(cur);
+    auto* page = db->StateOf<PageState>(leaf->page);
+    for (const auto& [key, value] : page->entries()) {
+      if (!leaf->high_key.empty() && key >= leaf->high_key) {
+        Problem(&out, "leaf " + db->ts().object(cur).name + " holds '" +
+                          key + "' >= its high key '" + leaf->high_key +
+                          "'");
+      }
+      if (!first && !last_high.empty() && key < last_high) {
+        Problem(&out, "leaf " + db->ts().object(cur).name + " holds '" +
+                          key + "' below the previous leaf's high key '" +
+                          last_high + "'");
+      }
+      if (!out.contents.emplace(key, value).second) {
+        Problem(&out, "duplicate key '" + key + "' across leaves");
+      }
+    }
+    if (!leaf->high_key.empty()) last_high = leaf->high_key;
+    first = false;
+    if (leaf->next.valid() && leaf->high_key.empty()) {
+      Problem(&out, "leaf " + db->ts().object(cur).name +
+                        " has a B-link but no high key");
+    }
+    cur = leaf->next;
+  }
+
+  // Phase 3: coverage. Every routed leaf must be on the chain; the
+  // chain may contain extra leaves (splits whose separators have not
+  // been posted yet — legal under B-linking).
+  for (uint64_t leaf : routed_leaves) {
+    if (chain_seen.count(leaf) == 0) {
+      Problem(&out, "leaf " + db->ts().object(ObjectId(leaf)).name +
+                        " is routed to but not on the chain");
+    }
+  }
+  out.chain_only_leaves = chain_seen.size() >= routed_leaves.size()
+                              ? chain_seen.size() - routed_leaves.size()
+                              : 0;
+  return out;
+}
+
+}  // namespace oodb

@@ -1,0 +1,39 @@
+// Structural invariant checking for the B+ tree (test / debugging
+// support). Walks the raw object states — outside any transaction — and
+// verifies the B-link invariants that concurrent splits must preserve:
+//
+//   * routing pages are sorted and carry the low sentinel;
+//   * every key stored in a leaf is below the leaf's high key;
+//   * the leaf chain (B-links) is acyclic, left-to-right ordered by
+//     high key, and covers every leaf reachable through routing;
+//   * the union of leaf contents equals the logical contents.
+//
+// Call only while no transactions are running.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cc/database.h"
+
+namespace oodb {
+
+struct BpTreeInspection {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  size_t depth = 0;           ///< routing depth root..leaf
+  size_t node_count = 0;      ///< inner nodes reachable via routing
+  size_t leaf_count = 0;      ///< leaves on the chain
+  size_t chain_only_leaves = 0;  ///< reachable via B-link but not routing
+  std::map<std::string, std::string> contents;  ///< key -> value
+
+  std::string Summary() const;
+};
+
+/// Inspects the tree rooted at `tree` (created by BpTree::Create).
+BpTreeInspection InspectBpTree(Database* db, ObjectId tree);
+
+}  // namespace oodb

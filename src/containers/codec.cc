@@ -1,0 +1,61 @@
+#include "containers/codec.h"
+
+namespace oodb {
+
+namespace {
+constexpr char kSep = '\x1f';
+}
+
+std::string JoinFields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += kSep;
+    out += fields[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitFields(const std::string& s) {
+  std::vector<std::string> out;
+  if (s.empty()) return out;
+  size_t start = 0;
+  for (;;) {
+    size_t pos = s.find(kSep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string JoinPair(const std::string& a, const std::string& b) {
+  return a + '\x1e' + b;
+}
+
+std::pair<std::string, std::string> SplitPair(const std::string& s) {
+  size_t pos = s.find('\x1e');
+  if (pos == std::string::npos) return {"", ""};
+  return {s.substr(0, pos), s.substr(pos + 1)};
+}
+
+Value InsertOutcome::Encode() const {
+  return Value(JoinFields({had_old ? "1" : "0", old_value,
+                           split ? "1" : "0", split_sep,
+                           std::to_string(split_child)}));
+}
+
+InsertOutcome InsertOutcome::Decode(const Value& v) {
+  InsertOutcome out;
+  std::vector<std::string> f = SplitFields(v.AsString());
+  if (f.size() != 5) return out;
+  out.had_old = f[0] == "1";
+  out.old_value = f[1];
+  out.split = f[2] == "1";
+  out.split_sep = f[3];
+  out.split_child = std::stoull(f[4]);
+  return out;
+}
+
+}  // namespace oodb

@@ -1,0 +1,41 @@
+// Small codecs for passing structured results through Value (method
+// results are single Values; composite outcomes like "inserted, had old
+// value X, split at sep S into child C" are encoded as strings).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/value.h"
+
+namespace oodb {
+
+/// Joins fields with the ASCII unit separator (0x1f), which never occurs
+/// in test keys/values. Empty vector encodes to "".
+std::string JoinFields(const std::vector<std::string>& fields);
+
+/// Inverse of JoinFields. "" decodes to {}.
+std::vector<std::string> SplitFields(const std::string& s);
+
+/// Second nesting level: joins two fields with the ASCII record
+/// separator (0x1e), safe to embed inside a JoinFields value.
+std::string JoinPair(const std::string& a, const std::string& b);
+
+/// Inverse of JoinPair; returns {"", ""} on malformed input.
+std::pair<std::string, std::string> SplitPair(const std::string& s);
+
+/// Outcome of an insert along the B+-tree descent.
+struct InsertOutcome {
+  bool had_old = false;        ///< key existed; old_value holds prior value
+  std::string old_value;
+  bool split = false;          ///< this level split
+  std::string split_sep;       ///< first key of the new right sibling
+  uint64_t split_child = 0;    ///< ObjectId value of the new sibling
+
+  Value Encode() const;
+  static InsertOutcome Decode(const Value& v);
+};
+
+}  // namespace oodb

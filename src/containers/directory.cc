@@ -1,0 +1,109 @@
+#include "containers/directory.h"
+
+#include <memory>
+
+#include "model/type_registry.h"
+
+namespace oodb {
+
+const ObjectType* DirectoryType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    auto diff = PredicateCommutativity::DifferentParam(0);
+    spec->SetPredicate("insert", "insert", diff);
+    spec->SetPredicate("insert", "remove", diff);
+    spec->SetPredicate("insert", "lookup", diff);
+    spec->SetPredicate("insert", "update", diff);
+    spec->SetPredicate("remove", "remove", diff);
+    spec->SetPredicate("remove", "lookup", diff);
+    spec->SetPredicate("remove", "update", diff);
+    spec->SetPredicate("update", "update", diff);
+    spec->SetPredicate("update", "lookup", diff);
+    spec->SetCommutes("lookup", "lookup");
+    return new ObjectType("Directory", std::move(spec), /*primitive=*/true);
+  }();
+  return type;
+}
+
+void RegisterDirectoryMethods(Database* db) {
+  TypeRegistry::Global().Register(DirectoryType());
+  db->Register(DirectoryType(), "insert",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.size() < 2) {
+                   return Status::InvalidArgument("insert needs key, value");
+                 }
+                 auto* dir = ctx.state<DirectoryState>();
+                 const std::string key = params[0].AsString();
+                 auto it = dir->entries.find(key);
+                 if (it != dir->entries.end()) {
+                   ctx.SetCompensation(
+                       Invocation("insert", {params[0], Value(it->second)}));
+                   it->second = params[1].AsString();
+                   *result = Value(0);
+                 } else {
+                   dir->entries.emplace(key, params[1].AsString());
+                   ctx.SetCompensation(Invocation("remove", {params[0]}));
+                   *result = Value(1);
+                 }
+                 return Status::OK();
+               });
+
+  db->Register(DirectoryType(), "remove",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty()) {
+                   return Status::InvalidArgument("remove needs a key");
+                 }
+                 auto* dir = ctx.state<DirectoryState>();
+                 auto it = dir->entries.find(params[0].AsString());
+                 if (it == dir->entries.end()) {
+                   *result = Value();
+                   return Status::OK();
+                 }
+                 ctx.SetCompensation(
+                     Invocation("insert", {params[0], Value(it->second)}));
+                 *result = Value(it->second);
+                 dir->entries.erase(it);
+                 return Status::OK();
+               });
+
+  db->Register(DirectoryType(), "lookup",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty()) {
+                   return Status::InvalidArgument("lookup needs a key");
+                 }
+                 auto* dir = ctx.state<DirectoryState>();
+                 auto it = dir->entries.find(params[0].AsString());
+                 *result = it == dir->entries.end() ? Value()
+                                                    : Value(it->second);
+                 return Status::OK();
+               });
+
+  db->Register(DirectoryType(), "update",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.size() < 2) {
+                   return Status::InvalidArgument("update needs key, value");
+                 }
+                 auto* dir = ctx.state<DirectoryState>();
+                 auto it = dir->entries.find(params[0].AsString());
+                 if (it == dir->entries.end()) {
+                   return Status::NotFound("update of absent key '" +
+                                           params[0].AsString() + "'");
+                 }
+                 ctx.SetCompensation(
+                     Invocation("update", {params[0], Value(it->second)}));
+                 *result = Value(it->second);
+                 it->second = params[1].AsString();
+                 return Status::OK();
+               });
+}
+
+ObjectId CreateDirectory(Database* db, std::string name) {
+  return db->CreateObject(DirectoryType(), std::move(name),
+                          std::make_unique<DirectoryState>());
+}
+
+}  // namespace oodb

@@ -1,0 +1,32 @@
+// Directory ADT (Weihl's canonical example [22], also Spector/Schwartz
+// [18]): a keyed map whose operations commute on distinct keys. Unlike
+// the B+ tree it is a single primitive object — useful when a benchmark
+// wants semantic concurrency without structural depth.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cc/database.h"
+
+namespace oodb {
+
+struct DirectoryState : public ObjectState {
+  std::map<std::string, std::string> entries;
+};
+
+/// insert/remove/lookup/update commute across distinct keys;
+/// lookup Θ lookup always.
+const ObjectType* DirectoryType();
+
+/// Registers:
+///   insert(k, v) -> 1 if new, 0 if overwritten
+///   remove(k) -> old | none
+///   lookup(k) -> v | none
+///   update(k, v) -> old | NotFound error when absent
+void RegisterDirectoryMethods(Database* db);
+
+ObjectId CreateDirectory(Database* db, std::string name);
+
+}  // namespace oodb

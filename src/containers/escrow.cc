@@ -1,0 +1,97 @@
+#include "containers/escrow.h"
+
+#include <memory>
+#include <set>
+
+#include "model/type_registry.h"
+
+namespace oodb {
+
+const ObjectType* EscrowAccountType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<MatrixCommutativity>();
+    spec->SetCommutes("deposit", "deposit");
+    spec->SetCommutes("deposit", "withdraw");
+    spec->SetCommutes("withdraw", "withdraw");
+    spec->SetCommutes("balance", "balance");
+    return new ObjectType("EscrowAccount", std::move(spec),
+                          /*primitive=*/true);
+  }();
+  return type;
+}
+
+const ObjectType* NameOnlyAccountType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<MatrixCommutativity>();
+    spec->SetCommutes("deposit", "deposit");
+    spec->SetCommutes("balance", "balance");
+    return new ObjectType("NameOnlyAccount", std::move(spec),
+                          /*primitive=*/true);
+  }();
+  return type;
+}
+
+const ObjectType* RWAccountType() {
+  static const ObjectType* type = [] {
+    return new ObjectType("RWAccount",
+                          std::make_unique<ReadWriteCommutativity>(
+                              std::set<std::string>{"balance"}),
+                          /*primitive=*/true);
+  }();
+  return type;
+}
+
+void RegisterAccountMethods(Database* db, const ObjectType* type) {
+  TypeRegistry::Global().Register(type);
+  db->Register(type, "deposit",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty() || params[0].AsInt() < 0) {
+                   return Status::InvalidArgument(
+                       "deposit needs a nonnegative amount");
+                 }
+                 auto* acct = ctx.state<AccountState>();
+                 acct->balance += params[0].AsInt();
+                 ctx.SetCompensation(Invocation("withdraw", {params[0]}));
+                 *result = Value(acct->balance);
+                 return Status::OK();
+               });
+
+  db->Register(type, "withdraw",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty() || params[0].AsInt() < 0) {
+                   return Status::InvalidArgument(
+                       "withdraw needs a nonnegative amount");
+                 }
+                 auto* acct = ctx.state<AccountState>();
+                 int64_t amount = params[0].AsInt();
+                 // The escrow test: admissibility is checked atomically,
+                 // so successful withdrawals commute.
+                 if (acct->balance - amount < acct->min_balance) {
+                   return Status::Conflict("insufficient funds");
+                 }
+                 acct->balance -= amount;
+                 ctx.SetCompensation(Invocation("deposit", {params[0]}));
+                 *result = Value(acct->balance);
+                 return Status::OK();
+               });
+
+  db->Register(type, "balance",
+               [](MethodContext& ctx, const ValueList&,
+                  Value* result) -> Status {
+                 *result = Value(ctx.state<AccountState>()->balance);
+                 return Status::OK();
+               });
+}
+
+ObjectId CreateAccount(Database* db, const ObjectType* type,
+                       std::string name, int64_t initial_balance,
+                       int64_t min_balance) {
+  auto state = std::make_unique<AccountState>();
+  state->balance = initial_balance;
+  state->min_balance = min_balance;
+  return db->CreateObject(type, std::move(name), std::move(state));
+}
+
+}  // namespace oodb

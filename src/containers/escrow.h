@@ -1,0 +1,44 @@
+// Escrow accounts: the paper cites the escrow method [9, 14, 17] as the
+// commutativity definition that "includes parameter values and the
+// status of accessed objects". Deposits and withdrawals on an account
+// commute as long as every withdrawal is individually admissible; the
+// method itself enforces admissibility atomically (under the object
+// latch) and fails with kConflict otherwise, so the static commutativity
+// declaration stays sound.
+//
+// Three type variants share the same method implementations but declare
+// coarser and coarser semantics — the S4 ablation:
+//   * EscrowAccountType   deposit/withdraw/deposit all commute,
+//   * NameOnlyAccountType only deposit/deposit commutes (no parameter
+//                         or state reasoning),
+//   * RWAccountType       every mutator pair conflicts (read/write).
+
+#pragma once
+
+#include <cstdint>
+
+#include "cc/database.h"
+
+namespace oodb {
+
+/// Account state: current balance and the floor below which withdrawals
+/// are refused.
+struct AccountState : public ObjectState {
+  int64_t balance = 0;
+  int64_t min_balance = 0;
+};
+
+const ObjectType* EscrowAccountType();
+const ObjectType* NameOnlyAccountType();
+const ObjectType* RWAccountType();
+
+/// Registers deposit(amount), withdraw(amount), balance() for `type`
+/// (call once per account type variant in use).
+void RegisterAccountMethods(Database* db, const ObjectType* type);
+
+/// Creates an account with an initial balance.
+ObjectId CreateAccount(Database* db, const ObjectType* type,
+                       std::string name, int64_t initial_balance,
+                       int64_t min_balance = 0);
+
+}  // namespace oodb

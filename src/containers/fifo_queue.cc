@@ -1,0 +1,95 @@
+#include "containers/fifo_queue.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "model/type_registry.h"
+
+namespace oodb {
+
+const ObjectType* FifoQueueType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<MatrixCommutativity>();
+    spec->SetCommutes("enq", "enq");
+    spec->SetCommutes("size", "size");
+    return new ObjectType("FifoQueue", std::move(spec), /*primitive=*/true);
+  }();
+  return type;
+}
+
+void RegisterQueueMethods(Database* db) {
+  TypeRegistry::Global().Register(FifoQueueType());
+  db->Register(FifoQueueType(), "enq",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty()) {
+                   return Status::InvalidArgument("enq needs a value");
+                 }
+                 ctx.state<QueueState>()->items.push_back(
+                     params[0].AsString());
+                 ctx.SetCompensation(Invocation("cancel", {params[0]}));
+                 *result = Value();
+                 return Status::OK();
+               });
+
+  db->Register(FifoQueueType(), "deq",
+               [](MethodContext& ctx, const ValueList&,
+                  Value* result) -> Status {
+                 auto* q = ctx.state<QueueState>();
+                 if (q->items.empty()) {
+                   *result = Value();
+                   return Status::OK();
+                 }
+                 std::string front = q->items.front();
+                 q->items.pop_front();
+                 ctx.SetCompensation(
+                     Invocation("pushFront", {Value(front)}));
+                 *result = Value(front);
+                 return Status::OK();
+               });
+
+  db->Register(FifoQueueType(), "size",
+               [](MethodContext& ctx, const ValueList&,
+                  Value* result) -> Status {
+                 *result = Value(static_cast<int64_t>(
+                     ctx.state<QueueState>()->items.size()));
+                 return Status::OK();
+               });
+
+  db->Register(FifoQueueType(), "cancel",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty()) {
+                   return Status::InvalidArgument("cancel needs a value");
+                 }
+                 auto* q = ctx.state<QueueState>();
+                 // Remove the most recent occurrence: compensating the
+                 // latest enq of this value.
+                 auto it = std::find(q->items.rbegin(), q->items.rend(),
+                                     params[0].AsString());
+                 if (it != q->items.rend()) {
+                   q->items.erase(std::next(it).base());
+                 }
+                 *result = Value();
+                 return Status::OK();
+               });
+
+  db->Register(FifoQueueType(), "pushFront",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty()) {
+                   return Status::InvalidArgument("pushFront needs a value");
+                 }
+                 ctx.state<QueueState>()->items.push_front(
+                     params[0].AsString());
+                 *result = Value();
+                 return Status::OK();
+               });
+}
+
+ObjectId CreateQueue(Database* db, std::string name) {
+  return db->CreateObject(FifoQueueType(), std::move(name),
+                          std::make_unique<QueueState>());
+}
+
+}  // namespace oodb

@@ -1,0 +1,32 @@
+// FIFO queue with Weihl-style semantic commutativity [22]: enqueues
+// commute with each other (the order of concurrent enqueuers is not
+// observable to either of them), while dequeues conflict with both
+// dequeues and enqueues (emptiness and front identity are observable).
+
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "cc/database.h"
+
+namespace oodb {
+
+struct QueueState : public ObjectState {
+  std::deque<std::string> items;
+};
+
+/// enq Θ enq and size Θ size; everything else conflicts.
+const ObjectType* FifoQueueType();
+
+/// Registers:
+///   enq(v) -> none
+///   deq() -> front value | none when empty
+///   size() -> count
+///   cancel(v) -> none      (compensation of enq: removes the latest v)
+///   pushFront(v) -> none   (compensation of deq)
+void RegisterQueueMethods(Database* db);
+
+ObjectId CreateQueue(Database* db, std::string name);
+
+}  // namespace oodb

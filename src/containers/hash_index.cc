@@ -1,0 +1,377 @@
+#include "containers/hash_index.h"
+
+#include <atomic>
+
+#include "containers/codec.h"
+#include "containers/page_ops.h"
+#include "model/type_registry.h"
+
+namespace oodb {
+
+namespace {
+
+std::atomic<uint64_t> g_hash_counter{0};
+
+uint64_t MaskOf(size_t depth) {
+  return depth >= 64 ? ~uint64_t{0} : ((uint64_t{1} << depth) - 1);
+}
+
+std::unique_ptr<PredicateCommutativity> HashKeyedSpec() {
+  auto spec = std::make_unique<PredicateCommutativity>();
+  auto diff = PredicateCommutativity::DifferentParam(0);
+  spec->SetPredicate("insert", "insert", diff);
+  spec->SetPredicate("insert", "search", diff);
+  spec->SetPredicate("insert", "erase", diff);
+  spec->SetPredicate("erase", "erase", diff);
+  spec->SetPredicate("erase", "search", diff);
+  spec->SetCommutes("search", "search");
+  // freeze / stamp / moveTo / info stay unregistered: structural
+  // operations conflict with everything on their bucket.
+  return spec;
+}
+
+struct BucketSnapshot {
+  ObjectId page;
+  uint64_t pattern;
+  size_t local_depth;
+  size_t capacity;
+};
+
+BucketSnapshot SnapBucket(MethodContext& ctx) {
+  return ctx.WithState<BucketState>([](BucketState* s) {
+    return BucketSnapshot{s->page, s->pattern, s->local_depth,
+                          s->capacity};
+  });
+}
+
+/// Ownership check: every keyed bucket operation verifies the key still
+/// belongs here; a stale route (concurrent split) is reported as
+/// kConflict and retried by the index with a fresh directory.
+Status VerifyOwnership(const BucketSnapshot& snap, const std::string& key) {
+  if ((HashKey(key) & MaskOf(snap.local_depth)) != snap.pattern) {
+    return Status::Conflict("stale route for key '" + key + "'");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Bucket methods
+// ---------------------------------------------------------------------
+
+Status BucketInsert(MethodContext& ctx, const ValueList& params,
+                    Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("insert needs key, value");
+  }
+  BucketSnapshot snap = SnapBucket(ctx);
+  OODB_RETURN_IF_ERROR(VerifyOwnership(snap, params[0].AsString()));
+  Value old;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.page, Invocation("read", {params[0]}), &old));
+  OODB_RETURN_IF_ERROR(ctx.Call(snap.page, Invocation("write", params)));
+  if (old.IsNone()) {
+    ctx.SetCompensation(Invocation("erase", {params[0]}));
+  } else {
+    ctx.SetCompensation(Invocation("insert", {params[0], old}));
+  }
+  *result = old;
+  return Status::OK();
+}
+
+Status BucketSearch(MethodContext& ctx, const ValueList& params,
+                    Value* result) {
+  if (params.empty()) return Status::InvalidArgument("search needs a key");
+  BucketSnapshot snap = SnapBucket(ctx);
+  OODB_RETURN_IF_ERROR(VerifyOwnership(snap, params[0].AsString()));
+  return ctx.Call(snap.page, Invocation("read", {params[0]}), result);
+}
+
+Status BucketErase(MethodContext& ctx, const ValueList& params,
+                   Value* result) {
+  if (params.empty()) return Status::InvalidArgument("erase needs a key");
+  BucketSnapshot snap = SnapBucket(ctx);
+  OODB_RETURN_IF_ERROR(VerifyOwnership(snap, params[0].AsString()));
+  Value old;
+  OODB_RETURN_IF_ERROR(
+      ctx.Call(snap.page, Invocation("erase", {params[0]}), &old));
+  if (!old.IsNone()) {
+    ctx.SetCompensation(Invocation("insert", {params[0], old}));
+  }
+  *result = old;
+  return Status::OK();
+}
+
+Status BucketFreeze(MethodContext&, const ValueList&, Value* result) {
+  // The body is empty: the value of freeze() is its lock, which
+  // conflicts with every bucket operation and is held (via pass-up)
+  // until the splitting index operation completes.
+  *result = Value();
+  return Status::OK();
+}
+
+Status BucketInfo(MethodContext& ctx, const ValueList&, Value* result) {
+  BucketSnapshot snap = SnapBucket(ctx);
+  *result = Value(JoinFields({std::to_string(snap.page.value),
+                              std::to_string(snap.pattern),
+                              std::to_string(snap.local_depth),
+                              std::to_string(snap.capacity)}));
+  return Status::OK();
+}
+
+/// moveTo(target_page, sibling_pattern, new_depth): relocates every key
+/// whose hash matches the sibling pattern at the new depth. Copy first,
+/// erase after — readers racing the directory repoint find their key on
+/// one side or the other.
+Status BucketMoveTo(MethodContext& ctx, const ValueList& params,
+                    Value* result) {
+  if (params.size() < 3) {
+    return Status::InvalidArgument(
+        "moveTo needs target page, pattern, depth");
+  }
+  ObjectId target(uint64_t(params[0].AsInt()));
+  uint64_t sibling_pattern = uint64_t(params[1].AsInt());
+  size_t new_depth = size_t(params[2].AsInt());
+  BucketSnapshot snap = SnapBucket(ctx);
+
+  Value scan;
+  OODB_RETURN_IF_ERROR(ctx.Call(snap.page, Invocation("scan"), &scan));
+  std::vector<std::string> fields = SplitFields(scan.AsString());
+  std::vector<std::string> moved;
+  for (size_t i = 0; i + 1 < fields.size(); i += 2) {
+    if ((HashKey(fields[i]) & MaskOf(new_depth)) == sibling_pattern) {
+      OODB_RETURN_IF_ERROR(ctx.Call(
+          target,
+          Invocation("write", {Value(fields[i]), Value(fields[i + 1])})));
+      moved.push_back(fields[i]);
+    }
+  }
+  for (const std::string& key : moved) {
+    OODB_RETURN_IF_ERROR(
+        ctx.Call(snap.page, Invocation("erase", {Value(key)})));
+  }
+  *result = Value(int64_t(moved.size()));
+  // Structural: content-neutral, no compensation.
+  return Status::OK();
+}
+
+Status BucketStamp(MethodContext& ctx, const ValueList& params,
+                   Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("stamp needs pattern, depth");
+  }
+  ctx.WithState<BucketState>([&](BucketState* s) {
+    s->pattern = uint64_t(params[0].AsInt());
+    s->local_depth = size_t(params[1].AsInt());
+    return 0;
+  });
+  *result = Value();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Index methods
+// ---------------------------------------------------------------------
+
+struct IndexSnapshot {
+  ObjectId bucket;
+  uint64_t version;
+};
+
+IndexSnapshot RouteBucket(MethodContext& ctx, const std::string& key) {
+  return ctx.WithState<HashIndexState>([&](HashIndexState* s) {
+    size_t slot = size_t(HashKey(key) & MaskOf(s->global_depth));
+    return IndexSnapshot{s->directory[slot], s->version};
+  });
+}
+
+/// Splits `bucket`; called while holding the index-level keyed lock of
+/// the triggering insert. Freeze serializes concurrent splitters.
+Status SplitBucket(MethodContext& ctx, ObjectId bucket) {
+  OODB_RETURN_IF_ERROR(ctx.Call(bucket, Invocation("freeze")));
+
+  Value info;
+  OODB_RETURN_IF_ERROR(ctx.Call(bucket, Invocation("info"), &info));
+  std::vector<std::string> fields = SplitFields(info.AsString());
+  if (fields.size() != 4) return Status::Internal("bad bucket info");
+  ObjectId bucket_page(std::stoull(fields[0]));
+  uint64_t pattern = std::stoull(fields[1]);
+  size_t local_depth = std::stoull(fields[2]);
+  size_t capacity = std::stoull(fields[3]);
+
+  // A concurrent splitter may have beaten us between our Capacity error
+  // and the freeze: if the bucket has room again, skip the split and
+  // let the insert retry.
+  Value count;
+  OODB_RETURN_IF_ERROR(ctx.Call(bucket_page, Invocation("count"), &count));
+  if (size_t(count.AsInt()) < capacity) return Status::OK();
+
+  size_t new_depth = local_depth + 1;
+  uint64_t sibling_pattern = pattern | (uint64_t{1} << local_depth);
+
+  // Grow the directory first when the bucket is at max depth.
+  ctx.WithState<HashIndexState>([&](HashIndexState* s) {
+    if (local_depth == s->global_depth) {
+      size_t old_size = s->directory.size();
+      s->directory.resize(old_size * 2);
+      for (size_t i = 0; i < old_size; ++i) {
+        s->directory[old_size + i] = s->directory[i];
+      }
+      ++s->global_depth;
+      ++s->version;
+    }
+    return 0;
+  });
+
+  // Build the sibling.
+  ObjectId new_page =
+      CreatePage(ctx.db(), "BucketPage" + std::to_string(++g_hash_counter),
+                 capacity);
+  auto bucket_state = std::make_unique<BucketState>();
+  bucket_state->page = new_page;
+  bucket_state->pattern = sibling_pattern;
+  bucket_state->local_depth = new_depth;
+  bucket_state->capacity = capacity;
+  ObjectId sibling = ctx.CreateObject(
+      BucketObjectType(), "Bucket" + std::to_string(++g_hash_counter),
+      std::move(bucket_state));
+
+  // Relocate, deepen the old stamp, then repoint the directory.
+  OODB_RETURN_IF_ERROR(ctx.Call(
+      bucket,
+      Invocation("moveTo", {Value(int64_t(new_page.value)),
+                            Value(int64_t(sibling_pattern)),
+                            Value(int64_t(new_depth))})));
+  OODB_RETURN_IF_ERROR(ctx.Call(
+      bucket, Invocation("stamp", {Value(int64_t(pattern)),
+                                   Value(int64_t(new_depth))})));
+  ctx.WithState<HashIndexState>([&](HashIndexState* s) {
+    for (size_t i = 0; i < s->directory.size(); ++i) {
+      if (s->directory[i] == bucket &&
+          (uint64_t(i) & MaskOf(new_depth)) == sibling_pattern) {
+        s->directory[i] = sibling;
+      }
+    }
+    ++s->version;
+    return 0;
+  });
+  return Status::OK();
+}
+
+constexpr int kMaxRouteRetries = 12;
+
+Status IndexInsert(MethodContext& ctx, const ValueList& params,
+                   Value* result) {
+  if (params.size() < 2) {
+    return Status::InvalidArgument("insert needs key, value");
+  }
+  const std::string key = params[0].AsString();
+  for (int attempt = 0; attempt < kMaxRouteRetries; ++attempt) {
+    IndexSnapshot snap = RouteBucket(ctx, key);
+    Value old;
+    Status st = ctx.Call(snap.bucket, Invocation("insert", params), &old);
+    if (st.ok()) {
+      if (old.IsNone()) {
+        ctx.SetCompensation(Invocation("erase", {params[0]}));
+      } else {
+        ctx.SetCompensation(Invocation("insert", {params[0], old}));
+      }
+      *result = old;
+      return Status::OK();
+    }
+    if (st.IsConflict()) continue;  // stale route: re-read the directory
+    if (st.code() == StatusCode::kCapacity) {
+      OODB_RETURN_IF_ERROR(SplitBucket(ctx, snap.bucket));
+      continue;
+    }
+    return st;
+  }
+  return Status::Capacity("hash bucket keeps overflowing for '" + key +
+                          "'");
+}
+
+Status IndexSearch(MethodContext& ctx, const ValueList& params,
+                   Value* result) {
+  if (params.empty()) return Status::InvalidArgument("search needs a key");
+  const std::string key = params[0].AsString();
+  for (int attempt = 0; attempt < kMaxRouteRetries; ++attempt) {
+    IndexSnapshot snap = RouteBucket(ctx, key);
+    Status st = ctx.Call(snap.bucket, Invocation("search", params), result);
+    if (!st.IsConflict()) return st;
+  }
+  return Status::Conflict("directory kept moving under search");
+}
+
+Status IndexErase(MethodContext& ctx, const ValueList& params,
+                  Value* result) {
+  if (params.empty()) return Status::InvalidArgument("erase needs a key");
+  const std::string key = params[0].AsString();
+  for (int attempt = 0; attempt < kMaxRouteRetries; ++attempt) {
+    IndexSnapshot snap = RouteBucket(ctx, key);
+    Value old;
+    Status st = ctx.Call(snap.bucket, Invocation("erase", params), &old);
+    if (st.IsConflict()) continue;
+    if (!st.ok()) return st;
+    if (!old.IsNone()) {
+      ctx.SetCompensation(Invocation("insert", {params[0], old}));
+    }
+    *result = old;
+    return Status::OK();
+  }
+  return Status::Conflict("directory kept moving under erase");
+}
+
+}  // namespace
+
+uint64_t HashKey(const std::string& key) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+const ObjectType* HashIndexObjectType() {
+  static const ObjectType* type =
+      new ObjectType("HashIndex", HashKeyedSpec());
+  return type;
+}
+
+const ObjectType* BucketObjectType() {
+  static const ObjectType* type =
+      new ObjectType("Bucket", HashKeyedSpec());
+  return type;
+}
+
+void HashIndex::RegisterMethods(Database* db) {
+  TypeRegistry::Global().Register(HashIndexObjectType());
+  TypeRegistry::Global().Register(BucketObjectType());
+  db->Register(BucketObjectType(), "insert", BucketInsert);
+  db->Register(BucketObjectType(), "search", BucketSearch);
+  db->Register(BucketObjectType(), "erase", BucketErase);
+  db->Register(BucketObjectType(), "freeze", BucketFreeze);
+  db->Register(BucketObjectType(), "info", BucketInfo);
+  db->Register(BucketObjectType(), "moveTo", BucketMoveTo);
+  db->Register(BucketObjectType(), "stamp", BucketStamp);
+  db->Register(HashIndexObjectType(), "insert", IndexInsert);
+  db->Register(HashIndexObjectType(), "search", IndexSearch);
+  db->Register(HashIndexObjectType(), "erase", IndexErase);
+}
+
+ObjectId HashIndex::Create(Database* db, const std::string& name,
+                           size_t bucket_capacity) {
+  ObjectId page =
+      CreatePage(db, name + ".BucketPage0", bucket_capacity);
+  auto bucket_state = std::make_unique<BucketState>();
+  bucket_state->page = page;
+  bucket_state->capacity = bucket_capacity;
+  ObjectId bucket = db->CreateObject(BucketObjectType(), name + ".Bucket0",
+                                     std::move(bucket_state));
+  auto index_state = std::make_unique<HashIndexState>();
+  index_state->directory.push_back(bucket);
+  index_state->bucket_capacity = bucket_capacity;
+  return db->CreateObject(HashIndexObjectType(), name,
+                          std::move(index_state));
+}
+
+}  // namespace oodb

@@ -1,0 +1,73 @@
+// Extendible hash index over page-backed buckets: a second index
+// structure under the same semantic concurrency control, showing that
+// the framework is not B-tree-specific ("applications may be complex
+// similar to index structures", section 2).
+//
+// Structure: a directory of 2^global_depth slots mapping hash prefixes
+// to Bucket objects; each bucket owns a page and a (pattern, local
+// depth) stamp. Inserting into a full bucket splits it: a new bucket
+// takes the keys whose next hash bit is 1, the directory is repointed
+// (doubling first when local depth == global depth), and the insert
+// retries. Splits are serialized per bucket by a freeze() action whose
+// lock conflicts with every bucket operation; routing staleness is
+// handled optimistically — every bucket operation verifies that the key
+// belongs to the bucket's stamped hash pattern and fails with a
+// retryable error otherwise.
+//
+// Commutativity mirrors the B+ tree: keyed operations commute on
+// distinct keys at both index and bucket level; structural operations
+// conflict with everything on their bucket.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/database.h"
+#include "storage/page.h"
+
+namespace oodb {
+
+struct HashIndexState : public ObjectState {
+  std::vector<ObjectId> directory;  ///< 2^global_depth bucket slots
+  size_t global_depth = 0;
+  size_t bucket_capacity = 4;
+  uint64_t version = 0;  ///< bumped on every directory change
+};
+
+struct BucketState : public ObjectState {
+  ObjectId page;
+  uint64_t pattern = 0;     ///< low `local_depth` hash bits of all keys
+  size_t local_depth = 0;
+  size_t capacity = 4;
+};
+
+const ObjectType* HashIndexObjectType();
+const ObjectType* BucketObjectType();
+
+/// Deterministic 64-bit FNV-1a (stable across platforms, unlike
+/// std::hash).
+uint64_t HashKey(const std::string& key);
+
+class HashIndex {
+ public:
+  static void RegisterMethods(Database* db);
+
+  /// Creates an index with one initial bucket (global depth 0).
+  static ObjectId Create(Database* db, const std::string& name,
+                         size_t bucket_capacity = 8);
+
+  static Invocation Insert(const std::string& key,
+                           const std::string& value) {
+    return Invocation("insert", {Value(key), Value(value)});
+  }
+  static Invocation Search(const std::string& key) {
+    return Invocation("search", {Value(key)});
+  }
+  static Invocation Erase(const std::string& key) {
+    return Invocation("erase", {Value(key)});
+  }
+};
+
+}  // namespace oodb

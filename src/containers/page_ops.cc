@@ -1,0 +1,135 @@
+#include "containers/page_ops.h"
+
+#include <memory>
+#include <set>
+
+#include "containers/codec.h"
+#include "model/type_registry.h"
+
+namespace oodb {
+
+const ObjectType* PageObjectType() {
+  static const ObjectType* type = [] {
+    return new ObjectType(
+        "Page",
+        std::make_unique<ReadWriteCommutativity>(std::set<std::string>{
+            "read", "scan", "routeLE", "count", "contains"}),
+        /*primitive=*/true);
+  }();
+  return type;
+}
+
+void RegisterPageMethods(Database* db) {
+  TypeRegistry::Global().Register(PageObjectType());
+  db->Register(PageObjectType(), "read",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty()) {
+                   return Status::InvalidArgument("read needs a key");
+                 }
+                 auto* page = ctx.state<PageState>();
+                 Result<std::string> r = page->Read(params[0].AsString());
+                 *result = r.ok() ? Value(*r) : Value();
+                 return Status::OK();
+               });
+
+  db->Register(PageObjectType(), "contains",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty()) {
+                   return Status::InvalidArgument("contains needs a key");
+                 }
+                 auto* page = ctx.state<PageState>();
+                 *result =
+                     Value(page->Contains(params[0].AsString()) ? 1 : 0);
+                 return Status::OK();
+               });
+
+  db->Register(PageObjectType(), "write",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.size() < 2) {
+                   return Status::InvalidArgument("write needs key, value");
+                 }
+                 auto* page = ctx.state<PageState>();
+                 const std::string key = params[0].AsString();
+                 Result<std::string> old = page->Read(key);
+                 OODB_RETURN_IF_ERROR(
+                     page->Write(key, params[1].AsString()));
+                 if (old.ok()) {
+                   ctx.SetCompensation(
+                       Invocation("write", {Value(key), Value(*old)}));
+                 } else {
+                   ctx.SetCompensation(Invocation("erase", {Value(key)}));
+                 }
+                 *result = Value();
+                 return Status::OK();
+               });
+
+  db->Register(PageObjectType(), "erase",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty()) {
+                   return Status::InvalidArgument("erase needs a key");
+                 }
+                 auto* page = ctx.state<PageState>();
+                 const std::string key = params[0].AsString();
+                 Result<std::string> old = page->Read(key);
+                 if (!old.ok()) {
+                   *result = Value();
+                   return Status::OK();  // idempotent erase of absent key
+                 }
+                 OODB_RETURN_IF_ERROR(page->Erase(key));
+                 ctx.SetCompensation(
+                     Invocation("write", {Value(key), Value(*old)}));
+                 *result = Value(*old);
+                 return Status::OK();
+               });
+
+  db->Register(PageObjectType(), "scan",
+               [](MethodContext& ctx, const ValueList&,
+                  Value* result) -> Status {
+                 auto* page = ctx.state<PageState>();
+                 std::vector<std::string> fields;
+                 fields.reserve(page->entries().size() * 2);
+                 for (const auto& [k, v] : page->entries()) {
+                   fields.push_back(k);
+                   fields.push_back(v);
+                 }
+                 *result = Value(JoinFields(fields));
+                 return Status::OK();
+               });
+
+  db->Register(PageObjectType(), "routeLE",
+               [](MethodContext& ctx, const ValueList& params,
+                  Value* result) -> Status {
+                 if (params.empty()) {
+                   return Status::InvalidArgument("routeLE needs a key");
+                 }
+                 auto* page = ctx.state<PageState>();
+                 const auto& entries = page->entries();
+                 auto it = entries.upper_bound(params[0].AsString());
+                 if (it == entries.begin()) {
+                   *result = Value();
+                   return Status::OK();
+                 }
+                 --it;
+                 *result = Value(it->second);
+                 return Status::OK();
+               });
+
+  db->Register(PageObjectType(), "count",
+               [](MethodContext& ctx, const ValueList&,
+                  Value* result) -> Status {
+                 *result = Value(
+                     static_cast<int64_t>(ctx.state<PageState>()->size()));
+                 return Status::OK();
+               });
+}
+
+ObjectId CreatePage(Database* db, std::string name, size_t capacity) {
+  return db->CreateObject(PageObjectType(), std::move(name),
+                          std::make_unique<PageState>(capacity));
+}
+
+}  // namespace oodb

@@ -1,0 +1,35 @@
+// Page object type and primitive method implementations.
+//
+// Pages are the zero layer: methods call nothing, execute atomically
+// under the object latch, and carry the classical read/write
+// commutativity (only readers commute). Mutators register *physical*
+// compensations — safe because page locks are still held inside the
+// enclosing action's sphere whenever these compensations can run.
+
+#pragma once
+
+#include <string>
+
+#include "cc/database.h"
+#include "storage/page.h"
+
+namespace oodb {
+
+/// The primitive Page type. Readers: read, scan, routeLE, count,
+/// contains. Writers: write, erase.
+const ObjectType* PageObjectType();
+
+/// Registers all page methods on `db`:
+///   read(key) -> value | none
+///   contains(key) -> 1 | 0
+///   write(key, value) -> none            (Capacity when full)
+///   erase(key) -> old | none
+///   scan() -> "k<US>v<US>k<US>v..."      (all entries, key order)
+///   routeLE(key) -> value of greatest stored key <= key | none
+///   count() -> number of entries
+void RegisterPageMethods(Database* db);
+
+/// Creates a page object with the given capacity.
+ObjectId CreatePage(Database* db, std::string name, size_t capacity);
+
+}  // namespace oodb

@@ -1,0 +1,62 @@
+#include "model/commutativity.h"
+
+namespace oodb {
+
+void MatrixCommutativity::SetCommutes(const std::string& m1,
+                                      const std::string& m2) {
+  commuting_.insert({m1, m2});
+  commuting_.insert({m2, m1});
+}
+
+bool MatrixCommutativity::Commutes(const Invocation& a,
+                                   const Invocation& b) const {
+  return commuting_.count({a.method, b.method}) > 0;
+}
+
+void PredicateCommutativity::SetPredicate(const std::string& m1,
+                                          const std::string& m2,
+                                          Predicate pred) {
+  predicates_[{m1, m2}] = pred;
+  if (m1 != m2) {
+    predicates_[{m2, m1}] = [pred](const Invocation& a, const Invocation& b) {
+      return pred(b, a);
+    };
+  }
+}
+
+void PredicateCommutativity::SetCommutes(const std::string& m1,
+                                         const std::string& m2) {
+  SetPredicate(m1, m2,
+               [](const Invocation&, const Invocation&) { return true; });
+}
+
+void PredicateCommutativity::SetConflicts(const std::string& m1,
+                                          const std::string& m2) {
+  SetPredicate(m1, m2,
+               [](const Invocation&, const Invocation&) { return false; });
+}
+
+bool PredicateCommutativity::Commutes(const Invocation& a,
+                                      const Invocation& b) const {
+  auto it = predicates_.find({a.method, b.method});
+  if (it == predicates_.end()) return false;  // conservative default
+  return it->second(a, b);
+}
+
+PredicateCommutativity::Predicate PredicateCommutativity::DifferentParam(
+    size_t index) {
+  return [index](const Invocation& a, const Invocation& b) {
+    if (a.params.size() <= index || b.params.size() <= index) return false;
+    return !(a.params[index] == b.params[index]);
+  };
+}
+
+PredicateCommutativity::Predicate PredicateCommutativity::SameParam(
+    size_t index) {
+  return [index](const Invocation& a, const Invocation& b) {
+    if (a.params.size() <= index || b.params.size() <= index) return false;
+    return a.params[index] == b.params[index];
+  };
+}
+
+}  // namespace oodb

@@ -1,0 +1,35 @@
+#include "model/commutativity_table.h"
+
+#include <algorithm>
+
+namespace oodb {
+
+std::string CommutativityTable(const ObjectType& type,
+                               const std::vector<Invocation>& samples) {
+  std::vector<std::string> labels;
+  size_t width = 0;
+  labels.reserve(samples.size());
+  for (const Invocation& inv : samples) {
+    labels.push_back(inv.ToString());
+    width = std::max(width, labels.back().size());
+  }
+  std::string out = type.name() + " commutativity (theta = commutes):\n";
+  // Header row: column indices to keep the table narrow.
+  out += std::string(width + 2, ' ');
+  for (size_t j = 0; j < samples.size(); ++j) {
+    out += "[" + std::to_string(j + 1) + "] ";
+  }
+  out += "\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::string row = "[" + std::to_string(i + 1) + "] " + labels[i];
+    row.resize(width + 6, ' ');
+    out += row;
+    for (size_t j = 0; j < samples.size(); ++j) {
+      out += type.Commutes(samples[i], samples[j]) ? " 0  " : " x  ";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace oodb

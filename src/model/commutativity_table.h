@@ -1,0 +1,22 @@
+// Rendering commutativity specifications as the Θ-tables the
+// literature draws (the paper assumes "a commutativity matrix for every
+// object for all their actions").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/invocation.h"
+#include "model/object_type.h"
+
+namespace oodb {
+
+/// Renders the pairwise commutativity of `samples` under `type` as an
+/// ASCII matrix: Θ = commutes, x = conflicts. Sample invocations stand
+/// in for operation classes (parameter-dependent specs need concrete
+/// parameters, e.g. insert(a) vs insert(b)).
+std::string CommutativityTable(const ObjectType& type,
+                               const std::vector<Invocation>& samples);
+
+}  // namespace oodb

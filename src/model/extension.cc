@@ -1,0 +1,106 @@
+#include "model/extension.h"
+
+#include <algorithm>
+
+namespace oodb {
+
+namespace {
+
+/// True iff `a` has a proper call-ancestor accessing the same object.
+bool HasAncestorOnSameObject(const TransactionSystem& ts, ActionId a) {
+  const ActionRecord& rec = ts.action(a);
+  ActionId cur = rec.parent;
+  while (cur.valid()) {
+    if (ts.action(cur).object == rec.object) return true;
+    cur = ts.action(cur).parent;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ActionId> SystemExtender::FindCycleActions(
+    const TransactionSystem& ts) {
+  std::vector<ActionId> out;
+  for (uint64_t i = 0; i < ts.action_count(); ++i) {
+    ActionId a(i);
+    if (HasAncestorOnSameObject(ts, a)) out.push_back(a);
+  }
+  return out;
+}
+
+bool SystemExtender::NeedsExtension(const TransactionSystem& ts) {
+  for (uint64_t i = 0; i < ts.action_count(); ++i) {
+    if (HasAncestorOnSameObject(ts, ActionId(i))) return true;
+  }
+  return false;
+}
+
+ExtensionStats SystemExtender::Extend(TransactionSystem* ts) {
+  ExtensionStats stats;
+  // Deeper actions first: moving a descendant cannot re-create a
+  // violation for its ancestors, and processing in reverse id order
+  // (children have larger ids than parents) visits descendants before
+  // ancestors within one pass.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<ActionId> offenders = FindCycleActions(*ts);
+    std::sort(offenders.begin(), offenders.end(),
+              [](ActionId x, ActionId y) { return y < x; });
+    for (ActionId a : offenders) {
+      // Re-check: an earlier move this pass may have resolved it.
+      if (!HasAncestorOnSameObject(*ts, a)) continue;
+      ObjectId o = ts->action(a).object;
+      const ObjectRecord& orec = ts->object(o);
+
+      // Create the virtual object O'.
+      ObjectId vo = ts->AddObject(orec.type, orec.name + "'");
+      {
+        std::lock_guard<std::mutex> lock(ts->mutex_);
+        ObjectRecord& vrec = ts->MutableObject(vo);
+        vrec.is_virtual = true;
+        vrec.original = o;
+      }
+      ++stats.virtual_objects;
+
+      // Move a from O to O' (ACT_O := ACT_O - {a}; ACT_O' gains a).
+      {
+        std::lock_guard<std::mutex> lock(ts->mutex_);
+        ObjectRecord& from = ts->MutableObject(o);
+        from.actions.erase(
+            std::remove(from.actions.begin(), from.actions.end(), a),
+            from.actions.end());
+        ts->MutableObject(vo).actions.push_back(a);
+        ts->MutableAction(a).object = vo;
+      }
+      ++stats.cycles_broken;
+
+      // Virtually duplicate every remaining action b on O as b' on O',
+      // called by b. Duplicates carry the original invocation, process,
+      // and (for primitives) the execution timestamp, so conflicts with
+      // the moved action are observable on O' and inherit back to b.
+      std::vector<ActionId> originals = ts->ActionsOn(o);
+      for (ActionId b : originals) {
+        const ActionRecord& brec = ts->action(b);
+        if (brec.is_virtual && ts->object(brec.object).original == vo) {
+          continue;  // defensive; cannot happen for fresh vo
+        }
+        ActionId bv = ts->Call(b, vo, brec.invocation, /*sequential=*/false);
+        std::lock_guard<std::mutex> lock(ts->mutex_);
+        ActionRecord& vrec = ts->MutableAction(bv);
+        vrec.is_virtual = true;
+        vrec.original = b;
+        vrec.process = brec.process;
+        vrec.timestamp = brec.timestamp;
+        vrec.completion = brec.completion;
+        vrec.label = brec.label + "'";
+        ++stats.virtual_actions;
+      }
+      changed = true;
+    }
+  }
+  return stats;
+}
+
+}  // namespace oodb

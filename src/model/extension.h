@@ -1,0 +1,51 @@
+// SystemExtender: the virtual-object extension of Def 5.
+//
+// If a transaction t calls an action a (directly or indirectly) and both
+// access the same object O, the call path forms a cycle through O: t is
+// simultaneously an action on O and (transitively) a transaction over
+// actions on O, and the per-object dependency inheritance of Defs 10/11
+// would recurse into itself. The paper breaks the cycle by construction:
+//
+//   * a virtual object O' is added,
+//   * the deeper action a is moved to O' (so ACT_O loses a),
+//   * every remaining action b on O is "virtually duplicated" by an
+//     action b' on O', with the call relationship b -> b' added, so that
+//     dependencies arising on O' are inherited along these calls back to
+//     the original object.
+//
+// The running example is the B-link split: Node6.insert eventually calls
+// Node6.rearrange on the same node (section 2).
+
+#pragma once
+
+#include <vector>
+
+#include "model/transaction_system.h"
+
+namespace oodb {
+
+/// Statistics of one extension pass.
+struct ExtensionStats {
+  size_t cycles_broken = 0;      ///< actions moved to virtual objects
+  size_t virtual_objects = 0;    ///< virtual objects created
+  size_t virtual_actions = 0;    ///< duplicate actions created
+};
+
+/// Applies the Def 5 extension to `ts` until no action has a proper
+/// call-ancestor accessing the same object. Idempotent: a second run
+/// performs no work. Returns what was done.
+class SystemExtender {
+ public:
+  /// Extends the system in place.
+  static ExtensionStats Extend(TransactionSystem* ts);
+
+  /// True iff some action has a proper call-ancestor on the same object,
+  /// i.e. the Def 5 extension still has work to do.
+  static bool NeedsExtension(const TransactionSystem& ts);
+
+  /// The offending actions (each with a proper ancestor on its object),
+  /// in id order. Useful for diagnostics and tests.
+  static std::vector<ActionId> FindCycleActions(const TransactionSystem& ts);
+};
+
+}  // namespace oodb

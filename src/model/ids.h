@@ -1,0 +1,64 @@
+// Strongly typed identifiers for objects and actions.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace oodb {
+
+/// Identifies an object of a transaction system (Def 4: objects are
+/// uniquely identified by an object identifier). Id 0 is reserved for the
+/// system object S.
+struct ObjectId {
+  uint64_t value = kInvalid;
+
+  static constexpr uint64_t kInvalid = UINT64_MAX;
+  static constexpr uint64_t kSystem = 0;
+
+  constexpr ObjectId() = default;
+  constexpr explicit ObjectId(uint64_t v) : value(v) {}
+
+  static constexpr ObjectId System() { return ObjectId(kSystem); }
+
+  bool valid() const { return value != kInvalid; }
+  bool IsSystem() const { return value == kSystem; }
+
+  friend bool operator==(ObjectId a, ObjectId b) { return a.value == b.value; }
+  friend bool operator!=(ObjectId a, ObjectId b) { return a.value != b.value; }
+  friend bool operator<(ObjectId a, ObjectId b) { return a.value < b.value; }
+};
+
+/// Identifies an action (a numbered message, Def 2) within a transaction
+/// system. Actions are arena-allocated; ids are dense indices.
+struct ActionId {
+  uint64_t value = kInvalid;
+
+  static constexpr uint64_t kInvalid = UINT64_MAX;
+
+  constexpr ActionId() = default;
+  constexpr explicit ActionId(uint64_t v) : value(v) {}
+
+  bool valid() const { return value != kInvalid; }
+
+  friend bool operator==(ActionId a, ActionId b) { return a.value == b.value; }
+  friend bool operator!=(ActionId a, ActionId b) { return a.value != b.value; }
+  friend bool operator<(ActionId a, ActionId b) { return a.value < b.value; }
+};
+
+}  // namespace oodb
+
+namespace std {
+template <>
+struct hash<oodb::ObjectId> {
+  size_t operator()(oodb::ObjectId id) const noexcept {
+    return std::hash<uint64_t>()(id.value);
+  }
+};
+template <>
+struct hash<oodb::ActionId> {
+  size_t operator()(oodb::ActionId id) const noexcept {
+    return std::hash<uint64_t>()(id.value);
+  }
+};
+}  // namespace std

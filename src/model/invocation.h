@@ -1,0 +1,32 @@
+// Invocation: a parameterized method (Def 1: a message m on an object O
+// is a parameterized method of O sent to O, denoted O.m(parameters)).
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "model/value.h"
+
+namespace oodb {
+
+/// A method name plus its parameter values. The object it is sent to is
+/// kept separately (in the action record) so invocations can be compared
+/// across (virtual) objects of the same type.
+struct Invocation {
+  std::string method;
+  ValueList params;
+
+  Invocation() = default;
+  Invocation(std::string m, ValueList p = {})
+      : method(std::move(m)), params(std::move(p)) {}
+
+  /// "method(p1, p2)".
+  std::string ToString() const { return method + oodb::ToString(params); }
+
+  friend bool operator==(const Invocation& a, const Invocation& b) {
+    return a.method == b.method && a.params == b.params;
+  }
+};
+
+}  // namespace oodb

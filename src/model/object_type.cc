@@ -1,0 +1,11 @@
+#include "model/object_type.h"
+
+namespace oodb {
+
+const ObjectType* SystemObjectType() {
+  static const ObjectType kType("System", std::make_unique<NeverCommutes>(),
+                                /*primitive=*/false);
+  return &kType;
+}
+
+}  // namespace oodb

@@ -1,0 +1,59 @@
+// ObjectType: the per-type information the DBMS needs for semantic
+// concurrency control — the method vocabulary and the commutativity
+// specification (section 2: "the implementor of an object type ... can
+// specify the semantics of the implemented object type. ... the DBMS can
+// connect the specified semantics of different object types in one
+// framework").
+
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "model/commutativity.h"
+
+namespace oodb {
+
+/// Describes one object type: its name, its methods, whether its methods
+/// are primitive (Def 3: call no other action; e.g. page reads/writes),
+/// and its commutativity specification (Def 9).
+///
+/// ObjectTypes are immutable after construction and shared by all objects
+/// of the type; pass them around as `const ObjectType*`.
+class ObjectType {
+ public:
+  /// `primitive` marks all methods of the type as primitive actions.
+  /// (The paper notes "in database systems exists a common object type
+  /// which methods call no other actions: the page".)
+  ObjectType(std::string name, std::unique_ptr<CommutativitySpec> spec,
+             bool primitive = false)
+      : name_(std::move(name)), spec_(std::move(spec)),
+        primitive_(primitive) {}
+
+  const std::string& name() const { return name_; }
+  bool primitive() const { return primitive_; }
+
+  /// The type's commutativity specification (never null).
+  const CommutativitySpec& commutativity() const { return *spec_; }
+
+  /// Def 9 on invocations of this type (ignoring the same-process rule,
+  /// which needs transaction context; see TransactionSystem::Commute).
+  bool Commutes(const Invocation& a, const Invocation& b) const {
+    return spec_->Commutes(a, b);
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<CommutativitySpec> spec_;
+  bool primitive_;
+};
+
+/// The type of the system object S (Def 4). Top-level transactions are
+/// actions on S; they have no commutativity (every pair conflicts), which
+/// makes the dependency relation at S the global serialization order of
+/// top-level transactions.
+const ObjectType* SystemObjectType();
+
+}  // namespace oodb

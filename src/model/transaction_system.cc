@@ -1,0 +1,223 @@
+#include "model/transaction_system.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace oodb {
+
+TransactionSystem::TransactionSystem() {
+  // The system object S occupies id 0 (Def 4).
+  ObjectRecord sys;
+  sys.id = ObjectId::System();
+  sys.type = SystemObjectType();
+  sys.name = "S";
+  objects_.push_back(std::move(sys));
+}
+
+ObjectId TransactionSystem::AddObject(const ObjectType* type,
+                                      std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId id(objects_.size());
+  ObjectRecord rec;
+  rec.id = id;
+  rec.type = type;
+  rec.name = std::move(name);
+  objects_.push_back(std::move(rec));
+  return id;
+}
+
+ActionId TransactionSystem::BeginTopLevel(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ActionId id(actions_.size());
+  ActionRecord rec;
+  rec.id = id;
+  rec.object = ObjectId::System();
+  rec.invocation = Invocation(name);
+  rec.top_level = id;
+  rec.label = name.empty() ? ("T" + std::to_string(top_level_.size() + 1))
+                           : name;
+  actions_.push_back(std::move(rec));
+  objects_[ObjectId::kSystem].actions.push_back(id);
+  top_level_.push_back(id);
+  return id;
+}
+
+ActionId TransactionSystem::Call(ActionId parent, ObjectId object,
+                                 Invocation invocation, bool sequential) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ActionRecord& par = actions_[parent.value];
+  ActionId id(actions_.size());
+  ActionRecord rec;
+  rec.id = id;
+  rec.object = object;
+  rec.invocation = std::move(invocation);
+  rec.parent = parent;
+  rec.process = par.process;
+  rec.top_level = par.top_level;
+  rec.label = par.label + "." + std::to_string(par.children.size() + 1);
+  if (sequential && !par.children.empty()) {
+    par.child_precedence.emplace_back(par.children.back(), id);
+  }
+  par.children.push_back(id);
+  actions_.push_back(std::move(rec));
+  objects_[object.value].actions.push_back(id);
+  return id;
+}
+
+Status TransactionSystem::AddPrecedence(ActionId before, ActionId after) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ActionRecord& b = actions_[before.value];
+  const ActionRecord& a = actions_[after.value];
+  if (!(b.parent == a.parent) || !b.parent.valid()) {
+    return Status::InvalidArgument(
+        "precedence edges must connect children of one action set");
+  }
+  actions_[b.parent.value].child_precedence.emplace_back(before, after);
+  return Status::OK();
+}
+
+void TransactionSystem::SetProcess(ActionId a, uint32_t process) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  actions_[a.value].process = process;
+}
+
+void TransactionSystem::SetTimestamp(ActionId a, uint64_t ts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  actions_[a.value].timestamp = ts;
+}
+
+uint64_t TransactionSystem::NextTimestamp() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ++next_timestamp_;
+}
+
+void TransactionSystem::MarkCompleted(ActionId a) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  actions_[a.value].completion = ++next_completion_;
+}
+
+const ObjectRecord& TransactionSystem::object(ObjectId id) const {
+  return objects_[id.value];
+}
+
+const ActionRecord& TransactionSystem::action(ActionId id) const {
+  return actions_[id.value];
+}
+
+ActionRecord& TransactionSystem::MutableAction(ActionId id) {
+  return actions_[id.value];
+}
+
+ObjectRecord& TransactionSystem::MutableObject(ObjectId id) {
+  return objects_[id.value];
+}
+
+std::vector<ObjectId> TransactionSystem::Objects() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size() - 1);
+  for (size_t i = 1; i < objects_.size(); ++i) out.push_back(ObjectId(i));
+  return out;
+}
+
+std::vector<ActionId> TransactionSystem::TransactionsOn(ObjectId o) const {
+  std::vector<ActionId> out;
+  std::unordered_set<uint64_t> seen;
+  for (ActionId a : object(o).actions) {
+    ActionId p = action(a).parent;
+    if (p.valid() && seen.insert(p.value).second) out.push_back(p);
+  }
+  return out;
+}
+
+bool TransactionSystem::CallsTransitively(ActionId anc, ActionId desc) const {
+  ActionId cur = action(desc).parent;
+  while (cur.valid()) {
+    if (cur == anc) return true;
+    cur = action(cur).parent;
+  }
+  return false;
+}
+
+bool TransactionSystem::IsPrimitive(ActionId a) const {
+  // Virtual duplicate children added by the Def 5 extension do not count
+  // as calls: they are bookkeeping, and the original must keep its
+  // primitive status so Axiom 1 still orders it.
+  const ActionRecord& rec = action(a);
+  for (ActionId c : rec.children) {
+    if (!action(c).is_virtual) return false;
+  }
+  return object(rec.object).type->primitive();
+}
+
+std::vector<ActionId> TransactionSystem::PrimitiveActionsOn(
+    ObjectId o) const {
+  std::vector<ActionId> out;
+  for (ActionId a : object(o).actions) {
+    if (IsPrimitive(a)) out.push_back(a);
+  }
+  return out;
+}
+
+bool TransactionSystem::Commute(ActionId a, ActionId b) const {
+  if (a == b) return true;
+  const ActionRecord& ra = action(a);
+  const ActionRecord& rb = action(b);
+  // Def 9: actions of the same process (of one top-level transaction)
+  // are never in conflict — their interaction is program logic, not
+  // concurrency. Ancestor/descendant pairs are same-process by
+  // construction (children inherit the process id unless respawned).
+  if (ra.top_level == rb.top_level && ra.process == rb.process) return true;
+  const ObjectType* type = object(ra.object).type;
+  return type->Commutes(ra.invocation, rb.invocation);
+}
+
+bool TransactionSystem::MustPrecede(ActionId a, ActionId b) const {
+  // Def 7: a must precede b if ancestors (or selves) of a and b are
+  // connected by the precedence relation of a common action set.
+  // Collect the ancestor chains (self first), find the lowest common
+  // parent, and test reachability in that action set's precedence edges.
+  auto chain = [this](ActionId x) {
+    std::vector<ActionId> c;
+    for (ActionId cur = x; cur.valid(); cur = action(cur).parent) {
+      c.push_back(cur);
+    }
+    return c;
+  };
+  std::vector<ActionId> ca = chain(a), cb = chain(b);
+  if (ca.back() != cb.back()) return false;  // different top-level trees
+  // Walk from the roots down to the divergence point.
+  size_t ia = ca.size(), ib = cb.size();
+  while (ia > 0 && ib > 0 && ca[ia - 1] == cb[ib - 1]) {
+    --ia;
+    --ib;
+  }
+  if (ia == 0 || ib == 0) return false;  // one is an ancestor of the other
+  ActionId branch_a = ca[ia - 1];
+  ActionId branch_b = cb[ib - 1];
+  ActionId common_parent = action(branch_a).parent;
+  // BFS over the precedence edges of the common action set.
+  const auto& edges = action(common_parent).child_precedence;
+  std::deque<ActionId> frontier{branch_a};
+  std::unordered_set<uint64_t> visited{branch_a.value};
+  while (!frontier.empty()) {
+    ActionId cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [from, to] : edges) {
+      if (from == cur && visited.insert(to.value).second) {
+        if (to == branch_b) return true;
+        frontier.push_back(to);
+      }
+    }
+  }
+  return false;
+}
+
+std::string TransactionSystem::Describe(ActionId a) const {
+  const ActionRecord& rec = action(a);
+  std::string out = object(rec.object).name + "." + rec.invocation.ToString();
+  out += " [" + rec.label + "]";
+  return out;
+}
+
+}  // namespace oodb

@@ -1,0 +1,39 @@
+#include "model/type_registry.h"
+
+namespace oodb {
+
+TypeRegistry& TypeRegistry::Global() {
+  static TypeRegistry* registry = new TypeRegistry();
+  return *registry;
+}
+
+bool TypeRegistry::Register(const ObjectType* type) {
+  if (type == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = types_.try_emplace(type->name(), type);
+  return inserted || it->second == type;
+}
+
+const ObjectType* TypeRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = types_.find(name);
+  return it == types_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> TypeRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [name, type] : types_) {
+    (void)type;
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t TypeRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return types_.size();
+}
+
+}  // namespace oodb

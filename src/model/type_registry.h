@@ -1,0 +1,45 @@
+// TypeRegistry: name -> ObjectType lookup.
+//
+// Object types carry code (commutativity specifications), so they cannot
+// be serialized; histories reference them by name (see
+// schedule/history_io.h). A registry maps those names back. The global
+// instance is populated by the container/app modules' Register*Methods
+// calls and by user code.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/object_type.h"
+
+namespace oodb {
+
+/// A thread-safe name -> type map. Registration of the same pointer
+/// under its name is idempotent; registering a *different* type under
+/// an existing name is refused (types are global constants).
+class TypeRegistry {
+ public:
+  /// The process-wide registry.
+  static TypeRegistry& Global();
+
+  /// Registers `type` under its name(). Returns false (and changes
+  /// nothing) when a different type already owns the name.
+  bool Register(const ObjectType* type);
+
+  /// Lookup by name; null when unknown.
+  const ObjectType* Find(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, const ObjectType*> types_;
+};
+
+}  // namespace oodb

@@ -1,0 +1,21 @@
+#include "model/value.h"
+
+namespace oodb {
+
+std::string Value::ToString() const {
+  if (IsNone()) return "none";
+  if (IsInt()) return std::to_string(AsInt());
+  return AsString();
+}
+
+std::string ToString(const ValueList& values) {
+  std::string out = "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace oodb

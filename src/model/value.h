@@ -1,0 +1,62 @@
+// Value: parameter and result values carried by messages (Def 1 allows
+// parameterized methods; commutativity may depend on parameters, e.g.
+// insert(DBS) vs insert(DBMS) on a B+-tree leaf commute because the keys
+// differ).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace oodb {
+
+/// A dynamically typed parameter value: monostate (none), integer, or
+/// string. Kept deliberately small; the paper's examples need keys
+/// (strings like "DBS"/"DBMS") and amounts (integers).
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t i) : v_(i) {}                       // NOLINT
+  Value(int i) : v_(static_cast<int64_t>(i)) {}     // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}        // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}      // NOLINT
+
+  bool IsNone() const { return std::holds_alternative<std::monostate>(v_); }
+  bool IsInt() const { return std::holds_alternative<int64_t>(v_); }
+  bool IsString() const { return std::holds_alternative<std::string>(v_); }
+
+  /// Value as integer; 0 when not an integer.
+  int64_t AsInt() const {
+    const int64_t* p = std::get_if<int64_t>(&v_);
+    return p ? *p : 0;
+  }
+
+  /// Value as string; empty when not a string.
+  const std::string& AsString() const {
+    static const std::string kEmpty;
+    const std::string* p = std::get_if<std::string>(&v_);
+    return p ? *p : kEmpty;
+  }
+
+  /// Renders "none", the integer, or the quoted string.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, std::string> v_;
+};
+
+using ValueList = std::vector<Value>;
+
+/// "(" v1, v2, ... ")"; "()" for empty.
+std::string ToString(const ValueList& values);
+
+}  // namespace oodb

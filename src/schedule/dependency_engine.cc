@@ -1,0 +1,169 @@
+#include "schedule/dependency_engine.h"
+
+#include <algorithm>
+
+#include "model/extension.h"
+
+namespace oodb {
+
+Status DependencyEngine::Compute() {
+  if (SystemExtender::NeedsExtension(ts_)) {
+    return Status::InvalidArgument(
+        "transaction system must be extended (Def 5) before dependency "
+        "computation; run SystemExtender::Extend first");
+  }
+  schedules_.clear();
+  schedules_.resize(ts_.object_count());
+  for (size_t i = 0; i < schedules_.size(); ++i) {
+    schedules_[i].object = ObjectId(i);
+  }
+  stats_ = DependencyStats();
+
+  ComputeConflictPairs();
+  SeedAxiom1();
+  while (PropagateOnce()) {
+    ++stats_.fixpoint_rounds;
+  }
+
+  // Count conflicting cross-transaction pairs that never acquired a
+  // direction (both actions executed, but their subtrees share no
+  // object).
+  for (const ObjectSchedule& sch : schedules_) {
+    for (const auto& [a, b] : sch.conflict_pairs) {
+      if (ts_.action(a).top_level == ts_.action(b).top_level) continue;
+      bool a_ran = ts_.IsPrimitive(a) ? ts_.action(a).timestamp != 0
+                                      : !ts_.action(a).children.empty();
+      bool b_ran = ts_.IsPrimitive(b) ? ts_.action(b).timestamp != 0
+                                      : !ts_.action(b).children.empty();
+      if (!a_ran || !b_ran) continue;
+      if (!sch.action_deps.HasEdge(a.value, b.value) &&
+          !sch.action_deps.HasEdge(b.value, a.value)) {
+        ++stats_.unordered_conflicts;
+      }
+    }
+  }
+
+  // Count inheritance that stopped because callers commute: dependent,
+  // conflicting pairs whose callers are distinct and commute at the
+  // callers' object. This is the paper's "the dependency can be
+  // neglected at the higher level" count.
+  for (const ObjectSchedule& sch : schedules_) {
+    for (const auto& [a, b] : sch.conflict_pairs) {
+      bool dep = sch.action_deps.HasEdge(a.value, b.value) ||
+                 sch.action_deps.HasEdge(b.value, a.value);
+      if (!dep) continue;
+      ActionId t = ts_.action(a).parent;
+      ActionId u = ts_.action(b).parent;
+      if (!t.valid() || !u.valid() || t == u) continue;
+      if (ts_.action(t).object == ts_.action(u).object &&
+          ts_.Commute(t, u)) {
+        ++stats_.stopped_inheritance;
+      }
+    }
+  }
+  computed_ = true;
+  return Status::OK();
+}
+
+const ObjectSchedule& DependencyEngine::ForObject(ObjectId o) const {
+  return schedules_[o.value];
+}
+
+const Digraph& DependencyEngine::TopLevelOrder() const {
+  return schedules_[ObjectId::kSystem].action_deps;
+}
+
+void DependencyEngine::ComputeConflictPairs() {
+  for (ObjectSchedule& sch : schedules_) {
+    const auto& acts = ts_.ActionsOn(sch.object);
+    for (size_t i = 0; i < acts.size(); ++i) {
+      for (size_t j = i + 1; j < acts.size(); ++j) {
+        if (!ts_.Commute(acts[i], acts[j])) {
+          sch.conflict_pairs.emplace_back(acts[i], acts[j]);
+        }
+      }
+    }
+  }
+}
+
+void DependencyEngine::SeedAxiom1() {
+  // Axiom 1: conflicting primitive actions are totally ordered — here by
+  // their execution timestamps. Pairs where a timestamp is missing (an
+  // action never executed) contribute nothing.
+  for (ObjectSchedule& sch : schedules_) {
+    for (const auto& [a, b] : sch.conflict_pairs) {
+      if (!ts_.IsPrimitive(a) || !ts_.IsPrimitive(b)) continue;
+      uint64_t ta = ts_.action(a).timestamp;
+      uint64_t tb = ts_.action(b).timestamp;
+      if (ta == 0 || tb == 0 || ta == tb) continue;
+      if (ta < tb) {
+        sch.action_deps.AddEdge(a.value, b.value);
+      } else {
+        sch.action_deps.AddEdge(b.value, a.value);
+      }
+      ++stats_.primitive_conflicts;
+    }
+  }
+}
+
+bool DependencyEngine::PropagateOnce() {
+  bool changed = false;
+
+  // Def 10: conflicting, dependent action pairs inherit their direction
+  // to the calling actions as a transaction dependency at this object.
+  for (ObjectSchedule& sch : schedules_) {
+    for (const auto& [a, b] : sch.conflict_pairs) {
+      ActionId t = ts_.action(a).parent;
+      ActionId u = ts_.action(b).parent;
+      if (!t.valid() || !u.valid() || t == u) continue;
+      if (sch.action_deps.HasEdge(a.value, b.value) &&
+          !sch.txn_deps.HasEdge(t.value, u.value)) {
+        sch.txn_deps.AddEdge(t.value, u.value);
+        ++stats_.inherited_txn_deps;
+        changed = true;
+      }
+      if (sch.action_deps.HasEdge(b.value, a.value) &&
+          !sch.txn_deps.HasEdge(u.value, t.value)) {
+        sch.txn_deps.AddEdge(u.value, t.value);
+        ++stats_.inherited_txn_deps;
+        changed = true;
+      }
+    }
+  }
+
+  // Def 11 / Def 15: a transaction dependency (t, u) recorded at any
+  // object becomes an action dependency at the object where both t and u
+  // are actions, or an added action dependency at each endpoint's object
+  // when they differ.
+  for (ObjectSchedule& sch : schedules_) {
+    for (Digraph::NodeId tn : sch.txn_deps.Nodes()) {
+      for (Digraph::NodeId un : sch.txn_deps.Successors(tn)) {
+        ObjectId ot = ts_.action(ActionId(tn)).object;
+        ObjectId ou = ts_.action(ActionId(un)).object;
+        if (ot == ou) {
+          ObjectSchedule& target = schedules_[ot.value];
+          if (!target.action_deps.HasEdge(tn, un)) {
+            target.action_deps.AddEdge(tn, un);
+            changed = true;
+          }
+        } else {
+          ObjectSchedule& st = schedules_[ot.value];
+          ObjectSchedule& su = schedules_[ou.value];
+          if (!st.added_deps.HasEdge(tn, un)) {
+            st.added_deps.AddEdge(tn, un);
+            ++stats_.added_deps;
+            changed = true;
+          }
+          if (!su.added_deps.HasEdge(tn, un)) {
+            su.added_deps.AddEdge(tn, un);
+            ++stats_.added_deps;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace oodb

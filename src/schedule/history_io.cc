@@ -1,0 +1,230 @@
+#include "schedule/history_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "model/type_registry.h"
+
+namespace oodb {
+
+namespace {
+
+constexpr const char* kHeader = "oodb-history v1";
+
+/// Percent-escapes %, space, tab, and newline so fields stay one token.
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+        c < 0x20) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out += char(c);
+    }
+  }
+  return out.empty() ? "%" : out;  // bare "%" encodes the empty string
+}
+
+Result<std::string> UnescapeField(const std::string& s) {
+  if (s == "%") return std::string();
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) {
+        return Status::InvalidArgument("truncated escape in '" + s + "'");
+      }
+      out += char(std::stoi(s.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string EncodeValue(const Value& v) {
+  if (v.IsNone()) return "n";
+  if (v.IsInt()) return "i" + std::to_string(v.AsInt());
+  return "s" + EscapeField(v.AsString());
+}
+
+Result<Value> DecodeValue(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty value token");
+  switch (s[0]) {
+    case 'n':
+      return Value();
+    case 'i':
+      return Value(int64_t(std::stoll(s.substr(1))));
+    case 's': {
+      auto r = UnescapeField(s.substr(1));
+      if (!r.ok()) return r.status();
+      return Value(*r);
+    }
+    default:
+      return Status::InvalidArgument("bad value token '" + s + "'");
+  }
+}
+
+}  // namespace
+
+Result<std::string> HistoryIo::Dump(const TransactionSystem& ts) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  for (ObjectId o : ts.Objects()) {
+    const ObjectRecord& rec = ts.object(o);
+    if (rec.is_virtual) {
+      return Status::InvalidArgument(
+          "cannot dump an extended system (virtual object " + rec.name +
+          "); dump before running SystemExtender");
+    }
+    out << "object " << o.value << " " << EscapeField(rec.type->name())
+        << " " << EscapeField(rec.name) << "\n";
+  }
+  for (uint64_t i = 0; i < ts.action_count(); ++i) {
+    const ActionRecord& rec = ts.action(ActionId(i));
+    if (rec.is_virtual) {
+      return Status::InvalidArgument(
+          "cannot dump an extended system (virtual action)");
+    }
+    out << "action " << i << " " << rec.object.value << " ";
+    if (rec.parent.valid()) {
+      out << rec.parent.value;
+    } else {
+      out << "-";
+    }
+    out << " " << rec.process << " " << rec.timestamp << " "
+        << rec.completion << " " << EscapeField(rec.invocation.method)
+        << " " << rec.invocation.params.size();
+    for (const Value& v : rec.invocation.params) {
+      out << " " << EncodeValue(v);
+    }
+    out << " " << EscapeField(rec.label) << "\n";
+  }
+  for (uint64_t i = 0; i < ts.action_count(); ++i) {
+    const ActionRecord& rec = ts.action(ActionId(i));
+    for (const auto& [before, after] : rec.child_precedence) {
+      out << "prec " << before.value << " " << after.value << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<std::unique_ptr<TransactionSystem>> HistoryIo::Load(
+    const std::string& text, const TypeResolver& resolver) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing '" + std::string(kHeader) +
+                                   "' header");
+  }
+  auto ts = std::make_unique<TransactionSystem>();
+  struct PendingCompletion {
+    ActionId action;
+    uint64_t completion;
+  };
+  std::vector<PendingCompletion> completions;
+
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + why);
+    };
+    if (kind == "object") {
+      uint64_t id;
+      std::string type_token, name_token;
+      if (!(fields >> id >> type_token >> name_token)) {
+        return fail("malformed object line");
+      }
+      auto type_name = UnescapeField(type_token);
+      auto name = UnescapeField(name_token);
+      if (!type_name.ok()) return type_name.status();
+      if (!name.ok()) return name.status();
+      const ObjectType* type = resolver(*type_name);
+      if (type == nullptr) {
+        return fail("unknown object type '" + *type_name + "'");
+      }
+      ObjectId assigned = ts->AddObject(type, *name);
+      if (assigned.value != id) {
+        return fail("object id mismatch: expected " + std::to_string(id) +
+                    ", got " + std::to_string(assigned.value));
+      }
+    } else if (kind == "action") {
+      uint64_t id, object, process, timestamp, completion;
+      std::string parent_token, method_token, label_token;
+      size_t nparams;
+      if (!(fields >> id >> object >> parent_token >> process >>
+            timestamp >> completion >> method_token >> nparams)) {
+        return fail("malformed action line");
+      }
+      auto method = UnescapeField(method_token);
+      if (!method.ok()) return method.status();
+      ValueList params;
+      for (size_t p = 0; p < nparams; ++p) {
+        std::string token;
+        if (!(fields >> token)) return fail("missing parameter");
+        auto v = DecodeValue(token);
+        if (!v.ok()) return v.status();
+        params.push_back(*v);
+      }
+      if (!(fields >> label_token)) return fail("missing label");
+
+      ActionId assigned;
+      if (parent_token == "-") {
+        assigned = ts->BeginTopLevel(*method);
+      } else {
+        ActionId parent(std::stoull(parent_token));
+        if (parent.value >= ts->action_count()) {
+          return fail("parent references a later action");
+        }
+        assigned = ts->Call(parent, ObjectId(object),
+                            Invocation(*method, std::move(params)),
+                            /*sequential=*/false);
+      }
+      if (assigned.value != id) {
+        return fail("action id mismatch: expected " + std::to_string(id));
+      }
+      ts->SetProcess(assigned, uint32_t(process));
+      if (timestamp != 0) ts->SetTimestamp(assigned, timestamp);
+      if (completion != 0) completions.push_back({assigned, completion});
+    } else if (kind == "prec") {
+      uint64_t before, after;
+      if (!(fields >> before >> after)) return fail("malformed prec line");
+      Status st = ts->AddPrecedence(ActionId(before), ActionId(after));
+      if (!st.ok()) return fail(st.ToString());
+    } else {
+      return fail("unknown record kind '" + kind + "'");
+    }
+  }
+
+  // Replay completions in their original order so the relative sequence
+  // is preserved (absolute values are reassigned monotonically).
+  std::sort(completions.begin(), completions.end(),
+            [](const PendingCompletion& a, const PendingCompletion& b) {
+              return a.completion < b.completion;
+            });
+  for (const PendingCompletion& c : completions) {
+    ts->MarkCompleted(c.action);
+  }
+  return ts;
+}
+
+Result<std::unique_ptr<TransactionSystem>> HistoryIo::LoadWithGlobalTypes(
+    const std::string& text) {
+  return Load(text, [](const std::string& name) {
+    return TypeRegistry::Global().Find(name);
+  });
+}
+
+}  // namespace oodb

@@ -1,0 +1,46 @@
+// HistoryIo: text serialization of recorded executions.
+//
+// A Database records every execution as a TransactionSystem; dumping it
+// lets histories travel — into golden files, bug reports, or the
+// validate_history example, which re-checks a dumped run offline.
+//
+// The format is line-based ("oodb-history v1"); object types are
+// referenced by name, so loading needs a resolver from type names to
+// ObjectType instances (types carry code — commutativity — that cannot
+// be serialized). Only unextended systems are dumped: run the Def 5
+// extension after loading, as the validator does anyway.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "model/transaction_system.h"
+#include "util/result.h"
+
+namespace oodb {
+
+/// Maps a type name ("Page", "Leaf", ...) to its ObjectType; returns
+/// null for unknown names (which fails the load).
+using TypeResolver = std::function<const ObjectType*(const std::string&)>;
+
+class HistoryIo {
+ public:
+  /// Serializes `ts`. Fails on systems containing virtual objects
+  /// (dump before extension; the extension is deterministic anyway).
+  static Result<std::string> Dump(const TransactionSystem& ts);
+
+  /// Parses a dump. Ids are reassigned densely in the original order,
+  /// so they match the dumped ids.
+  static Result<std::unique_ptr<TransactionSystem>> Load(
+      const std::string& text, const TypeResolver& resolver);
+
+  /// Load resolving type names through TypeRegistry::Global() (the
+  /// container/app modules register their types when their
+  /// Register*Methods functions run).
+  static Result<std::unique_ptr<TransactionSystem>> LoadWithGlobalTypes(
+      const std::string& text);
+};
+
+}  // namespace oodb

@@ -1,0 +1,132 @@
+#include "schedule/multilayer.h"
+
+#include <algorithm>
+
+#include "model/extension.h"
+
+namespace oodb {
+
+namespace {
+
+/// Heights of all actions: a childless action has height 0; otherwise
+/// 1 + max over children. Virtual duplicates are ignored (they only
+/// exist post-extension, and extended systems are not layered anyway).
+std::vector<size_t> ActionHeights(const TransactionSystem& ts) {
+  std::vector<size_t> height(ts.action_count(), 0);
+  // Children always have larger ids than parents: one reverse pass.
+  for (uint64_t i = ts.action_count(); i-- > 0;) {
+    const ActionRecord& rec = ts.action(ActionId(i));
+    size_t h = 0;
+    for (ActionId c : rec.children) {
+      if (ts.action(c).is_virtual) continue;
+      h = std::max(h, height[c.value] + 1);
+    }
+    height[i] = h;
+  }
+  return height;
+}
+
+}  // namespace
+
+Result<LayerAssignment> MultiLayerChecker::InferLayers(
+    const TransactionSystem& ts) {
+  std::vector<size_t> height = ActionHeights(ts);
+  LayerAssignment assignment;
+
+  // Every object's actions must share one height (= the object's layer).
+  for (ObjectId o : ts.Objects()) {
+    const ObjectRecord& rec = ts.object(o);
+    if (rec.is_virtual) {
+      return Status::InvalidArgument(
+          "system contains virtual objects (post-extension systems are "
+          "not layered)");
+    }
+    bool first = true;
+    size_t layer = 0;
+    for (ActionId a : rec.actions) {
+      if (ts.action(a).is_virtual) continue;
+      size_t h = height[a.value];
+      if (first) {
+        layer = h;
+        first = false;
+      } else if (h != layer) {
+        return Status::InvalidArgument(
+            "object " + rec.name + " is reached at different depths (" +
+            std::to_string(layer) + " vs " + std::to_string(h) +
+            "): not layered");
+      }
+    }
+    if (first) continue;  // object never accessed; layer irrelevant
+    assignment.object_layer[o.value] = layer;
+    assignment.num_layers = std::max(assignment.num_layers, layer + 1);
+  }
+
+  // Every call must descend exactly one layer, and top-level
+  // transactions must sit uniformly above the top layer.
+  for (uint64_t i = 0; i < ts.action_count(); ++i) {
+    const ActionRecord& rec = ts.action(ActionId(i));
+    if (rec.is_virtual) continue;
+    for (ActionId c : rec.children) {
+      if (ts.action(c).is_virtual) continue;
+      if (height[i] != height[c.value] + 1) {
+        return Status::InvalidArgument(
+            "call from " + ts.Describe(ActionId(i)) + " to " +
+            ts.Describe(c) + " skips layers: not layered");
+      }
+    }
+    if (!rec.parent.valid() && !rec.children.empty() &&
+        height[i] != assignment.num_layers) {
+      return Status::InvalidArgument(
+          "top-level transaction " + rec.label +
+          " does not sit directly above the object layers: not layered");
+    }
+  }
+  return assignment;
+}
+
+MultiLayerResult MultiLayerChecker::Check(const TransactionSystem& ts) {
+  MultiLayerResult result;
+  if (SystemExtender::NeedsExtension(ts)) {
+    result.not_layered_reason =
+        "a transaction calls an action on an object it already accessed "
+        "(the Def 5 situation): not layered";
+    return result;
+  }
+  Result<LayerAssignment> layers = InferLayers(ts);
+  if (!layers.ok()) {
+    result.not_layered_reason = layers.status().message();
+    return result;
+  }
+  result.layered = true;
+  result.layers = *layers;
+
+  DependencyEngine engine(ts);
+  Status st = engine.Compute();
+  if (!st.ok()) {
+    result.not_layered_reason = st.ToString();
+    result.layered = false;
+    return result;
+  }
+
+  // Level L's conflict graph (over layer-(L+1) operations) is the union
+  // of the transaction dependency relations of all layer-L objects.
+  result.level_graphs.resize(result.layers.num_layers);
+  for (ObjectId o : ts.Objects()) {
+    auto it = result.layers.object_layer.find(o.value);
+    if (it == result.layers.object_layer.end()) continue;
+    result.level_graphs[it->second].UnionWith(
+        engine.ForObject(o).txn_deps);
+  }
+
+  result.serializable = true;
+  for (size_t level = 0; level < result.level_graphs.size(); ++level) {
+    if (result.level_graphs[level].HasCycle()) {
+      result.serializable = false;
+      result.failing_level = level;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace oodb

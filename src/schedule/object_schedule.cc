@@ -1,0 +1,20 @@
+#include "schedule/object_schedule.h"
+
+#include "model/transaction_system.h"
+
+namespace oodb {
+
+std::string ObjectSchedule::ToString(const TransactionSystem& ts) const {
+  auto fmt = [&ts](Digraph::NodeId n) {
+    return ts.Describe(ActionId(n));
+  };
+  std::string out = ts.object(object).name + ":\n";
+  out += "  action deps: " + action_deps.ToString(fmt) + "\n";
+  out += "  txn deps:    " + txn_deps.ToString(fmt) + "\n";
+  if (added_deps.EdgeCount() > 0) {
+    out += "  added deps:  " + added_deps.ToString(fmt) + "\n";
+  }
+  return out;
+}
+
+}  // namespace oodb

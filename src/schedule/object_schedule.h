@@ -1,0 +1,58 @@
+// ObjectSchedule: the per-object view of an interleaved execution
+// (Def 6): "an object schedule consists of a system, an object, an action
+// dependency relation, and a transaction dependency relation."
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/ids.h"
+#include "util/digraph.h"
+
+namespace oodb {
+
+class TransactionSystem;
+
+/// The computed schedule of one object. Relations are directed graphs
+/// whose nodes are ActionId values:
+///   * `action_deps`  — the action dependency relation over ACT_O
+///     (Def 11: Axiom 1 base case plus dependencies inherited from
+///     transaction dependencies established at other objects),
+///   * `txn_deps`     — the transaction dependency relation over TRA_O
+///     (Def 10: inherited from conflicting, dependent action pairs),
+///   * `added_deps`   — the added action dependency relation (Def 15):
+///     transaction dependencies recorded elsewhere whose endpoints do not
+///     both live on this object; recorded redundantly at both endpoint
+///     objects.
+struct ObjectSchedule {
+  ObjectId object;
+  Digraph action_deps;
+  Digraph txn_deps;
+  Digraph added_deps;
+
+  /// Conflicting pairs of actions on this object (unordered, each pair
+  /// once), per Def 9 including the same-process rule.
+  std::vector<std::pair<ActionId, ActionId>> conflict_pairs;
+
+  /// Def 13: (i) the transaction dependency relation admits a serial
+  /// object schedule with the same dependencies — i.e. it is acyclic —
+  /// and (ii) the action dependency relation is acyclic (no contradicting
+  /// inherited dependencies).
+  bool IsOoSerializable() const {
+    return !txn_deps.HasCycle() && !action_deps.HasCycle();
+  }
+
+  /// Def 16(ii): the action dependencies together with the added action
+  /// dependencies contain no contradiction.
+  bool AddedAcyclic() const {
+    Digraph combined = action_deps;
+    combined.UnionWith(added_deps);
+    return !combined.HasCycle();
+  }
+
+  /// Renders the dependency relations like the table of Fig 8.
+  std::string ToString(const TransactionSystem& ts) const;
+};
+
+}  // namespace oodb

@@ -1,0 +1,154 @@
+#include "schedule/validator.h"
+
+#include <sstream>
+
+#include "model/extension.h"
+
+namespace oodb {
+
+namespace {
+
+std::string RenderCycle(const TransactionSystem& ts,
+                        const std::vector<Digraph::NodeId>& cycle) {
+  std::string out;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += ts.Describe(ActionId(cycle[i]));
+  }
+  return out;
+}
+
+void CheckConformance(const TransactionSystem& ts, ValidationReport* report) {
+  // Def 7: the execution must respect the (inherited) precedence
+  // relation. For every pair of executed primitive actions of one
+  // top-level transaction: MustPrecede(a, b) => timestamp(a) < t(b).
+  std::unordered_map<uint64_t, std::vector<ActionId>> prims_by_top;
+  for (ObjectId o : ts.Objects()) {
+    for (ActionId a : ts.ActionsOn(o)) {
+      if (ts.action(a).is_virtual) continue;
+      if (!ts.IsPrimitive(a) || ts.action(a).timestamp == 0) continue;
+      prims_by_top[ts.action(a).top_level.value].push_back(a);
+    }
+  }
+  for (const auto& [top, prims] : prims_by_top) {
+    (void)top;
+    for (size_t i = 0; i < prims.size(); ++i) {
+      for (size_t j = 0; j < prims.size(); ++j) {
+        if (i == j) continue;
+        if (ts.MustPrecede(prims[i], prims[j]) &&
+            ts.action(prims[i]).timestamp > ts.action(prims[j]).timestamp) {
+          report->conform = false;
+          report->diagnostics.push_back(
+              "conformance violation: " + ts.Describe(prims[i]) +
+              " must precede " + ts.Describe(prims[j]) +
+              " but executed after it");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string ValidationReport::Summary() const {
+  std::ostringstream os;
+  os << "oo-serializable=" << (oo_serializable ? "yes" : "no")
+     << " conventional=" << (conventionally_serializable ? "yes" : "no")
+     << " conform=" << (conform ? "yes" : "no")
+     << " | prim-conflicts=" << stats.primitive_conflicts
+     << " inherited=" << stats.inherited_txn_deps
+     << " stopped=" << stats.stopped_inheritance
+     << " added=" << stats.added_deps
+     << " unordered=" << stats.unordered_conflicts;
+  if (!diagnostics.empty()) {
+    os << "\n";
+    for (const std::string& d : diagnostics) os << "  ! " << d << "\n";
+  }
+  return os.str();
+}
+
+ValidationReport Validator::Validate(TransactionSystem* ts,
+                                     const ValidationOptions& options) {
+  ValidationReport report;
+
+  if (options.apply_extension) {
+    report.extension = SystemExtender::Extend(ts);
+  }
+
+  DependencyEngine engine(*ts);
+  Status st = engine.Compute();
+  if (!st.ok()) {
+    report.oo_serializable = false;
+    report.diagnostics.push_back(st.ToString());
+    return report;
+  }
+  report.stats = engine.stats();
+
+  // Per-object Def 13 and Def 16(ii).
+  bool all_ok = true;
+  for (const ObjectSchedule& sch : engine.schedules()) {
+    if (auto cycle = sch.txn_deps.FindCycle()) {
+      all_ok = false;
+      report.diagnostics.push_back(
+          "object " + ts->object(sch.object).name +
+          ": transaction dependency cycle (Def 13 i): " +
+          RenderCycle(*ts, *cycle));
+    }
+    if (auto cycle = sch.action_deps.FindCycle()) {
+      all_ok = false;
+      report.diagnostics.push_back(
+          "object " + ts->object(sch.object).name +
+          ": contradicting action dependencies (Def 13 ii): " +
+          RenderCycle(*ts, *cycle));
+    }
+    if (!sch.AddedAcyclic()) {
+      all_ok = false;
+      Digraph combined = sch.action_deps;
+      combined.UnionWith(sch.added_deps);
+      report.diagnostics.push_back(
+          "object " + ts->object(sch.object).name +
+          ": added-dependency contradiction (Def 16 ii): " +
+          RenderCycle(*ts, *combined.FindCycle()));
+    }
+  }
+  report.oo_serializable = all_ok;
+
+  if (options.check_global) {
+    Digraph global;
+    for (const ObjectSchedule& sch : engine.schedules()) {
+      global.UnionWith(sch.action_deps);
+      global.UnionWith(sch.added_deps);
+    }
+    report.globally_acyclic = !global.HasCycle();
+    if (!report.globally_acyclic && all_ok) {
+      report.diagnostics.push_back(
+          "global dependency cycle spanning 3+ objects (stronger-than-"
+          "Def-16 check): " +
+          RenderCycle(*ts, *global.FindCycle()));
+    }
+  }
+
+  if (options.check_conformance) {
+    CheckConformance(*ts, &report);
+  }
+
+  if (options.check_conventional) {
+    report.conventional = ConventionalChecker::Check(*ts);
+    report.conventionally_serializable = report.conventional.serializable;
+  }
+
+  if (report.oo_serializable) {
+    Digraph order;
+    for (ActionId t : ts->TopLevel()) order.AddNode(t.value);
+    order.UnionWith(engine.TopLevelOrder());
+    if (auto topo = order.TopologicalOrder()) {
+      report.serialization_order.reserve(topo->size());
+      for (Digraph::NodeId n : *topo) {
+        report.serialization_order.push_back(ActionId(n));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace oodb

@@ -1,0 +1,54 @@
+#include "storage/page.h"
+
+namespace oodb {
+
+Result<std::string> PageState::Read(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("key '" + key + "' not on page");
+  }
+  return it->second;
+}
+
+Status PageState::Write(const std::string& key, std::string value) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = std::move(value);
+    return Status::OK();
+  }
+  if (Full()) {
+    return Status::Capacity("page full (" + std::to_string(capacity_) +
+                            " entries)");
+  }
+  entries_.emplace(key, std::move(value));
+  return Status::OK();
+}
+
+Status PageState::Erase(const std::string& key) {
+  if (entries_.erase(key) == 0) {
+    return Status::NotFound("key '" + key + "' not on page");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> PageState::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) {
+    (void)v;
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+std::map<std::string, std::string> PageState::SplitUpperHalf() {
+  std::map<std::string, std::string> upper;
+  size_t half = entries_.size() / 2;
+  auto it = entries_.begin();
+  std::advance(it, half);
+  upper.insert(it, entries_.end());
+  entries_.erase(it, entries_.end());
+  return upper;
+}
+
+}  // namespace oodb

@@ -1,0 +1,61 @@
+// PageState: the zero layer. "In database systems exists a common object
+// type which methods call no other actions: the page."
+//
+// A page is a fixed-capacity key/value container. Its methods (read,
+// write, erase, scan) are primitive actions: they call nothing, execute
+// atomically under the object latch, and get an Axiom 1 timestamp. The
+// page commutativity is the classical one — only read/read commutes —
+// which is exactly why the paper's leaf-level semantics win concurrency.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cc/object_state.h"
+#include "util/result.h"
+
+namespace oodb {
+
+/// In-memory slotted page holding up to `capacity` key/value entries.
+class PageState : public ObjectState {
+ public:
+  explicit PageState(size_t capacity = 128) : capacity_(capacity) {}
+
+  /// Value stored under `key`, or NotFound.
+  Result<std::string> Read(const std::string& key) const;
+
+  /// Inserts or overwrites. Capacity error when the page is full and the
+  /// key is new.
+  Status Write(const std::string& key, std::string value);
+
+  /// Removes `key`; NotFound when absent.
+  Status Erase(const std::string& key);
+
+  bool Contains(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool Full() const { return entries_.size() >= capacity_; }
+
+  /// All keys in order.
+  std::vector<std::string> Keys() const;
+
+  /// All entries in key order (for scans and splits).
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+  /// Removes and returns the upper half of the entries (for splits).
+  std::map<std::string, std::string> SplitUpperHalf();
+
+ private:
+  std::map<std::string, std::string> entries_;
+  size_t capacity_;
+};
+
+}  // namespace oodb

@@ -1,0 +1,257 @@
+#include "util/digraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace oodb {
+
+namespace {
+const std::unordered_set<Digraph::NodeId>& EmptySet() {
+  static const std::unordered_set<Digraph::NodeId> kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+void Digraph::AddNode(NodeId n) {
+  auto [it, inserted] = adjacency_.try_emplace(n);
+  if (inserted) node_order_.push_back(n);
+}
+
+void Digraph::AddEdge(NodeId from, NodeId to) {
+  AddNode(from);
+  AddNode(to);
+  if (adjacency_[from].insert(to).second) ++edge_count_;
+}
+
+bool Digraph::HasNode(NodeId n) const { return adjacency_.count(n) > 0; }
+
+bool Digraph::HasEdge(NodeId from, NodeId to) const {
+  auto it = adjacency_.find(from);
+  return it != adjacency_.end() && it->second.count(to) > 0;
+}
+
+const std::unordered_set<Digraph::NodeId>& Digraph::Successors(
+    NodeId n) const {
+  auto it = adjacency_.find(n);
+  return it == adjacency_.end() ? EmptySet() : it->second;
+}
+
+bool Digraph::HasCycle() const { return FindCycle().has_value(); }
+
+std::optional<std::vector<Digraph::NodeId>> Digraph::FindCycle() const {
+  // Iterative DFS with colors; reconstructs the cycle from the DFS stack.
+  enum Color : uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<NodeId, Color> color;
+  color.reserve(adjacency_.size());
+  for (NodeId n : node_order_) color[n] = kWhite;
+
+  struct Frame {
+    NodeId node;
+    std::unordered_set<NodeId>::const_iterator next;
+  };
+
+  for (NodeId start : node_order_) {
+    if (color[start] != kWhite) continue;
+    std::vector<Frame> stack;
+    std::vector<NodeId> path;
+    color[start] = kGray;
+    stack.push_back({start, Successors(start).begin()});
+    path.push_back(start);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& succ = Successors(f.node);
+      if (f.next == succ.end()) {
+        color[f.node] = kBlack;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      NodeId child = *f.next;
+      ++f.next;
+      if (color[child] == kGray) {
+        // Found a back edge; slice the path from child to the top.
+        std::vector<NodeId> cycle;
+        auto it = std::find(path.begin(), path.end(), child);
+        cycle.assign(it, path.end());
+        cycle.push_back(child);
+        return cycle;
+      }
+      if (color[child] == kWhite) {
+        color[child] = kGray;
+        stack.push_back({child, Successors(child).begin()});
+        path.push_back(child);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<Digraph::NodeId>> Digraph::TopologicalOrder()
+    const {
+  // Kahn's algorithm; preserves insertion order among ready nodes so the
+  // result is deterministic.
+  std::unordered_map<NodeId, size_t> in_degree;
+  for (NodeId n : node_order_) in_degree[n] = 0;
+  for (const auto& [n, succ] : adjacency_) {
+    (void)n;
+    for (NodeId s : succ) ++in_degree[s];
+  }
+  std::deque<NodeId> ready;
+  for (NodeId n : node_order_) {
+    if (in_degree[n] == 0) ready.push_back(n);
+  }
+  std::vector<NodeId> order;
+  order.reserve(node_order_.size());
+  while (!ready.empty()) {
+    NodeId n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (NodeId s : Successors(n)) {
+      if (--in_degree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != node_order_.size()) return std::nullopt;
+  return order;
+}
+
+bool Digraph::Reaches(NodeId from, NodeId to) const {
+  std::unordered_set<NodeId> visited;
+  std::deque<NodeId> frontier;
+  for (NodeId s : Successors(from)) {
+    if (visited.insert(s).second) frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop_front();
+    if (n == to) return true;
+    for (NodeId s : Successors(n)) {
+      if (visited.insert(s).second) frontier.push_back(s);
+    }
+  }
+  return false;
+}
+
+std::unordered_set<Digraph::NodeId> Digraph::ReachableFrom(
+    NodeId from) const {
+  std::unordered_set<NodeId> visited;
+  std::deque<NodeId> frontier;
+  for (NodeId s : Successors(from)) {
+    if (visited.insert(s).second) frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop_front();
+    for (NodeId s : Successors(n)) {
+      if (visited.insert(s).second) frontier.push_back(s);
+    }
+  }
+  return visited;
+}
+
+Digraph Digraph::TransitiveClosure() const {
+  Digraph closure;
+  for (NodeId n : node_order_) {
+    closure.AddNode(n);
+    for (NodeId r : ReachableFrom(n)) closure.AddEdge(n, r);
+  }
+  return closure;
+}
+
+void Digraph::UnionWith(const Digraph& other) {
+  for (NodeId n : other.node_order_) AddNode(n);
+  for (const auto& [n, succ] : other.adjacency_) {
+    for (NodeId s : succ) AddEdge(n, s);
+  }
+}
+
+std::vector<std::vector<Digraph::NodeId>>
+Digraph::StronglyConnectedComponents() const {
+  // Iterative Tarjan.
+  struct NodeState {
+    uint32_t index = 0;
+    uint32_t lowlink = 0;
+    bool on_stack = false;
+    bool visited = false;
+  };
+  std::unordered_map<NodeId, NodeState> state;
+  state.reserve(adjacency_.size());
+  std::vector<NodeId> scc_stack;
+  std::vector<std::vector<NodeId>> components;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    NodeId node;
+    std::unordered_set<NodeId>::const_iterator next;
+  };
+
+  for (NodeId root : node_order_) {
+    if (state[root].visited) continue;
+    std::vector<Frame> stack;
+    auto push = [&](NodeId n) {
+      NodeState& st = state[n];
+      st.visited = true;
+      st.index = st.lowlink = next_index++;
+      st.on_stack = true;
+      scc_stack.push_back(n);
+      stack.push_back({n, Successors(n).begin()});
+    };
+    push(root);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& succ = Successors(f.node);
+      if (f.next != succ.end()) {
+        NodeId child = *f.next;
+        ++f.next;
+        if (!state[child].visited) {
+          push(child);
+        } else if (state[child].on_stack) {
+          state[f.node].lowlink =
+              std::min(state[f.node].lowlink, state[child].index);
+        }
+        continue;
+      }
+      // Finished f.node.
+      NodeState& st = state[f.node];
+      if (st.lowlink == st.index) {
+        std::vector<NodeId> component;
+        NodeId member;
+        do {
+          member = scc_stack.back();
+          scc_stack.pop_back();
+          state[member].on_stack = false;
+          component.push_back(member);
+        } while (member != f.node);
+        components.push_back(std::move(component));
+      }
+      NodeId done = f.node;
+      stack.pop_back();
+      if (!stack.empty()) {
+        state[stack.back().node].lowlink =
+            std::min(state[stack.back().node].lowlink, state[done].lowlink);
+      }
+    }
+  }
+  return components;
+}
+
+std::string Digraph::ToString(
+    const std::function<std::string(NodeId)>& fmt) const {
+  auto name = [&](NodeId n) {
+    return fmt ? fmt(n) : std::to_string(n);
+  };
+  std::string out;
+  bool first = true;
+  for (NodeId n : node_order_) {
+    // Deterministic edge order for readable output.
+    std::vector<NodeId> succ(Successors(n).begin(), Successors(n).end());
+    std::sort(succ.begin(), succ.end());
+    for (NodeId s : succ) {
+      if (!first) out += ", ";
+      first = false;
+      out += name(n) + "->" + name(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace oodb

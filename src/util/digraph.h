@@ -1,0 +1,84 @@
+// Digraph: a small directed-graph toolkit.
+//
+// The serializability machinery of the paper reduces to relations over
+// actions and transactions: dependency relations are edge sets, acyclicity
+// is Def 13(ii)/Def 16(ii), equivalence to a serial schedule is the
+// existence of a topological order, and dependency inheritance uses
+// reachability. Digraph supplies exactly those primitives.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace oodb {
+
+/// A directed graph over dense uint64 node identifiers.
+///
+/// Nodes exist implicitly once mentioned by AddNode/AddEdge. Parallel
+/// edges collapse (the graph stores a relation, not a multigraph).
+class Digraph {
+ public:
+  using NodeId = uint64_t;
+
+  /// Ensures `n` exists (isolated nodes matter for topological orders).
+  void AddNode(NodeId n);
+
+  /// Adds the edge `from -> to` (and both endpoints). Self-loops allowed;
+  /// a self-loop makes the graph cyclic.
+  void AddEdge(NodeId from, NodeId to);
+
+  bool HasNode(NodeId n) const;
+  bool HasEdge(NodeId from, NodeId to) const;
+
+  size_t NodeCount() const { return adjacency_.size(); }
+  size_t EdgeCount() const { return edge_count_; }
+
+  /// Successors of `n` (empty if unknown node).
+  const std::unordered_set<NodeId>& Successors(NodeId n) const;
+
+  /// All nodes, in insertion order.
+  const std::vector<NodeId>& Nodes() const { return node_order_; }
+
+  /// True iff the graph contains a directed cycle.
+  bool HasCycle() const;
+
+  /// Returns one directed cycle as a node sequence (first == last), or
+  /// nullopt when acyclic. Useful for diagnostics.
+  std::optional<std::vector<NodeId>> FindCycle() const;
+
+  /// A topological order of all nodes, or nullopt when cyclic.
+  std::optional<std::vector<NodeId>> TopologicalOrder() const;
+
+  /// True iff `to` is reachable from `from` via >= 1 edge.
+  bool Reaches(NodeId from, NodeId to) const;
+
+  /// All nodes reachable from `from` via >= 1 edge.
+  std::unordered_set<NodeId> ReachableFrom(NodeId from) const;
+
+  /// The transitive closure as a new graph (edge a->b iff Reaches(a,b)).
+  Digraph TransitiveClosure() const;
+
+  /// Merges all edges (and nodes) of `other` into this graph.
+  void UnionWith(const Digraph& other);
+
+  /// Strongly connected components (Tarjan), each a list of nodes.
+  /// Components are returned in reverse topological order.
+  std::vector<std::vector<NodeId>> StronglyConnectedComponents() const;
+
+  /// Renders "a->b, c->d, ..." with a node formatter, for diagnostics.
+  std::string ToString(
+      const std::function<std::string(NodeId)>& fmt = nullptr) const;
+
+ private:
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> adjacency_;
+  std::vector<NodeId> node_order_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace oodb

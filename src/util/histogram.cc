@@ -1,0 +1,73 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace oodb {
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value < 4) return static_cast<size_t>(value);
+  // Octave = position of the highest set bit; 4 linear sub-buckets each.
+  int octave = 63 - std::countl_zero(value);
+  uint64_t base = uint64_t{1} << octave;
+  uint64_t sub = (value - base) / ((base + 3) / 4);
+  size_t idx = static_cast<size_t>(octave) * 4 + static_cast<size_t>(sub);
+  return std::min(idx, kBucketCount - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket < 4) return bucket;
+  size_t octave = bucket / 4;
+  size_t sub = bucket % 4;
+  uint64_t base = uint64_t{1} << octave;
+  return base + (base / 4) * (sub + 1);
+}
+
+void Histogram::Add(uint64_t value) {
+  ++buckets_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : double(sum_) / double(count_);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * double(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Quantile(0.50)),
+                static_cast<unsigned long long>(Quantile(0.95)),
+                static_cast<unsigned long long>(Quantile(0.99)),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace oodb

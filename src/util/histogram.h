@@ -1,0 +1,59 @@
+// Histogram and counter types for the benchmark harness.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oodb {
+
+/// A fixed-layout log-bucketed histogram of nonnegative values
+/// (typically latencies in nanoseconds). Thread-compatible; use one per
+/// thread and Merge for cross-thread aggregation.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Approximate quantile (q in [0,1]) from bucket boundaries.
+  uint64_t Quantile(double q) const;
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..."
+  std::string Summary() const;
+
+ private:
+  static constexpr size_t kBucketCount = 64 * 4;  // 4 sub-buckets per octave
+  static size_t BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+/// A set of named monotonic counters shared across worker threads.
+struct RunCounters {
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> deadlocks{0};
+  std::atomic<uint64_t> conflicts{0};     ///< lock waits observed
+  std::atomic<uint64_t> operations{0};    ///< leaf-level operations executed
+  std::atomic<uint64_t> retries{0};
+
+  void Reset() {
+    committed = aborted = deadlocks = conflicts = operations = retries = 0;
+  }
+};
+
+}  // namespace oodb

@@ -1,0 +1,36 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace oodb {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kError)};
+std::mutex g_mutex;
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+void LogLine(LogLevel level, const std::string& message) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kError:
+      tag = "E";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kNone:
+      return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+}
+
+}  // namespace oodb

@@ -1,0 +1,36 @@
+// Minimal leveled logging. Off by default; benchmarks and examples can
+// raise the level. Thread-safe via a single mutex (logging is not on any
+// hot path when disabled).
+
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace oodb {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log level; default kError.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Writes one line to stderr with a level tag. Prefer the macros below.
+void LogLine(LogLevel level, const std::string& message);
+
+}  // namespace oodb
+
+#define OODB_LOG(level, expr)                                      \
+  do {                                                             \
+    if (static_cast<int>(::oodb::GetLogLevel()) >=                 \
+        static_cast<int>(level)) {                                 \
+      std::ostringstream _oss;                                     \
+      _oss << expr;                                                \
+      ::oodb::LogLine(level, _oss.str());                          \
+    }                                                              \
+  } while (0)
+
+#define OODB_ERROR(expr) OODB_LOG(::oodb::LogLevel::kError, expr)
+#define OODB_INFO(expr) OODB_LOG(::oodb::LogLevel::kInfo, expr)
+#define OODB_DEBUG(expr) OODB_LOG(::oodb::LogLevel::kDebug, expr)

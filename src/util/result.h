@@ -1,0 +1,70 @@
+// Result<T>: a value-or-Status type (the StatusOr idiom).
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace oodb {
+
+/// Holds either a T or a non-OK Status.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) status_ = Status::Internal("OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+/// Propagates the error of a Result expression, else binds its value.
+#define OODB_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto OODB_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!OODB_CONCAT_(_res_, __LINE__).ok())        \
+    return OODB_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(OODB_CONCAT_(_res_, __LINE__)).value()
+
+#define OODB_CONCAT_INNER_(a, b) a##b
+#define OODB_CONCAT_(a, b) OODB_CONCAT_INNER_(a, b)
+
+}  // namespace oodb

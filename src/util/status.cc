@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace oodb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kNotSerializable:
+      return "NotSerializable";
+    case StatusCode::kCapacity:
+      return "Capacity";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace oodb

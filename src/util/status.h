@@ -1,0 +1,114 @@
+// Status: the error model used across the library.
+//
+// Following the RocksDB/Arrow idiom, no exceptions cross library
+// boundaries; fallible operations return a Status (or a Result<T>, see
+// util/result.h) that callers must inspect.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace oodb {
+
+/// Error categories used throughout the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< Key / object / action does not exist.
+  kAlreadyExists,     ///< Unique key or identifier collision.
+  kConflict,          ///< Semantic conflict detected by concurrency control.
+  kDeadlock,          ///< Wait-for cycle; transaction selected as victim.
+  kAborted,           ///< Transaction aborted (voluntarily or by the system).
+  kNotSerializable,   ///< Schedule fails an (oo-)serializability condition.
+  kCapacity,          ///< Fixed-size structure (e.g. page) is full.
+  kInternal,          ///< Invariant violation inside the library.
+  kUnsupported,       ///< Operation not implemented for this object type.
+};
+
+/// Human-readable name of a StatusCode ("OK", "Conflict", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, value-semantic success-or-error type.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. Statuses are ordered-comparable only on the code.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status NotSerializable(std::string msg) {
+    return Status(StatusCode::kNotSerializable, std::move(msg));
+  }
+  static Status Capacity(std::string msg) {
+    return Status(StatusCode::kCapacity, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsNotSerializable() const {
+    return code_ == StatusCode::kNotSerializable;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define OODB_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::oodb::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace oodb

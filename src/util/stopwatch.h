@@ -1,0 +1,31 @@
+// Stopwatch: steady-clock timing helper for the harness.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace oodb {
+
+/// Measures elapsed wall time on the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedSeconds() const { return double(ElapsedNanos()) * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace oodb

@@ -1,0 +1,164 @@
+#include "workload/anomalies.h"
+
+#include "containers/bptree.h"
+#include "containers/page_ops.h"
+
+namespace oodb {
+
+namespace {
+
+/// One transaction-level operation and the primitives it executes.
+struct Op {
+  ActionId tree_op;
+  std::vector<ActionId> prims;
+};
+
+struct World {
+  std::unique_ptr<TransactionSystem> ts;
+  ObjectId tree, leaf, page;
+
+  World() : ts(std::make_unique<TransactionSystem>()) {
+    tree = ts->AddObject(BpTreeObjectType(), "Tree");
+    leaf = ts->AddObject(LeafObjectType(), "Leaf");
+    page = ts->AddObject(PageObjectType(), "Page");
+  }
+
+  ActionId Top(const std::string& name) { return ts->BeginTopLevel(name); }
+
+  /// tree.method(key...) -> leaf.method(key...) -> page primitives.
+  /// "search"/"scan" read; "insert" reads then writes.
+  Op Add(ActionId top, const std::string& method, const ValueList& params) {
+    Op op;
+    Invocation inv(method, params);
+    op.tree_op = ts->Call(top, tree, inv);
+    ActionId leaf_op = ts->Call(op.tree_op, leaf, inv);
+    if (method == "insert") {
+      op.prims.push_back(ts->Call(leaf_op, page, Invocation("read")));
+      op.prims.push_back(ts->Call(leaf_op, page, Invocation("write")));
+    } else if (method == "scan") {
+      op.prims.push_back(ts->Call(leaf_op, page, Invocation("scan")));
+    } else {
+      op.prims.push_back(ts->Call(leaf_op, page, Invocation("read")));
+    }
+    return op;
+  }
+
+  /// Stamps the ops' primitives in the given op order (primitives of
+  /// one op stay contiguous, as per-operation latching guarantees).
+  void Stamp(const std::vector<const Op*>& order) {
+    for (const Op* op : order) {
+      for (ActionId prim : op->prims) {
+        ts->SetTimestamp(prim, ts->NextTimestamp());
+      }
+    }
+  }
+};
+
+std::unique_ptr<TransactionSystem> LostUpdate(bool bad) {
+  // Two read-modify-writes of the same key k: read(k) then write(k).
+  World w;
+  ActionId t1 = w.Top("T1");
+  ActionId t2 = w.Top("T2");
+  Op r1 = w.Add(t1, "search", {Value("k")});
+  Op w1 = w.Add(t1, "insert", {Value("k"), Value("v1")});
+  Op r2 = w.Add(t2, "search", {Value("k")});
+  Op w2 = w.Add(t2, "insert", {Value("k"), Value("v2")});
+  if (bad) {
+    // Both read the old value, then both write: one update is lost.
+    w.Stamp({&r1, &r2, &w1, &w2});
+  } else {
+    w.Stamp({&r1, &w1, &r2, &w2});
+  }
+  return std::move(w.ts);
+}
+
+std::unique_ptr<TransactionSystem> InconsistentRead(bool bad) {
+  // T1 updates keys a and b together; T2 reads both.
+  World w;
+  ActionId t1 = w.Top("T1");
+  ActionId t2 = w.Top("T2");
+  Op wa = w.Add(t1, "insert", {Value("a"), Value("new")});
+  Op wb = w.Add(t1, "insert", {Value("b"), Value("new")});
+  Op ra = w.Add(t2, "search", {Value("a")});
+  Op rb = w.Add(t2, "search", {Value("b")});
+  if (bad) {
+    // T2 sees the new a but the old b: half of T1's update.
+    w.Stamp({&wa, &ra, &rb, &wb});
+  } else {
+    w.Stamp({&wa, &wb, &ra, &rb});
+  }
+  return std::move(w.ts);
+}
+
+std::unique_ptr<TransactionSystem> Phantom(bool bad) {
+  // T1 scans [a, z] twice (repeatable read); T2 inserts key m inside
+  // the range.
+  World w;
+  ActionId t1 = w.Top("T1");
+  ActionId t2 = w.Top("T2");
+  Op s1 = w.Add(t1, "scan", {Value("a"), Value("z")});
+  Op s2 = w.Add(t1, "scan", {Value("a"), Value("z")});
+  Op ins = w.Add(t2, "insert", {Value("m"), Value("v")});
+  if (bad) {
+    // The phantom appears between the two scans.
+    w.Stamp({&s1, &ins, &s2});
+  } else {
+    w.Stamp({&s1, &s2, &ins});
+  }
+  return std::move(w.ts);
+}
+
+std::unique_ptr<TransactionSystem> WriteSkew(bool bad) {
+  // T1 reads x and writes y; T2 reads y and writes x.
+  World w;
+  ActionId t1 = w.Top("T1");
+  ActionId t2 = w.Top("T2");
+  Op r1 = w.Add(t1, "search", {Value("x")});
+  Op w1 = w.Add(t1, "insert", {Value("y"), Value("v1")});
+  Op r2 = w.Add(t2, "search", {Value("y")});
+  Op w2 = w.Add(t2, "insert", {Value("x"), Value("v2")});
+  if (bad) {
+    // Both read before either writes: the crossed constraint breaks.
+    w.Stamp({&r1, &r2, &w1, &w2});
+  } else {
+    w.Stamp({&r1, &w1, &r2, &w2});
+  }
+  return std::move(w.ts);
+}
+
+}  // namespace
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kLostUpdate:
+      return "lost-update";
+    case AnomalyKind::kInconsistentRead:
+      return "inconsistent-read";
+    case AnomalyKind::kPhantom:
+      return "phantom";
+    case AnomalyKind::kWriteSkew:
+      return "write-skew";
+  }
+  return "?";
+}
+
+std::vector<AnomalyKind> AllAnomalyKinds() {
+  return {AnomalyKind::kLostUpdate, AnomalyKind::kInconsistentRead,
+          AnomalyKind::kPhantom, AnomalyKind::kWriteSkew};
+}
+
+std::unique_ptr<TransactionSystem> MakeAnomaly(AnomalyKind kind, bool bad) {
+  switch (kind) {
+    case AnomalyKind::kLostUpdate:
+      return LostUpdate(bad);
+    case AnomalyKind::kInconsistentRead:
+      return InconsistentRead(bad);
+    case AnomalyKind::kPhantom:
+      return Phantom(bad);
+    case AnomalyKind::kWriteSkew:
+      return WriteSkew(bad);
+  }
+  return nullptr;
+}
+
+}  // namespace oodb

@@ -1,0 +1,41 @@
+// Constructors for the classic concurrency anomalies, expressed as
+// recorded executions in the paper's model. Section 1: "Concurrent
+// execution of transactions may cause inconsistencies like lost
+// updates, inconsistent reads, and occurrences of phantoms."
+//
+// Each anomaly comes in two variants:
+//   * `bad`  — the anomalous interleaving, which the oo-serializability
+//     criterion must REJECT;
+//   * `good` — the closest correct interleaving of the same
+//     transactions, which it must ACCEPT.
+//
+// Used by schedule_anomalies_test.cc and bench/s9_anomaly_detection.cc.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/transaction_system.h"
+
+namespace oodb {
+
+enum class AnomalyKind {
+  kLostUpdate,        ///< two read-modify-writes interleave
+  kInconsistentRead,  ///< a reader sees half of another txn's update
+  kPhantom,           ///< a scan misses/sees a concurrent insert halfway
+  kWriteSkew,         ///< disjoint writes under crossed reads
+};
+
+const char* AnomalyKindName(AnomalyKind kind);
+
+/// All kinds, for sweeps.
+std::vector<AnomalyKind> AllAnomalyKinds();
+
+/// Builds the execution. The systems use the keyed Leaf/Page types of
+/// the encyclopedia world, so semantic commutativity is in force — the
+/// rejections below are genuine violations, not page-level noise.
+std::unique_ptr<TransactionSystem> MakeAnomaly(AnomalyKind kind, bool bad);
+
+}  // namespace oodb

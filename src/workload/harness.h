@@ -1,0 +1,50 @@
+// Harness: runs a transaction mix on a Database from N worker threads
+// and reports throughput, abort/deadlock rates, and latency quantiles —
+// the measurement side of the S2/S3 experiments.
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cc/database.h"
+#include "util/histogram.h"
+
+namespace oodb {
+
+struct HarnessConfig {
+  size_t threads = 4;
+  size_t txns_per_thread = 100;
+};
+
+struct HarnessResult {
+  double seconds = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t deadlocks = 0;
+  uint64_t lock_waits = 0;
+  uint64_t operations = 0;
+  Histogram latency_ns;
+
+  double Throughput() const {
+    return seconds > 0 ? double(committed) / seconds : 0;
+  }
+
+  /// One printable row: "thr=... commit=... abort=... ..."
+  std::string Row() const;
+};
+
+/// Produces the body of the `index`-th transaction of worker `thread`.
+/// Called on the worker thread; must be thread-safe.
+using TxnFactory =
+    std::function<TransactionBody(size_t thread, size_t index)>;
+
+class Harness {
+ public:
+  /// Runs threads x txns_per_thread transactions and gathers metrics.
+  /// Counters of `db` are reset at the start.
+  static HarnessResult Run(Database* db, const HarnessConfig& config,
+                           const TxnFactory& factory);
+};
+
+}  // namespace oodb

@@ -1,0 +1,82 @@
+#include "workload/random_history.h"
+
+#include <string>
+
+#include "containers/bptree.h"
+#include "containers/page_ops.h"
+#include "util/random.h"
+
+namespace oodb {
+
+RandomHistory GenerateRandomHistory(const RandomHistoryConfig& config) {
+  RandomHistory h;
+  h.ts = std::make_unique<TransactionSystem>();
+  TransactionSystem& ts = *h.ts;
+  Rng rng(config.seed);
+
+  h.tree = ts.AddObject(BpTreeObjectType(), "BpTree");
+  for (size_t i = 0; i < config.num_leaves; ++i) {
+    h.leaves.push_back(
+        ts.AddObject(LeafObjectType(), "Leaf" + std::to_string(i)));
+    h.pages.push_back(
+        ts.AddObject(PageObjectType(), "Page" + std::to_string(i)));
+  }
+
+  // Build call trees and collect each transaction's program as a list
+  // of interleaving units (blocks of primitives).
+  std::vector<std::vector<std::vector<ActionId>>> programs(config.num_txns);
+  for (size_t t = 0; t < config.num_txns; ++t) {
+    ActionId top = ts.BeginTopLevel("T" + std::to_string(t + 1));
+    h.txns.push_back(top);
+    for (size_t op = 0; op < config.ops_per_txn; ++op) {
+      size_t leaf_idx = rng.NextBelow(config.num_leaves);
+      std::string key =
+          "k" + std::to_string(leaf_idx) + "_" +
+          std::to_string(rng.NextBelow(config.keys_per_leaf));
+      bool is_search = rng.NextBool(config.search_fraction);
+      const char* method = is_search ? "search" : "insert";
+      Invocation inv(method, {Value(key)});
+      ActionId tree_op = ts.Call(top, h.tree, inv);
+      ActionId leaf_op = ts.Call(tree_op, h.leaves[leaf_idx], inv);
+      std::vector<ActionId> block;
+      if (is_search) {
+        block.push_back(
+            ts.Call(leaf_op, h.pages[leaf_idx], Invocation("read")));
+      } else {
+        block.push_back(
+            ts.Call(leaf_op, h.pages[leaf_idx], Invocation("read")));
+        block.push_back(
+            ts.Call(leaf_op, h.pages[leaf_idx], Invocation("write")));
+      }
+      if (config.atomic_ops) {
+        programs[t].push_back(std::move(block));
+      } else {
+        for (ActionId a : block) programs[t].push_back({a});
+      }
+    }
+  }
+
+  // Uniform random interleaving preserving program order: repeatedly
+  // pick a transaction weighted by its remaining blocks; a picked block
+  // is stamped contiguously.
+  std::vector<size_t> cursor(config.num_txns, 0);
+  size_t remaining = 0;
+  for (const auto& p : programs) remaining += p.size();
+  while (remaining > 0) {
+    uint64_t pick = rng.NextBelow(remaining);
+    for (size_t t = 0; t < config.num_txns; ++t) {
+      size_t left = programs[t].size() - cursor[t];
+      if (pick < left) {
+        for (ActionId a : programs[t][cursor[t]++]) {
+          ts.SetTimestamp(a, ts.NextTimestamp());
+        }
+        --remaining;
+        break;
+      }
+      pick -= left;
+    }
+  }
+  return h;
+}
+
+}  // namespace oodb

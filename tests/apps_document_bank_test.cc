@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "apps/bank.h"
+#include "apps/document.h"
+#include "containers/codec.h"
+#include "schedule/validator.h"
+
+namespace oodb {
+namespace {
+
+// ---------------------------------------------------------------------
+// Document
+// ---------------------------------------------------------------------
+
+class DocumentTest : public ::testing::Test {
+ protected:
+  void Build(SchedulerKind scheduler = SchedulerKind::kOpenNested) {
+    DatabaseOptions opts;
+    opts.scheduler = scheduler;
+    opts.lock_options.wait_timeout = std::chrono::milliseconds(500);
+    db_ = std::make_unique<Database>(opts);
+    Document::RegisterMethods(db_.get());
+    doc_ = Document::Create(db_.get(), "Paper", /*sections=*/4);
+  }
+
+  std::unique_ptr<Database> db_;
+  ObjectId doc_;
+};
+
+TEST_F(DocumentTest, EditAndRead) {
+  Build();
+  ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(doc_,
+                                  Document::EditSection(1, "Introduction"));
+                }).ok());
+  Value out;
+  ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(doc_, Document::ReadSection(1), &out);
+                }).ok());
+  EXPECT_EQ(out.AsString(), "Introduction");
+}
+
+TEST_F(DocumentTest, ReadAllConcatenatesSections) {
+  Build();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                    return txn.Call(
+                        doc_, Document::EditSection(i,
+                                                    "s" + std::to_string(i)));
+                  }).ok());
+  }
+  Value out;
+  ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(doc_, Document::ReadAll(), &out);
+                }).ok());
+  auto fields = SplitFields(out.AsString());
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "s0");
+  EXPECT_EQ(fields[3], "s3");
+}
+
+TEST_F(DocumentTest, InvalidSectionRejected) {
+  Build();
+  Status st = db_->RunTransaction("T", [&](MethodContext& txn) {
+    return txn.Call(doc_, Document::EditSection(99, "x"));
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DocumentTest, EditAbortRestoresOldText) {
+  Build();
+  ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(doc_, Document::EditSection(0, "v1"));
+                }).ok());
+  (void)db_->RunTransaction("T", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(txn.Call(doc_, Document::EditSection(0, "v2")));
+    return Status::Aborted("rollback");
+  });
+  Value out;
+  ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(doc_, Document::ReadSection(0), &out);
+                }).ok());
+  EXPECT_EQ(out.AsString(), "v1");
+}
+
+TEST_F(DocumentTest, CoopEditingConcurrentSectionsSucceed) {
+  // The paper's motivation: authors in different sections never block
+  // each other under open nested semantic locking.
+  Build();
+  std::vector<std::thread> authors;
+  std::atomic<int> failures{0};
+  for (int a = 0; a < 4; ++a) {
+    authors.emplace_back([&, a] {
+      for (int i = 0; i < 20; ++i) {
+        Status st = db_->RunTransaction("edit", [&](MethodContext& txn) {
+          return txn.Call(doc_, Document::EditSection(
+                                    a, "author" + std::to_string(a) +
+                                           " rev" + std::to_string(i)));
+        });
+        if (!st.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : authors) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db_->locks().wait_count(), 0u);  // disjoint sections: no waits
+  ValidationReport report = Validator::Validate(&db_->ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+}
+
+TEST_F(DocumentTest, SameSectionConflictsSerialize) {
+  Build();
+  std::vector<std::thread> authors;
+  for (int a = 0; a < 3; ++a) {
+    authors.emplace_back([&, a] {
+      for (int i = 0; i < 10; ++i) {
+        (void)db_->RunTransaction("edit", [&](MethodContext& txn) {
+          return txn.Call(doc_,
+                          Document::EditSection(0, "a" + std::to_string(a)));
+        });
+      }
+    });
+  }
+  for (auto& t : authors) t.join();
+  ValidationReport report = Validator::Validate(&db_->ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+  // The final text is one of the last writes.
+  Value out;
+  ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(doc_, Document::ReadSection(0), &out);
+                }).ok());
+  EXPECT_FALSE(out.AsString().empty());
+}
+
+// ---------------------------------------------------------------------
+// Bank
+// ---------------------------------------------------------------------
+
+class BankTest : public ::testing::Test {
+ protected:
+  void Build(BankSemantics semantics) {
+    db_ = std::make_unique<Database>();
+    Bank::RegisterMethods(db_.get(), semantics);
+    bank_ = Bank::Create(db_.get(), "Bank", semantics, /*accounts=*/8,
+                         /*initial_balance=*/1000);
+  }
+
+  int64_t Audit() {
+    Value out;
+    Status st = db_->RunTransaction("audit", [&](MethodContext& txn) {
+      return txn.Call(bank_, Bank::Audit(), &out);
+    });
+    EXPECT_TRUE(st.ok()) << st;
+    return out.AsInt();
+  }
+
+  std::unique_ptr<Database> db_;
+  ObjectId bank_;
+};
+
+TEST_F(BankTest, TransferMovesMoney) {
+  Build(BankSemantics::kEscrow);
+  ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(bank_, Bank::Transfer(0, 1, 300));
+                }).ok());
+  Value b0, b1;
+  ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                  OODB_RETURN_IF_ERROR(
+                      txn.Call(bank_, Invocation("withdraw",
+                                                 {Value(0), Value(0)}), &b0));
+                  return Status::OK();
+                }).ok());
+  EXPECT_EQ(b0.AsInt(), 700);  // withdraw of 0 returns current balance
+  (void)b1;
+  EXPECT_EQ(Audit(), 8000);
+}
+
+TEST_F(BankTest, OverdraftAbortsWholeTransfer) {
+  Build(BankSemantics::kEscrow);
+  Status st = db_->RunTransaction("T", [&](MethodContext& txn) {
+    return txn.Call(bank_, Bank::Transfer(0, 1, 5000));
+  });
+  EXPECT_TRUE(st.IsConflict());
+  EXPECT_EQ(Audit(), 8000);
+}
+
+TEST_F(BankTest, ConcurrentTransfersPreserveTotal) {
+  Build(BankSemantics::kEscrow);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 30; ++i) {
+        int from = (t + i) % 8;
+        int to = (t + i + 3) % 8;
+        (void)db_->RunTransaction("xfer", [&](MethodContext& txn) {
+          return txn.Call(bank_, Bank::Transfer(from, to, 10));
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(Audit(), 8000);
+  EXPECT_EQ(db_->locks().LockCount(), 0u);
+  ValidationReport report = Validator::Validate(&db_->ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+}
+
+TEST_F(BankTest, AbortedTransferCompensated) {
+  Build(BankSemantics::kEscrow);
+  (void)db_->RunTransaction("T", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(txn.Call(bank_, Bank::Transfer(0, 1, 100)));
+    return Status::Aborted("rollback");
+  });
+  EXPECT_EQ(Audit(), 8000);
+  Value b;
+  ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(
+                      bank_, Invocation("withdraw", {Value(0), Value(0)}),
+                      &b);
+                }).ok());
+  EXPECT_EQ(b.AsInt(), 1000);
+}
+
+TEST_F(BankTest, NameOnlySemanticsStillCorrectJustSlower) {
+  Build(BankSemantics::kNameOnly);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 10; ++i) {
+        (void)db_->RunTransaction("xfer", [&](MethodContext& txn) {
+          return txn.Call(bank_, Bank::Transfer(t % 8, (t + 1) % 8, 5));
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(Audit(), 8000);
+}
+
+}  // namespace
+}  // namespace oodb

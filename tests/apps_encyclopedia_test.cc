@@ -1,0 +1,199 @@
+#include "apps/encyclopedia.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "containers/codec.h"
+#include "schedule/validator.h"
+
+namespace oodb {
+namespace {
+
+class EncyclopediaTest : public ::testing::Test {
+ protected:
+  void Build(SchedulerKind scheduler = SchedulerKind::kOpenNested,
+             size_t leaf_capacity = 8) {
+    DatabaseOptions opts;
+    opts.scheduler = scheduler;
+    db_ = std::make_unique<Database>(opts);
+    Encyclopedia::RegisterMethods(db_.get());
+    enc_ = Encyclopedia::Create(db_.get(), "Enc", leaf_capacity,
+                                /*fanout=*/8, /*items_per_page=*/4,
+                                /*list_page_capacity=*/16);
+  }
+
+  Status Run(const Invocation& inv, Value* out = nullptr) {
+    return db_->RunTransaction("T", [&](MethodContext& txn) {
+      return txn.Call(enc_, inv, out);
+    });
+  }
+
+  std::unique_ptr<Database> db_;
+  ObjectId enc_;
+};
+
+TEST_F(EncyclopediaTest, InsertAndSearch) {
+  Build();
+  ASSERT_TRUE(Run(Encyclopedia::Insert("DBS", "database systems")).ok());
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::Search("DBS"), &out).ok());
+  EXPECT_EQ(out.AsString(), "database systems");
+  ASSERT_TRUE(Run(Encyclopedia::Search("nope"), &out).ok());
+  EXPECT_TRUE(out.IsNone());
+}
+
+TEST_F(EncyclopediaTest, DuplicateInsertRefused) {
+  Build();
+  ASSERT_TRUE(Run(Encyclopedia::Insert("DBS", "x")).ok());
+  Status st = Run(Encyclopedia::Insert("DBS", "y"));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::Search("DBS"), &out).ok());
+  EXPECT_EQ(out.AsString(), "x");
+}
+
+TEST_F(EncyclopediaTest, ChangeUpdatesItem) {
+  Build();
+  ASSERT_TRUE(Run(Encyclopedia::Insert("DBMS", "v1")).ok());
+  Value old;
+  ASSERT_TRUE(Run(Encyclopedia::Change("DBMS", "v2"), &old).ok());
+  EXPECT_EQ(old.AsString(), "v1");
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::Search("DBMS"), &out).ok());
+  EXPECT_EQ(out.AsString(), "v2");
+}
+
+TEST_F(EncyclopediaTest, ChangeAbsentKeyFails) {
+  Build();
+  EXPECT_TRUE(Run(Encyclopedia::Change("ghost", "x")).IsNotFound());
+}
+
+TEST_F(EncyclopediaTest, ReadSeqInInsertionOrder) {
+  Build();
+  ASSERT_TRUE(Run(Encyclopedia::Insert("zebra", "z-item")).ok());
+  ASSERT_TRUE(Run(Encyclopedia::Insert("apple", "a-item")).ok());
+  ASSERT_TRUE(Run(Encyclopedia::Insert("mango", "m-item")).ok());
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::ReadSeq(), &out).ok());
+  auto fields = SplitFields(out.AsString());
+  ASSERT_EQ(fields.size(), 6u);
+  // Insertion order, not key order.
+  EXPECT_EQ(fields[0], "zebra");
+  EXPECT_EQ(fields[1], "z-item");
+  EXPECT_EQ(fields[2], "apple");
+  EXPECT_EQ(fields[4], "mango");
+}
+
+TEST_F(EncyclopediaTest, EraseRemovesEverywhere) {
+  Build();
+  ASSERT_TRUE(Run(Encyclopedia::Insert("a", "1")).ok());
+  ASSERT_TRUE(Run(Encyclopedia::Insert("b", "2")).ok());
+  Value old;
+  ASSERT_TRUE(Run(Encyclopedia::Erase("a"), &old).ok());
+  EXPECT_EQ(old.AsString(), "1");
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::Search("a"), &out).ok());
+  EXPECT_TRUE(out.IsNone());
+  ASSERT_TRUE(Run(Encyclopedia::ReadSeq(), &out).ok());
+  auto fields = SplitFields(out.AsString());
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "b");
+}
+
+TEST_F(EncyclopediaTest, InsertAbortLeavesNoTrace) {
+  Build();
+  ASSERT_TRUE(Run(Encyclopedia::Insert("keep", "k")).ok());
+  (void)db_->RunTransaction("abort", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(txn.Call(enc_, Encyclopedia::Insert("gone", "g")));
+    return Status::Aborted("rollback");
+  });
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::Search("gone"), &out).ok());
+  EXPECT_TRUE(out.IsNone());
+  ASSERT_TRUE(Run(Encyclopedia::ReadSeq(), &out).ok());
+  auto fields = SplitFields(out.AsString());
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "keep");
+}
+
+TEST_F(EncyclopediaTest, ManyItemsAcrossSplits) {
+  Build(SchedulerKind::kOpenNested, /*leaf_capacity=*/4);
+  for (int i = 0; i < 60; ++i) {
+    std::string key = "key" + std::to_string(100 + i);
+    ASSERT_TRUE(Run(Encyclopedia::Insert(key, "data" + key)).ok()) << i;
+  }
+  for (int i = 0; i < 60; ++i) {
+    std::string key = "key" + std::to_string(100 + i);
+    Value out;
+    ASSERT_TRUE(Run(Encyclopedia::Search(key), &out).ok());
+    EXPECT_EQ(out.AsString(), "data" + key);
+  }
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::ReadSeq(), &out).ok());
+  EXPECT_EQ(SplitFields(out.AsString()).size(), 120u);
+}
+
+TEST_F(EncyclopediaTest, SequentialHistoryValidates) {
+  Build();
+  ASSERT_TRUE(Run(Encyclopedia::Insert("DBS", "x")).ok());
+  ASSERT_TRUE(Run(Encyclopedia::Insert("DBMS", "y")).ok());
+  ASSERT_TRUE(Run(Encyclopedia::Change("DBMS", "y2")).ok());
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::Search("DBS"), &out).ok());
+  ASSERT_TRUE(Run(Encyclopedia::ReadSeq(), &out).ok());
+  ValidationReport report = Validator::Validate(&db_->ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+  EXPECT_TRUE(report.conventionally_serializable);
+  EXPECT_TRUE(report.conform);
+}
+
+TEST_F(EncyclopediaTest, ConcurrentAuthorsValidate) {
+  // The paper's four-transaction world run concurrently many times.
+  Build();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 10; ++i) {
+        std::string key = "k" + std::to_string(t) + "_" + std::to_string(i);
+        (void)db_->RunTransaction("ins", [&](MethodContext& txn) {
+          return txn.Call(enc_, Encyclopedia::Insert(key, "d"));
+        });
+        if (i % 3 == 0) {
+          (void)db_->RunTransaction("chg", [&](MethodContext& txn) {
+            return txn.Call(enc_, Encyclopedia::Change(key, "d2"));
+          });
+        }
+        if (i % 5 == 0) {
+          Value out;
+          (void)db_->RunTransaction("get", [&](MethodContext& txn) {
+            return txn.Call(enc_, Encyclopedia::Search(key), &out);
+          });
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db_->locks().LockCount(), 0u);
+  ValidationReport report = Validator::Validate(&db_->ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+}
+
+TEST_F(EncyclopediaTest, WorksUnderFlat2PL) {
+  Build(SchedulerKind::kFlat2PL);
+  ASSERT_TRUE(Run(Encyclopedia::Insert("a", "1")).ok());
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::Search("a"), &out).ok());
+  EXPECT_EQ(out.AsString(), "1");
+}
+
+TEST_F(EncyclopediaTest, WorksUnderObjectExclusive) {
+  Build(SchedulerKind::kObjectExclusive);
+  ASSERT_TRUE(Run(Encyclopedia::Insert("a", "1")).ok());
+  Value out;
+  ASSERT_TRUE(Run(Encyclopedia::Search("a"), &out).ok());
+  EXPECT_EQ(out.AsString(), "1");
+}
+
+}  // namespace
+}  // namespace oodb

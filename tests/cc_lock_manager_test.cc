@@ -1,0 +1,295 @@
+#include "cc/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "paper_types.h"
+
+namespace oodb {
+namespace {
+
+using testing::LeafType;
+using testing::PageType;
+
+Invocation Ins(const std::string& k) {
+  return Invocation("insert", {Value(k)});
+}
+
+struct World {
+  TransactionSystem ts;
+  ObjectId leaf, page;
+  ActionId t1, t2;
+
+  World() {
+    leaf = ts.AddObject(LeafType(), "Leaf");
+    page = ts.AddObject(PageType(), "Page");
+    t1 = ts.BeginTopLevel("T1");
+    t2 = ts.BeginTopLevel("T2");
+  }
+};
+
+TEST(LockManagerTest, CommutingLocksGrantImmediately) {
+  World w;
+  LockManager lm(&w.ts);
+  ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ActionId b = w.ts.Call(w.t2, w.leaf, Ins("y"));
+  EXPECT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1).ok());
+  EXPECT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("y"), b, w.t2).ok());
+  EXPECT_EQ(lm.LockCount(), 2u);
+  EXPECT_EQ(lm.wait_count(), 0u);
+}
+
+TEST(LockManagerTest, ConflictBlocksUntilRelease) {
+  World w;
+  LockManagerOptions opts;
+  opts.wait_timeout = std::chrono::milliseconds(2000);
+  LockManager lm(&w.ts, opts);
+  ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ActionId b = w.ts.Call(w.t2, w.leaf, Ins("x"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    Status st = lm.Acquire(w.leaf, LeafType(), Ins("x"), b, w.t2);
+    granted = st.ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  // T1 completes its action and then commits: lock unwinds.
+  lm.OnActionComplete(a, w.t1);
+  lm.OnActionComplete(w.t1, ActionId());
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_GE(lm.wait_count(), 1u);
+}
+
+TEST(LockManagerTest, SphereAllowsDescendants) {
+  // A child action may acquire a mode conflicting with a lock held by
+  // its own ancestor.
+  World w;
+  LockManager lm(&w.ts);
+  ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1).ok());
+  ActionId split = w.ts.Call(a, w.leaf, Invocation("rearrange"));
+  EXPECT_TRUE(lm.Acquire(w.leaf, LeafType(), Invocation("rearrange"), split,
+                         w.t1)
+                  .ok());
+}
+
+TEST(LockManagerTest, PassUpKeepsBlockingNonDescendants) {
+  // After the child completes, the parent retains the semantic lock:
+  // conflicting outsiders still wait; commuting outsiders pass.
+  World w;
+  LockManagerOptions opts;
+  opts.wait_timeout = std::chrono::milliseconds(100);
+  LockManager lm(&w.ts, opts);
+  ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1).ok());
+  lm.OnActionComplete(a, w.t1);  // lock now retained by T1
+  EXPECT_EQ(lm.LockCount(), 1u);
+
+  // Commuting request: granted.
+  ActionId b = w.ts.Call(w.t2, w.leaf, Ins("y"));
+  EXPECT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("y"), b, w.t2).ok());
+  // Conflicting request: times out (T1 never commits in this test).
+  ActionId c = w.ts.Call(w.t2, w.leaf, Ins("x"));
+  Status st = lm.Acquire(w.leaf, LeafType(), Ins("x"), c, w.t2);
+  EXPECT_TRUE(st.IsDeadlock());  // timeout surfaces as deadlock
+}
+
+TEST(LockManagerTest, TopLevelCompletionReleasesEverything) {
+  World w;
+  LockManager lm(&w.ts);
+  ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ActionId p = w.ts.Call(a, w.page, Invocation("write"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1).ok());
+  ASSERT_TRUE(
+      lm.Acquire(w.page, PageType(), Invocation("write"), p, w.t1).ok());
+  // p completes -> its lock passes to a; the page lock is owned by p.
+  lm.OnActionComplete(p, a);
+  EXPECT_EQ(lm.LockCount(), 2u);
+  // a completes -> p's page lock is released, a's leaf lock passes to T1.
+  lm.OnActionComplete(a, w.t1);
+  EXPECT_EQ(lm.LockCount(), 1u);
+  // Commit.
+  lm.OnActionComplete(w.t1, ActionId());
+  EXPECT_EQ(lm.LockCount(), 0u);
+}
+
+TEST(LockManagerTest, EarlyPageLockReleaseIsTheOpenNestedWin) {
+  // Two transactions write the same page under commuting leaf inserts:
+  // T2's page write must be granted as soon as T1's *leaf insert*
+  // completes, long before T1 commits.
+  World w;
+  LockManager lm(&w.ts);
+  ActionId a1 = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ActionId p1 = w.ts.Call(a1, w.page, Invocation("write"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a1, w.t1).ok());
+  ASSERT_TRUE(
+      lm.Acquire(w.page, PageType(), Invocation("write"), p1, w.t1).ok());
+  lm.OnActionComplete(p1, a1);
+  lm.OnActionComplete(a1, w.t1);  // leaf insert done; page lock gone
+
+  ActionId a2 = w.ts.Call(w.t2, w.leaf, Ins("y"));
+  ActionId p2 = w.ts.Call(a2, w.page, Invocation("write"));
+  EXPECT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("y"), a2, w.t2).ok());
+  EXPECT_TRUE(
+      lm.Acquire(w.page, PageType(), Invocation("write"), p2, w.t2).ok());
+  EXPECT_EQ(lm.wait_count(), 0u);  // nobody ever blocked
+}
+
+TEST(LockManagerTest, FlatHoldAtTopBlocksUntilCommit) {
+  // The same scenario under flat 2PL (hold_at_top): T2 must wait.
+  World w;
+  LockManagerOptions opts;
+  opts.wait_timeout = std::chrono::milliseconds(100);
+  LockManager lm(&w.ts, opts);
+  ActionId a1 = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ActionId p1 = w.ts.Call(a1, w.page, Invocation("write"));
+  ASSERT_TRUE(lm.Acquire(w.page, PageType(), Invocation("write"), p1, w.t1,
+                         LockSemantics::kCommutativity,
+                         /*hold_at_top=*/true)
+                  .ok());
+  lm.OnActionComplete(p1, a1);
+  lm.OnActionComplete(a1, w.t1);
+
+  ActionId a2 = w.ts.Call(w.t2, w.leaf, Ins("y"));
+  ActionId p2 = w.ts.Call(a2, w.page, Invocation("write"));
+  Status st = lm.Acquire(w.page, PageType(), Invocation("write"), p2, w.t2,
+                         LockSemantics::kCommutativity,
+                         /*hold_at_top=*/true);
+  EXPECT_TRUE(st.IsDeadlock());  // would wait for T1's commit; times out
+}
+
+TEST(LockManagerTest, ExclusiveSemanticsConflictEvenWhenCommuting) {
+  World w;
+  LockManagerOptions opts;
+  opts.wait_timeout = std::chrono::milliseconds(100);
+  LockManager lm(&w.ts, opts);
+  ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ActionId b = w.ts.Call(w.t2, w.leaf, Ins("y"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1,
+                         LockSemantics::kExclusive, true)
+                  .ok());
+  Status st = lm.Acquire(w.leaf, LeafType(), Ins("y"), b, w.t2,
+                         LockSemantics::kExclusive, true);
+  EXPECT_TRUE(st.IsDeadlock());
+}
+
+TEST(LockManagerTest, DeadlockDetectedOnCycle) {
+  // T1 holds leaf.x, T2 holds page.write; T1 requests page.write (waits
+  // on T2), T2 requests leaf.x -> cycle -> kDeadlock for T2.
+  World w;
+  LockManagerOptions opts;
+  opts.wait_timeout = std::chrono::milliseconds(5000);
+  LockManager lm(&w.ts, opts);
+  ActionId a1 = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ActionId b2 = w.ts.Call(w.t2, w.page, Invocation("write"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a1, w.t1).ok());
+  ASSERT_TRUE(
+      lm.Acquire(w.page, PageType(), Invocation("write"), b2, w.t2).ok());
+
+  std::atomic<bool> t1_done{false};
+  Status t1_status;
+  std::thread t1_thread([&] {
+    ActionId p1 = w.ts.Call(w.t1, w.page, Invocation("write"));
+    t1_status = lm.Acquire(w.page, PageType(), Invocation("write"), p1,
+                           w.t1);
+    t1_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(t1_done.load());
+
+  ActionId l2 = w.ts.Call(w.t2, w.leaf, Ins("x"));
+  Status t2_status = lm.Acquire(w.leaf, LeafType(), Ins("x"), l2, w.t2);
+  EXPECT_TRUE(t2_status.IsDeadlock());
+  EXPECT_GE(lm.deadlock_count(), 1u);
+
+  // T2 aborts: releases its locks; T1 proceeds.
+  lm.ReleaseAllHeldBy(w.t2);
+  lm.ReleaseAllHeldBy(b2);
+  t1_thread.join();
+  EXPECT_TRUE(t1_status.ok());
+}
+
+TEST(LockManagerTest, WaitDieYoungerRequesterDies) {
+  World w;  // t1 created before t2: t1 is older
+  LockManagerOptions opts;
+  opts.deadlock_policy = DeadlockPolicy::kWaitDie;
+  LockManager lm(&w.ts, opts);
+  ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1).ok());
+  ActionId b = w.ts.Call(w.t2, w.leaf, Ins("x"));
+  Status st = lm.Acquire(w.leaf, LeafType(), Ins("x"), b, w.t2);
+  EXPECT_TRUE(st.IsDeadlock());
+  EXPECT_NE(st.message().find("wait-die"), std::string::npos);
+  EXPECT_EQ(lm.deadlock_count(), 1u);
+}
+
+TEST(LockManagerTest, WaitDieOlderRequesterWaits) {
+  World w;
+  LockManagerOptions opts;
+  opts.deadlock_policy = DeadlockPolicy::kWaitDie;
+  opts.wait_timeout = std::chrono::milliseconds(2000);
+  LockManager lm(&w.ts, opts);
+  // Younger t2 holds; older t1 must wait, then get the lock.
+  ActionId b = w.ts.Call(w.t2, w.leaf, Ins("x"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), b, w.t2).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"));
+    granted = lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1).ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  lm.OnActionComplete(b, w.t2);
+  lm.OnActionComplete(w.t2, ActionId());
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(LockManagerTest, WaitDieAllowsIntraTransactionWaits) {
+  // A parallel sibling of the same transaction is neither older nor
+  // younger: the wait is allowed and resolves by pass-up.
+  World w;
+  LockManagerOptions opts;
+  opts.deadlock_policy = DeadlockPolicy::kWaitDie;
+  opts.wait_timeout = std::chrono::milliseconds(2000);
+  LockManager lm(&w.ts, opts);
+  ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"), false);
+  ActionId b = w.ts.Call(w.t1, w.leaf, Ins("x"), false);
+  w.ts.SetProcess(b, 1);
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    granted = lm.Acquire(w.leaf, LeafType(), Ins("x"), b, w.t1).ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  lm.OnActionComplete(a, w.t1);  // pass-up: holder becomes the ancestor
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(LockManagerTest, PolicyNames) {
+  EXPECT_STREQ(DeadlockPolicyName(DeadlockPolicy::kDetect), "detect");
+  EXPECT_STREQ(DeadlockPolicyName(DeadlockPolicy::kWaitDie), "wait-die");
+}
+
+TEST(LockManagerTest, ReleaseAllHeldByCleansUp) {
+  World w;
+  LockManager lm(&w.ts);
+  ActionId a = w.ts.Call(w.t1, w.leaf, Ins("x"));
+  ASSERT_TRUE(lm.Acquire(w.leaf, LeafType(), Ins("x"), a, w.t1).ok());
+  lm.OnActionComplete(a, w.t1);
+  lm.ReleaseAllHeldBy(w.t1);
+  EXPECT_EQ(lm.LockCount(), 0u);
+  // Second release is a no-op.
+  lm.ReleaseAllHeldBy(w.t1);
+  EXPECT_EQ(lm.LockCount(), 0u);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,188 @@
+// MethodContext behaviours: state access, object creation inside
+// transactions, and compensation ordering on abort.
+
+#include <gtest/gtest.h>
+
+#include "containers/directory.h"
+#include "containers/fifo_queue.h"
+#include "containers/page_ops.h"
+#include "schedule/validator.h"
+
+namespace oodb {
+namespace {
+
+TEST(MethodContextTest, CompensationsRunInReverseCompletionOrder) {
+  // Start with k=0; the transaction runs update(k,1) then update(k,2)
+  // and aborts. Correct reverse-order compensation restores 0; forward
+  // order would leave 1.
+  Database db;
+  RegisterDirectoryMethods(&db);
+  ObjectId dir = CreateDirectory(&db, "D");
+  ASSERT_TRUE(db.RunTransaction("seed", [&](MethodContext& txn) {
+                  return txn.Call(
+                      dir, Invocation("insert", {Value("k"), Value("0")}));
+                }).ok());
+  (void)db.RunTransaction("abort", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(
+        txn.Call(dir, Invocation("update", {Value("k"), Value("1")})));
+    OODB_RETURN_IF_ERROR(
+        txn.Call(dir, Invocation("update", {Value("k"), Value("2")})));
+    return Status::Aborted("rollback");
+  });
+  EXPECT_EQ(db.StateOf<DirectoryState>(dir)->entries.at("k"), "0");
+}
+
+TEST(MethodContextTest, DeepCompensationChain) {
+  // Five updates; abort unwinds all of them in order.
+  Database db;
+  RegisterDirectoryMethods(&db);
+  ObjectId dir = CreateDirectory(&db, "D");
+  ASSERT_TRUE(db.RunTransaction("seed", [&](MethodContext& txn) {
+                  return txn.Call(
+                      dir, Invocation("insert", {Value("k"), Value("v0")}));
+                }).ok());
+  (void)db.RunTransaction("abort", [&](MethodContext& txn) {
+    for (int i = 1; i <= 5; ++i) {
+      OODB_RETURN_IF_ERROR(txn.Call(
+          dir, Invocation("update",
+                          {Value("k"), Value("v" + std::to_string(i))})));
+    }
+    return Status::Aborted("rollback");
+  });
+  EXPECT_EQ(db.StateOf<DirectoryState>(dir)->entries.at("k"), "v0");
+}
+
+TEST(MethodContextTest, MixedQueueCompensation) {
+  // deq then enq, aborted: the queue returns to its exact original
+  // shape (pushFront after cancel).
+  Database db;
+  RegisterQueueMethods(&db);
+  ObjectId q = CreateQueue(&db, "Q");
+  ASSERT_TRUE(db.RunTransaction("seed", [&](MethodContext& txn) {
+                  OODB_RETURN_IF_ERROR(
+                      txn.Call(q, Invocation("enq", {Value("a")})));
+                  return txn.Call(q, Invocation("enq", {Value("b")}));
+                }).ok());
+  (void)db.RunTransaction("abort", [&](MethodContext& txn) {
+    Value front;
+    OODB_RETURN_IF_ERROR(txn.Call(q, Invocation("deq"), &front));
+    OODB_RETURN_IF_ERROR(txn.Call(q, Invocation("enq", {Value("c")})));
+    return Status::Aborted("rollback");
+  });
+  auto* state = db.StateOf<QueueState>(q);
+  ASSERT_EQ(state->items.size(), 2u);
+  EXPECT_EQ(state->items[0], "a");
+  EXPECT_EQ(state->items[1], "b");
+}
+
+// A composite type whose method creates objects mid-transaction.
+struct SpawnerState : public ObjectState {
+  std::vector<ObjectId> spawned;
+};
+
+const ObjectType* SpawnerType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<MatrixCommutativity>();
+    spec->SetCommutes("spawn", "spawn");
+    return new ObjectType("Spawner", std::move(spec));
+  }();
+  return type;
+}
+
+TEST(MethodContextTest, CreateObjectMidTransaction) {
+  Database db;
+  RegisterPageMethods(&db);
+  db.Register(SpawnerType(), "spawn",
+              [](MethodContext& ctx, const ValueList& params,
+                 Value* result) -> Status {
+                ObjectId page = CreatePage(
+                    ctx.db(), "Spawned" + params[0].ToString(), 8);
+                OODB_RETURN_IF_ERROR(ctx.Call(
+                    page, Invocation("write", {Value("seed"), params[0]})));
+                ctx.WithState<SpawnerState>([&](SpawnerState* s) {
+                  s->spawned.push_back(page);
+                  return 0;
+                });
+                *result = Value(int64_t(page.value));
+                return Status::OK();
+              });
+  ObjectId spawner = db.CreateObject(SpawnerType(), "S",
+                                     std::make_unique<SpawnerState>());
+  Value page_id;
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(spawner, Invocation("spawn", {Value(7)}),
+                                  &page_id);
+                }).ok());
+  ObjectId page(uint64_t(page_id.AsInt()));
+  EXPECT_TRUE(db.StateOf<PageState>(page)->Contains("seed"));
+  // The created object and its initializing write are in the history.
+  ValidationReport report = Validator::Validate(&db.ts());
+  EXPECT_TRUE(report.oo_serializable);
+}
+
+TEST(MethodContextTest, SelfAndActionAccessors) {
+  Database db;
+  RegisterPageMethods(&db);
+  ObjectId page = CreatePage(&db, "P", 4);
+  ObjectId observed_self;
+  ActionId observed_action;
+  db.Register(PageObjectType(), "introspect",
+              [&](MethodContext& ctx, const ValueList&,
+                  Value* result) -> Status {
+                observed_self = ctx.self();
+                observed_action = ctx.action();
+                *result = Value();
+                return Status::OK();
+              });
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  EXPECT_FALSE(txn.self().valid());  // txn body: no object
+                  return txn.Call(page, Invocation("introspect"));
+                }).ok());
+  EXPECT_EQ(observed_self, page);
+  EXPECT_TRUE(observed_action.valid());
+  EXPECT_EQ(db.ts().action(observed_action).object, page);
+}
+
+TEST(MethodContextTest, PrimitiveMethodsMustNotCall) {
+  // Def 3: primitive actions call no other action; the runtime enforces
+  // it.
+  Database db;
+  RegisterPageMethods(&db);
+  ObjectId page = CreatePage(&db, "P", 4);
+  ObjectId other = CreatePage(&db, "Q", 4);
+  db.Register(PageObjectType(), "rogue",
+              [other](MethodContext& ctx, const ValueList&,
+                      Value* result) -> Status {
+                *result = Value();
+                return ctx.Call(other,
+                                Invocation("write", {Value("k"), Value("v")}));
+              });
+  Status st = db.RunTransaction("T", [&](MethodContext& txn) {
+    return txn.Call(page, Invocation("rogue"));
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("Def 3"), std::string::npos);
+  EXPECT_FALSE(db.StateOf<PageState>(other)->Contains("k"));
+  EXPECT_EQ(db.locks().LockCount(), 0u);
+}
+
+TEST(MethodContextTest, RegistryReplacementTakesEffect) {
+  Database db;
+  RegisterDirectoryMethods(&db);
+  ObjectId dir = CreateDirectory(&db, "D");
+  // Replace lookup with a constant.
+  db.Register(DirectoryType(), "lookup",
+              [](MethodContext&, const ValueList&, Value* result) -> Status {
+                *result = Value("overridden");
+                return Status::OK();
+              });
+  Value out;
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(dir, Invocation("lookup", {Value("x")}),
+                                  &out);
+                }).ok());
+  EXPECT_EQ(out.AsString(), "overridden");
+}
+
+}  // namespace
+}  // namespace oodb

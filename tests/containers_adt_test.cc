@@ -1,0 +1,271 @@
+// Tests for the semantic ADTs: escrow accounts, FIFO queue, directory.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "containers/directory.h"
+#include "containers/escrow.h"
+#include "containers/fifo_queue.h"
+#include "schedule/validator.h"
+
+namespace oodb {
+namespace {
+
+// ---------------------------------------------------------------------
+// Escrow accounts
+// ---------------------------------------------------------------------
+
+TEST(EscrowTest, TypeVariantsDeclareDifferentSemantics) {
+  Invocation dep("deposit", {Value(5)});
+  Invocation wit("withdraw", {Value(5)});
+  Invocation bal("balance");
+  EXPECT_TRUE(EscrowAccountType()->Commutes(dep, wit));
+  EXPECT_TRUE(EscrowAccountType()->Commutes(wit, wit));
+  EXPECT_FALSE(EscrowAccountType()->Commutes(bal, dep));
+
+  EXPECT_TRUE(NameOnlyAccountType()->Commutes(dep, dep));
+  EXPECT_FALSE(NameOnlyAccountType()->Commutes(dep, wit));
+  EXPECT_FALSE(NameOnlyAccountType()->Commutes(wit, wit));
+
+  EXPECT_FALSE(RWAccountType()->Commutes(dep, dep));
+  EXPECT_TRUE(RWAccountType()->Commutes(bal, bal));
+}
+
+TEST(EscrowTest, DepositWithdrawBalance) {
+  Database db;
+  RegisterAccountMethods(&db, EscrowAccountType());
+  ObjectId acct = CreateAccount(&db, EscrowAccountType(), "A", 100);
+  Value out;
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  OODB_RETURN_IF_ERROR(
+                      txn.Call(acct, Invocation("deposit", {Value(50)})));
+                  OODB_RETURN_IF_ERROR(
+                      txn.Call(acct, Invocation("withdraw", {Value(30)})));
+                  return txn.Call(acct, Invocation("balance"), &out);
+                }).ok());
+  EXPECT_EQ(out.AsInt(), 120);
+}
+
+TEST(EscrowTest, MinBalanceEnforced) {
+  Database db;
+  RegisterAccountMethods(&db, EscrowAccountType());
+  ObjectId acct = CreateAccount(&db, EscrowAccountType(), "A", 100,
+                                /*min_balance=*/50);
+  Status st = db.RunTransaction("T", [&](MethodContext& txn) {
+    return txn.Call(acct, Invocation("withdraw", {Value(60)}));
+  });
+  EXPECT_TRUE(st.IsConflict());
+  EXPECT_EQ(db.StateOf<AccountState>(acct)->balance, 100);
+}
+
+TEST(EscrowTest, NegativeAmountRejected) {
+  Database db;
+  RegisterAccountMethods(&db, EscrowAccountType());
+  ObjectId acct = CreateAccount(&db, EscrowAccountType(), "A", 100);
+  Status st = db.RunTransaction("T", [&](MethodContext& txn) {
+    return txn.Call(acct, Invocation("deposit", {Value(int64_t{-5})}));
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EscrowTest, ConcurrentWithdrawalsNeverOverdraw) {
+  Database db;
+  RegisterAccountMethods(&db, EscrowAccountType());
+  ObjectId acct = CreateAccount(&db, EscrowAccountType(), "A", 100);
+  std::atomic<int> succeeded{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        Status st = db.RunTransaction("W", [&](MethodContext& txn) {
+          return txn.Call(acct, Invocation("withdraw", {Value(10)}));
+        });
+        if (st.ok()) succeeded.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(succeeded.load(), 10);  // exactly 100/10 succeed
+  EXPECT_EQ(db.StateOf<AccountState>(acct)->balance, 0);
+}
+
+TEST(EscrowTest, HistoryValidatesUnderEscrowSemantics) {
+  Database db;
+  RegisterAccountMethods(&db, EscrowAccountType());
+  ObjectId acct = CreateAccount(&db, EscrowAccountType(), "A", 1000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        (void)db.RunTransaction("T", [&](MethodContext& txn) {
+          OODB_RETURN_IF_ERROR(
+              txn.Call(acct, Invocation("deposit", {Value(3)})));
+          return txn.Call(acct, Invocation("withdraw", {Value(2)}));
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.StateOf<AccountState>(acct)->balance, 1040);
+  ValidationReport report = Validator::Validate(&db.ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+}
+
+// ---------------------------------------------------------------------
+// FIFO queue
+// ---------------------------------------------------------------------
+
+TEST(QueueTest, EnqDeqFifoOrder) {
+  Database db;
+  RegisterQueueMethods(&db);
+  ObjectId q = CreateQueue(&db, "Q");
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  OODB_RETURN_IF_ERROR(
+                      txn.Call(q, Invocation("enq", {Value("a")})));
+                  return txn.Call(q, Invocation("enq", {Value("b")}));
+                }).ok());
+  Value out;
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(q, Invocation("deq"), &out);
+                }).ok());
+  EXPECT_EQ(out.AsString(), "a");
+}
+
+TEST(QueueTest, DeqEmptyIsNone) {
+  Database db;
+  RegisterQueueMethods(&db);
+  ObjectId q = CreateQueue(&db, "Q");
+  Value out("x");
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(q, Invocation("deq"), &out);
+                }).ok());
+  EXPECT_TRUE(out.IsNone());
+}
+
+TEST(QueueTest, AbortedEnqCancelled) {
+  Database db;
+  RegisterQueueMethods(&db);
+  ObjectId q = CreateQueue(&db, "Q");
+  (void)db.RunTransaction("T", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(txn.Call(q, Invocation("enq", {Value("x")})));
+    return Status::Aborted("no");
+  });
+  EXPECT_TRUE(db.StateOf<QueueState>(q)->items.empty());
+}
+
+TEST(QueueTest, AbortedDeqRestoredToFront) {
+  Database db;
+  RegisterQueueMethods(&db);
+  ObjectId q = CreateQueue(&db, "Q");
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  OODB_RETURN_IF_ERROR(
+                      txn.Call(q, Invocation("enq", {Value("a")})));
+                  return txn.Call(q, Invocation("enq", {Value("b")}));
+                }).ok());
+  (void)db.RunTransaction("T", [&](MethodContext& txn) {
+    Value out;
+    OODB_RETURN_IF_ERROR(txn.Call(q, Invocation("deq"), &out));
+    EXPECT_EQ(out.AsString(), "a");
+    return Status::Aborted("no");
+  });
+  auto* state = db.StateOf<QueueState>(q);
+  ASSERT_EQ(state->items.size(), 2u);
+  EXPECT_EQ(state->items.front(), "a");
+}
+
+TEST(QueueTest, ConcurrentEnqueuersCommute) {
+  Database db;
+  RegisterQueueMethods(&db);
+  ObjectId q = CreateQueue(&db, "Q");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        (void)db.RunTransaction("E", [&](MethodContext& txn) {
+          return txn.Call(
+              q, Invocation("enq", {Value("v" + std::to_string(t))}));
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.StateOf<QueueState>(q)->items.size(), 100u);
+  EXPECT_EQ(db.counters().deadlocks.load(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Directory
+// ---------------------------------------------------------------------
+
+TEST(DirectoryTest, InsertLookupRemoveUpdate) {
+  Database db;
+  RegisterDirectoryMethods(&db);
+  ObjectId dir = CreateDirectory(&db, "D");
+  Value out;
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  OODB_RETURN_IF_ERROR(txn.Call(
+                      dir, Invocation("insert", {Value("k"), Value("1")}),
+                      &out));
+                  return Status::OK();
+                }).ok());
+  EXPECT_EQ(out.AsInt(), 1);  // new key
+
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(
+                      dir, Invocation("update", {Value("k"), Value("2")}),
+                      &out);
+                }).ok());
+  EXPECT_EQ(out.AsString(), "1");  // old value
+
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(dir, Invocation("lookup", {Value("k")}),
+                                  &out);
+                }).ok());
+  EXPECT_EQ(out.AsString(), "2");
+
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(dir, Invocation("remove", {Value("k")}),
+                                  &out);
+                }).ok());
+  EXPECT_EQ(out.AsString(), "2");
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(dir, Invocation("lookup", {Value("k")}),
+                                  &out);
+                }).ok());
+  EXPECT_TRUE(out.IsNone());
+}
+
+TEST(DirectoryTest, KeyedCommutativityDeclared) {
+  Invocation ia("insert", {Value("a"), Value("1")});
+  Invocation ib("insert", {Value("b"), Value("1")});
+  Invocation la("lookup", {Value("a")});
+  EXPECT_TRUE(DirectoryType()->Commutes(ia, ib));
+  EXPECT_FALSE(DirectoryType()->Commutes(ia, ia));
+  EXPECT_FALSE(DirectoryType()->Commutes(ia, la));
+  EXPECT_TRUE(DirectoryType()->Commutes(ib, la));
+}
+
+TEST(DirectoryTest, ConcurrentDistinctKeysNoWaits) {
+  Database db;
+  RegisterDirectoryMethods(&db);
+  ObjectId dir = CreateDirectory(&db, "D");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        std::string key = "t" + std::to_string(t) + "_" + std::to_string(i);
+        (void)db.RunTransaction("I", [&](MethodContext& txn) {
+          return txn.Call(dir,
+                          Invocation("insert", {Value(key), Value("v")}));
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.StateOf<DirectoryState>(dir)->entries.size(), 100u);
+  EXPECT_EQ(db.counters().committed.load(), 100u);
+}
+
+}  // namespace
+}  // namespace oodb

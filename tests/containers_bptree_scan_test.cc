@@ -1,0 +1,205 @@
+// Range scans and phantom protection on the B+ tree.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <thread>
+
+#include "containers/bptree.h"
+#include "containers/codec.h"
+#include "containers/page_ops.h"
+#include "schedule/validator.h"
+
+namespace oodb {
+namespace {
+
+class BpTreeScanTest : public ::testing::Test {
+ protected:
+  void Build(size_t leaf_capacity = 4, size_t fanout = 4) {
+    DatabaseOptions opts;
+    opts.lock_options.wait_timeout = std::chrono::milliseconds(3000);
+    db_ = std::make_unique<Database>(opts);
+    RegisterPageMethods(db_.get());
+    BpTree::RegisterMethods(db_.get());
+    tree_ = BpTree::Create(db_.get(), "T", leaf_capacity, fanout);
+  }
+
+  std::string Key(int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    return buf;
+  }
+
+  void Load(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(db_->RunTransaction("load", [&](MethodContext& txn) {
+                      return txn.Call(tree_, BpTree::Insert(Key(i), Key(i)));
+                    }).ok());
+    }
+  }
+
+  std::vector<std::string> Scan(const std::string& lo,
+                                const std::string& hi) {
+    Value out;
+    Status st = db_->RunTransaction("scan", [&](MethodContext& txn) {
+      return txn.Call(tree_, BpTree::Scan(lo, hi), &out);
+    });
+    EXPECT_TRUE(st.ok()) << st;
+    return SplitFields(out.AsString());
+  }
+
+  std::unique_ptr<Database> db_;
+  ObjectId tree_;
+};
+
+TEST_F(BpTreeScanTest, EmptyTreeScanEmpty) {
+  Build();
+  EXPECT_TRUE(Scan("a", "z").empty());
+}
+
+TEST_F(BpTreeScanTest, FullRangeReturnsEverythingInOrder) {
+  Build();
+  Load(30);
+  auto fields = Scan(Key(0), Key(29));
+  ASSERT_EQ(fields.size(), 60u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(fields[2 * i], Key(i));
+    EXPECT_EQ(fields[2 * i + 1], Key(i));
+  }
+}
+
+TEST_F(BpTreeScanTest, SubrangeBoundsInclusive) {
+  Build();
+  Load(30);
+  auto fields = Scan(Key(10), Key(19));
+  ASSERT_EQ(fields.size(), 20u);
+  EXPECT_EQ(fields[0], Key(10));
+  EXPECT_EQ(fields[18], Key(19));
+}
+
+TEST_F(BpTreeScanTest, RangeOutsideKeysEmpty) {
+  Build();
+  Load(10);
+  EXPECT_TRUE(Scan("z0", "z9").empty());
+}
+
+TEST_F(BpTreeScanTest, ScanCrossesLeafBoundaries) {
+  Build(/*leaf_capacity=*/3, /*fanout=*/3);  // many tiny leaves
+  Load(40);
+  auto fields = Scan(Key(5), Key(35));
+  ASSERT_EQ(fields.size(), 62u);
+  EXPECT_EQ(fields[0], Key(5));
+  EXPECT_EQ(fields[60], Key(35));
+}
+
+TEST_F(BpTreeScanTest, ScanAfterErase) {
+  Build();
+  Load(10);
+  ASSERT_TRUE(db_->RunTransaction("del", [&](MethodContext& txn) {
+                  return txn.Call(tree_, BpTree::Erase(Key(5)));
+                }).ok());
+  auto fields = Scan(Key(0), Key(9));
+  ASSERT_EQ(fields.size(), 18u);
+  for (const std::string& f : fields) EXPECT_NE(f, Key(5));
+}
+
+TEST_F(BpTreeScanTest, ScanCommutativityDeclared) {
+  Invocation scan("scan", {Value("k010"), Value("k020")});
+  Invocation in("insert", {Value("k015"), Value("v")});
+  Invocation out("insert", {Value("k030"), Value("v")});
+  Invocation search_in("search", {Value("k015")});
+  EXPECT_FALSE(BpTreeObjectType()->Commutes(scan, in));
+  EXPECT_TRUE(BpTreeObjectType()->Commutes(scan, out));
+  EXPECT_TRUE(BpTreeObjectType()->Commutes(scan, search_in));
+  EXPECT_TRUE(BpTreeObjectType()->Commutes(scan, scan));
+  // Symmetric direction.
+  EXPECT_FALSE(BpTreeObjectType()->Commutes(in, scan));
+  EXPECT_TRUE(BpTreeObjectType()->Commutes(out, scan));
+}
+
+TEST_F(BpTreeScanTest, PhantomInsertBlocksUntilScannerCommits) {
+  Build(/*leaf_capacity=*/8, /*fanout=*/8);
+  Load(20);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool scan_done = false;
+  bool scanner_may_commit = false;
+  std::atomic<bool> insert_committed{false};
+
+  // Scanner: scans [k005, k015], then holds its locks until released.
+  std::thread scanner([&] {
+    Status st = db_->RunTransaction("scan", [&](MethodContext& txn) {
+      Value out;
+      OODB_RETURN_IF_ERROR(
+          txn.Call(tree_, BpTree::Scan(Key(5), Key(15)), &out));
+      {
+        std::lock_guard<std::mutex> lock(m);
+        scan_done = true;
+      }
+      cv.notify_all();
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [&] { return scanner_may_commit; });
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st;
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return scan_done; });
+  }
+
+  // In-range insert: must block on the scan's predicate lock.
+  std::thread inserter([&] {
+    Status st = db_->RunTransaction("ins", [&](MethodContext& txn) {
+      return txn.Call(tree_, BpTree::Insert("k010x", "phantom"));
+    });
+    EXPECT_TRUE(st.ok()) << st;
+    insert_committed = true;
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(insert_committed.load())
+      << "in-range insert must wait for the scanner";
+
+  // Out-of-range insert: sails through while the scanner still holds.
+  ASSERT_TRUE(db_->RunTransaction("ins2", [&](MethodContext& txn) {
+                  return txn.Call(tree_, BpTree::Insert("k030x", "fine"));
+                }).ok());
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    scanner_may_commit = true;
+  }
+  cv.notify_all();
+  scanner.join();
+  inserter.join();
+  EXPECT_TRUE(insert_committed.load());
+
+  ValidationReport report = Validator::Validate(&db_->ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+}
+
+TEST_F(BpTreeScanTest, ConcurrentScannersDoNotBlock) {
+  Build();
+  Load(20);
+  std::atomic<uint64_t> waits_before{db_->locks().wait_count()};
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < 4; ++t) {
+    scanners.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        Value out;
+        (void)db_->RunTransaction("scan", [&](MethodContext& txn) {
+          return txn.Call(tree_, BpTree::Scan(Key(0), Key(19)), &out);
+        });
+      }
+    });
+  }
+  for (auto& t : scanners) t.join();
+  EXPECT_EQ(db_->locks().wait_count(), waits_before.load());
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,214 @@
+#include "containers/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "containers/page_ops.h"
+#include "schedule/validator.h"
+
+namespace oodb {
+namespace {
+
+class HashIndexTest : public ::testing::Test {
+ protected:
+  void Build(size_t bucket_capacity = 4) {
+    db_ = std::make_unique<Database>();
+    RegisterPageMethods(db_.get());
+    HashIndex::RegisterMethods(db_.get());
+    index_ = HashIndex::Create(db_.get(), "H", bucket_capacity);
+  }
+
+  Status Insert(const std::string& k, const std::string& v) {
+    return db_->RunTransaction("ins", [&](MethodContext& txn) {
+      return txn.Call(index_, HashIndex::Insert(k, v));
+    });
+  }
+
+  Value Search(const std::string& k) {
+    Value out;
+    Status st = db_->RunTransaction("get", [&](MethodContext& txn) {
+      return txn.Call(index_, HashIndex::Search(k), &out);
+    });
+    EXPECT_TRUE(st.ok()) << st;
+    return out;
+  }
+
+  std::string Key(int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "h%04d", i);
+    return buf;
+  }
+
+  std::unique_ptr<Database> db_;
+  ObjectId index_;
+};
+
+TEST(HashKeyTest, DeterministicAndSpread) {
+  EXPECT_EQ(HashKey("abc"), HashKey("abc"));
+  EXPECT_NE(HashKey("abc"), HashKey("abd"));
+  // Low bits spread: over 256 keys, both values of bit 0 occur.
+  std::set<uint64_t> low_bits;
+  for (int i = 0; i < 256; ++i) {
+    low_bits.insert(HashKey("k" + std::to_string(i)) & 1);
+  }
+  EXPECT_EQ(low_bits.size(), 2u);
+}
+
+TEST_F(HashIndexTest, EmptySearchIsNone) {
+  Build();
+  EXPECT_TRUE(Search("nope").IsNone());
+}
+
+TEST_F(HashIndexTest, InsertSearchRoundTrip) {
+  Build();
+  ASSERT_TRUE(Insert("a", "1").ok());
+  EXPECT_EQ(Search("a").AsString(), "1");
+}
+
+TEST_F(HashIndexTest, OverwriteKeepsLatest) {
+  Build();
+  ASSERT_TRUE(Insert("a", "1").ok());
+  ASSERT_TRUE(Insert("a", "2").ok());
+  EXPECT_EQ(Search("a").AsString(), "2");
+}
+
+TEST_F(HashIndexTest, SplitsPreserveAllKeys) {
+  Build(/*bucket_capacity=*/4);
+  constexpr int kN = 200;  // forces many splits and directory doublings
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(Insert(Key(i), Key(i)).ok()) << i;
+  }
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(Search(Key(i)).AsString(), Key(i)) << i;
+  }
+  auto* state = db_->StateOf<HashIndexState>(index_);
+  EXPECT_GT(state->global_depth, 2u);
+  EXPECT_EQ(state->directory.size(), size_t{1} << state->global_depth);
+}
+
+TEST_F(HashIndexTest, DirectoryInvariantsAfterLoad) {
+  Build(4);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(Insert(Key(i), "v").ok());
+  auto* state = db_->StateOf<HashIndexState>(index_);
+  for (size_t slot = 0; slot < state->directory.size(); ++slot) {
+    ObjectId bucket = state->directory[slot];
+    ASSERT_TRUE(bucket.valid());
+    auto* b = db_->StateOf<BucketState>(bucket);
+    // The slot's low local_depth bits match the bucket's pattern.
+    EXPECT_EQ(uint64_t(slot) & ((uint64_t{1} << b->local_depth) - 1),
+              b->pattern)
+        << "slot " << slot;
+    EXPECT_LE(b->local_depth, state->global_depth);
+  }
+}
+
+TEST_F(HashIndexTest, EraseRemovesKey) {
+  Build();
+  ASSERT_TRUE(Insert("a", "1").ok());
+  ASSERT_TRUE(Insert("b", "2").ok());
+  Value old;
+  ASSERT_TRUE(db_->RunTransaction("del", [&](MethodContext& txn) {
+                  return txn.Call(index_, HashIndex::Erase("a"), &old);
+                }).ok());
+  EXPECT_EQ(old.AsString(), "1");
+  EXPECT_TRUE(Search("a").IsNone());
+  EXPECT_EQ(Search("b").AsString(), "2");
+}
+
+TEST_F(HashIndexTest, AbortCompensates) {
+  Build();
+  ASSERT_TRUE(Insert("keep", "1").ok());
+  (void)db_->RunTransaction("abort", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(txn.Call(index_, HashIndex::Insert("gone", "2")));
+    OODB_RETURN_IF_ERROR(txn.Call(index_, HashIndex::Insert("keep", "9")));
+    return Status::Aborted("rollback");
+  });
+  EXPECT_TRUE(Search("gone").IsNone());
+  EXPECT_EQ(Search("keep").AsString(), "1");
+}
+
+TEST_F(HashIndexTest, AbortAcrossSplitCompensatesContentOnly) {
+  Build(/*bucket_capacity=*/2);
+  ASSERT_TRUE(Insert(Key(0), "v").ok());
+  ASSERT_TRUE(Insert(Key(1), "v").ok());
+  (void)db_->RunTransaction("abort", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(txn.Call(index_, HashIndex::Insert(Key(2), "v")));
+    return Status::Aborted("rollback");
+  });
+  // The split (if any) persists; the inserted key does not.
+  EXPECT_TRUE(Search(Key(2)).IsNone());
+  EXPECT_EQ(Search(Key(0)).AsString(), "v");
+  EXPECT_EQ(Search(Key(1)).AsString(), "v");
+}
+
+TEST_F(HashIndexTest, SequentialHistoryValidates) {
+  Build(4);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(Insert(Key(i), "v").ok());
+  ValidationReport report = Validator::Validate(&db_->ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+  EXPECT_TRUE(report.conform);
+}
+
+TEST_F(HashIndexTest, ConcurrentInsertsAllLand) {
+  Build(/*bucket_capacity=*/8);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 40;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kEach; ++i) {
+        int id = t * kEach + i;
+        Status st = db_->RunTransaction("ins", [&](MethodContext& txn) {
+          return txn.Call(index_, HashIndex::Insert(Key(id), Key(id)));
+        });
+        if (!st.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int i = 0; i < kThreads * kEach; ++i) {
+    EXPECT_EQ(Search(Key(i)).AsString(), Key(i)) << i;
+  }
+  EXPECT_EQ(db_->locks().LockCount(), 0u);
+  ValidationReport report = Validator::Validate(&db_->ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+}
+
+TEST_F(HashIndexTest, ConcurrentMixedOps) {
+  Build(8);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(Insert(Key(i), "base").ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 30; ++i) {
+        int id = (i * 17 + t * 5) % 60;
+        if (i % 4 == 0) {
+          Value out;
+          (void)db_->RunTransaction("get", [&](MethodContext& txn) {
+            return txn.Call(index_, HashIndex::Search(Key(id)), &out);
+          });
+        } else if (i % 7 == 0) {
+          (void)db_->RunTransaction("del", [&](MethodContext& txn) {
+            return txn.Call(index_, HashIndex::Erase(Key(id)));
+          });
+        } else {
+          (void)db_->RunTransaction("ins", [&](MethodContext& txn) {
+            return txn.Call(index_,
+                            HashIndex::Insert(Key(id), "t" + std::to_string(t)));
+          });
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db_->locks().LockCount(), 0u);
+  ValidationReport report = Validator::Validate(&db_->ts());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,181 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/database.h"
+#include "containers/codec.h"
+#include "containers/page_ops.h"
+
+namespace oodb {
+namespace {
+
+TEST(PageStateTest, ReadWriteErase) {
+  PageState page(4);
+  EXPECT_FALSE(page.Read("a").ok());
+  ASSERT_TRUE(page.Write("a", "1").ok());
+  ASSERT_TRUE(page.Write("b", "2").ok());
+  EXPECT_EQ(*page.Read("a"), "1");
+  EXPECT_TRUE(page.Contains("b"));
+  EXPECT_EQ(page.size(), 2u);
+  ASSERT_TRUE(page.Erase("a").ok());
+  EXPECT_FALSE(page.Contains("a"));
+  EXPECT_TRUE(page.Erase("a").IsNotFound());
+}
+
+TEST(PageStateTest, OverwriteDoesNotGrow) {
+  PageState page(2);
+  ASSERT_TRUE(page.Write("a", "1").ok());
+  ASSERT_TRUE(page.Write("b", "2").ok());
+  ASSERT_TRUE(page.Write("a", "3").ok());  // overwrite while full
+  EXPECT_EQ(*page.Read("a"), "3");
+}
+
+TEST(PageStateTest, CapacityEnforced) {
+  PageState page(2);
+  ASSERT_TRUE(page.Write("a", "1").ok());
+  ASSERT_TRUE(page.Write("b", "2").ok());
+  Status st = page.Write("c", "3");
+  EXPECT_EQ(st.code(), StatusCode::kCapacity);
+  EXPECT_TRUE(page.Full());
+}
+
+TEST(PageStateTest, KeysSorted) {
+  PageState page(8);
+  ASSERT_TRUE(page.Write("c", "3").ok());
+  ASSERT_TRUE(page.Write("a", "1").ok());
+  ASSERT_TRUE(page.Write("b", "2").ok());
+  auto keys = page.Keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[2], "c");
+}
+
+TEST(PageStateTest, SplitUpperHalf) {
+  PageState page(8);
+  for (char c = 'a'; c <= 'f'; ++c) {
+    ASSERT_TRUE(page.Write(std::string(1, c), "v").ok());
+  }
+  auto upper = page.SplitUpperHalf();
+  EXPECT_EQ(upper.size(), 3u);
+  EXPECT_EQ(page.size(), 3u);
+  EXPECT_TRUE(page.Contains("a"));
+  EXPECT_TRUE(upper.count("f"));
+}
+
+class PageMethodsTest : public ::testing::Test {
+ protected:
+  PageMethodsTest() {
+    RegisterPageMethods(&db_);
+    page_ = CreatePage(&db_, "P", 4);
+  }
+
+  Status Run(const Invocation& inv, Value* out = nullptr) {
+    return db_.RunTransaction("T", [&](MethodContext& txn) {
+      return txn.Call(page_, inv, out);
+    });
+  }
+
+  Database db_;
+  ObjectId page_;
+};
+
+TEST_F(PageMethodsTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(Run(Invocation("write", {Value("k"), Value("v")})).ok());
+  Value out;
+  ASSERT_TRUE(Run(Invocation("read", {Value("k")}), &out).ok());
+  EXPECT_EQ(out.AsString(), "v");
+}
+
+TEST_F(PageMethodsTest, ReadAbsentIsNone) {
+  Value out("sentinel");
+  ASSERT_TRUE(Run(Invocation("read", {Value("nope")}), &out).ok());
+  EXPECT_TRUE(out.IsNone());
+}
+
+TEST_F(PageMethodsTest, EraseReturnsOldValue) {
+  ASSERT_TRUE(Run(Invocation("write", {Value("k"), Value("v")})).ok());
+  Value out;
+  ASSERT_TRUE(Run(Invocation("erase", {Value("k")}), &out).ok());
+  EXPECT_EQ(out.AsString(), "v");
+  // Erase of absent key is an OK no-op returning none.
+  ASSERT_TRUE(Run(Invocation("erase", {Value("k")}), &out).ok());
+  EXPECT_TRUE(out.IsNone());
+}
+
+TEST_F(PageMethodsTest, ScanReturnsAllEntries) {
+  ASSERT_TRUE(Run(Invocation("write", {Value("b"), Value("2")})).ok());
+  ASSERT_TRUE(Run(Invocation("write", {Value("a"), Value("1")})).ok());
+  Value out;
+  ASSERT_TRUE(Run(Invocation("scan"), &out).ok());
+  auto fields = SplitFields(out.AsString());
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "1");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "2");
+}
+
+TEST_F(PageMethodsTest, RouteLEFindsFloor) {
+  ASSERT_TRUE(Run(Invocation("write", {Value(""), Value("low")})).ok());
+  ASSERT_TRUE(Run(Invocation("write", {Value("m"), Value("mid")})).ok());
+  Value out;
+  ASSERT_TRUE(Run(Invocation("routeLE", {Value("a")}), &out).ok());
+  EXPECT_EQ(out.AsString(), "low");
+  ASSERT_TRUE(Run(Invocation("routeLE", {Value("m")}), &out).ok());
+  EXPECT_EQ(out.AsString(), "mid");
+  ASSERT_TRUE(Run(Invocation("routeLE", {Value("z")}), &out).ok());
+  EXPECT_EQ(out.AsString(), "mid");
+}
+
+TEST_F(PageMethodsTest, CountAndContains) {
+  Value out;
+  ASSERT_TRUE(Run(Invocation("count"), &out).ok());
+  EXPECT_EQ(out.AsInt(), 0);
+  ASSERT_TRUE(Run(Invocation("write", {Value("k"), Value("v")})).ok());
+  ASSERT_TRUE(Run(Invocation("count"), &out).ok());
+  EXPECT_EQ(out.AsInt(), 1);
+  ASSERT_TRUE(Run(Invocation("contains", {Value("k")}), &out).ok());
+  EXPECT_EQ(out.AsInt(), 1);
+  ASSERT_TRUE(Run(Invocation("contains", {Value("x")}), &out).ok());
+  EXPECT_EQ(out.AsInt(), 0);
+}
+
+TEST_F(PageMethodsTest, WriteCompensationRestoresOnAbort) {
+  ASSERT_TRUE(Run(Invocation("write", {Value("k"), Value("old")})).ok());
+  Status st = db_.RunTransaction("T", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(
+        txn.Call(page_, Invocation("write", {Value("k"), Value("new")})));
+    OODB_RETURN_IF_ERROR(
+        txn.Call(page_, Invocation("write", {Value("fresh"), Value("x")})));
+    return Status::Aborted("undo me");
+  });
+  EXPECT_TRUE(st.IsAborted());
+  auto* page = db_.StateOf<PageState>(page_);
+  EXPECT_EQ(*page->Read("k"), "old");
+  EXPECT_FALSE(page->Contains("fresh"));
+}
+
+TEST_F(PageMethodsTest, CodecRoundTrip) {
+  EXPECT_TRUE(SplitFields("").empty());
+  EXPECT_EQ(JoinFields({}), "");
+  auto fields = SplitFields(JoinFields({"a", "", "c"}));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "c");
+  InsertOutcome o;
+  o.had_old = true;
+  o.old_value = "prev";
+  o.split = true;
+  o.split_sep = "m";
+  o.split_child = 42;
+  InsertOutcome d = InsertOutcome::Decode(o.Encode());
+  EXPECT_TRUE(d.had_old);
+  EXPECT_EQ(d.old_value, "prev");
+  EXPECT_TRUE(d.split);
+  EXPECT_EQ(d.split_sep, "m");
+  EXPECT_EQ(d.split_child, 42u);
+}
+
+}  // namespace
+}  // namespace oodb

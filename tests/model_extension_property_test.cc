@@ -1,0 +1,113 @@
+// Property tests for the Def 5 extension on randomly generated systems
+// with injected same-object call cycles.
+
+#include <gtest/gtest.h>
+
+#include "model/extension.h"
+#include "util/random.h"
+#include "paper_types.h"
+
+namespace oodb {
+namespace {
+
+using testing::LeafType;
+
+struct RandomSystem {
+  std::unique_ptr<TransactionSystem> ts;
+  size_t original_actions = 0;
+};
+
+/// Builds `num_txns` random call trees over `num_objects` objects; each
+/// action picks a random parent (possibly creating same-object
+/// revisits along its ancestor chain).
+RandomSystem BuildRandom(uint64_t seed) {
+  RandomSystem out;
+  out.ts = std::make_unique<TransactionSystem>();
+  TransactionSystem& ts = *out.ts;
+  Rng rng(seed);
+  size_t num_objects = 2 + rng.NextBelow(4);
+  std::vector<ObjectId> objects;
+  for (size_t i = 0; i < num_objects; ++i) {
+    objects.push_back(
+        ts.AddObject(LeafType(), "O" + std::to_string(i)));
+  }
+  size_t num_txns = 1 + rng.NextBelow(3);
+  for (size_t t = 0; t < num_txns; ++t) {
+    ActionId top = ts.BeginTopLevel("T" + std::to_string(t + 1));
+    std::vector<ActionId> nodes{top};
+    size_t actions = 3 + rng.NextBelow(8);
+    for (size_t i = 0; i < actions; ++i) {
+      ActionId parent = nodes[rng.NextBelow(nodes.size())];
+      ObjectId obj = objects[rng.NextBelow(objects.size())];
+      nodes.push_back(ts.Call(
+          parent, obj,
+          Invocation("insert",
+                     {Value("k" + std::to_string(rng.NextBelow(5)))})));
+    }
+  }
+  out.original_actions = ts.action_count();
+  return out;
+}
+
+class ExtensionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtensionProperty, ExtendEstablishesAndPreservesInvariants) {
+  RandomSystem sys = BuildRandom(GetParam());
+  TransactionSystem& ts = *sys.ts;
+
+  size_t offenders = SystemExtender::FindCycleActions(ts).size();
+  ExtensionStats stats = SystemExtender::Extend(&ts);
+
+  // Every offender resolved; none remain.
+  EXPECT_EQ(stats.cycles_broken, offenders);
+  EXPECT_FALSE(SystemExtender::NeedsExtension(ts));
+  EXPECT_EQ(stats.virtual_objects, stats.cycles_broken);
+
+  // Growth accounting: new actions are exactly the virtual duplicates.
+  EXPECT_EQ(ts.action_count(),
+            sys.original_actions + stats.virtual_actions);
+
+  for (uint64_t i = 0; i < ts.action_count(); ++i) {
+    const ActionRecord& rec = ts.action(ActionId(i));
+    if (i < sys.original_actions) {
+      EXPECT_FALSE(rec.is_virtual);
+      // Original call edges (parents) are never rewired.
+      if (rec.parent.valid()) {
+        EXPECT_LT(rec.parent.value, sys.original_actions);
+      }
+    } else {
+      // Duplicates: virtual, childless, called by their original, same
+      // invocation, on a virtual object.
+      EXPECT_TRUE(rec.is_virtual);
+      EXPECT_TRUE(rec.children.empty());
+      ASSERT_TRUE(rec.original.valid());
+      EXPECT_EQ(rec.parent, rec.original);
+      EXPECT_EQ(rec.invocation, ts.action(rec.original).invocation);
+      EXPECT_TRUE(ts.object(rec.object).is_virtual);
+    }
+  }
+
+  // No object holds both an action and one of its proper ancestors.
+  for (ObjectId o : ts.Objects()) {
+    const auto& acts = ts.ActionsOn(o);
+    for (ActionId a : acts) {
+      for (ActionId b : acts) {
+        if (a == b) continue;
+        EXPECT_FALSE(ts.CallsTransitively(a, b))
+            << ts.Describe(a) << " is an ancestor of " << ts.Describe(b)
+            << " on " << ts.object(o).name;
+      }
+    }
+  }
+
+  // Idempotence.
+  ExtensionStats again = SystemExtender::Extend(&ts);
+  EXPECT_EQ(again.cycles_broken, 0u);
+  EXPECT_EQ(again.virtual_actions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,206 @@
+#include "model/extension.h"
+
+#include <gtest/gtest.h>
+
+namespace oodb {
+namespace {
+
+const ObjectType* NodeType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    spec->SetPredicate("insert", "insert",
+                       PredicateCommutativity::DifferentParam(0));
+    spec->SetConflicts("insert", "rearrange");
+    spec->SetConflicts("rearrange", "rearrange");
+    return new ObjectType("Node", std::move(spec));
+  }();
+  return type;
+}
+
+const ObjectType* PageType() {
+  static const ObjectType* type = [] {
+    return new ObjectType("Page",
+                          std::make_unique<ReadWriteCommutativity>(
+                              std::set<std::string>{"read"}),
+                          /*primitive=*/true);
+  }();
+  return type;
+}
+
+TEST(ExtensionTest, NoCycleNoWork) {
+  TransactionSystem ts;
+  ObjectId node = ts.AddObject(NodeType(), "Node6");
+  ObjectId page = ts.AddObject(PageType(), "Page1");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId ins = ts.Call(t1, node, Invocation("insert", {Value("k")}));
+  ts.Call(ins, page, Invocation("write"));
+  EXPECT_FALSE(SystemExtender::NeedsExtension(ts));
+  ExtensionStats stats = SystemExtender::Extend(&ts);
+  EXPECT_EQ(stats.cycles_broken, 0u);
+  EXPECT_EQ(stats.virtual_objects, 0u);
+  EXPECT_EQ(ts.object_count(), 3u);
+}
+
+TEST(ExtensionTest, BLinkRearrangeCycleBroken) {
+  // The paper's section 2 schedule:
+  //   Node6.insert -> Leaf11.insert -> Leaf12.insert -> Node6.rearrange
+  // Node6 is accessed twice along one call path.
+  TransactionSystem ts;
+  ObjectId node6 = ts.AddObject(NodeType(), "Node6");
+  ObjectId leaf11 = ts.AddObject(NodeType(), "Leaf11");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId ins = ts.Call(t1, node6, Invocation("insert", {Value("k")}));
+  ActionId lins = ts.Call(ins, leaf11, Invocation("insert", {Value("k")}));
+  ActionId rearr = ts.Call(lins, node6, Invocation("rearrange"));
+
+  EXPECT_TRUE(SystemExtender::NeedsExtension(ts));
+  auto offenders = SystemExtender::FindCycleActions(ts);
+  ASSERT_EQ(offenders.size(), 1u);
+  EXPECT_EQ(offenders[0], rearr);
+
+  ExtensionStats stats = SystemExtender::Extend(&ts);
+  EXPECT_EQ(stats.cycles_broken, 1u);
+  EXPECT_EQ(stats.virtual_objects, 1u);
+  // Node6 had {ins, rearr}; rearr moved away, so ins is duplicated.
+  EXPECT_EQ(stats.virtual_actions, 1u);
+  EXPECT_FALSE(SystemExtender::NeedsExtension(ts));
+
+  // rearr now lives on the virtual object Node6'.
+  ObjectId vobj = ts.action(rearr).object;
+  EXPECT_NE(vobj, node6);
+  EXPECT_TRUE(ts.object(vobj).is_virtual);
+  EXPECT_EQ(ts.object(vobj).original, node6);
+  EXPECT_EQ(ts.object(vobj).name, "Node6'");
+
+  // ins keeps its object and gained a virtual duplicate child on Node6'.
+  EXPECT_EQ(ts.action(ins).object, node6);
+  bool found_dup = false;
+  for (ActionId c : ts.action(ins).children) {
+    const ActionRecord& rec = ts.action(c);
+    if (rec.is_virtual) {
+      found_dup = true;
+      EXPECT_EQ(rec.object, vobj);
+      EXPECT_EQ(rec.original, ins);
+      EXPECT_EQ(rec.invocation, ts.action(ins).invocation);
+    }
+  }
+  EXPECT_TRUE(found_dup);
+
+  // ACT_Node6 no longer contains rearr.
+  for (ActionId a : ts.ActionsOn(node6)) EXPECT_NE(a, rearr);
+}
+
+TEST(ExtensionTest, Idempotent) {
+  TransactionSystem ts;
+  ObjectId node6 = ts.AddObject(NodeType(), "Node6");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId ins = ts.Call(t1, node6, Invocation("insert", {Value("k")}));
+  ts.Call(ins, node6, Invocation("rearrange"));
+
+  SystemExtender::Extend(&ts);
+  size_t objects = ts.object_count();
+  size_t actions = ts.action_count();
+  ExtensionStats again = SystemExtender::Extend(&ts);
+  EXPECT_EQ(again.cycles_broken, 0u);
+  EXPECT_EQ(ts.object_count(), objects);
+  EXPECT_EQ(ts.action_count(), actions);
+}
+
+TEST(ExtensionTest, OtherTransactionsActionsDuplicated) {
+  // A concurrent transaction's conflicting action on Node6 must be
+  // duplicated so the moved rearrange can still observe the conflict.
+  TransactionSystem ts;
+  ObjectId node6 = ts.AddObject(NodeType(), "Node6");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ActionId ins1 = ts.Call(t1, node6, Invocation("insert", {Value("a")}));
+  ActionId rearr = ts.Call(ins1, node6, Invocation("rearrange"));
+  ActionId ins2 = ts.Call(t2, node6, Invocation("insert", {Value("b")}));
+
+  ExtensionStats stats = SystemExtender::Extend(&ts);
+  EXPECT_EQ(stats.cycles_broken, 1u);
+  // Both ins1 and ins2 duplicated onto Node6'.
+  EXPECT_EQ(stats.virtual_actions, 2u);
+
+  ObjectId vobj = ts.action(rearr).object;
+  // ACT_Node6' = {rearr, ins1', ins2'}.
+  EXPECT_EQ(ts.ActionsOn(vobj).size(), 3u);
+  size_t virt = 0;
+  for (ActionId a : ts.ActionsOn(vobj)) {
+    if (ts.action(a).is_virtual) {
+      ++virt;
+      ActionId orig = ts.action(a).original;
+      EXPECT_TRUE(orig == ins1 || orig == ins2);
+    }
+  }
+  EXPECT_EQ(virt, 2u);
+}
+
+TEST(ExtensionTest, PrimitiveTimestampCopiedToDuplicate) {
+  TransactionSystem ts;
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId w1 = ts.Call(t1, page, Invocation("write"));
+  ts.SetTimestamp(w1, ts.NextTimestamp());
+  // A deeper access to the same page from within w1's subtree: writes on
+  // pages are primitive, so this is artificial, but exercises the copy.
+  ActionId w2 = ts.Call(w1, page, Invocation("write"));
+  ts.SetTimestamp(w2, ts.NextTimestamp());
+
+  SystemExtender::Extend(&ts);
+  ObjectId vobj = ts.action(w2).object;
+  ASSERT_NE(vobj, page);
+  size_t dups = 0;
+  for (ActionId a : ts.ActionsOn(vobj)) {
+    const ActionRecord& rec = ts.action(a);
+    if (rec.is_virtual) {
+      ++dups;
+      EXPECT_EQ(rec.timestamp, ts.action(rec.original).timestamp);
+      // The duplicate of a primitive is itself primitive on the virtual
+      // object, so Axiom 1 can order it against the moved action.
+      EXPECT_TRUE(ts.IsPrimitive(a));
+    }
+  }
+  EXPECT_EQ(dups, 1u);
+  // w1 genuinely calls w2, so it is not primitive (Def 3) — but the
+  // *virtual* duplicate child alone would not have disqualified it.
+  EXPECT_FALSE(ts.IsPrimitive(w1));
+  EXPECT_TRUE(ts.IsPrimitive(w2));
+}
+
+TEST(ExtensionTest, MultipleOffendersEachGetOwnVirtualObject) {
+  TransactionSystem ts;
+  ObjectId node = ts.AddObject(NodeType(), "N");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, node, Invocation("insert", {Value("x")}));
+  ActionId r1 = ts.Call(a, node, Invocation("rearrange"), false);
+  ActionId r2 = ts.Call(a, node, Invocation("rearrange"), false);
+
+  ExtensionStats stats = SystemExtender::Extend(&ts);
+  EXPECT_EQ(stats.cycles_broken, 2u);
+  EXPECT_EQ(stats.virtual_objects, 2u);
+  EXPECT_NE(ts.action(r1).object, ts.action(r2).object);
+  EXPECT_FALSE(SystemExtender::NeedsExtension(ts));
+}
+
+TEST(ExtensionTest, DeepChainResolved) {
+  // t -> a -> b, where t, a, b all access object O: two offenders at
+  // different depths.
+  TransactionSystem ts;
+  ObjectId node = ts.AddObject(NodeType(), "N");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, node, Invocation("insert", {Value("x")}));
+  ActionId b = ts.Call(a, node, Invocation("rearrange"));
+  ActionId c = ts.Call(b, node, Invocation("rearrange"));
+
+  EXPECT_EQ(SystemExtender::FindCycleActions(ts).size(), 2u);
+  SystemExtender::Extend(&ts);
+  EXPECT_FALSE(SystemExtender::NeedsExtension(ts));
+  // All three end up on pairwise different objects.
+  EXPECT_NE(ts.action(a).object, ts.action(b).object);
+  EXPECT_NE(ts.action(b).object, ts.action(c).object);
+  EXPECT_NE(ts.action(a).object, ts.action(c).object);
+}
+
+}  // namespace
+}  // namespace oodb

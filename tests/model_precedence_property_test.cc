@@ -1,0 +1,137 @@
+// Randomized properties of the Def 7 precedence relation (MustPrecede):
+// irreflexive, antisymmetric, transitive over sequential chains, and
+// consistent with the runtime's actual execution order.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/transaction_system.h"
+#include "util/random.h"
+#include "paper_types.h"
+
+namespace oodb {
+namespace {
+
+using testing::LeafType;
+using testing::PageType;
+
+struct RandomTree {
+  TransactionSystem ts;
+  std::vector<ActionId> actions;
+};
+
+void BuildRandomTree(RandomTree* out, uint64_t seed) {
+  Rng rng(seed);
+  ObjectId leaf = out->ts.AddObject(LeafType(), "L");
+  ObjectId page = out->ts.AddObject(PageType(), "P");
+  ActionId top = out->ts.BeginTopLevel("T");
+  out->actions.push_back(top);
+  size_t n = 5 + rng.NextBelow(15);
+  for (size_t i = 0; i < n; ++i) {
+    ActionId parent =
+        out->actions[rng.NextBelow(out->actions.size())];
+    ObjectId obj = rng.NextBool(0.5) ? leaf : page;
+    // 70% sequential (chained precedence), 30% parallel siblings.
+    out->actions.push_back(out->ts.Call(
+        parent, obj,
+        Invocation("insert", {Value("k" + std::to_string(i))}),
+        /*sequential=*/rng.NextBool(0.7)));
+  }
+}
+
+class PrecedenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrecedenceProperty, IrreflexiveAndAntisymmetric) {
+  RandomTree t;
+  BuildRandomTree(&t, GetParam());
+  for (ActionId a : t.actions) {
+    EXPECT_FALSE(t.ts.MustPrecede(a, a)) << t.ts.Describe(a);
+    for (ActionId b : t.actions) {
+      if (a == b) continue;
+      EXPECT_FALSE(t.ts.MustPrecede(a, b) && t.ts.MustPrecede(b, a))
+          << t.ts.Describe(a) << " <> " << t.ts.Describe(b);
+    }
+  }
+}
+
+TEST_P(PrecedenceProperty, AncestorsNeverOrderedAgainstDescendants) {
+  RandomTree t;
+  BuildRandomTree(&t, GetParam());
+  for (ActionId a : t.actions) {
+    for (ActionId b : t.actions) {
+      if (a == b) continue;
+      if (t.ts.CallsTransitively(a, b)) {
+        EXPECT_FALSE(t.ts.MustPrecede(a, b));
+        EXPECT_FALSE(t.ts.MustPrecede(b, a));
+      }
+    }
+  }
+}
+
+TEST_P(PrecedenceProperty, TransitiveOverSiblingChains) {
+  // Within one action set, sequential children form a chain: each
+  // earlier sequential sibling precedes every later one reachable over
+  // the chain; MustPrecede must agree with reachability over the
+  // explicit edges.
+  RandomTree t;
+  BuildRandomTree(&t, GetParam());
+  for (ActionId parent : t.actions) {
+    const auto& rec = t.ts.action(parent);
+    const auto& edges = rec.child_precedence;
+    // Brute-force reachability over the action set's edges.
+    for (ActionId x : rec.children) {
+      for (ActionId y : rec.children) {
+        if (x == y) continue;
+        // BFS over edges.
+        std::vector<ActionId> frontier{x};
+        bool reachable = false;
+        std::vector<uint64_t> seen{x.value};
+        while (!frontier.empty() && !reachable) {
+          ActionId cur = frontier.back();
+          frontier.pop_back();
+          for (const auto& [from, to] : edges) {
+            if (!(from == cur)) continue;
+            if (to == y) {
+              reachable = true;
+              break;
+            }
+            if (std::find(seen.begin(), seen.end(), to.value) ==
+                seen.end()) {
+              seen.push_back(to.value);
+              frontier.push_back(to);
+            }
+          }
+        }
+        EXPECT_EQ(t.ts.MustPrecede(x, y), reachable)
+            << t.ts.Describe(x) << " -> " << t.ts.Describe(y);
+      }
+    }
+  }
+}
+
+TEST_P(PrecedenceProperty, InheritedToDescendantsOfOrderedSiblings) {
+  RandomTree t;
+  BuildRandomTree(&t, GetParam());
+  for (ActionId a : t.actions) {
+    for (ActionId b : t.actions) {
+      if (a == b || !t.ts.MustPrecede(a, b)) continue;
+      // Every descendant pair inherits the order.
+      for (ActionId da : t.actions) {
+        if (!(da == a) && !t.ts.CallsTransitively(a, da)) continue;
+        for (ActionId db : t.actions) {
+          if (!(db == b) && !t.ts.CallsTransitively(b, db)) continue;
+          EXPECT_TRUE(t.ts.MustPrecede(da, db))
+              << t.ts.Describe(da) << " should precede "
+              << t.ts.Describe(db);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrecedenceProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,107 @@
+// CommutativitySpec contract test: every registered object type's
+// specification must be symmetric (Commutes(a, b) == Commutes(b, a))
+// over a broad sample of invocations — Def 9's relation is unordered,
+// and the lock manager and dependency engine both rely on it.
+
+#include <gtest/gtest.h>
+
+#include "apps/bank.h"
+#include "apps/document.h"
+#include "apps/encyclopedia.h"
+#include "containers/bptree.h"
+#include "containers/directory.h"
+#include "containers/fifo_queue.h"
+#include "containers/hash_index.h"
+#include "containers/page_ops.h"
+#include "model/type_registry.h"
+
+namespace oodb {
+namespace {
+
+std::vector<Invocation> SampleInvocations() {
+  std::vector<Invocation> samples;
+  // Keyed container ops over two keys.
+  for (const char* method :
+       {"insert", "search", "erase", "update", "lookup", "remove",
+        "append", "change", "editSection", "readSection"}) {
+    samples.emplace_back(method, ValueList{Value("k1"), Value("v")});
+    samples.emplace_back(method, ValueList{Value("k2"), Value("v")});
+    samples.emplace_back(method, ValueList{Value(int64_t{1}), Value("v")});
+  }
+  // Page / primitive ops.
+  for (const char* method : {"read", "write", "scan", "routeLE", "count",
+                             "contains", "readSeq", "readAll"}) {
+    samples.emplace_back(method, ValueList{Value("k1")});
+  }
+  // Range scans.
+  samples.emplace_back("scan", ValueList{Value("a"), Value("m")});
+  samples.emplace_back("scan", ValueList{Value("n"), Value("z")});
+  // Structural ops.
+  for (const char* method :
+       {"split", "insertSep", "rearrange", "freeze", "stamp", "moveTo"}) {
+    samples.emplace_back(method, ValueList{Value("k1")});
+  }
+  // Bank / account ops.
+  samples.emplace_back("deposit", ValueList{Value(0), Value(5)});
+  samples.emplace_back("withdraw", ValueList{Value(0), Value(5)});
+  samples.emplace_back("withdraw", ValueList{Value(1), Value(5)});
+  samples.emplace_back("transfer",
+                       ValueList{Value(0), Value(1), Value(5)});
+  samples.emplace_back("transfer",
+                       ValueList{Value(2), Value(3), Value(5)});
+  samples.emplace_back("balance", ValueList{Value(0)});
+  samples.emplace_back("audit", ValueList{});
+  // Queue ops.
+  samples.emplace_back("enq", ValueList{Value("x")});
+  samples.emplace_back("deq", ValueList{});
+  // No-param edge cases.
+  samples.emplace_back("insert", ValueList{});
+  samples.emplace_back("", ValueList{});
+  return samples;
+}
+
+TEST(SpecSymmetryTest, AllRegisteredTypesAreSymmetric) {
+  // Register everything so the global registry is fully populated.
+  Database db;
+  Encyclopedia::RegisterMethods(&db);
+  Document::RegisterMethods(&db);
+  HashIndex::RegisterMethods(&db);
+  RegisterDirectoryMethods(&db);
+  RegisterQueueMethods(&db);
+  for (BankSemantics s : {BankSemantics::kEscrow, BankSemantics::kNameOnly,
+                          BankSemantics::kReadWrite}) {
+    Bank::RegisterMethods(&db, s);
+  }
+
+  std::vector<Invocation> samples = SampleInvocations();
+  std::vector<std::string> names = TypeRegistry::Global().Names();
+  ASSERT_GE(names.size(), 12u) << "registry unexpectedly small";
+  for (const std::string& name : names) {
+    const ObjectType* type = TypeRegistry::Global().Find(name);
+    ASSERT_NE(type, nullptr);
+    for (const Invocation& a : samples) {
+      for (const Invocation& b : samples) {
+        EXPECT_EQ(type->Commutes(a, b), type->Commutes(b, a))
+            << name << ": " << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(SpecSymmetryTest, ReflexiveReadsCommuteEverywhere) {
+  Database db;
+  Encyclopedia::RegisterMethods(&db);
+  // A pure same-argument reader should commute with itself on every
+  // type that declares it.
+  Invocation search("search", {Value("k")});
+  EXPECT_TRUE(EncObjectType()->Commutes(search, search));
+  EXPECT_TRUE(BpTreeObjectType()->Commutes(search, search));
+  EXPECT_TRUE(LeafObjectType()->Commutes(search, search));
+  Invocation read("read", {Value("k")});
+  EXPECT_TRUE(PageObjectType()->Commutes(read, read));
+  EXPECT_TRUE(ItemObjectType()->Commutes(Invocation("read"),
+                                         Invocation("read")));
+}
+
+}  // namespace
+}  // namespace oodb

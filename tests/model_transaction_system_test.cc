@@ -1,0 +1,287 @@
+#include "model/transaction_system.h"
+
+#include <gtest/gtest.h>
+
+namespace oodb {
+namespace {
+
+// A composite type where keyed inserts commute unless the key matches.
+const ObjectType* LeafType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    spec->SetPredicate("insert", "insert",
+                       PredicateCommutativity::DifferentParam(0));
+    spec->SetPredicate("insert", "search",
+                       PredicateCommutativity::DifferentParam(0));
+    spec->SetCommutes("search", "search");
+    return new ObjectType("Leaf", std::move(spec));
+  }();
+  return type;
+}
+
+const ObjectType* PageType() {
+  static const ObjectType* type = [] {
+    return new ObjectType("Page",
+                          std::make_unique<ReadWriteCommutativity>(
+                              std::set<std::string>{"read"}),
+                          /*primitive=*/true);
+  }();
+  return type;
+}
+
+TEST(TransactionSystemTest, SystemObjectExists) {
+  TransactionSystem ts;
+  EXPECT_EQ(ts.object_count(), 1u);
+  EXPECT_EQ(ts.object(ObjectId::System()).name, "S");
+  EXPECT_EQ(ts.object(ObjectId::System()).type, SystemObjectType());
+}
+
+TEST(TransactionSystemTest, AddObjectAssignsSequentialIds) {
+  TransactionSystem ts;
+  ObjectId a = ts.AddObject(LeafType(), "Leaf11");
+  ObjectId b = ts.AddObject(PageType(), "Page4712");
+  EXPECT_EQ(a.value, 1u);
+  EXPECT_EQ(b.value, 2u);
+  EXPECT_EQ(ts.object(a).name, "Leaf11");
+  EXPECT_EQ(ts.object(b).type, PageType());
+}
+
+TEST(TransactionSystemTest, TopLevelIsActionOnSystemObject) {
+  TransactionSystem ts;
+  ActionId t1 = ts.BeginTopLevel("T1");
+  EXPECT_EQ(ts.action(t1).object, ObjectId::System());
+  EXPECT_FALSE(ts.action(t1).parent.valid());
+  EXPECT_EQ(ts.TopLevelOf(t1), t1);
+  ASSERT_EQ(ts.TopLevel().size(), 1u);
+  EXPECT_EQ(ts.TopLevel()[0], t1);
+  EXPECT_EQ(ts.ActionsOn(ObjectId::System()).size(), 1u);
+}
+
+TEST(TransactionSystemTest, CallBuildsTree) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId ins = ts.Call(t1, leaf, Invocation("insert", {Value("DBS")}));
+  ActionId rd = ts.Call(ins, page, Invocation("read"));
+  ActionId wr = ts.Call(ins, page, Invocation("write"));
+
+  EXPECT_EQ(ts.action(ins).parent, t1);
+  EXPECT_EQ(ts.action(rd).parent, ins);
+  EXPECT_EQ(ts.TopLevelOf(wr), t1);
+  ASSERT_EQ(ts.action(ins).children.size(), 2u);
+  EXPECT_EQ(ts.action(ins).children[0], rd);
+  EXPECT_EQ(ts.action(ins).children[1], wr);
+  EXPECT_TRUE(ts.CallsTransitively(t1, wr));
+  EXPECT_TRUE(ts.CallsTransitively(ins, rd));
+  EXPECT_FALSE(ts.CallsTransitively(rd, ins));
+  EXPECT_FALSE(ts.CallsTransitively(rd, wr));
+}
+
+TEST(TransactionSystemTest, LabelsAreHierarchical) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, leaf, Invocation("insert", {Value("x")}));
+  ActionId b = ts.Call(t1, leaf, Invocation("insert", {Value("y")}));
+  ActionId c = ts.Call(a, leaf, Invocation("search", {Value("x")}));
+  EXPECT_EQ(ts.action(a).label, "T1.1");
+  EXPECT_EQ(ts.action(b).label, "T1.2");
+  EXPECT_EQ(ts.action(c).label, "T1.1.1");
+}
+
+TEST(TransactionSystemTest, SequentialCallsGetPrecedence) {
+  TransactionSystem ts;
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, page, Invocation("read"));
+  ActionId b = ts.Call(t1, page, Invocation("write"));
+  EXPECT_TRUE(ts.MustPrecede(a, b));
+  EXPECT_FALSE(ts.MustPrecede(b, a));
+}
+
+TEST(TransactionSystemTest, ParallelCallsHaveNoPrecedence) {
+  TransactionSystem ts;
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, page, Invocation("read"), /*sequential=*/false);
+  ActionId b = ts.Call(t1, page, Invocation("write"), /*sequential=*/false);
+  EXPECT_FALSE(ts.MustPrecede(a, b));
+  EXPECT_FALSE(ts.MustPrecede(b, a));
+}
+
+TEST(TransactionSystemTest, PrecedenceInheritedToDescendants) {
+  // Def 7: a_12 must follow everything called by a_11 when a_11 < a_12.
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a1 = ts.Call(t1, leaf, Invocation("insert", {Value("x")}));
+  ActionId a2 = ts.Call(t1, leaf, Invocation("insert", {Value("y")}));
+  ActionId p1 = ts.Call(a1, page, Invocation("write"));
+  ActionId p2 = ts.Call(a2, page, Invocation("write"));
+  EXPECT_TRUE(ts.MustPrecede(p1, p2));
+  EXPECT_TRUE(ts.MustPrecede(p1, a2));
+  EXPECT_TRUE(ts.MustPrecede(a1, p2));
+  EXPECT_FALSE(ts.MustPrecede(p2, p1));
+}
+
+TEST(TransactionSystemTest, MustPrecedeAcrossTransactionsIsFalse) {
+  TransactionSystem ts;
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ActionId a = ts.Call(t1, page, Invocation("write"));
+  ActionId b = ts.Call(t2, page, Invocation("write"));
+  EXPECT_FALSE(ts.MustPrecede(a, b));
+  EXPECT_FALSE(ts.MustPrecede(b, a));
+}
+
+TEST(TransactionSystemTest, MustPrecedeAncestorDescendantIsFalse) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, leaf, Invocation("insert", {Value("x")}));
+  ActionId p = ts.Call(a, page, Invocation("write"));
+  EXPECT_FALSE(ts.MustPrecede(a, p));
+  EXPECT_FALSE(ts.MustPrecede(p, a));
+}
+
+TEST(TransactionSystemTest, ExplicitPrecedenceValidation) {
+  TransactionSystem ts;
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ActionId a = ts.Call(t1, page, Invocation("read"), false);
+  ActionId b = ts.Call(t1, page, Invocation("write"), false);
+  ActionId c = ts.Call(t2, page, Invocation("read"), false);
+  EXPECT_TRUE(ts.AddPrecedence(a, b).ok());
+  EXPECT_TRUE(ts.MustPrecede(a, b));
+  // Different parents: rejected.
+  EXPECT_FALSE(ts.AddPrecedence(a, c).ok());
+}
+
+TEST(TransactionSystemTest, PrimitiveDetection) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId ins = ts.Call(t1, leaf, Invocation("insert", {Value("x")}));
+  ActionId rd = ts.Call(ins, page, Invocation("read"));
+  EXPECT_TRUE(ts.IsPrimitive(rd));
+  EXPECT_FALSE(ts.IsPrimitive(ins));   // leaf type is not primitive
+  EXPECT_FALSE(ts.IsPrimitive(t1));
+  auto prims = ts.PrimitiveActionsOn(page);
+  ASSERT_EQ(prims.size(), 1u);
+  EXPECT_EQ(prims[0], rd);
+}
+
+TEST(TransactionSystemTest, ChildlessCompositeIsNotPrimitive) {
+  // An action on a non-primitive type with no calls (yet) is still not a
+  // primitive action: only zero-layer types qualify.
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId ins = ts.Call(t1, leaf, Invocation("insert", {Value("x")}));
+  EXPECT_FALSE(ts.IsPrimitive(ins));
+}
+
+TEST(TransactionSystemTest, TransactionsOnDeduplicatesCallers) {
+  TransactionSystem ts;
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ActionId i1 = ts.Call(t1, leaf, Invocation("insert", {Value("x")}));
+  ActionId i2 = ts.Call(t2, leaf, Invocation("insert", {Value("y")}));
+  ts.Call(i1, page, Invocation("read"));
+  ts.Call(i1, page, Invocation("write"));
+  ts.Call(i2, page, Invocation("write"));
+  auto tra = ts.TransactionsOn(page);
+  ASSERT_EQ(tra.size(), 2u);
+  EXPECT_EQ(tra[0], i1);
+  EXPECT_EQ(tra[1], i2);
+  // TRA_Leaf = the top-level transactions.
+  auto tra_leaf = ts.TransactionsOn(leaf);
+  ASSERT_EQ(tra_leaf.size(), 2u);
+}
+
+TEST(TransactionSystemTest, CommuteUsesTypeSpec) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ActionId a = ts.Call(t1, leaf, Invocation("insert", {Value("DBS")}));
+  ActionId b = ts.Call(t2, leaf, Invocation("insert", {Value("DBMS")}));
+  ActionId c = ts.Call(t2, leaf, Invocation("search", {Value("DBS")}));
+  EXPECT_TRUE(ts.Commute(a, b));   // different keys
+  EXPECT_FALSE(ts.Commute(a, c));  // same key, insert vs search
+}
+
+TEST(TransactionSystemTest, SameProcessNeverConflicts) {
+  // Def 9: actions of the same process are never in conflict, even when
+  // the type says the invocations conflict.
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, leaf, Invocation("insert", {Value("k")}));
+  ActionId b = ts.Call(t1, leaf, Invocation("search", {Value("k")}));
+  EXPECT_TRUE(ts.Commute(a, b));  // same process of T1
+}
+
+TEST(TransactionSystemTest, DifferentProcessesOfOneTransactionConflict) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, leaf, Invocation("insert", {Value("k")}), false);
+  ActionId b = ts.Call(t1, leaf, Invocation("search", {Value("k")}), false);
+  ts.SetProcess(b, 1);
+  EXPECT_FALSE(ts.Commute(a, b));
+}
+
+TEST(TransactionSystemTest, ChildInheritsProcess) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf");
+  ObjectId page = ts.AddObject(PageType(), "Page");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, leaf, Invocation("insert", {Value("k")}));
+  ActionId p = ts.Call(a, page, Invocation("write"));
+  EXPECT_EQ(ts.action(p).process, 0u);
+  ts.SetProcess(a, 3);
+  // Children created after the change inherit the new process id; an
+  // existing child keeps its own.
+  ActionId q = ts.Call(a, page, Invocation("write"));
+  EXPECT_EQ(ts.action(q).process, 3u);
+  EXPECT_EQ(ts.action(p).process, 0u);
+}
+
+TEST(TransactionSystemTest, TimestampsMonotone) {
+  TransactionSystem ts;
+  uint64_t a = ts.NextTimestamp();
+  uint64_t b = ts.NextTimestamp();
+  EXPECT_LT(a, b);
+  EXPECT_GT(a, 0u);  // 0 means "unset"
+}
+
+TEST(TransactionSystemTest, DescribeMentionsObjectAndMethod) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf11");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, leaf, Invocation("insert", {Value("DBS")}));
+  std::string d = ts.Describe(a);
+  EXPECT_NE(d.find("Leaf11.insert(DBS)"), std::string::npos);
+  EXPECT_NE(d.find("T1.1"), std::string::npos);
+}
+
+TEST(TransactionSystemTest, ObjectsExcludesSystem) {
+  TransactionSystem ts;
+  ts.AddObject(LeafType(), "A");
+  ts.AddObject(PageType(), "B");
+  auto objs = ts.Objects();
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_EQ(objs[0].value, 1u);
+}
+
+}  // namespace
+}  // namespace oodb

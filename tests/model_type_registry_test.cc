@@ -1,0 +1,89 @@
+#include "model/type_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "containers/directory.h"
+#include "containers/page_ops.h"
+#include "schedule/history_io.h"
+#include "schedule/validator.h"
+
+namespace oodb {
+namespace {
+
+TEST(TypeRegistryTest, RegisterAndFind) {
+  TypeRegistry registry;
+  auto type = std::make_unique<ObjectType>(
+      "TestTypeA", std::make_unique<NeverCommutes>());
+  EXPECT_TRUE(registry.Register(type.get()));
+  EXPECT_EQ(registry.Find("TestTypeA"), type.get());
+  EXPECT_EQ(registry.Find("Unknown"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(TypeRegistryTest, ReRegisteringSamePointerIsIdempotent) {
+  TypeRegistry registry;
+  auto type = std::make_unique<ObjectType>(
+      "TestTypeB", std::make_unique<NeverCommutes>());
+  EXPECT_TRUE(registry.Register(type.get()));
+  EXPECT_TRUE(registry.Register(type.get()));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(TypeRegistryTest, ConflictingNameRefused) {
+  TypeRegistry registry;
+  auto a = std::make_unique<ObjectType>("SameName",
+                                        std::make_unique<NeverCommutes>());
+  auto b = std::make_unique<ObjectType>("SameName",
+                                        std::make_unique<AlwaysCommutes>());
+  EXPECT_TRUE(registry.Register(a.get()));
+  EXPECT_FALSE(registry.Register(b.get()));
+  EXPECT_EQ(registry.Find("SameName"), a.get());
+}
+
+TEST(TypeRegistryTest, NullRefused) {
+  TypeRegistry registry;
+  EXPECT_FALSE(registry.Register(nullptr));
+}
+
+TEST(TypeRegistryTest, NamesSorted) {
+  TypeRegistry registry;
+  auto b = std::make_unique<ObjectType>("Bee",
+                                        std::make_unique<NeverCommutes>());
+  auto a = std::make_unique<ObjectType>("Ant",
+                                        std::make_unique<NeverCommutes>());
+  registry.Register(b.get());
+  registry.Register(a.get());
+  auto names = registry.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "Ant");
+  EXPECT_EQ(names[1], "Bee");
+}
+
+TEST(TypeRegistryTest, ContainerTypesAutoRegister) {
+  Database db;
+  RegisterDirectoryMethods(&db);
+  RegisterPageMethods(&db);
+  EXPECT_EQ(TypeRegistry::Global().Find("Directory"), DirectoryType());
+  EXPECT_EQ(TypeRegistry::Global().Find("Page"), PageObjectType());
+}
+
+TEST(TypeRegistryTest, GlobalTypesRoundTripHistory) {
+  Database db;
+  RegisterDirectoryMethods(&db);
+  ObjectId dir = CreateDirectory(&db, "D");
+  ASSERT_TRUE(db.RunTransaction("T1", [&](MethodContext& txn) {
+                  return txn.Call(
+                      dir, Invocation("insert", {Value("k"), Value("v")}));
+                }).ok());
+  Result<std::string> dump = HistoryIo::Dump(db.ts());
+  ASSERT_TRUE(dump.ok());
+  auto loaded = HistoryIo::LoadWithGlobalTypes(*dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ValidationReport report = Validator::Validate(loaded->get());
+  EXPECT_TRUE(report.oo_serializable);
+}
+
+}  // namespace
+}  // namespace oodb

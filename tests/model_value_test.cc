@@ -1,0 +1,77 @@
+#include "model/value.h"
+
+#include <gtest/gtest.h>
+
+#include "model/invocation.h"
+
+namespace oodb {
+namespace {
+
+TEST(ValueTest, NoneByDefault) {
+  Value v;
+  EXPECT_TRUE(v.IsNone());
+  EXPECT_FALSE(v.IsInt());
+  EXPECT_FALSE(v.IsString());
+  EXPECT_EQ(v.ToString(), "none");
+}
+
+TEST(ValueTest, IntValue) {
+  Value v(42);
+  EXPECT_TRUE(v.IsInt());
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, NegativeInt) {
+  Value v(int64_t{-7});
+  EXPECT_EQ(v.AsInt(), -7);
+  EXPECT_EQ(v.ToString(), "-7");
+}
+
+TEST(ValueTest, StringValue) {
+  Value v("DBS");
+  EXPECT_TRUE(v.IsString());
+  EXPECT_EQ(v.AsString(), "DBS");
+  EXPECT_EQ(v.ToString(), "DBS");
+}
+
+TEST(ValueTest, WrongTypeAccessorsAreSafe) {
+  Value i(5);
+  Value s("x");
+  EXPECT_EQ(i.AsString(), "");
+  EXPECT_EQ(s.AsInt(), 0);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_NE(Value(1), Value("1"));  // type matters
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, ListToString) {
+  ValueList l{Value("DBS"), Value(3)};
+  EXPECT_EQ(ToString(l), "(DBS, 3)");
+  EXPECT_EQ(ToString(ValueList{}), "()");
+}
+
+TEST(InvocationTest, ToStringAndEquality) {
+  Invocation a("insert", {Value("DBS")});
+  Invocation b("insert", {Value("DBS")});
+  Invocation c("insert", {Value("DBMS")});
+  Invocation d("search", {Value("DBS")});
+  EXPECT_EQ(a.ToString(), "insert(DBS)");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(InvocationTest, NoParams) {
+  Invocation i("readSeq");
+  EXPECT_EQ(i.ToString(), "readSeq()");
+}
+
+}  // namespace
+}  // namespace oodb

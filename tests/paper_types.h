@@ -1,0 +1,106 @@
+// Shared object types used by tests: the commutativity specifications of
+// the paper's encyclopedia example (Fig 2) — pages, B+-tree nodes/leaves,
+// items, the linked list, and the encyclopedia object itself.
+
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "model/object_type.h"
+
+namespace oodb {
+namespace testing {
+
+/// Zero layer (Def 3 footnote: "a common object type which methods call
+/// no other actions: the page"): only read/read commutes.
+inline const ObjectType* PageType() {
+  static const ObjectType* type = [] {
+    return new ObjectType("Page",
+                          std::make_unique<ReadWriteCommutativity>(
+                              std::set<std::string>{"read"}),
+                          /*primitive=*/true);
+  }();
+  return type;
+}
+
+/// B+-tree leaves and inner nodes: keyed operations commute on distinct
+/// keys (Example 1); structural rearrangement conflicts with everything.
+inline const ObjectType* LeafType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    auto diff = PredicateCommutativity::DifferentParam(0);
+    spec->SetPredicate("insert", "insert", diff);
+    spec->SetPredicate("insert", "search", diff);
+    spec->SetPredicate("insert", "erase", diff);
+    spec->SetPredicate("erase", "erase", diff);
+    spec->SetPredicate("erase", "search", diff);
+    spec->SetCommutes("search", "search");
+    // rearrange/split left unregistered: conflicts with everything.
+    return new ObjectType("Leaf", std::move(spec));
+  }();
+  return type;
+}
+
+/// The B+ tree as a whole: same keyed semantics at the access-path root.
+inline const ObjectType* BpTreeType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    auto diff = PredicateCommutativity::DifferentParam(0);
+    spec->SetPredicate("insert", "insert", diff);
+    spec->SetPredicate("insert", "search", diff);
+    spec->SetPredicate("insert", "erase", diff);
+    spec->SetPredicate("erase", "erase", diff);
+    spec->SetPredicate("erase", "search", diff);
+    spec->SetCommutes("search", "search");
+    return new ObjectType("BpTree", std::move(spec));
+  }();
+  return type;
+}
+
+/// Items: read/read commutes, change conflicts with read and change.
+inline const ObjectType* ItemType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<MatrixCommutativity>();
+    spec->SetCommutes("read", "read");
+    return new ObjectType("Item", std::move(spec));
+  }();
+  return type;
+}
+
+/// The linked item list: appends of different items commute; the
+/// sequential read conflicts with structural changes (phantoms).
+inline const ObjectType* LinkedListType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    spec->SetPredicate("append", "append",
+                       PredicateCommutativity::DifferentParam(0));
+    spec->SetCommutes("readSeq", "readSeq");
+    // append vs readSeq unregistered -> conflict.
+    return new ObjectType("LinkedList", std::move(spec));
+  }();
+  return type;
+}
+
+/// The encyclopedia: keyed item operations commute on distinct keys,
+/// readSeq conflicts with every mutation.
+inline const ObjectType* EncType() {
+  static const ObjectType* type = [] {
+    auto spec = std::make_unique<PredicateCommutativity>();
+    auto diff = PredicateCommutativity::DifferentParam(0);
+    spec->SetPredicate("insert", "insert", diff);
+    spec->SetPredicate("insert", "search", diff);
+    spec->SetPredicate("insert", "change", diff);
+    spec->SetPredicate("change", "change", diff);
+    spec->SetPredicate("change", "search", diff);
+    spec->SetCommutes("search", "search");
+    spec->SetCommutes("readSeq", "readSeq");
+    spec->SetCommutes("readSeq", "search");
+    // insert/change vs readSeq unregistered -> conflict.
+    return new ObjectType("Enc", std::move(spec));
+  }();
+  return type;
+}
+
+}  // namespace testing
+}  // namespace oodb

@@ -1,0 +1,319 @@
+#include "schedule/dependency_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "model/extension.h"
+#include "paper_types.h"
+
+namespace oodb {
+namespace {
+
+using testing::BpTreeType;
+using testing::LeafType;
+using testing::PageType;
+
+Invocation Ins(const std::string& k) {
+  return Invocation("insert", {Value(k)});
+}
+Invocation Sea(const std::string& k) {
+  return Invocation("search", {Value(k)});
+}
+Invocation Rd() { return Invocation("read"); }
+Invocation Wr() { return Invocation("write"); }
+
+void Stamp(TransactionSystem* ts, ActionId a) {
+  ts->SetTimestamp(a, ts->NextTimestamp());
+}
+
+TEST(DependencyEngineTest, RefusesUnextendedSystem) {
+  TransactionSystem ts;
+  ObjectId node = ts.AddObject(LeafType(), "N");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, node, Ins("x"));
+  ts.Call(a, node, Invocation("rearrange"));
+  DependencyEngine engine(ts);
+  Status st = engine.Compute();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DependencyEngineTest, Axiom1OrdersConflictingPrimitives) {
+  TransactionSystem ts;
+  ObjectId page = ts.AddObject(PageType(), "P");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ActionId w1 = ts.Call(t1, page, Wr());
+  ActionId w2 = ts.Call(t2, page, Wr());
+  Stamp(&ts, w1);
+  Stamp(&ts, w2);
+
+  DependencyEngine engine(ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  const ObjectSchedule& sch = engine.ForObject(page);
+  EXPECT_TRUE(sch.action_deps.HasEdge(w1.value, w2.value));
+  EXPECT_FALSE(sch.action_deps.HasEdge(w2.value, w1.value));
+  EXPECT_EQ(engine.stats().primitive_conflicts, 1u);
+}
+
+TEST(DependencyEngineTest, CommutingPrimitivesUnordered) {
+  TransactionSystem ts;
+  ObjectId page = ts.AddObject(PageType(), "P");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ActionId r1 = ts.Call(t1, page, Rd());
+  ActionId r2 = ts.Call(t2, page, Rd());
+  Stamp(&ts, r1);
+  Stamp(&ts, r2);
+
+  DependencyEngine engine(ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  EXPECT_EQ(engine.ForObject(page).action_deps.EdgeCount(), 0u);
+}
+
+TEST(DependencyEngineTest, UnexecutedPrimitivesContributeNothing) {
+  TransactionSystem ts;
+  ObjectId page = ts.AddObject(PageType(), "P");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ts.Call(t1, page, Wr());  // never stamped
+  ActionId w2 = ts.Call(t2, page, Wr());
+  Stamp(&ts, w2);
+
+  DependencyEngine engine(ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  EXPECT_EQ(engine.ForObject(page).action_deps.EdgeCount(), 0u);
+}
+
+// Builds the paper's T1/T2 scenario (Example 1, commuting case): two
+// top-level transactions insert different keys through the same leaf,
+// touching the same page. Returns the page dependency direction.
+struct CommutingScenario {
+  TransactionSystem ts;
+  ObjectId tree, leaf, page;
+  ActionId top1, top2, tree1, tree2, leaf1, leaf2;
+};
+
+void BuildCommutingScenario(CommutingScenario* s, bool interleaved) {
+  s->tree = s->ts.AddObject(BpTreeType(), "BpTree");
+  s->leaf = s->ts.AddObject(LeafType(), "Leaf11");
+  s->page = s->ts.AddObject(PageType(), "Page4712");
+  s->top1 = s->ts.BeginTopLevel("T1");
+  s->top2 = s->ts.BeginTopLevel("T2");
+  s->tree1 = s->ts.Call(s->top1, s->tree, Ins("DBS"));
+  s->tree2 = s->ts.Call(s->top2, s->tree, Ins("DBMS"));
+  s->leaf1 = s->ts.Call(s->tree1, s->leaf, Ins("DBS"));
+  s->leaf2 = s->ts.Call(s->tree2, s->leaf, Ins("DBMS"));
+  ActionId r1 = s->ts.Call(s->leaf1, s->page, Rd());
+  ActionId w1 = s->ts.Call(s->leaf1, s->page, Wr());
+  ActionId r2 = s->ts.Call(s->leaf2, s->page, Rd());
+  ActionId w2 = s->ts.Call(s->leaf2, s->page, Wr());
+  if (interleaved) {
+    // T1 reads, T2 reads, T1 writes, T2 writes: page-level conflicts in
+    // both directions between the two leaf inserts.
+    Stamp(&s->ts, r1);
+    Stamp(&s->ts, r2);
+    Stamp(&s->ts, w1);
+    Stamp(&s->ts, w2);
+  } else {
+    Stamp(&s->ts, r1);
+    Stamp(&s->ts, w1);
+    Stamp(&s->ts, r2);
+    Stamp(&s->ts, w2);
+  }
+}
+
+TEST(DependencyEngineTest, InheritanceStopsAtCommutingCallers) {
+  // Example 1: the page dependency is inherited to the leaf actions, but
+  // they commute (different keys), so nothing reaches BpTree or the
+  // top-level transactions: "more concurrency is possible".
+  CommutingScenario s;
+  BuildCommutingScenario(&s, /*interleaved=*/false);
+  DependencyEngine engine(s.ts);
+  ASSERT_TRUE(engine.Compute().ok());
+
+  // Page level: w1 -> r2, w1 -> w2, r1 -> w2 (read/read commutes).
+  const ObjectSchedule& page = engine.ForObject(s.page);
+  EXPECT_EQ(page.action_deps.EdgeCount(), 3u);
+  // Transaction dependency at the page: leaf1.insert -> leaf2.insert.
+  EXPECT_TRUE(page.txn_deps.HasEdge(s.leaf1.value, s.leaf2.value));
+  EXPECT_FALSE(page.txn_deps.HasEdge(s.leaf2.value, s.leaf1.value));
+
+  // The inherited dependency appears as an action dependency at Leaf11.
+  const ObjectSchedule& leaf = engine.ForObject(s.leaf);
+  EXPECT_TRUE(leaf.action_deps.HasEdge(s.leaf1.value, s.leaf2.value));
+  // But the leaf actions commute, so no transaction dependency at the
+  // leaf, and nothing at the tree or top level.
+  EXPECT_EQ(leaf.txn_deps.EdgeCount(), 0u);
+  EXPECT_EQ(engine.ForObject(s.tree).action_deps.EdgeCount(), 0u);
+  EXPECT_EQ(engine.TopLevelOrder().EdgeCount(), 0u);
+  EXPECT_GE(engine.stats().stopped_inheritance, 1u);
+}
+
+TEST(DependencyEngineTest, ConflictingCallersInheritToTopLevel) {
+  // Example 1, T3/T4 case: insert(DBS) and search(DBS) conflict at every
+  // level, so the dependency reaches the top-level transactions.
+  TransactionSystem ts;
+  ObjectId tree = ts.AddObject(BpTreeType(), "BpTree");
+  ObjectId leaf = ts.AddObject(LeafType(), "Leaf11");
+  ObjectId page = ts.AddObject(PageType(), "Page4712");
+  ActionId t3 = ts.BeginTopLevel("T3");
+  ActionId t4 = ts.BeginTopLevel("T4");
+  ActionId tr3 = ts.Call(t3, tree, Ins("DBS"));
+  ActionId tr4 = ts.Call(t4, tree, Sea("DBS"));
+  ActionId lf3 = ts.Call(tr3, leaf, Ins("DBS"));
+  ActionId lf4 = ts.Call(tr4, leaf, Sea("DBS"));
+  ActionId w3 = ts.Call(lf3, page, Wr());
+  ActionId r4 = ts.Call(lf4, page, Rd());
+  Stamp(&ts, w3);
+  Stamp(&ts, r4);
+
+  DependencyEngine engine(ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  EXPECT_TRUE(
+      engine.ForObject(page).txn_deps.HasEdge(lf3.value, lf4.value));
+  EXPECT_TRUE(
+      engine.ForObject(leaf).txn_deps.HasEdge(tr3.value, tr4.value));
+  EXPECT_TRUE(
+      engine.ForObject(tree).txn_deps.HasEdge(t3.value, t4.value));
+  EXPECT_TRUE(engine.TopLevelOrder().HasEdge(t3.value, t4.value));
+}
+
+TEST(DependencyEngineTest, ContradictingActionDependenciesDetected) {
+  // Interleaved page accesses give page-level dependencies in both
+  // directions between the two leaf inserts (r1->w2 and r2->w1 etc.),
+  // which surface as a cycle in the leaf's action dependencies — the
+  // schedule "accessed an inconsistent state" (Def 13 ii).
+  CommutingScenario s;
+  BuildCommutingScenario(&s, /*interleaved=*/true);
+  DependencyEngine engine(s.ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  const ObjectSchedule& page = engine.ForObject(s.page);
+  EXPECT_TRUE(page.txn_deps.HasEdge(s.leaf1.value, s.leaf2.value));
+  EXPECT_TRUE(page.txn_deps.HasEdge(s.leaf2.value, s.leaf1.value));
+  const ObjectSchedule& leaf = engine.ForObject(s.leaf);
+  EXPECT_TRUE(leaf.action_deps.HasCycle());
+  EXPECT_FALSE(leaf.IsOoSerializable());
+  // The leaf actions still commute, so the contradiction does not leak
+  // upward as transaction dependencies.
+  EXPECT_EQ(leaf.txn_deps.EdgeCount(), 0u);
+}
+
+TEST(DependencyEngineTest, AddedDependenciesRecordedAtBothObjects) {
+  // Two callers living on *different* objects conflict below: the
+  // transaction dependency is recorded redundantly at both callers'
+  // objects (Def 15).
+  TransactionSystem ts;
+  ObjectId leafA = ts.AddObject(LeafType(), "LeafA");
+  ObjectId leafB = ts.AddObject(LeafType(), "LeafB");
+  ObjectId page = ts.AddObject(PageType(), "P");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ActionId a = ts.Call(t1, leafA, Ins("x"));
+  ActionId b = ts.Call(t2, leafB, Ins("y"));
+  ActionId wa = ts.Call(a, page, Wr());
+  ActionId wb = ts.Call(b, page, Wr());
+  Stamp(&ts, wa);
+  Stamp(&ts, wb);
+
+  DependencyEngine engine(ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  EXPECT_TRUE(engine.ForObject(page).txn_deps.HasEdge(a.value, b.value));
+  EXPECT_TRUE(engine.ForObject(leafA).added_deps.HasEdge(a.value, b.value));
+  EXPECT_TRUE(engine.ForObject(leafB).added_deps.HasEdge(a.value, b.value));
+  EXPECT_EQ(engine.stats().added_deps, 2u);
+}
+
+TEST(DependencyEngineTest, SerialExecutionHasConsistentTopLevelOrder) {
+  // Three transactions executed serially: top-level order is acyclic and
+  // matches execution order where conflicts exist.
+  TransactionSystem ts;
+  ObjectId tree = ts.AddObject(BpTreeType(), "T");
+  ObjectId leaf = ts.AddObject(LeafType(), "L");
+  ObjectId page = ts.AddObject(PageType(), "P");
+  std::vector<ActionId> tops;
+  for (int i = 0; i < 3; ++i) {
+    ActionId t = ts.BeginTopLevel("T" + std::to_string(i + 1));
+    tops.push_back(t);
+    ActionId tr = ts.Call(t, tree, Ins("k"));  // same key: conflicts
+    ActionId lf = ts.Call(tr, leaf, Ins("k"));
+    ActionId w = ts.Call(lf, page, Wr());
+    Stamp(&ts, w);
+  }
+  DependencyEngine engine(ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  const Digraph& order = engine.TopLevelOrder();
+  EXPECT_FALSE(order.HasCycle());
+  EXPECT_TRUE(order.HasEdge(tops[0].value, tops[1].value));
+  EXPECT_TRUE(order.HasEdge(tops[1].value, tops[2].value));
+  EXPECT_TRUE(order.HasEdge(tops[0].value, tops[2].value));
+}
+
+TEST(DependencyEngineTest, SameTransactionConflictsDoNotCreateTxnDeps) {
+  // Two sequential writes by one transaction conflict at the page, but
+  // both callers belong to the same process: no transaction dependency.
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "L");
+  ObjectId page = ts.AddObject(PageType(), "P");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, leaf, Ins("x"));
+  ActionId b = ts.Call(t1, leaf, Ins("y"));
+  ActionId wa = ts.Call(a, page, Wr());
+  ActionId wb = ts.Call(b, page, Wr());
+  Stamp(&ts, wa);
+  Stamp(&ts, wb);
+
+  DependencyEngine engine(ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  // Same process: the page writes commute by the Def 9 process rule.
+  EXPECT_EQ(engine.ForObject(page).action_deps.EdgeCount(), 0u);
+  EXPECT_EQ(engine.ForObject(page).txn_deps.EdgeCount(), 0u);
+}
+
+TEST(DependencyEngineTest, ParallelProcessesOfOneTransactionConflict) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "L");
+  ObjectId page = ts.AddObject(PageType(), "P");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(t1, leaf, Ins("x"), false);
+  ActionId b = ts.Call(t1, leaf, Ins("y"), false);
+  ts.SetProcess(b, 1);
+  ActionId wa = ts.Call(a, page, Wr());
+  ActionId wb = ts.Call(b, page, Wr());
+  Stamp(&ts, wa);
+  Stamp(&ts, wb);
+
+  DependencyEngine engine(ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  const ObjectSchedule& page_sch = engine.ForObject(page);
+  EXPECT_TRUE(page_sch.action_deps.HasEdge(wa.value, wb.value));
+  EXPECT_TRUE(page_sch.txn_deps.HasEdge(a.value, b.value));
+  // The leaf inserts commute (different keys): stops there.
+  EXPECT_EQ(engine.ForObject(leaf).txn_deps.EdgeCount(), 0u);
+}
+
+TEST(DependencyEngineTest, ExtensionIntegration) {
+  // After extension, the moved action's conflicts on the virtual object
+  // inherit back through the duplicates to the original object.
+  TransactionSystem ts;
+  ObjectId node = ts.AddObject(LeafType(), "Node6");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId t2 = ts.BeginTopLevel("T2");
+  ActionId ins1 = ts.Call(t1, node, Ins("k"));
+  ActionId re = ts.Call(ins1, node, Invocation("rearrange"));
+  ActionId ins2 = ts.Call(t2, node, Ins("k"));
+  (void)re;
+  SystemExtender::Extend(&ts);
+
+  DependencyEngine engine(ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  // No crash, and the conflicting same-key inserts are in ACT_Node6.
+  const ObjectSchedule& sch = engine.ForObject(node);
+  bool found = false;
+  for (const auto& [x, y] : sch.conflict_pairs) {
+    if ((x == ins1 && y == ins2) || (x == ins2 && y == ins1)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,95 @@
+// Golden-format test: a hand-pinned v1 history dump must keep loading
+// and validating identically — guards the history_io format and the
+// dependency engine's verdicts against silent drift.
+
+#include <gtest/gtest.h>
+
+#include "schedule/history_io.h"
+#include "schedule/validator.h"
+#include "paper_types.h"
+
+namespace oodb {
+namespace {
+
+const ObjectType* GoldenResolver(const std::string& name) {
+  if (name == "Page") return testing::PageType();
+  if (name == "Leaf") return testing::LeafType();
+  if (name == "BpTree") return testing::BpTreeType();
+  return nullptr;
+}
+
+// Two transactions insert different keys through one leaf sharing a
+// page (the Example 1 commuting scenario), serial page order.
+constexpr const char* kCommutingGolden =
+    "oodb-history v1\n"
+    "object 1 BpTree Tree\n"
+    "object 2 Leaf Leaf11\n"
+    "object 3 Page Page4712\n"
+    "action 0 0 - 0 0 4 T1 0 T1\n"
+    "action 1 1 0 0 0 3 insert 1 sDBS T1.1\n"
+    "action 2 2 1 0 0 2 insert 1 sDBS T1.1.1\n"
+    "action 3 3 2 0 1 1 write 2 sDBS sv1 T1.1.1.1\n"
+    "action 4 0 - 0 0 8 T2 0 T2\n"
+    "action 5 1 4 0 0 7 insert 1 sDBMS T2.1\n"
+    "action 6 2 5 0 0 6 insert 1 sDBMS T2.1.1\n"
+    "action 7 3 6 0 2 5 write 2 sDBMS sv2 T2.1.1.1\n";
+
+// Same, but the second transaction touches the SAME key: the
+// dependency must reach the top level.
+constexpr const char* kConflictingGolden =
+    "oodb-history v1\n"
+    "object 1 BpTree Tree\n"
+    "object 2 Leaf Leaf11\n"
+    "object 3 Page Page4712\n"
+    "action 0 0 - 0 0 4 T1 0 T1\n"
+    "action 1 1 0 0 0 3 insert 1 sDBS T1.1\n"
+    "action 2 2 1 0 0 2 insert 1 sDBS T1.1.1\n"
+    "action 3 3 2 0 1 1 write 2 sDBS sv1 T1.1.1.1\n"
+    "action 4 0 - 0 0 8 T2 0 T2\n"
+    "action 5 1 4 0 0 7 search 1 sDBS T2.1\n"
+    "action 6 2 5 0 0 6 search 1 sDBS T2.1.1\n"
+    "action 7 3 6 0 2 5 read 1 sDBS T2.1.1.1\n";
+
+TEST(GoldenHistoryTest, CommutingScenarioVerdictPinned) {
+  auto loaded = HistoryIo::Load(kCommutingGolden, GoldenResolver);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ValidationReport report = Validator::Validate(loaded->get());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+  EXPECT_TRUE(report.conventionally_serializable);
+  // Exactly one page-level conflict, inherited once, stopping at the
+  // commuting leaf inserts; nothing reaches the top.
+  EXPECT_EQ(report.stats.primitive_conflicts, 1u);
+  EXPECT_EQ(report.stats.inherited_txn_deps, 1u);
+  EXPECT_EQ(report.stats.stopped_inheritance, 1u);
+  ASSERT_EQ(report.serialization_order.size(), 2u);
+}
+
+TEST(GoldenHistoryTest, ConflictingScenarioVerdictPinned) {
+  auto loaded = HistoryIo::Load(kConflictingGolden, GoldenResolver);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  TransactionSystem& ts = **loaded;
+  ValidationReport report = Validator::Validate(&ts);
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+  // write -> read conflict inherits through leaf (same key) and tree
+  // (same key) to the top: T1 before T2.
+  EXPECT_EQ(report.stats.primitive_conflicts, 1u);
+  EXPECT_EQ(report.stats.inherited_txn_deps, 3u);
+  EXPECT_EQ(report.stats.stopped_inheritance, 0u);
+  ASSERT_EQ(report.serialization_order.size(), 2u);
+  EXPECT_EQ(ts.action(report.serialization_order[0]).label, "T1");
+  EXPECT_EQ(ts.action(report.serialization_order[1]).label, "T2");
+}
+
+TEST(GoldenHistoryTest, DumpOfLoadedMatchesStructure) {
+  auto loaded = HistoryIo::Load(kCommutingGolden, GoldenResolver);
+  ASSERT_TRUE(loaded.ok());
+  Result<std::string> redump = HistoryIo::Dump(**loaded);
+  ASSERT_TRUE(redump.ok());
+  auto reloaded = HistoryIo::Load(*redump, GoldenResolver);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ((*reloaded)->action_count(), (*loaded)->action_count());
+  EXPECT_EQ((*reloaded)->object_count(), (*loaded)->object_count());
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,159 @@
+#include "schedule/history_io.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/encyclopedia.h"
+#include "containers/bptree.h"
+#include "containers/page_ops.h"
+#include "model/extension.h"
+#include "schedule/validator.h"
+#include "paper_types.h"
+
+namespace oodb {
+namespace {
+
+const ObjectType* TestResolver(const std::string& name) {
+  if (name == "Page") return testing::PageType();
+  if (name == "Leaf") return testing::LeafType();
+  if (name == "BpTree") return testing::BpTreeType();
+  return nullptr;
+}
+
+TransactionSystem* BuildSample(std::unique_ptr<TransactionSystem>* out) {
+  *out = std::make_unique<TransactionSystem>();
+  TransactionSystem& ts = **out;
+  ObjectId tree = ts.AddObject(testing::BpTreeType(), "Tree");
+  ObjectId leaf = ts.AddObject(testing::LeafType(), "Leaf 1");  // space!
+  ObjectId page = ts.AddObject(testing::PageType(), "Page");
+  for (int t = 0; t < 2; ++t) {
+    ActionId top = ts.BeginTopLevel("T" + std::to_string(t + 1));
+    Invocation ins("insert", {Value("k" + std::to_string(t)), Value(42)});
+    ActionId a = ts.Call(top, tree, ins);
+    ActionId l = ts.Call(a, leaf, ins);
+    ActionId w = ts.Call(l, page, Invocation("write"));
+    ts.SetTimestamp(w, ts.NextTimestamp());
+    ts.MarkCompleted(w);
+    ts.MarkCompleted(l);
+    ts.MarkCompleted(a);
+    ts.MarkCompleted(top);
+  }
+  return out->get();
+}
+
+TEST(HistoryIoTest, RoundTripPreservesEverything) {
+  std::unique_ptr<TransactionSystem> original;
+  BuildSample(&original);
+  Result<std::string> dump = HistoryIo::Dump(*original);
+  ASSERT_TRUE(dump.ok()) << dump.status();
+
+  auto loaded = HistoryIo::Load(*dump, TestResolver);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  TransactionSystem& ts = **loaded;
+
+  ASSERT_EQ(ts.object_count(), original->object_count());
+  ASSERT_EQ(ts.action_count(), original->action_count());
+  for (uint64_t i = 1; i < ts.object_count(); ++i) {
+    EXPECT_EQ(ts.object(ObjectId(i)).name,
+              original->object(ObjectId(i)).name);
+    EXPECT_EQ(ts.object(ObjectId(i)).type,
+              original->object(ObjectId(i)).type);
+  }
+  for (uint64_t i = 0; i < ts.action_count(); ++i) {
+    const ActionRecord& a = ts.action(ActionId(i));
+    const ActionRecord& b = original->action(ActionId(i));
+    EXPECT_EQ(a.object, b.object);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.invocation, b.invocation);
+    EXPECT_EQ(a.timestamp, b.timestamp);
+    EXPECT_EQ(a.process, b.process);
+    EXPECT_EQ(a.child_precedence.size(), b.child_precedence.size());
+  }
+}
+
+TEST(HistoryIoTest, LoadedHistoryValidatesIdentically) {
+  std::unique_ptr<TransactionSystem> original;
+  BuildSample(&original);
+  Result<std::string> dump = HistoryIo::Dump(*original);
+  ASSERT_TRUE(dump.ok());
+  auto loaded = HistoryIo::Load(*dump, TestResolver);
+  ASSERT_TRUE(loaded.ok());
+
+  ValidationReport a = Validator::Validate(original.get());
+  ValidationReport b = Validator::Validate(loaded->get());
+  EXPECT_EQ(a.oo_serializable, b.oo_serializable);
+  EXPECT_EQ(a.conventionally_serializable, b.conventionally_serializable);
+  EXPECT_EQ(a.stats.primitive_conflicts, b.stats.primitive_conflicts);
+  EXPECT_EQ(a.stats.inherited_txn_deps, b.stats.inherited_txn_deps);
+}
+
+TEST(HistoryIoTest, RuntimeHistoryRoundTrips) {
+  // Dump a real execution (the runtime's container types resolve by
+  // their canonical names).
+  Database db;
+  RegisterPageMethods(&db);
+  BpTree::RegisterMethods(&db);
+  ObjectId tree = BpTree::Create(&db, "T", 4, 4);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.RunTransaction("ins", [&](MethodContext& txn) {
+                    return txn.Call(tree, BpTree::Insert(
+                                              "k" + std::to_string(i), "v"));
+                  }).ok());
+  }
+  Result<std::string> dump = HistoryIo::Dump(db.ts());
+  ASSERT_TRUE(dump.ok()) << dump.status();
+  auto loaded = HistoryIo::Load(*dump, [](const std::string& name) {
+    if (name == "Page") return PageObjectType();
+    if (name == "Leaf") return LeafObjectType();
+    if (name == "Node") return NodeObjectType();
+    if (name == "BpTree") return BpTreeObjectType();
+    return static_cast<const ObjectType*>(nullptr);
+  });
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ValidationReport report = Validator::Validate(loaded->get());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+}
+
+TEST(HistoryIoTest, SpecialCharactersSurvive) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(testing::LeafType(), "name with spaces");
+  ActionId top = ts.BeginTopLevel("T 1%");
+  ts.Call(top, leaf,
+          Invocation("insert", {Value("key with\nnewline"), Value("")}));
+  Result<std::string> dump = HistoryIo::Dump(ts);
+  ASSERT_TRUE(dump.ok());
+  auto loaded = HistoryIo::Load(*dump, TestResolver);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const ActionRecord& a = (*loaded)->action(ActionId(1));
+  EXPECT_EQ(a.invocation.params[0].AsString(), "key with\nnewline");
+  EXPECT_EQ(a.invocation.params[1].AsString(), "");
+  EXPECT_EQ((*loaded)->object(leaf).name, "name with spaces");
+}
+
+TEST(HistoryIoTest, ExtendedSystemRefused) {
+  TransactionSystem ts;
+  ObjectId node = ts.AddObject(testing::LeafType(), "N");
+  ActionId top = ts.BeginTopLevel("T1");
+  ActionId a = ts.Call(top, node, Invocation("insert", {Value("k")}));
+  ts.Call(a, node, Invocation("rearrange"));
+  SystemExtender::Extend(&ts);
+  Result<std::string> dump = HistoryIo::Dump(ts);
+  EXPECT_FALSE(dump.ok());
+  EXPECT_EQ(dump.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistoryIoTest, MalformedInputsRejected) {
+  auto expect_bad = [](const std::string& text, const char* what) {
+    auto r = HistoryIo::Load(text, TestResolver);
+    EXPECT_FALSE(r.ok()) << what;
+  };
+  expect_bad("", "empty");
+  expect_bad("not a header\n", "bad header");
+  expect_bad("oodb-history v1\nobject x y\n", "bad object line");
+  expect_bad("oodb-history v1\nobject 1 Unknown name\n", "unknown type");
+  expect_bad("oodb-history v1\nfrobnicate 1 2\n", "unknown kind");
+  expect_bad("oodb-history v1\naction 0 0 7 0 0 0 m 0 L\n",
+             "parent before definition");
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,256 @@
+// Scripted reproductions of the paper's worked examples:
+//   Example 1 / Fig 4  — dependency inheritance that stops at commuting
+//                        leaf inserts but continues for insert/search,
+//   Example 2 / Fig 5  — the oo-transaction tree,
+//   Example 4 / Figs 7+8 — the full encyclopedia schedule with four
+//                        top-level transactions and the per-object
+//                        dependency table.
+
+#include <gtest/gtest.h>
+
+#include "model/extension.h"
+#include "schedule/printer.h"
+#include "schedule/validator.h"
+#include "paper_types.h"
+
+namespace oodb {
+namespace {
+
+using testing::BpTreeType;
+using testing::EncType;
+using testing::ItemType;
+using testing::LeafType;
+using testing::LinkedListType;
+using testing::PageType;
+
+Invocation Ins(const std::string& k) {
+  return Invocation("insert", {Value(k)});
+}
+Invocation Sea(const std::string& k) {
+  return Invocation("search", {Value(k)});
+}
+Invocation App(const std::string& k) {
+  return Invocation("append", {Value(k)});
+}
+Invocation Chg(const std::string& k) {
+  return Invocation("change", {Value(k)});
+}
+
+void Stamp(TransactionSystem* ts, ActionId a) {
+  ts->SetTimestamp(a, ts->NextTimestamp());
+}
+
+/// The encyclopedia world of Fig 2 plus the four transactions of
+/// Example 4, with a fully serial execution order T1, T2, T3, T4.
+struct EncyclopediaWorld {
+  TransactionSystem ts;
+  ObjectId enc, list, tree, leaf11, page4712, item8, page4713, listpage;
+  ActionId t1, t2, t3, t4;
+  // Enc-level actions.
+  ActionId e1_ins, e2_ins, e2_chg, e3_sea, e4_seq;
+  // Leaf-level actions.
+  ActionId lf1, lf2, lf3;
+
+  EncyclopediaWorld() {
+    enc = ts.AddObject(EncType(), "Enc");
+    list = ts.AddObject(LinkedListType(), "LinkedList");
+    tree = ts.AddObject(BpTreeType(), "BpTree");
+    leaf11 = ts.AddObject(LeafType(), "Leaf11");
+    page4712 = ts.AddObject(PageType(), "Page4712");
+    item8 = ts.AddObject(ItemType(), "Item8");
+    page4713 = ts.AddObject(PageType(), "Page4713");
+    listpage = ts.AddObject(PageType(), "ListPage");
+
+    // T1: insert item DBS.
+    t1 = ts.BeginTopLevel("T1");
+    e1_ins = ts.Call(t1, enc, Ins("DBS"));
+    ActionId b1 = ts.Call(e1_ins, tree, Ins("DBS"));
+    lf1 = ts.Call(b1, leaf11, Ins("DBS"));
+    ActionId r1 = ts.Call(lf1, page4712, Invocation("read"));
+    ActionId w1 = ts.Call(lf1, page4712, Invocation("write"));
+    ActionId l1 = ts.Call(e1_ins, list, App("DBS"));
+    ActionId lw1 = ts.Call(l1, listpage, Invocation("write"));
+    Stamp(&ts, r1);
+    Stamp(&ts, w1);
+    Stamp(&ts, lw1);
+
+    // T2: insert item DBMS, then change it.
+    t2 = ts.BeginTopLevel("T2");
+    e2_ins = ts.Call(t2, enc, Ins("DBMS"));
+    ActionId b2 = ts.Call(e2_ins, tree, Ins("DBMS"));
+    lf2 = ts.Call(b2, leaf11, Ins("DBMS"));
+    ActionId r2 = ts.Call(lf2, page4712, Invocation("read"));
+    ActionId w2 = ts.Call(lf2, page4712, Invocation("write"));
+    ActionId l2 = ts.Call(e2_ins, list, App("DBMS"));
+    ActionId lw2 = ts.Call(l2, listpage, Invocation("write"));
+    e2_chg = ts.Call(t2, enc, Chg("DBMS"));
+    ActionId i2 = ts.Call(e2_chg, item8, Chg("DBMS"));
+    ActionId iw2 = ts.Call(i2, page4713, Invocation("write"));
+    Stamp(&ts, r2);
+    Stamp(&ts, w2);
+    Stamp(&ts, lw2);
+    Stamp(&ts, iw2);
+
+    // T3: search DBS.
+    t3 = ts.BeginTopLevel("T3");
+    e3_sea = ts.Call(t3, enc, Sea("DBS"));
+    ActionId b3 = ts.Call(e3_sea, tree, Sea("DBS"));
+    lf3 = ts.Call(b3, leaf11, Sea("DBS"));
+    ActionId r3 = ts.Call(lf3, page4712, Invocation("read"));
+    Stamp(&ts, r3);
+
+    // T4: read the items sequentially.
+    t4 = ts.BeginTopLevel("T4");
+    e4_seq = ts.Call(t4, enc, Invocation("readSeq"));
+    ActionId l4 = ts.Call(e4_seq, list, Invocation("readSeq"));
+    ActionId lr4 = ts.Call(l4, listpage, Invocation("read"));
+    ActionId i4 = ts.Call(l4, item8, Invocation("read"));
+    ActionId ir4 = ts.Call(i4, page4713, Invocation("read"));
+    Stamp(&ts, lr4);
+    Stamp(&ts, ir4);
+  }
+};
+
+TEST(PaperExample1, CommutingInsertsStopInheritance) {
+  // Fig 4, T1/T2: the Page4712 dependency between the two inserts is
+  // inherited to Leaf11, where insert(DBS) and insert(DBMS) commute:
+  // "The dependency can be neglected at BpTree and at Enc."
+  EncyclopediaWorld w;
+  ValidationReport report = Validator::Validate(&w.ts);
+  ASSERT_TRUE(report.oo_serializable) << report.Summary();
+
+  DependencyEngine engine(w.ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  const ObjectSchedule& leaf = engine.ForObject(w.leaf11);
+  // Inherited to the leaf...
+  EXPECT_TRUE(leaf.action_deps.HasEdge(w.lf1.value, w.lf2.value));
+  // ...but not beyond: no T1 -> T2 at the top level.
+  EXPECT_FALSE(engine.TopLevelOrder().HasEdge(w.t1.value, w.t2.value));
+  EXPECT_GE(engine.stats().stopped_inheritance, 1u);
+}
+
+TEST(PaperExample1, ConflictingSearchInheritsToTop) {
+  // Fig 4, T3(/T4 in the paper's numbering): insert(DBS) and search(DBS)
+  // access the same key; the dependency is inherited all the way up.
+  EncyclopediaWorld w;
+  DependencyEngine engine(w.ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  const ObjectSchedule& leaf = engine.ForObject(w.leaf11);
+  EXPECT_TRUE(leaf.action_deps.HasEdge(w.lf1.value, w.lf3.value));
+  EXPECT_TRUE(leaf.txn_deps.EdgeCount() > 0);
+  EXPECT_TRUE(engine.TopLevelOrder().HasEdge(w.t1.value, w.t3.value));
+}
+
+TEST(PaperExample4, LinkedListAndEncDependencies) {
+  // Fig 8's last rows: the readSeq of T4 depends on the appends/changes
+  // of T1 and T2 at LinkedList and Enc.
+  EncyclopediaWorld w;
+  DependencyEngine engine(w.ts);
+  ASSERT_TRUE(engine.Compute().ok());
+
+  // At Enc: insert/change before readSeq (conflicting, inherited from
+  // the list page and Item8's page).
+  const ObjectSchedule& enc = engine.ForObject(w.enc);
+  EXPECT_TRUE(enc.action_deps.HasEdge(w.e1_ins.value, w.e4_seq.value));
+  EXPECT_TRUE(enc.action_deps.HasEdge(w.e2_ins.value, w.e4_seq.value));
+  // The change(DBMS) -> readSeq dependency flows through Item8, whose
+  // callers live on *different* objects (Enc and LinkedList): it is
+  // recorded as an added action dependency (Def 15) at Enc, pointing to
+  // the LinkedList.readSeq action.
+  EXPECT_GE(enc.added_deps.EdgeCount(), 1u);
+  bool found_added = false;
+  for (Digraph::NodeId n : enc.added_deps.Nodes()) {
+    if (n == w.e2_chg.value &&
+        !enc.added_deps.Successors(n).empty()) {
+      found_added = true;
+    }
+  }
+  EXPECT_TRUE(found_added);
+
+  // Inherited to the top: T1 -> T4 and T2 -> T4.
+  EXPECT_TRUE(engine.TopLevelOrder().HasEdge(w.t1.value, w.t4.value));
+  EXPECT_TRUE(engine.TopLevelOrder().HasEdge(w.t2.value, w.t4.value));
+  // But not T1 -> T2: their footprints commute everywhere.
+  EXPECT_FALSE(engine.TopLevelOrder().HasEdge(w.t1.value, w.t2.value));
+}
+
+TEST(PaperExample4, WholeScheduleOoSerializable) {
+  EncyclopediaWorld w;
+  ValidationReport report = Validator::Validate(&w.ts);
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+  EXPECT_TRUE(report.conventionally_serializable);
+  EXPECT_TRUE(report.conform);
+  // A valid serialization order exists and places T4 after T1 and T2.
+  ASSERT_EQ(report.serialization_order.size(), 4u);
+  auto pos = [&](ActionId t) {
+    for (size_t i = 0; i < report.serialization_order.size(); ++i) {
+      if (report.serialization_order[i] == t) return i;
+    }
+    return size_t{99};
+  };
+  EXPECT_LT(pos(w.t1), pos(w.t4));
+  EXPECT_LT(pos(w.t2), pos(w.t4));
+  EXPECT_LT(pos(w.t1), pos(w.t3));
+}
+
+TEST(PaperExample4, DependencyTableRendersAllObjects) {
+  // The Fig 8 table, produced mechanically.
+  EncyclopediaWorld w;
+  DependencyEngine engine(w.ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  std::string table = SchedulePrinter::DependencyTable(w.ts, engine);
+  EXPECT_NE(table.find("Page4712"), std::string::npos);
+  EXPECT_NE(table.find("Leaf11"), std::string::npos);
+  EXPECT_NE(table.find("BpTree"), std::string::npos);
+  EXPECT_NE(table.find("Item8"), std::string::npos);
+  EXPECT_NE(table.find("LinkedList"), std::string::npos);
+  EXPECT_NE(table.find("Enc"), std::string::npos);
+  EXPECT_NE(table.find("(top-level)"), std::string::npos);
+}
+
+TEST(PaperExample2, TransactionTreeShape) {
+  // Fig 5: an oo-transaction is a tree; precedence is the left-to-right
+  // order of arcs.
+  EncyclopediaWorld w;
+  const ActionRecord& root = w.ts.action(w.t2);
+  ASSERT_EQ(root.children.size(), 2u);  // insert(DBMS), change(DBMS)
+  EXPECT_TRUE(w.ts.MustPrecede(root.children[0], root.children[1]));
+
+  std::string tree = SchedulePrinter::TransactionTree(w.ts, w.t2);
+  EXPECT_NE(tree.find("T2"), std::string::npos);
+  EXPECT_NE(tree.find("Enc.insert(DBMS)"), std::string::npos);
+  EXPECT_NE(tree.find("Enc.change(DBMS)"), std::string::npos);
+  EXPECT_NE(tree.find("Leaf11.insert(DBMS)"), std::string::npos);
+  EXPECT_NE(tree.find("Page4712.write()"), std::string::npos);
+}
+
+TEST(PaperExample3, BLinkRearrangeEndToEnd) {
+  // Section 2's schedule: Node6.insert -> Leaf11.insert ->
+  // Leaf12.insert -> Node6.rearrange, validated end to end through the
+  // Def 5 extension.
+  TransactionSystem ts;
+  ObjectId node6 = ts.AddObject(LeafType(), "Node6");
+  ObjectId leaf11 = ts.AddObject(LeafType(), "Leaf11");
+  ObjectId leaf12 = ts.AddObject(LeafType(), "Leaf12");
+  ObjectId page = ts.AddObject(PageType(), "Page");
+
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ActionId ins = ts.Call(t1, node6, Ins("k"));
+  ActionId li = ts.Call(ins, leaf11, Ins("k"));
+  ActionId wi = ts.Call(li, page, Invocation("write"));
+  ActionId li2 = ts.Call(ins, leaf12, Ins("k"));
+  ActionId wi2 = ts.Call(li2, page, Invocation("write"));
+  ActionId re = ts.Call(li2, node6, Invocation("rearrange"));
+  ActionId wr = ts.Call(re, page, Invocation("write"));
+  Stamp(&ts, wi);
+  Stamp(&ts, wi2);
+  Stamp(&ts, wr);
+
+  ValidationReport report = Validator::Validate(&ts);
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+  EXPECT_EQ(report.extension.cycles_broken, 1u);
+  EXPECT_GE(report.extension.virtual_actions, 1u);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,94 @@
+#include "schedule/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_types.h"
+
+namespace oodb {
+namespace {
+
+using testing::LeafType;
+using testing::PageType;
+
+struct PrinterWorld {
+  TransactionSystem ts;
+  ObjectId leaf, page;
+  ActionId t1, t2;
+
+  PrinterWorld() {
+    leaf = ts.AddObject(LeafType(), "Leaf");
+    page = ts.AddObject(PageType(), "Page");
+    t1 = ts.BeginTopLevel("T1");
+    t2 = ts.BeginTopLevel("T2");
+    ActionId a = ts.Call(t1, leaf, Invocation("insert", {Value("k")}));
+    ActionId w = ts.Call(a, page, Invocation("write"));
+    ActionId b = ts.Call(t2, leaf, Invocation("search", {Value("k")}));
+    ActionId r = ts.Call(b, page, Invocation("read"));
+    ts.SetTimestamp(w, ts.NextTimestamp());
+    ts.SetTimestamp(r, ts.NextTimestamp());
+  }
+};
+
+TEST(PrinterTest, TransactionTreeShowsTimestamps) {
+  PrinterWorld w;
+  std::string tree = SchedulePrinter::TransactionTree(w.ts, w.t1);
+  EXPECT_NE(tree.find("T1"), std::string::npos);
+  EXPECT_NE(tree.find("Leaf.insert(k)"), std::string::npos);
+  EXPECT_NE(tree.find("Page.write() @1"), std::string::npos);
+}
+
+TEST(PrinterTest, AllTreesCoversEveryTransaction) {
+  PrinterWorld w;
+  std::string all = SchedulePrinter::AllTrees(w.ts);
+  EXPECT_NE(all.find("T1"), std::string::npos);
+  EXPECT_NE(all.find("T2"), std::string::npos);
+}
+
+TEST(PrinterTest, DependencyTableListsObjectsAndTopLevel) {
+  PrinterWorld w;
+  DependencyEngine engine(w.ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  std::string table = SchedulePrinter::DependencyTable(w.ts, engine);
+  EXPECT_NE(table.find("Leaf"), std::string::npos);
+  EXPECT_NE(table.find("Page"), std::string::npos);
+  EXPECT_NE(table.find("(top-level)"), std::string::npos);
+  // The same-key insert/search conflict reaches the top level.
+  EXPECT_NE(table.find("T1->T2"), std::string::npos);
+}
+
+TEST(PrinterTest, CallForestDotIsWellFormed) {
+  PrinterWorld w;
+  std::string dot = SchedulePrinter::CallForestDot(w.ts);
+  EXPECT_EQ(dot.rfind("digraph calls {", 0), 0u);
+  EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+  EXPECT_NE(dot.find("Leaf.insert(k)"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(PrinterTest, DependencyDotStylesEdges) {
+  PrinterWorld w;
+  DependencyEngine engine(w.ts);
+  ASSERT_TRUE(engine.Compute().ok());
+  std::string dot = SchedulePrinter::DependencyDot(w.ts, engine);
+  EXPECT_EQ(dot.rfind("digraph deps {", 0), 0u);
+  EXPECT_NE(dot.find("[style=solid]"), std::string::npos);   // action deps
+  EXPECT_NE(dot.find("[style=dashed]"), std::string::npos);  // txn deps
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(PrinterTest, DotEscapingHandlesQuotes) {
+  TransactionSystem ts;
+  ObjectId leaf = ts.AddObject(LeafType(), "Le\"af");
+  ActionId t1 = ts.BeginTopLevel("T1");
+  ts.Call(t1, leaf, Invocation("insert", {Value("k")}));
+  std::string dot = SchedulePrinter::CallForestDot(ts);
+  EXPECT_NE(dot.find("Le\\\"af"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,161 @@
+// Property-based sweeps over random histories and random concurrent
+// executions, checking the paper's structural claims:
+//
+//   P1  Serial histories are always oo-serializable (and conventional).
+//   P2  Inclusion: every conventionally serializable single-process
+//       history is oo-serializable — oo-serializability only *adds*
+//       admissible schedules.
+//   P3  The inclusion is strict: across random interleavings, oo accepts
+//       strictly more histories than the conventional criterion.
+//   P4  Histories produced by the open nested scheduler always validate.
+//   P5  Histories produced by flat 2PL are conventionally serializable.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "containers/bptree.h"
+#include "containers/page_ops.h"
+#include "schedule/validator.h"
+#include "util/random.h"
+#include "workload/random_history.h"
+
+namespace oodb {
+namespace {
+
+class RandomHistoryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomHistoryProperty, SerialHistoriesAlwaysSerializable) {
+  // Serial = one transaction at a time: generate with num_txns executed
+  // back to back by using a single interleaving slot each.
+  RandomHistoryConfig config;
+  config.seed = GetParam();
+  config.num_txns = 1;  // each "history" is trivially serial
+  config.ops_per_txn = 6;
+  RandomHistory h = GenerateRandomHistory(config);
+  ValidationReport report = Validator::Validate(h.ts.get());
+  EXPECT_TRUE(report.oo_serializable) << report.Summary();
+  EXPECT_TRUE(report.conventionally_serializable);
+}
+
+TEST_P(RandomHistoryProperty, ConventionalImpliesOo) {
+  RandomHistoryConfig config;
+  config.seed = GetParam();
+  config.num_txns = 4;
+  config.ops_per_txn = 3;
+  config.num_leaves = 2;
+  config.keys_per_leaf = 6;
+  RandomHistory h = GenerateRandomHistory(config);
+  ValidationReport report = Validator::Validate(h.ts.get());
+  if (report.conventionally_serializable) {
+    EXPECT_TRUE(report.oo_serializable)
+        << "seed " << GetParam() << ": conventional accepted but oo "
+        << "rejected\n"
+        << report.Summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomHistoryProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{60}));
+
+TEST(RandomHistoryAggregate, OoAcceptsStrictlyMoreThanConventional) {
+  size_t oo_accepted = 0;
+  size_t conv_accepted = 0;
+  size_t oo_only = 0;
+  constexpr uint64_t kTrials = 200;
+  for (uint64_t seed = 1; seed <= kTrials; ++seed) {
+    RandomHistoryConfig config;
+    config.seed = seed;
+    config.num_txns = 4;
+    config.ops_per_txn = 3;
+    config.num_leaves = 2;
+    config.keys_per_leaf = 16;  // many keys per page: commuting likely
+    RandomHistory h = GenerateRandomHistory(config);
+    ValidationReport report = Validator::Validate(h.ts.get());
+    if (report.oo_serializable) ++oo_accepted;
+    if (report.conventionally_serializable) ++conv_accepted;
+    if (report.oo_serializable && !report.conventionally_serializable) {
+      ++oo_only;
+    }
+    // Inclusion must hold on every trial.
+    ASSERT_FALSE(report.conventionally_serializable &&
+                 !report.oo_serializable)
+        << "seed " << seed;
+  }
+  EXPECT_GE(oo_accepted, conv_accepted);
+  EXPECT_GT(oo_only, 0u) << "expected some histories only oo accepts";
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerProperty, OpenNestedHistoriesValidate) {
+  DatabaseOptions opts;
+  opts.scheduler = SchedulerKind::kOpenNested;
+  Database db(opts);
+  RegisterPageMethods(&db);
+  BpTree::RegisterMethods(&db);
+  ObjectId tree = BpTree::Create(&db, "T", 4, 4);
+
+  uint64_t seed = GetParam();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed * 97 + t);
+      for (int i = 0; i < 12; ++i) {
+        std::string key = "k" + std::to_string(rng.NextBelow(12));
+        if (rng.NextBool(0.3)) {
+          (void)db.RunTransaction("get", [&](MethodContext& txn) {
+            Value out;
+            return txn.Call(tree, BpTree::Search(key), &out);
+          });
+        } else {
+          (void)db.RunTransaction("ins", [&](MethodContext& txn) {
+            return txn.Call(tree, BpTree::Insert(key, "v"));
+          });
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.locks().LockCount(), 0u);
+  ValidationReport report = Validator::Validate(&db.ts());
+  EXPECT_TRUE(report.oo_serializable)
+      << "seed " << seed << "\n"
+      << report.Summary();
+}
+
+TEST_P(SchedulerProperty, Flat2PLHistoriesConventionallySerializable) {
+  DatabaseOptions opts;
+  opts.scheduler = SchedulerKind::kFlat2PL;
+  Database db(opts);
+  RegisterPageMethods(&db);
+  BpTree::RegisterMethods(&db);
+  ObjectId tree = BpTree::Create(&db, "T", 8, 8);
+
+  uint64_t seed = GetParam();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed * 131 + t);
+      for (int i = 0; i < 10; ++i) {
+        std::string key = "k" + std::to_string(rng.NextBelow(10));
+        (void)db.RunTransaction("ins", [&](MethodContext& txn) {
+          return txn.Call(tree, BpTree::Insert(key, "v"));
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.locks().LockCount(), 0u);
+  ValidationReport report = Validator::Validate(&db.ts());
+  EXPECT_TRUE(report.conventionally_serializable)
+      << "seed " << seed << "\n"
+      << report.Summary();
+  EXPECT_TRUE(report.oo_serializable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace oodb

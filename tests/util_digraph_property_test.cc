@@ -1,0 +1,139 @@
+// Randomized cross-checks of the digraph algorithms against brute-force
+// references.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/digraph.h"
+#include "util/random.h"
+
+namespace oodb {
+namespace {
+
+struct RandomGraph {
+  Digraph g;
+  size_t n;
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+};
+
+RandomGraph Build(uint64_t seed) {
+  RandomGraph out;
+  Rng rng(seed);
+  out.n = 3 + rng.NextBelow(12);
+  size_t num_edges = rng.NextBelow(out.n * 2 + 1);
+  for (size_t i = 0; i < out.n; ++i) out.g.AddNode(i);
+  for (size_t e = 0; e < num_edges; ++e) {
+    uint64_t a = rng.NextBelow(out.n);
+    uint64_t b = rng.NextBelow(out.n);
+    out.g.AddEdge(a, b);
+    out.edges.push_back({a, b});
+  }
+  return out;
+}
+
+/// Brute-force reachability via repeated relaxation.
+std::vector<std::vector<bool>> BruteClosure(const RandomGraph& rg) {
+  std::vector<std::vector<bool>> reach(rg.n, std::vector<bool>(rg.n));
+  for (const auto& [a, b] : rg.edges) reach[a][b] = true;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (size_t i = 0; i < rg.n; ++i) {
+      for (size_t j = 0; j < rg.n; ++j) {
+        if (!reach[i][j]) continue;
+        for (size_t k = 0; k < rg.n; ++k) {
+          if (reach[j][k] && !reach[i][k]) {
+            reach[i][k] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+class DigraphProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DigraphProperty, ReachesMatchesBruteForce) {
+  RandomGraph rg = Build(GetParam());
+  auto reach = BruteClosure(rg);
+  for (size_t i = 0; i < rg.n; ++i) {
+    for (size_t j = 0; j < rg.n; ++j) {
+      EXPECT_EQ(rg.g.Reaches(i, j), reach[i][j]) << i << "->" << j;
+    }
+  }
+}
+
+TEST_P(DigraphProperty, TransitiveClosureMatchesBruteForce) {
+  RandomGraph rg = Build(GetParam());
+  auto reach = BruteClosure(rg);
+  Digraph closure = rg.g.TransitiveClosure();
+  for (size_t i = 0; i < rg.n; ++i) {
+    for (size_t j = 0; j < rg.n; ++j) {
+      EXPECT_EQ(closure.HasEdge(i, j), reach[i][j]) << i << "->" << j;
+    }
+  }
+}
+
+TEST_P(DigraphProperty, CycleIffNoTopologicalOrder) {
+  RandomGraph rg = Build(GetParam());
+  auto reach = BruteClosure(rg);
+  bool has_cycle = false;
+  for (size_t i = 0; i < rg.n; ++i) has_cycle |= reach[i][i];
+  EXPECT_EQ(rg.g.HasCycle(), has_cycle);
+  EXPECT_EQ(rg.g.TopologicalOrder().has_value(), !has_cycle);
+}
+
+TEST_P(DigraphProperty, FoundCycleIsRealCycle) {
+  RandomGraph rg = Build(GetParam());
+  auto cycle = rg.g.FindCycle();
+  if (!cycle.has_value()) return;
+  ASSERT_GE(cycle->size(), 2u);
+  EXPECT_EQ(cycle->front(), cycle->back());
+  for (size_t i = 0; i + 1 < cycle->size(); ++i) {
+    EXPECT_TRUE(rg.g.HasEdge((*cycle)[i], (*cycle)[i + 1]))
+        << (*cycle)[i] << "->" << (*cycle)[i + 1];
+  }
+}
+
+TEST_P(DigraphProperty, TopologicalOrderRespectsAllEdges) {
+  RandomGraph rg = Build(GetParam());
+  auto topo = rg.g.TopologicalOrder();
+  if (!topo.has_value()) return;
+  std::vector<size_t> pos(rg.n);
+  for (size_t i = 0; i < topo->size(); ++i) pos[(*topo)[i]] = i;
+  for (const auto& [a, b] : rg.edges) {
+    if (a == b) continue;
+    EXPECT_LT(pos[a], pos[b]) << a << "->" << b;
+  }
+}
+
+TEST_P(DigraphProperty, SccPartitionConsistentWithMutualReachability) {
+  RandomGraph rg = Build(GetParam());
+  auto reach = BruteClosure(rg);
+  auto sccs = rg.g.StronglyConnectedComponents();
+  // Every node appears exactly once.
+  std::vector<int> component(rg.n, -1);
+  for (size_t c = 0; c < sccs.size(); ++c) {
+    for (auto n : sccs[c]) {
+      ASSERT_EQ(component[n], -1);
+      component[n] = int(c);
+    }
+  }
+  for (size_t i = 0; i < rg.n; ++i) ASSERT_NE(component[i], -1);
+  // Same component iff mutually reachable (or identical).
+  for (size_t i = 0; i < rg.n; ++i) {
+    for (size_t j = 0; j < rg.n; ++j) {
+      if (i == j) continue;
+      bool mutual = reach[i][j] && reach[j][i];
+      EXPECT_EQ(component[i] == component[j], mutual) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DigraphProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{60}));
+
+}  // namespace
+}  // namespace oodb

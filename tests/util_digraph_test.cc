@@ -1,0 +1,205 @@
+#include "util/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace oodb {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.NodeCount(), 0u);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  EXPECT_FALSE(g.HasCycle());
+  auto topo = g.TopologicalOrder();
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_TRUE(topo->empty());
+}
+
+TEST(DigraphTest, AddEdgeCreatesNodes) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.HasNode(1));
+  EXPECT_TRUE(g.HasNode(2));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(DigraphTest, ParallelEdgesCollapse) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(DigraphTest, AcyclicChain) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_TRUE(g.Reaches(1, 4));
+  EXPECT_FALSE(g.Reaches(4, 1));
+}
+
+TEST(DigraphTest, TwoCycleDetected) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  EXPECT_TRUE(g.HasCycle());
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->front(), cycle->back());
+  EXPECT_GE(cycle->size(), 3u);  // a, b, a
+}
+
+TEST(DigraphTest, SelfLoopIsCycle) {
+  Digraph g;
+  g.AddEdge(7, 7);
+  EXPECT_TRUE(g.HasCycle());
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->front(), 7u);
+  EXPECT_EQ(cycle->back(), 7u);
+}
+
+TEST(DigraphTest, LongerCycleFound) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 2);  // cycle 2-3-4-2
+  ASSERT_TRUE(g.HasCycle());
+  auto cycle = *g.FindCycle();
+  EXPECT_EQ(cycle.front(), cycle.back());
+  // The cycle must not contain node 1.
+  EXPECT_EQ(std::count(cycle.begin(), cycle.end(), 1u), 0);
+}
+
+TEST(DigraphTest, TopologicalOrderRespectsEdges) {
+  Digraph g;
+  g.AddEdge(3, 1);
+  g.AddEdge(3, 2);
+  g.AddEdge(1, 4);
+  g.AddEdge(2, 4);
+  g.AddNode(9);  // isolated
+  auto topo = g.TopologicalOrder();
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->size(), 5u);
+  auto pos = [&](Digraph::NodeId n) {
+    return std::find(topo->begin(), topo->end(), n) - topo->begin();
+  };
+  EXPECT_LT(pos(3), pos(1));
+  EXPECT_LT(pos(3), pos(2));
+  EXPECT_LT(pos(1), pos(4));
+  EXPECT_LT(pos(2), pos(4));
+}
+
+TEST(DigraphTest, TopologicalOrderFailsOnCycle) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  EXPECT_FALSE(g.TopologicalOrder().has_value());
+}
+
+TEST(DigraphTest, ReachableFromExcludesSelfWithoutLoop) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  auto r = g.ReachableFrom(1);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.count(2));
+  EXPECT_TRUE(r.count(3));
+  EXPECT_FALSE(r.count(1));
+}
+
+TEST(DigraphTest, ReachableFromIncludesSelfOnCycle) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  auto r = g.ReachableFrom(1);
+  EXPECT_TRUE(r.count(1));
+}
+
+TEST(DigraphTest, TransitiveClosure) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  Digraph c = g.TransitiveClosure();
+  EXPECT_TRUE(c.HasEdge(1, 3));
+  EXPECT_TRUE(c.HasEdge(1, 2));
+  EXPECT_TRUE(c.HasEdge(2, 3));
+  EXPECT_FALSE(c.HasEdge(3, 1));
+}
+
+TEST(DigraphTest, UnionWith) {
+  Digraph a, b;
+  a.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddNode(5);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.HasEdge(1, 2));
+  EXPECT_TRUE(a.HasEdge(2, 3));
+  EXPECT_TRUE(a.HasNode(5));
+  EXPECT_EQ(a.EdgeCount(), 2u);
+}
+
+TEST(DigraphTest, StronglyConnectedComponents) {
+  Digraph g;
+  // SCC {1,2,3}, SCC {4}, SCC {5,6}.
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 5);
+  auto sccs = g.StronglyConnectedComponents();
+  ASSERT_EQ(sccs.size(), 3u);
+  size_t sizes[3];
+  for (size_t i = 0; i < 3; ++i) sizes[i] = sccs[i].size();
+  std::sort(sizes, sizes + 3);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 3u);
+}
+
+TEST(DigraphTest, ToStringDeterministic) {
+  Digraph g;
+  g.AddEdge(1, 3);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.ToString(), "1->2, 1->3");
+}
+
+TEST(DigraphTest, ToStringWithFormatter) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  auto fmt = [](Digraph::NodeId n) { return "T" + std::to_string(n); };
+  EXPECT_EQ(g.ToString(fmt), "T1->T2");
+}
+
+TEST(DigraphTest, LargeAcyclicStress) {
+  Digraph g;
+  constexpr int kN = 2000;
+  for (int i = 0; i + 1 < kN; ++i) g.AddEdge(i, i + 1);
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_TRUE(g.Reaches(0, kN - 1));
+  auto topo = g.TopologicalOrder();
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->size(), size_t{kN});
+}
+
+TEST(DigraphTest, LargeCycleStress) {
+  Digraph g;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) g.AddEdge(i, (i + 1) % kN);
+  EXPECT_TRUE(g.HasCycle());
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), size_t{kN} + 1);
+}
+
+}  // namespace
+}  // namespace oodb

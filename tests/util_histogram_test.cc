@@ -1,0 +1,115 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace oodb {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.Mean(), 100.0);
+}
+
+TEST(HistogramTest, MinMaxMeanExact) {
+  Histogram h;
+  for (uint64_t v : {10, 20, 30, 40, 50}) h.Add(v);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 50u);
+  EXPECT_EQ(h.Mean(), 30.0);
+}
+
+TEST(HistogramTest, QuantilesApproximatelyOrdered) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 10000; ++i) h.Add(i);
+  uint64_t p50 = h.Quantile(0.5);
+  uint64_t p95 = h.Quantile(0.95);
+  uint64_t p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-bucketing gives ~25% relative error bounds.
+  EXPECT_NEAR(double(p50), 5000.0, 1500.0);
+  EXPECT_NEAR(double(p99), 9900.0, 2800.0);
+}
+
+TEST(HistogramTest, ZeroAndSmallValues) {
+  Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 3u);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(10);
+  a.Add(20);
+  b.Add(30);
+  b.Add(40);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 40u);
+  EXPECT_EQ(a.Mean(), 25.0);
+}
+
+TEST(HistogramTest, MergeWithEmpty) {
+  Histogram a, b;
+  a.Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5u);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Add(uint64_t{1} << 40);
+  h.Add(uint64_t{1} << 41);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), uint64_t{1} << 41);
+  EXPECT_GE(h.Quantile(1.0), uint64_t{1} << 40);
+}
+
+TEST(HistogramTest, SummaryFormat) {
+  Histogram h;
+  h.Add(100);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("mean=100.0"), std::string::npos);
+}
+
+TEST(RunCountersTest, ResetZeroes) {
+  RunCounters c;
+  c.committed = 5;
+  c.aborted = 3;
+  c.deadlocks = 1;
+  c.conflicts = 10;
+  c.operations = 100;
+  c.retries = 2;
+  c.Reset();
+  EXPECT_EQ(c.committed.load(), 0u);
+  EXPECT_EQ(c.aborted.load(), 0u);
+  EXPECT_EQ(c.deadlocks.load(), 0u);
+  EXPECT_EQ(c.conflicts.load(), 0u);
+  EXPECT_EQ(c.operations.load(), 0u);
+  EXPECT_EQ(c.retries.load(), 0u);
+}
+
+}  // namespace
+}  // namespace oodb

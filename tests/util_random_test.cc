@@ -1,0 +1,110 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace oodb {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.NextBelow(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng r(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng r(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  r.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator z(10, 0.0, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[z.Next()];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [k, c] : counts) {
+    (void)k;
+    EXPECT_NEAR(c / 20000.0, 0.1, 0.03);
+  }
+}
+
+TEST(ZipfTest, SkewedWhenThetaHigh) {
+  ZipfGenerator z(1000, 0.99, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[z.Next()];
+  // Rank 0 must dominate rank 500 heavily.
+  EXPECT_GT(counts[0], 1000);
+  EXPECT_LT(counts[500], counts[0] / 10);
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  ZipfGenerator z(50, 0.7, 3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Next(), 50u);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfGenerator z(1, 0.5, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.Next(), 0u);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,113 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace oodb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Conflict("lock incompatible");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsConflict());
+  EXPECT_EQ(s.message(), "lock incompatible");
+  EXPECT_EQ(s.ToString(), "Conflict: lock incompatible");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Conflict("x").code(), StatusCode::kConflict);
+  EXPECT_EQ(Status::Deadlock("x").code(), StatusCode::kDeadlock);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::NotSerializable("x").code(),
+            StatusCode::kNotSerializable);
+  EXPECT_EQ(Status::Capacity("x").code(), StatusCode::kCapacity);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::Conflict("a"), Status::Conflict("b"));
+  EXPECT_FALSE(Status::Conflict("a") == Status::Deadlock("a"));
+}
+
+TEST(StatusTest, PredicatesDiscriminate) {
+  EXPECT_TRUE(Status::Deadlock("d").IsDeadlock());
+  EXPECT_FALSE(Status::Deadlock("d").IsConflict());
+  EXPECT_TRUE(Status::Aborted("a").IsAborted());
+  EXPECT_TRUE(Status::NotSerializable("n").IsNotSerializable());
+  EXPECT_TRUE(Status::NotFound("n").IsNotFound());
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnMacro(int v) {
+  OODB_RETURN_IF_ERROR(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnMacro(3).ok());
+  EXPECT_EQ(UsesReturnMacro(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValueSupported) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UsesAssignMacro(int v, int* out) {
+  OODB_ASSIGN_OR_RETURN(int half, Half(v));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignMacro(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UsesAssignMacro(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::Capacity("page full");
+  EXPECT_EQ(os.str(), "Capacity: page full");
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "containers/directory.h"
+#include "schedule/validator.h"
+#include "workload/harness.h"
+#include "workload/random_history.h"
+
+namespace oodb {
+namespace {
+
+TEST(HarnessTest, RunsAllTransactions) {
+  Database db;
+  RegisterDirectoryMethods(&db);
+  ObjectId dir = CreateDirectory(&db, "D");
+  HarnessConfig config;
+  config.threads = 4;
+  config.txns_per_thread = 20;
+  HarnessResult result = Harness::Run(
+      &db, config, [dir](size_t thread, size_t index) -> TransactionBody {
+        std::string key =
+            "k" + std::to_string(thread) + "_" + std::to_string(index);
+        return [dir, key](MethodContext& txn) {
+          return txn.Call(dir, Invocation("insert", {Value(key), Value("v")}));
+        };
+      });
+  EXPECT_EQ(result.committed, 80u);
+  EXPECT_EQ(result.aborted, 0u);
+  EXPECT_GT(result.Throughput(), 0.0);
+  EXPECT_EQ(result.latency_ns.count(), 80u);
+  EXPECT_FALSE(result.Row().empty());
+  EXPECT_EQ(db.StateOf<DirectoryState>(dir)->entries.size(), 80u);
+}
+
+TEST(HarnessTest, CountsAborts) {
+  Database db;
+  RegisterDirectoryMethods(&db);
+  CreateDirectory(&db, "D");
+  HarnessConfig config;
+  config.threads = 2;
+  config.txns_per_thread = 5;
+  HarnessResult result =
+      Harness::Run(&db, config, [](size_t, size_t) -> TransactionBody {
+        return [](MethodContext&) { return Status::Aborted("always"); };
+      });
+  EXPECT_EQ(result.committed, 0u);
+  EXPECT_EQ(result.aborted, 10u);
+}
+
+TEST(RandomHistoryTest, DeterministicForSeed) {
+  RandomHistoryConfig config;
+  config.seed = 7;
+  RandomHistory a = GenerateRandomHistory(config);
+  RandomHistory b = GenerateRandomHistory(config);
+  ASSERT_EQ(a.ts->action_count(), b.ts->action_count());
+  for (uint64_t i = 0; i < a.ts->action_count(); ++i) {
+    EXPECT_EQ(a.ts->action(ActionId(i)).timestamp,
+              b.ts->action(ActionId(i)).timestamp);
+    EXPECT_EQ(a.ts->action(ActionId(i)).invocation.ToString(),
+              b.ts->action(ActionId(i)).invocation.ToString());
+  }
+}
+
+TEST(RandomHistoryTest, StructureMatchesConfig) {
+  RandomHistoryConfig config;
+  config.num_txns = 5;
+  config.ops_per_txn = 4;
+  config.num_leaves = 3;
+  RandomHistory h = GenerateRandomHistory(config);
+  EXPECT_EQ(h.txns.size(), 5u);
+  EXPECT_EQ(h.leaves.size(), 3u);
+  EXPECT_EQ(h.ts->TopLevel().size(), 5u);
+  // Every transaction has ops_per_txn tree-level calls.
+  for (ActionId t : h.txns) {
+    EXPECT_EQ(h.ts->action(t).children.size(), 4u);
+  }
+  // All primitives stamped.
+  for (ObjectId page : h.pages) {
+    for (ActionId a : h.ts->ActionsOn(page)) {
+      EXPECT_GT(h.ts->action(a).timestamp, 0u);
+    }
+  }
+}
+
+TEST(RandomHistoryTest, ProgramOrderPreserved) {
+  RandomHistoryConfig config;
+  config.num_txns = 6;
+  config.ops_per_txn = 5;
+  config.seed = 11;
+  RandomHistory h = GenerateRandomHistory(config);
+  // Within one transaction, primitive timestamps are increasing in call
+  // order (the generator interleaves across transactions only).
+  for (ActionId top : h.txns) {
+    uint64_t last = 0;
+    for (ActionId tree_op : h.ts->action(top).children) {
+      for (ActionId leaf_op : h.ts->action(tree_op).children) {
+        for (ActionId prim : h.ts->action(leaf_op).children) {
+          uint64_t ts = h.ts->action(prim).timestamp;
+          EXPECT_GT(ts, last);
+          last = ts;
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomHistoryTest, GeneratedHistoriesAreConform) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomHistoryConfig config;
+    config.seed = seed;
+    RandomHistory h = GenerateRandomHistory(config);
+    ValidationOptions opts;
+    ValidationReport report = Validator::Validate(h.ts.get(), opts);
+    EXPECT_TRUE(report.conform) << "seed " << seed << "\n"
+                                << report.Summary();
+  }
+}
+
+}  // namespace
+}  // namespace oodb
