@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_transaction_profiles.dir/fig1_transaction_profiles.cc.o"
+  "CMakeFiles/fig1_transaction_profiles.dir/fig1_transaction_profiles.cc.o.d"
+  "fig1_transaction_profiles"
+  "fig1_transaction_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_transaction_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_encyclopedia_structure.dir/fig2_encyclopedia_structure.cc.o"
+  "CMakeFiles/fig2_encyclopedia_structure.dir/fig2_encyclopedia_structure.cc.o.d"
+  "fig2_encyclopedia_structure"
+  "fig2_encyclopedia_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_encyclopedia_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

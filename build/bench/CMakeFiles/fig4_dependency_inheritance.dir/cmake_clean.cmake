@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dependency_inheritance.dir/fig4_dependency_inheritance.cc.o"
+  "CMakeFiles/fig4_dependency_inheritance.dir/fig4_dependency_inheritance.cc.o.d"
+  "fig4_dependency_inheritance"
+  "fig4_dependency_inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dependency_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

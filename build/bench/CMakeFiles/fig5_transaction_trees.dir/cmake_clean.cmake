@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_transaction_trees.dir/fig5_transaction_trees.cc.o"
+  "CMakeFiles/fig5_transaction_trees.dir/fig5_transaction_trees.cc.o.d"
+  "fig5_transaction_trees"
+  "fig5_transaction_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_transaction_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

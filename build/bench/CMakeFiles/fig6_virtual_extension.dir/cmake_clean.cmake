@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_virtual_extension.dir/fig6_virtual_extension.cc.o"
+  "CMakeFiles/fig6_virtual_extension.dir/fig6_virtual_extension.cc.o.d"
+  "fig6_virtual_extension"
+  "fig6_virtual_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_virtual_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

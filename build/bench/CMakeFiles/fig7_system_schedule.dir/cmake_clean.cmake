@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_system_schedule.dir/fig7_system_schedule.cc.o"
+  "CMakeFiles/fig7_system_schedule.dir/fig7_system_schedule.cc.o.d"
+  "fig7_system_schedule"
+  "fig7_system_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_system_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dependency_table.dir/fig8_dependency_table.cc.o"
+  "CMakeFiles/fig8_dependency_table.dir/fig8_dependency_table.cc.o.d"
+  "fig8_dependency_table"
+  "fig8_dependency_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dependency_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_admission_rates.dir/s1_admission_rates.cc.o"
+  "CMakeFiles/s1_admission_rates.dir/s1_admission_rates.cc.o.d"
+  "s1_admission_rates"
+  "s1_admission_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_admission_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for s1_admission_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2_scheduler_throughput.dir/s2_scheduler_throughput.cc.o"
+  "CMakeFiles/s2_scheduler_throughput.dir/s2_scheduler_throughput.cc.o.d"
+  "s2_scheduler_throughput"
+  "s2_scheduler_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2_scheduler_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for s2_scheduler_throughput.
+# This may be replaced when dependencies are built.

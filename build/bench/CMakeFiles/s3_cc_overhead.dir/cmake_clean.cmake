@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3_cc_overhead.dir/s3_cc_overhead.cc.o"
+  "CMakeFiles/s3_cc_overhead.dir/s3_cc_overhead.cc.o.d"
+  "s3_cc_overhead"
+  "s3_cc_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3_cc_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_commutativity_granularity.dir/s4_commutativity_granularity.cc.o"
+  "CMakeFiles/s4_commutativity_granularity.dir/s4_commutativity_granularity.cc.o.d"
+  "s4_commutativity_granularity"
+  "s4_commutativity_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_commutativity_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

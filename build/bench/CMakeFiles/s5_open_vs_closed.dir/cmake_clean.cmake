@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5_open_vs_closed.dir/s5_open_vs_closed.cc.o"
+  "CMakeFiles/s5_open_vs_closed.dir/s5_open_vs_closed.cc.o.d"
+  "s5_open_vs_closed"
+  "s5_open_vs_closed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5_open_vs_closed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

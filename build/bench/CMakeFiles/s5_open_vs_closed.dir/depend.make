@@ -1,0 +1,2 @@
+# Empty dependencies file for s5_open_vs_closed.
+# This may be replaced when dependencies are built.

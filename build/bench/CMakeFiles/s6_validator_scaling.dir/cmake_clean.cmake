@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s6_validator_scaling.dir/s6_validator_scaling.cc.o"
+  "CMakeFiles/s6_validator_scaling.dir/s6_validator_scaling.cc.o.d"
+  "s6_validator_scaling"
+  "s6_validator_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s6_validator_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

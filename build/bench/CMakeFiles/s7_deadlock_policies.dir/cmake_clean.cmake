@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s7_deadlock_policies.dir/s7_deadlock_policies.cc.o"
+  "CMakeFiles/s7_deadlock_policies.dir/s7_deadlock_policies.cc.o.d"
+  "s7_deadlock_policies"
+  "s7_deadlock_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s7_deadlock_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s8_index_structures.dir/s8_index_structures.cc.o"
+  "CMakeFiles/s8_index_structures.dir/s8_index_structures.cc.o.d"
+  "s8_index_structures"
+  "s8_index_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s8_index_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

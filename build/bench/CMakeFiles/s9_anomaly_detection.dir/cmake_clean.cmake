@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s9_anomaly_detection.dir/s9_anomaly_detection.cc.o"
+  "CMakeFiles/s9_anomaly_detection.dir/s9_anomaly_detection.cc.o.d"
+  "s9_anomaly_detection"
+  "s9_anomaly_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s9_anomaly_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_escrow.dir/banking_escrow.cpp.o"
+  "CMakeFiles/banking_escrow.dir/banking_escrow.cpp.o.d"
+  "banking_escrow"
+  "banking_escrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_escrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

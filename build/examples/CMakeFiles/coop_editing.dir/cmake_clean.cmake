@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_editing.dir/coop_editing.cpp.o"
+  "CMakeFiles/coop_editing.dir/coop_editing.cpp.o.d"
+  "coop_editing"
+  "coop_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

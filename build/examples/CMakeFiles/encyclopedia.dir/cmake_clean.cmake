@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encyclopedia.dir/encyclopedia.cpp.o"
+  "CMakeFiles/encyclopedia.dir/encyclopedia.cpp.o.d"
+  "encyclopedia"
+  "encyclopedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encyclopedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

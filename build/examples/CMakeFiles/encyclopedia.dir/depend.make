@@ -1,0 +1,2 @@
+# Empty dependencies file for encyclopedia.
+# This may be replaced when dependencies are built.

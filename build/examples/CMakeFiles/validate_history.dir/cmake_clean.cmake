@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_history.dir/validate_history.cpp.o"
+  "CMakeFiles/validate_history.dir/validate_history.cpp.o.d"
+  "validate_history"
+  "validate_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_apps.dir/bank.cc.o"
+  "CMakeFiles/oodb_apps.dir/bank.cc.o.d"
+  "CMakeFiles/oodb_apps.dir/document.cc.o"
+  "CMakeFiles/oodb_apps.dir/document.cc.o.d"
+  "CMakeFiles/oodb_apps.dir/encyclopedia.cc.o"
+  "CMakeFiles/oodb_apps.dir/encyclopedia.cc.o.d"
+  "liboodb_apps.a"
+  "liboodb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

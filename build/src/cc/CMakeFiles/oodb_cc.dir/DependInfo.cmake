@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/database.cc" "src/cc/CMakeFiles/oodb_cc.dir/database.cc.o" "gcc" "src/cc/CMakeFiles/oodb_cc.dir/database.cc.o.d"
+  "/root/repo/src/cc/lock_manager.cc" "src/cc/CMakeFiles/oodb_cc.dir/lock_manager.cc.o" "gcc" "src/cc/CMakeFiles/oodb_cc.dir/lock_manager.cc.o.d"
+  "/root/repo/src/cc/method_registry.cc" "src/cc/CMakeFiles/oodb_cc.dir/method_registry.cc.o" "gcc" "src/cc/CMakeFiles/oodb_cc.dir/method_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/oodb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oodb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_cc.dir/database.cc.o"
+  "CMakeFiles/oodb_cc.dir/database.cc.o.d"
+  "CMakeFiles/oodb_cc.dir/lock_manager.cc.o"
+  "CMakeFiles/oodb_cc.dir/lock_manager.cc.o.d"
+  "CMakeFiles/oodb_cc.dir/method_registry.cc.o"
+  "CMakeFiles/oodb_cc.dir/method_registry.cc.o.d"
+  "liboodb_cc.a"
+  "liboodb_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

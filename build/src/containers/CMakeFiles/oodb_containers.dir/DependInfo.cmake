@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containers/bptree.cc" "src/containers/CMakeFiles/oodb_containers.dir/bptree.cc.o" "gcc" "src/containers/CMakeFiles/oodb_containers.dir/bptree.cc.o.d"
+  "/root/repo/src/containers/bptree_inspect.cc" "src/containers/CMakeFiles/oodb_containers.dir/bptree_inspect.cc.o" "gcc" "src/containers/CMakeFiles/oodb_containers.dir/bptree_inspect.cc.o.d"
+  "/root/repo/src/containers/codec.cc" "src/containers/CMakeFiles/oodb_containers.dir/codec.cc.o" "gcc" "src/containers/CMakeFiles/oodb_containers.dir/codec.cc.o.d"
+  "/root/repo/src/containers/directory.cc" "src/containers/CMakeFiles/oodb_containers.dir/directory.cc.o" "gcc" "src/containers/CMakeFiles/oodb_containers.dir/directory.cc.o.d"
+  "/root/repo/src/containers/escrow.cc" "src/containers/CMakeFiles/oodb_containers.dir/escrow.cc.o" "gcc" "src/containers/CMakeFiles/oodb_containers.dir/escrow.cc.o.d"
+  "/root/repo/src/containers/fifo_queue.cc" "src/containers/CMakeFiles/oodb_containers.dir/fifo_queue.cc.o" "gcc" "src/containers/CMakeFiles/oodb_containers.dir/fifo_queue.cc.o.d"
+  "/root/repo/src/containers/hash_index.cc" "src/containers/CMakeFiles/oodb_containers.dir/hash_index.cc.o" "gcc" "src/containers/CMakeFiles/oodb_containers.dir/hash_index.cc.o.d"
+  "/root/repo/src/containers/page_ops.cc" "src/containers/CMakeFiles/oodb_containers.dir/page_ops.cc.o" "gcc" "src/containers/CMakeFiles/oodb_containers.dir/page_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cc/CMakeFiles/oodb_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/oodb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oodb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

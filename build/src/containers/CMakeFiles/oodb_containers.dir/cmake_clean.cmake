@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_containers.dir/bptree.cc.o"
+  "CMakeFiles/oodb_containers.dir/bptree.cc.o.d"
+  "CMakeFiles/oodb_containers.dir/bptree_inspect.cc.o"
+  "CMakeFiles/oodb_containers.dir/bptree_inspect.cc.o.d"
+  "CMakeFiles/oodb_containers.dir/codec.cc.o"
+  "CMakeFiles/oodb_containers.dir/codec.cc.o.d"
+  "CMakeFiles/oodb_containers.dir/directory.cc.o"
+  "CMakeFiles/oodb_containers.dir/directory.cc.o.d"
+  "CMakeFiles/oodb_containers.dir/escrow.cc.o"
+  "CMakeFiles/oodb_containers.dir/escrow.cc.o.d"
+  "CMakeFiles/oodb_containers.dir/fifo_queue.cc.o"
+  "CMakeFiles/oodb_containers.dir/fifo_queue.cc.o.d"
+  "CMakeFiles/oodb_containers.dir/hash_index.cc.o"
+  "CMakeFiles/oodb_containers.dir/hash_index.cc.o.d"
+  "CMakeFiles/oodb_containers.dir/page_ops.cc.o"
+  "CMakeFiles/oodb_containers.dir/page_ops.cc.o.d"
+  "liboodb_containers.a"
+  "liboodb_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/commutativity.cc" "src/model/CMakeFiles/oodb_model.dir/commutativity.cc.o" "gcc" "src/model/CMakeFiles/oodb_model.dir/commutativity.cc.o.d"
+  "/root/repo/src/model/commutativity_table.cc" "src/model/CMakeFiles/oodb_model.dir/commutativity_table.cc.o" "gcc" "src/model/CMakeFiles/oodb_model.dir/commutativity_table.cc.o.d"
+  "/root/repo/src/model/extension.cc" "src/model/CMakeFiles/oodb_model.dir/extension.cc.o" "gcc" "src/model/CMakeFiles/oodb_model.dir/extension.cc.o.d"
+  "/root/repo/src/model/object_type.cc" "src/model/CMakeFiles/oodb_model.dir/object_type.cc.o" "gcc" "src/model/CMakeFiles/oodb_model.dir/object_type.cc.o.d"
+  "/root/repo/src/model/transaction_system.cc" "src/model/CMakeFiles/oodb_model.dir/transaction_system.cc.o" "gcc" "src/model/CMakeFiles/oodb_model.dir/transaction_system.cc.o.d"
+  "/root/repo/src/model/type_registry.cc" "src/model/CMakeFiles/oodb_model.dir/type_registry.cc.o" "gcc" "src/model/CMakeFiles/oodb_model.dir/type_registry.cc.o.d"
+  "/root/repo/src/model/value.cc" "src/model/CMakeFiles/oodb_model.dir/value.cc.o" "gcc" "src/model/CMakeFiles/oodb_model.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oodb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

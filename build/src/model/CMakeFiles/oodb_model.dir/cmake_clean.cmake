@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_model.dir/commutativity.cc.o"
+  "CMakeFiles/oodb_model.dir/commutativity.cc.o.d"
+  "CMakeFiles/oodb_model.dir/commutativity_table.cc.o"
+  "CMakeFiles/oodb_model.dir/commutativity_table.cc.o.d"
+  "CMakeFiles/oodb_model.dir/extension.cc.o"
+  "CMakeFiles/oodb_model.dir/extension.cc.o.d"
+  "CMakeFiles/oodb_model.dir/object_type.cc.o"
+  "CMakeFiles/oodb_model.dir/object_type.cc.o.d"
+  "CMakeFiles/oodb_model.dir/transaction_system.cc.o"
+  "CMakeFiles/oodb_model.dir/transaction_system.cc.o.d"
+  "CMakeFiles/oodb_model.dir/type_registry.cc.o"
+  "CMakeFiles/oodb_model.dir/type_registry.cc.o.d"
+  "CMakeFiles/oodb_model.dir/value.cc.o"
+  "CMakeFiles/oodb_model.dir/value.cc.o.d"
+  "liboodb_model.a"
+  "liboodb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

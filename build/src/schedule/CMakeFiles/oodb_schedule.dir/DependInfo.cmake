@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/conventional.cc" "src/schedule/CMakeFiles/oodb_schedule.dir/conventional.cc.o" "gcc" "src/schedule/CMakeFiles/oodb_schedule.dir/conventional.cc.o.d"
+  "/root/repo/src/schedule/dependency_engine.cc" "src/schedule/CMakeFiles/oodb_schedule.dir/dependency_engine.cc.o" "gcc" "src/schedule/CMakeFiles/oodb_schedule.dir/dependency_engine.cc.o.d"
+  "/root/repo/src/schedule/history_io.cc" "src/schedule/CMakeFiles/oodb_schedule.dir/history_io.cc.o" "gcc" "src/schedule/CMakeFiles/oodb_schedule.dir/history_io.cc.o.d"
+  "/root/repo/src/schedule/multilayer.cc" "src/schedule/CMakeFiles/oodb_schedule.dir/multilayer.cc.o" "gcc" "src/schedule/CMakeFiles/oodb_schedule.dir/multilayer.cc.o.d"
+  "/root/repo/src/schedule/object_schedule.cc" "src/schedule/CMakeFiles/oodb_schedule.dir/object_schedule.cc.o" "gcc" "src/schedule/CMakeFiles/oodb_schedule.dir/object_schedule.cc.o.d"
+  "/root/repo/src/schedule/printer.cc" "src/schedule/CMakeFiles/oodb_schedule.dir/printer.cc.o" "gcc" "src/schedule/CMakeFiles/oodb_schedule.dir/printer.cc.o.d"
+  "/root/repo/src/schedule/validator.cc" "src/schedule/CMakeFiles/oodb_schedule.dir/validator.cc.o" "gcc" "src/schedule/CMakeFiles/oodb_schedule.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/oodb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oodb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

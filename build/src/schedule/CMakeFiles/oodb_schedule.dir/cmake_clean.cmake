@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_schedule.dir/conventional.cc.o"
+  "CMakeFiles/oodb_schedule.dir/conventional.cc.o.d"
+  "CMakeFiles/oodb_schedule.dir/dependency_engine.cc.o"
+  "CMakeFiles/oodb_schedule.dir/dependency_engine.cc.o.d"
+  "CMakeFiles/oodb_schedule.dir/history_io.cc.o"
+  "CMakeFiles/oodb_schedule.dir/history_io.cc.o.d"
+  "CMakeFiles/oodb_schedule.dir/multilayer.cc.o"
+  "CMakeFiles/oodb_schedule.dir/multilayer.cc.o.d"
+  "CMakeFiles/oodb_schedule.dir/object_schedule.cc.o"
+  "CMakeFiles/oodb_schedule.dir/object_schedule.cc.o.d"
+  "CMakeFiles/oodb_schedule.dir/printer.cc.o"
+  "CMakeFiles/oodb_schedule.dir/printer.cc.o.d"
+  "CMakeFiles/oodb_schedule.dir/validator.cc.o"
+  "CMakeFiles/oodb_schedule.dir/validator.cc.o.d"
+  "liboodb_schedule.a"
+  "liboodb_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_storage.dir/page.cc.o"
+  "CMakeFiles/oodb_storage.dir/page.cc.o.d"
+  "liboodb_storage.a"
+  "liboodb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

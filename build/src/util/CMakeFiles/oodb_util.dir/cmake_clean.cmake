@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_util.dir/digraph.cc.o"
+  "CMakeFiles/oodb_util.dir/digraph.cc.o.d"
+  "CMakeFiles/oodb_util.dir/histogram.cc.o"
+  "CMakeFiles/oodb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/oodb_util.dir/logging.cc.o"
+  "CMakeFiles/oodb_util.dir/logging.cc.o.d"
+  "CMakeFiles/oodb_util.dir/random.cc.o"
+  "CMakeFiles/oodb_util.dir/random.cc.o.d"
+  "CMakeFiles/oodb_util.dir/status.cc.o"
+  "CMakeFiles/oodb_util.dir/status.cc.o.d"
+  "CMakeFiles/oodb_util.dir/thread_pool.cc.o"
+  "CMakeFiles/oodb_util.dir/thread_pool.cc.o.d"
+  "liboodb_util.a"
+  "liboodb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

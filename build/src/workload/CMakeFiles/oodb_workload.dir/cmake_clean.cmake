@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_workload.dir/anomalies.cc.o"
+  "CMakeFiles/oodb_workload.dir/anomalies.cc.o.d"
+  "CMakeFiles/oodb_workload.dir/harness.cc.o"
+  "CMakeFiles/oodb_workload.dir/harness.cc.o.d"
+  "CMakeFiles/oodb_workload.dir/random_history.cc.o"
+  "CMakeFiles/oodb_workload.dir/random_history.cc.o.d"
+  "liboodb_workload.a"
+  "liboodb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

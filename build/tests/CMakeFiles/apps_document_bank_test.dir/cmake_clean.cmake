@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_document_bank_test.dir/apps_document_bank_test.cc.o"
+  "CMakeFiles/apps_document_bank_test.dir/apps_document_bank_test.cc.o.d"
+  "apps_document_bank_test"
+  "apps_document_bank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_document_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

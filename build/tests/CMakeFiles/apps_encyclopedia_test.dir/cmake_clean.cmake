@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_encyclopedia_test.dir/apps_encyclopedia_test.cc.o"
+  "CMakeFiles/apps_encyclopedia_test.dir/apps_encyclopedia_test.cc.o.d"
+  "apps_encyclopedia_test"
+  "apps_encyclopedia_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_encyclopedia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_lock_manager_test.dir/cc_lock_manager_test.cc.o"
+  "CMakeFiles/cc_lock_manager_test.dir/cc_lock_manager_test.cc.o.d"
+  "cc_lock_manager_test"
+  "cc_lock_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_lock_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_method_context_test.dir/cc_method_context_test.cc.o"
+  "CMakeFiles/cc_method_context_test.dir/cc_method_context_test.cc.o.d"
+  "cc_method_context_test"
+  "cc_method_context_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_method_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

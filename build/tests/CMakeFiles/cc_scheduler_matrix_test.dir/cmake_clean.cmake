@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_scheduler_matrix_test.dir/cc_scheduler_matrix_test.cc.o"
+  "CMakeFiles/cc_scheduler_matrix_test.dir/cc_scheduler_matrix_test.cc.o.d"
+  "cc_scheduler_matrix_test"
+  "cc_scheduler_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_scheduler_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

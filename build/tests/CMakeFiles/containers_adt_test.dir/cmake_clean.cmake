@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_adt_test.dir/containers_adt_test.cc.o"
+  "CMakeFiles/containers_adt_test.dir/containers_adt_test.cc.o.d"
+  "containers_adt_test"
+  "containers_adt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_adt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_bptree_scan_test.dir/containers_bptree_scan_test.cc.o"
+  "CMakeFiles/containers_bptree_scan_test.dir/containers_bptree_scan_test.cc.o.d"
+  "containers_bptree_scan_test"
+  "containers_bptree_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_bptree_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

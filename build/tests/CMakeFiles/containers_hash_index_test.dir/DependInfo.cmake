@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/containers_hash_index_test.cc" "tests/CMakeFiles/containers_hash_index_test.dir/containers_hash_index_test.cc.o" "gcc" "tests/CMakeFiles/containers_hash_index_test.dir/containers_hash_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/oodb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/oodb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/containers/CMakeFiles/oodb_containers.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/oodb_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/oodb_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/oodb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oodb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

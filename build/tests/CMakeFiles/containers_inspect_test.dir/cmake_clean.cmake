@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_inspect_test.dir/containers_inspect_test.cc.o"
+  "CMakeFiles/containers_inspect_test.dir/containers_inspect_test.cc.o.d"
+  "containers_inspect_test"
+  "containers_inspect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_inspect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_page_test.dir/containers_page_test.cc.o"
+  "CMakeFiles/containers_page_test.dir/containers_page_test.cc.o.d"
+  "containers_page_test"
+  "containers_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_commutativity_test.dir/model_commutativity_test.cc.o"
+  "CMakeFiles/model_commutativity_test.dir/model_commutativity_test.cc.o.d"
+  "model_commutativity_test"
+  "model_commutativity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_commutativity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

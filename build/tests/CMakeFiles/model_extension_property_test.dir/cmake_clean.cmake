@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_extension_property_test.dir/model_extension_property_test.cc.o"
+  "CMakeFiles/model_extension_property_test.dir/model_extension_property_test.cc.o.d"
+  "model_extension_property_test"
+  "model_extension_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_extension_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

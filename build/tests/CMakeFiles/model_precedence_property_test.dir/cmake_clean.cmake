@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_precedence_property_test.dir/model_precedence_property_test.cc.o"
+  "CMakeFiles/model_precedence_property_test.dir/model_precedence_property_test.cc.o.d"
+  "model_precedence_property_test"
+  "model_precedence_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_precedence_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

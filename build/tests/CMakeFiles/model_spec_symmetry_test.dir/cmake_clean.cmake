@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_spec_symmetry_test.dir/model_spec_symmetry_test.cc.o"
+  "CMakeFiles/model_spec_symmetry_test.dir/model_spec_symmetry_test.cc.o.d"
+  "model_spec_symmetry_test"
+  "model_spec_symmetry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_spec_symmetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

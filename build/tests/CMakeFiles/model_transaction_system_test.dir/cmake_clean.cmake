@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_transaction_system_test.dir/model_transaction_system_test.cc.o"
+  "CMakeFiles/model_transaction_system_test.dir/model_transaction_system_test.cc.o.d"
+  "model_transaction_system_test"
+  "model_transaction_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_transaction_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

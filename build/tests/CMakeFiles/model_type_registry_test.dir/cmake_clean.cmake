@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_type_registry_test.dir/model_type_registry_test.cc.o"
+  "CMakeFiles/model_type_registry_test.dir/model_type_registry_test.cc.o.d"
+  "model_type_registry_test"
+  "model_type_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_type_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

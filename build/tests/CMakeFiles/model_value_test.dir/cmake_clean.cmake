@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_value_test.dir/model_value_test.cc.o"
+  "CMakeFiles/model_value_test.dir/model_value_test.cc.o.d"
+  "model_value_test"
+  "model_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

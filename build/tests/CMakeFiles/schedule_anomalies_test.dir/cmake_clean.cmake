@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_anomalies_test.dir/schedule_anomalies_test.cc.o"
+  "CMakeFiles/schedule_anomalies_test.dir/schedule_anomalies_test.cc.o.d"
+  "schedule_anomalies_test"
+  "schedule_anomalies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_anomalies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

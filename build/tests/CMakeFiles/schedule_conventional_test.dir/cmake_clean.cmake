@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_conventional_test.dir/schedule_conventional_test.cc.o"
+  "CMakeFiles/schedule_conventional_test.dir/schedule_conventional_test.cc.o.d"
+  "schedule_conventional_test"
+  "schedule_conventional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_conventional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_golden_test.dir/schedule_golden_test.cc.o"
+  "CMakeFiles/schedule_golden_test.dir/schedule_golden_test.cc.o.d"
+  "schedule_golden_test"
+  "schedule_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_history_io_test.dir/schedule_history_io_test.cc.o"
+  "CMakeFiles/schedule_history_io_test.dir/schedule_history_io_test.cc.o.d"
+  "schedule_history_io_test"
+  "schedule_history_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_history_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_paper_examples_test.dir/schedule_paper_examples_test.cc.o"
+  "CMakeFiles/schedule_paper_examples_test.dir/schedule_paper_examples_test.cc.o.d"
+  "schedule_paper_examples_test"
+  "schedule_paper_examples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_printer_test.dir/schedule_printer_test.cc.o"
+  "CMakeFiles/schedule_printer_test.dir/schedule_printer_test.cc.o.d"
+  "schedule_printer_test"
+  "schedule_printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

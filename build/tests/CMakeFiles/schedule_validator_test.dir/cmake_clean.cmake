@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_validator_test.dir/schedule_validator_test.cc.o"
+  "CMakeFiles/schedule_validator_test.dir/schedule_validator_test.cc.o.d"
+  "schedule_validator_test"
+  "schedule_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
