@@ -12,6 +12,8 @@
 
 #include "apps/encyclopedia.h"
 #include "containers/directory.h"
+#include "model/extension.h"
+#include "schedule/validator.h"
 
 using namespace oodb;
 
@@ -98,6 +100,35 @@ void BM_DirectoryInsert(benchmark::State& state) {
 BENCHMARK(BM_DirectoryInsert)
     ->Arg(int(SchedulerKind::kNone))
     ->Arg(int(SchedulerKind::kOpenNested));
+
+// S3b: the *offline* share of the CC cost — validating the history the
+// scheduler actually recorded. Reference engine (num_threads = 1)
+// against the memoized, worklist-driven engine (num_threads > 1) on the
+// same recorded system; the delta is the analysis overhead a deployment
+// pays per audit, not per transaction.
+void BM_ValidateRecordedHistory(benchmark::State& state) {
+  ObjectId enc;
+  std::unique_ptr<Database> db =
+      MakeEncDb(SchedulerKind::kOpenNested, &enc);
+  for (int i = 0; i < 256; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%05d", i % 128);
+    (void)db->RunTransaction("chg", [&](MethodContext& txn) {
+      return txn.Call(enc, Encyclopedia::Change(key, "rev"));
+    });
+  }
+  // Extend once up front; validation is then read-only and repeatable.
+  SystemExtender::Extend(&db->ts());
+  ValidationOptions options;
+  options.apply_extension = false;
+  options.num_threads = size_t(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Validator::Validate(&db->ts(), options));
+  }
+  state.SetLabel(options.num_threads == 1 ? "reference engine"
+                                          : "indexed engine x4");
+}
+BENCHMARK(BM_ValidateRecordedHistory)->Arg(1)->Arg(4);
 
 }  // namespace
 

@@ -33,6 +33,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -115,9 +116,15 @@ class LockManager {
   /// Number of locks currently in the table (for tests).
   size_t LockCount() const;
 
-  /// Observability counters.
-  uint64_t wait_count() const { return waits_; }
-  uint64_t deadlock_count() const { return deadlocks_; }
+  /// Observability counters. Safe to read concurrently with running
+  /// transactions (the counters are atomic; writers update them under
+  /// mutex_, monitors read them lock-free).
+  uint64_t wait_count() const {
+    return waits_.load(std::memory_order_relaxed);
+  }
+  uint64_t deadlock_count() const {
+    return deadlocks_.load(std::memory_order_relaxed);
+  }
 
   /// Per-object contention: (object, waits observed on it), sorted by
   /// waits descending, at most `top_n` rows. For hotspot reports.
@@ -168,8 +175,8 @@ class LockManager {
   /// waits-for edges among top-level transactions (by ActionId value).
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> waits_for_;
 
-  uint64_t waits_ = 0;
-  uint64_t deadlocks_ = 0;
+  std::atomic<uint64_t> waits_{0};
+  std::atomic<uint64_t> deadlocks_{0};
   /// waits observed per object (keyed by ObjectId value).
   std::unordered_map<uint64_t, uint64_t> waits_per_object_;
 };

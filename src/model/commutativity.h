@@ -22,6 +22,24 @@
 
 namespace oodb {
 
+/// What a spec's Commutes answers depend on — and therefore how far
+/// analysis passes (the conflict-index memo) may cache them. The spec
+/// declares this itself because only it knows its inputs; the safe
+/// default is kNone (never cache), which the escrow method requires:
+/// it "includes parameter values and the status of accessed objects in
+/// the commutativity definition", so yesterday's answer may be wrong
+/// today.
+enum class CommutativityMemo {
+  /// Answers may depend on object state or other external inputs:
+  /// every query must reach the spec.
+  kNone,
+  /// Answers depend only on the two method names.
+  kMethodPair,
+  /// Answers depend on method names and parameter values, but not on
+  /// state: one answer per unordered invocation pair.
+  kInvocationPair,
+};
+
 /// Decides whether two invocations on (distinct executions against) the
 /// same object commute. Implementations must be symmetric:
 /// Commutes(a, b) == Commutes(b, a). Thread-safe after construction.
@@ -38,6 +56,10 @@ class CommutativitySpec {
   bool Conflicts(const Invocation& a, const Invocation& b) const {
     return !Commutes(a, b);
   }
+
+  /// Declared memoization granularity. Overrides must only widen this
+  /// when Commutes is a pure function of the declared inputs.
+  virtual CommutativityMemo memo() const { return CommutativityMemo::kNone; }
 };
 
 /// Everything conflicts with everything. The conservative default: using
@@ -48,6 +70,9 @@ class NeverCommutes : public CommutativitySpec {
   bool Commutes(const Invocation&, const Invocation&) const override {
     return false;
   }
+  CommutativityMemo memo() const override {
+    return CommutativityMemo::kMethodPair;
+  }
 };
 
 /// Everything commutes (for pure observers or append-only logs).
@@ -55,6 +80,9 @@ class AlwaysCommutes : public CommutativitySpec {
  public:
   bool Commutes(const Invocation&, const Invocation&) const override {
     return true;
+  }
+  CommutativityMemo memo() const override {
+    return CommutativityMemo::kMethodPair;
   }
 };
 
@@ -70,6 +98,9 @@ class ReadWriteCommutativity : public CommutativitySpec {
   bool Commutes(const Invocation& a, const Invocation& b) const override {
     return readers_.count(a.method) > 0 && readers_.count(b.method) > 0;
   }
+  CommutativityMemo memo() const override {
+    return CommutativityMemo::kMethodPair;
+  }
 
  private:
   std::set<std::string> readers_;
@@ -84,6 +115,9 @@ class MatrixCommutativity : public CommutativitySpec {
   void SetCommutes(const std::string& m1, const std::string& m2);
 
   bool Commutes(const Invocation& a, const Invocation& b) const override;
+  CommutativityMemo memo() const override {
+    return CommutativityMemo::kMethodPair;
+  }
 
  private:
   std::set<std::pair<std::string, std::string>> commuting_;
@@ -113,6 +147,16 @@ class PredicateCommutativity : public CommutativitySpec {
 
   bool Commutes(const Invocation& a, const Invocation& b) const override;
 
+  /// Predicates are assumed pure in the invocations (the convenience
+  /// predicates below are), so answers memoize per invocation pair.
+  /// A spec whose predicates consult object state (escrow-style) must
+  /// call DeclareStateDependent() to opt out of caching.
+  CommutativityMemo memo() const override {
+    return state_dependent_ ? CommutativityMemo::kNone
+                            : CommutativityMemo::kInvocationPair;
+  }
+  void DeclareStateDependent() { state_dependent_ = true; }
+
   /// Convenience predicate: commute iff parameter `index` differs.
   static Predicate DifferentParam(size_t index);
 
@@ -121,6 +165,7 @@ class PredicateCommutativity : public CommutativitySpec {
 
  private:
   std::map<std::pair<std::string, std::string>, Predicate> predicates_;
+  bool state_dependent_ = false;
 };
 
 }  // namespace oodb

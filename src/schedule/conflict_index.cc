@@ -1,0 +1,177 @@
+#include "schedule/conflict_index.h"
+
+namespace oodb {
+
+namespace {
+
+/// One string key per unordered class pair, order-normalized (specs are
+/// symmetric, so (a, b) and (b, a) share the decision).
+std::string PairKey(const std::string& a, const std::string& b) {
+  const std::string& lo = a <= b ? a : b;
+  const std::string& hi = a <= b ? b : a;
+  std::string key;
+  key.reserve(lo.size() + hi.size() + 1);
+  key += lo;
+  key += '\x01';
+  key += hi;
+  return key;
+}
+
+}  // namespace
+
+ConflictIndex::ConflictIndex(const TransactionSystem& ts)
+    : ts_(ts),
+      objects_(ts.object_count()),
+      class_of_action_(ts.action_count(), 0) {}
+
+ConflictIndex::TypeCache& ConflictIndex::TypeCacheFor(
+    const ObjectType* type) {
+  std::lock_guard<std::mutex> lock(type_caches_mutex_);
+  std::unique_ptr<TypeCache>& slot = type_caches_[type];
+  if (!slot) slot = std::make_unique<TypeCache>();
+  return *slot;
+}
+
+void ConflictIndex::BuildForObject(ObjectId o) {
+  PerObject& po = objects_[o.value];
+  const ObjectRecord& obj = ts_.object(o);
+  const CommutativitySpec& spec = obj.type->commutativity();
+  const CommutativityMemo memo = spec.memo();
+  po.built = true;
+  if (memo == CommutativityMemo::kNone) {
+    po.memoized = false;  // state-dependent: every query goes to the spec
+    return;
+  }
+  po.memoized = true;
+
+  // Classify ACT_O. A class is one method name (kMethodPair) or one
+  // rendered invocation (kInvocationPair); the representative invocation
+  // of each class stands in for all its members.
+  std::unordered_map<std::string, uint32_t> class_ids;
+  std::vector<std::string> class_keys;
+  std::vector<const Invocation*> reps;
+  for (ActionId a : obj.actions) {
+    const Invocation& inv = ts_.action(a).invocation;
+    std::string key = memo == CommutativityMemo::kMethodPair
+                          ? inv.method
+                          : inv.ToString();
+    auto [it, inserted] =
+        class_ids.try_emplace(std::move(key), uint32_t(class_ids.size()));
+    if (inserted) {
+      class_keys.push_back(it->first);
+      reps.push_back(&inv);
+    }
+    class_of_action_[a.value] = it->second;
+  }
+
+  const uint32_t c = uint32_t(class_ids.size());
+  po.num_classes = c;
+  po.class_commutes.assign(size_t(c) * c, 0);
+
+  // Fill the class-pair matrix, reusing decisions made for other
+  // objects of this type. Undecided pairs are collected under the lock,
+  // decided outside it (spec calls may be arbitrarily slow), and
+  // published afterwards; a duplicate decision by a racing builder is
+  // benign because specs at this granularity are deterministic.
+  struct Pending {
+    uint32_t i, j;
+    std::string key;
+  };
+  std::vector<Pending> pending;
+  TypeCache& cache = TypeCacheFor(obj.type);
+  {
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    for (uint32_t i = 0; i < c; ++i) {
+      for (uint32_t j = i; j < c; ++j) {
+        std::string key = PairKey(class_keys[i], class_keys[j]);
+        auto it = cache.decided.find(key);
+        if (it != cache.decided.end()) {
+          memo_hits_.fetch_add(1, std::memory_order_relaxed);
+          po.class_commutes[size_t(i) * c + j] =
+              po.class_commutes[size_t(j) * c + i] = it->second ? 1 : 0;
+        } else {
+          pending.push_back({i, j, std::move(key)});
+        }
+      }
+    }
+  }
+  for (const Pending& p : pending) {
+    spec_calls_.fetch_add(1, std::memory_order_relaxed);
+    const uint8_t commutes = spec.Commutes(*reps[p.i], *reps[p.j]) ? 1 : 0;
+    po.class_commutes[size_t(p.i) * c + p.j] =
+        po.class_commutes[size_t(p.j) * c + p.i] = commutes;
+  }
+  if (!pending.empty()) {
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    for (Pending& p : pending) {
+      cache.decided.emplace(std::move(p.key),
+                            po.class_commutes[size_t(p.i) * c + p.j] != 0);
+    }
+  }
+}
+
+bool ConflictIndex::Commute(ActionId a, ActionId b) const {
+  if (a == b) return true;
+  const ActionRecord& ra = ts_.action(a);
+  const ActionRecord& rb = ts_.action(b);
+  // Same-process rule of Def 9 (see TransactionSystem::Commute).
+  if (ra.top_level == rb.top_level && ra.process == rb.process) return true;
+  const PerObject& po = objects_[ra.object.value];
+  if (!po.memoized) {
+    spec_calls_.fetch_add(1, std::memory_order_relaxed);
+    return ts_.object(ra.object).type->Commutes(ra.invocation, rb.invocation);
+  }
+  return po.class_commutes[size_t(class_of_action_[a.value]) *
+                               po.num_classes +
+                           class_of_action_[b.value]] != 0;
+}
+
+void ConflictIndex::AppendConflictPairs(
+    ObjectId o, std::vector<std::pair<ActionId, ActionId>>* out) const {
+  const std::vector<ActionId>& acts = ts_.ActionsOn(o);
+  const size_t n = acts.size();
+  if (n < 2) return;
+  const PerObject& po = objects_[o.value];
+  if (!po.memoized) {
+    const ObjectType* type = ts_.object(o).type;
+    for (size_t i = 0; i < n; ++i) {
+      const ActionRecord& ra = ts_.action(acts[i]);
+      for (size_t j = i + 1; j < n; ++j) {
+        const ActionRecord& rb = ts_.action(acts[j]);
+        if (ra.top_level == rb.top_level && ra.process == rb.process) {
+          continue;
+        }
+        spec_calls_.fetch_add(1, std::memory_order_relaxed);
+        if (!type->Commutes(ra.invocation, rb.invocation)) {
+          out->emplace_back(acts[i], acts[j]);
+        }
+      }
+    }
+    return;
+  }
+  // Flat rows keep the quadratic sweep cache-resident; the memo reduces
+  // each probe to one byte load.
+  struct Row {
+    uint32_t cls;
+    uint32_t process;
+    uint64_t top;
+  };
+  std::vector<Row> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ActionRecord& r = ts_.action(acts[i]);
+    rows[i] = {class_of_action_[acts[i].value], r.process, r.top_level.value};
+  }
+  const uint8_t* matrix = po.class_commutes.data();
+  const size_t c = po.num_classes;
+  for (size_t i = 0; i < n; ++i) {
+    const Row& ri = rows[i];
+    const uint8_t* row = matrix + size_t(ri.cls) * c;
+    for (size_t j = i + 1; j < n; ++j) {
+      const Row& rj = rows[j];
+      if (ri.top == rj.top && ri.process == rj.process) continue;
+      if (!row[rj.cls]) out->emplace_back(acts[i], acts[j]);
+    }
+  }
+}
+
+}  // namespace oodb

@@ -1,0 +1,98 @@
+// ConflictIndex: memoized Def 9 queries and conflict-pair construction
+// for the dependency analysis.
+//
+// The analysis asks "do a and a' commute?" for every same-object action
+// pair — quadratic per object — but commutativity decisions are
+// method-pair-structured (Malta & Martinez, "Limits of Commutativity on
+// Abstract Data Types"): for most specifications the answer depends only
+// on the two method names, or on the names plus parameter values. The
+// index assigns every action on an object an *invocation class* at the
+// granularity its type's spec declares (CommutativityMemo), decides
+// commutativity once per class pair, and serves all further queries from
+// the memo. Classes recur across objects of one type, so decided pairs
+// are shared through a per-type cache.
+//
+// Specs that declare CommutativityMemo::kNone (state-dependent
+// escrow-style specifications, which "include ... the status of accessed
+// objects in the commutativity definition") bypass the memo entirely:
+// every query reaches the spec, so the index is exact by construction.
+//
+// Thread-safety: BuildForObject may run concurrently for *distinct*
+// objects (the per-type cache is internally locked); queries are safe
+// once the objects they touch are built.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "model/transaction_system.h"
+
+namespace oodb {
+
+class ConflictIndex {
+ public:
+  /// `ts` must outlive the index and be quiescent while it is in use.
+  explicit ConflictIndex(const TransactionSystem& ts);
+
+  /// Classifies the actions on `o` and decides the commutativity of all
+  /// class pairs. Safe to call concurrently for distinct objects.
+  void BuildForObject(ObjectId o);
+
+  /// Def 9 with the same-process rule — semantically identical to
+  /// TransactionSystem::Commute, served from the memo when the object's
+  /// spec allows. Both actions must be on the same, built object.
+  bool Commute(ActionId a, ActionId b) const;
+
+  /// Appends the conflicting unordered pairs of ACT_O to `out`, in the
+  /// same (i < j) enumeration order as the naive all-pairs loop.
+  /// BuildForObject(o) must have run.
+  void AppendConflictPairs(
+      ObjectId o, std::vector<std::pair<ActionId, ActionId>>* out) const;
+
+  /// Observability: how much work the memo absorbed.
+  size_t spec_calls() const {
+    return spec_calls_.load(std::memory_order_relaxed);
+  }
+  size_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-object classification. `memoized` is false for kNone specs;
+  /// the class matrix then stays empty and queries go to the spec.
+  struct PerObject {
+    bool built = false;
+    bool memoized = false;
+    uint32_t num_classes = 0;
+    /// Commutativity per class pair, row-major num_classes^2.
+    std::vector<uint8_t> class_commutes;
+  };
+
+  const TransactionSystem& ts_;
+  std::vector<PerObject> objects_;          // index = ObjectId.value
+  std::vector<uint32_t> class_of_action_;   // index = ActionId.value
+
+  /// Decided class pairs shared across objects of one type:
+  /// (class key, class key) normalized lexicographically -> commutes.
+  struct TypeCache {
+    std::mutex mutex;
+    std::unordered_map<std::string, bool> decided;
+  };
+  TypeCache& TypeCacheFor(const ObjectType* type);
+
+  std::mutex type_caches_mutex_;
+  std::unordered_map<const ObjectType*, std::unique_ptr<TypeCache>>
+      type_caches_;
+
+  mutable std::atomic<size_t> spec_calls_{0};
+  mutable std::atomic<size_t> memo_hits_{0};
+};
+
+}  // namespace oodb

@@ -17,6 +17,18 @@
 // Steps 2-3 iterate to a fixpoint (call trees are finite; edges only
 // grow).
 //
+// Two engines implement this contract:
+//   * kReference — the original formulation: all-pairs Commute calls
+//     per object and full rescans of every conflict pair and every
+//     transaction dependency per fixpoint round. Kept as the executable
+//     specification.
+//   * kIndexed — the production path: conflict pairs come from the
+//     memoized ConflictIndex, the fixpoint is delta-driven (only edges
+//     added in the previous round are reexamined, and the conflict
+//     membership of a reexamined edge is answered by the memo), and the
+//     per-object stages fan out over a thread pool. Produces identical
+//     schedules and statistics.
+//
 // Precondition: the system must already be extended per Def 5
 // (SystemExtender); the engine refuses otherwise, because mixed
 // action/transaction roles on one object would make the recursion
@@ -25,7 +37,8 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "model/transaction_system.h"
@@ -33,6 +46,8 @@
 #include "util/result.h"
 
 namespace oodb {
+
+class ThreadPool;
 
 /// Aggregate statistics of one dependency computation. These are the
 /// quantities behind the paper's Fig 4 discussion: how many conflicting
@@ -52,12 +67,27 @@ struct DependencyStats {
   size_t unordered_conflicts = 0;
 };
 
+/// Selects and configures the engine implementation.
+struct DependencyOptions {
+  enum class Mode {
+    kReference,  ///< original all-pairs / full-rescan engine
+    kIndexed,    ///< memoized conflict index + worklist fixpoint
+  };
+  Mode mode = Mode::kReference;
+  /// Worker threads for the kIndexed per-object stages: 0 = hardware
+  /// concurrency, 1 = run every stage inline (no pool). Ignored by
+  /// kReference.
+  size_t num_threads = 1;
+};
+
 /// Computes and stores all object schedules for one transaction system.
 class DependencyEngine {
  public:
   /// `ts` must outlive the engine and be quiescent (no concurrent
   /// mutation) during Compute and afterwards.
-  explicit DependencyEngine(const TransactionSystem& ts) : ts_(ts) {}
+  explicit DependencyEngine(const TransactionSystem& ts,
+                            DependencyOptions options = {})
+      : ts_(ts), options_(options) {}
 
   /// Runs the fixpoint. Fails with InvalidArgument when the system still
   /// needs the Def 5 extension.
@@ -77,11 +107,24 @@ class DependencyEngine {
   const Digraph& TopLevelOrder() const;
 
  private:
+  // --- reference engine ---------------------------------------------
   void ComputeConflictPairs();
   void SeedAxiom1();
   bool PropagateOnce();
 
+  // --- indexed engine -----------------------------------------------
+  void ComputeIndexed(ThreadPool* pool);
+
+  /// Post-fixpoint derived counters (unordered_conflicts and
+  /// stopped_inheritance) for the reference engine, probing the action
+  /// relation per pair. The indexed engine computes the same counters
+  /// from its directed-pair flags instead (see ComputeIndexed).
+  void FinalizeDerivedStats(
+      const std::function<bool(ActionId, ActionId)>& commute,
+      ThreadPool* pool);
+
   const TransactionSystem& ts_;
+  DependencyOptions options_;
   std::vector<ObjectSchedule> schedules_;
   DependencyStats stats_;
   bool computed_ = false;

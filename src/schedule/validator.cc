@@ -1,8 +1,12 @@
 #include "schedule/validator.h"
 
+#include <memory>
 #include <sstream>
+#include <thread>
+#include <unordered_set>
 
 #include "model/extension.h"
+#include "util/thread_pool.h"
 
 namespace oodb {
 
@@ -48,6 +52,63 @@ void CheckConformance(const TransactionSystem& ts, ValidationReport* report) {
   }
 }
 
+/// Linear-time Def 7 screen used by the pooled path. MustPrecede pairs
+/// are exactly the primitive pairs whose branches at some common action
+/// set are connected by the precedence relation, so conformance holds
+/// iff no precedence chain c1 ->* c2 has a primitive under c1 executing
+/// after a primitive under c2. Aggregating each subtree's executed
+/// timestamps reduces that to one min/max comparison per reachable
+/// branch pair — no quadratic MustPrecede probing. Exact for the
+/// verdict; when it trips, the caller reruns CheckConformance for the
+/// identical per-pair diagnostics.
+bool ConformanceHolds(const TransactionSystem& ts) {
+  const size_t n = ts.action_count();
+  // Min/max timestamp of the executed, non-virtual primitives in each
+  // action's subtree; 0 = none. Children are created after their parent
+  // (Call requires the parent to exist), so one descending pass folds
+  // bottom-up.
+  std::vector<uint64_t> lo(n, 0), hi(n, 0);
+  for (size_t i = n; i-- > 0;) {
+    const ActionRecord& rec = ts.action(ActionId(i));
+    uint64_t l = 0, h = 0;
+    if (!rec.is_virtual && rec.timestamp != 0 && ts.IsPrimitive(ActionId(i))) {
+      l = h = rec.timestamp;
+    }
+    for (ActionId c : rec.children) {
+      if (lo[c.value] == 0) continue;
+      if (l == 0 || lo[c.value] < l) l = lo[c.value];
+      if (hi[c.value] > h) h = hi[c.value];
+    }
+    lo[i] = l;
+    hi[i] = h;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto& edges = ts.action(ActionId(i)).child_precedence;
+    if (edges.empty()) continue;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> succ;
+    for (const auto& [from, to] : edges) {
+      succ[from.value].push_back(to.value);
+    }
+    for (const auto& [from, direct] : succ) {
+      if (hi[from] == 0) continue;
+      // DFS over the action set's precedence DAG from `from`.
+      std::unordered_set<uint64_t> visited{from};
+      std::vector<uint64_t> stack(direct.begin(), direct.end());
+      while (!stack.empty()) {
+        uint64_t cur = stack.back();
+        stack.pop_back();
+        if (!visited.insert(cur).second) continue;
+        if (lo[cur] != 0 && hi[from] > lo[cur]) return false;
+        auto it = succ.find(cur);
+        if (it != succ.end()) {
+          stack.insert(stack.end(), it->second.begin(), it->second.end());
+        }
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string ValidationReport::Summary() const {
@@ -75,7 +136,21 @@ ValidationReport Validator::Validate(TransactionSystem* ts,
     report.extension = SystemExtender::Extend(ts);
   }
 
-  DependencyEngine engine(*ts);
+  DependencyOptions dep_options;
+  if (options.num_threads != 1) {
+    dep_options.mode = DependencyOptions::Mode::kIndexed;
+    dep_options.num_threads = options.num_threads;
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads != 1) {
+    size_t threads = options.num_threads == 0
+                         ? std::max<size_t>(
+                               1, std::thread::hardware_concurrency())
+                         : options.num_threads;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  }
+
+  DependencyEngine engine(*ts, dep_options);
   Status st = engine.Compute();
   if (!st.ok()) {
     report.oo_serializable = false;
@@ -84,31 +159,69 @@ ValidationReport Validator::Validate(TransactionSystem* ts,
   }
   report.stats = engine.stats();
 
-  // Per-object Def 13 and Def 16(ii).
-  bool all_ok = true;
-  for (const ObjectSchedule& sch : engine.schedules()) {
+  // Per-object Def 13 and Def 16(ii). Objects are independent; with a
+  // pool the checks fan out, and the per-object diagnostics are merged
+  // in object order so the report stays deterministic.
+  const std::vector<ObjectSchedule>& schedules = engine.schedules();
+  std::vector<std::vector<std::string>> object_diags(schedules.size());
+  std::vector<uint8_t> object_ok(schedules.size(), 1);
+  auto check_txn_deps = [&](size_t i) {
+    const ObjectSchedule& sch = schedules[i];
     if (auto cycle = sch.txn_deps.FindCycle()) {
-      all_ok = false;
-      report.diagnostics.push_back(
+      object_ok[i] = 0;
+      object_diags[i].push_back(
           "object " + ts->object(sch.object).name +
           ": transaction dependency cycle (Def 13 i): " +
           RenderCycle(*ts, *cycle));
     }
+  };
+  auto check_action_deps = [&](size_t i) {
+    const ObjectSchedule& sch = schedules[i];
     if (auto cycle = sch.action_deps.FindCycle()) {
-      all_ok = false;
-      report.diagnostics.push_back(
+      object_ok[i] = 0;
+      object_diags[i].push_back(
           "object " + ts->object(sch.object).name +
           ": contradicting action dependencies (Def 13 ii): " +
           RenderCycle(*ts, *cycle));
     }
     if (!sch.AddedAcyclic()) {
-      all_ok = false;
+      object_ok[i] = 0;
       Digraph combined = sch.action_deps;
       combined.UnionWith(sch.added_deps);
-      report.diagnostics.push_back(
+      object_diags[i].push_back(
           "object " + ts->object(sch.object).name +
           ": added-dependency contradiction (Def 16 ii): " +
           RenderCycle(*ts, *combined.FindCycle()));
+    }
+  };
+  auto check_object = [&](size_t i) {
+    check_txn_deps(i);
+    check_action_deps(i);
+  };
+  // Same verdicts along a cheaper route for the pooled path: the
+  // combined Def 16(ii) traversal (HasCycleWith, no graph copy) also
+  // answers Def 13(ii) when acyclic, so the accepting case — the common
+  // one — costs a single traversal of the big action relation. The
+  // diagnostic-producing FindCycle calls only run on rejection.
+  auto check_object_fast = [&](size_t i) {
+    const ObjectSchedule& sch = schedules[i];
+    check_txn_deps(i);
+    bool combined_cyclic =
+        sch.added_deps.EdgeCount() == 0
+            ? sch.action_deps.HasCycle()
+            : sch.action_deps.HasCycleWith(sch.added_deps);
+    if (combined_cyclic) check_action_deps(i);
+  };
+  if (pool) {
+    pool->ParallelFor(schedules.size(), check_object_fast);
+  } else {
+    for (size_t i = 0; i < schedules.size(); ++i) check_object(i);
+  }
+  bool all_ok = true;
+  for (size_t i = 0; i < schedules.size(); ++i) {
+    if (!object_ok[i]) all_ok = false;
+    for (std::string& d : object_diags[i]) {
+      report.diagnostics.push_back(std::move(d));
     }
   }
   report.oo_serializable = all_ok;
@@ -129,11 +242,13 @@ ValidationReport Validator::Validate(TransactionSystem* ts,
   }
 
   if (options.check_conformance) {
-    CheckConformance(*ts, &report);
+    // The screen is exact for the verdict, so the quadratic per-pair
+    // scan only runs when there are diagnostics to produce.
+    if (!pool || !ConformanceHolds(*ts)) CheckConformance(*ts, &report);
   }
 
   if (options.check_conventional) {
-    report.conventional = ConventionalChecker::Check(*ts);
+    report.conventional = ConventionalChecker::Check(*ts, options.num_threads);
     report.conventionally_serializable = report.conventional.serializable;
   }
 

@@ -37,6 +37,13 @@ struct ValidationOptions {
   /// relation separately, which cannot see cycles threading through
   /// three or more objects); see EXPERIMENTS.md for the discussion.
   bool check_global = false;
+
+  /// Worker threads for the analysis pipeline. 1 (the default) runs the
+  /// original serial reference engine unchanged. Any other value
+  /// selects the indexed engine — memoized conflict pairs, worklist
+  /// fixpoint, per-object stages fanned out over that many threads
+  /// (0 = hardware concurrency) — which produces identical reports.
+  size_t num_threads = 1;
 };
 
 /// Everything a validation run learned about one execution.

@@ -6,48 +6,119 @@
 namespace oodb {
 
 namespace {
-const std::unordered_set<Digraph::NodeId>& EmptySet() {
-  static const std::unordered_set<Digraph::NodeId> kEmpty;
+const Digraph::SuccessorSet& EmptySet() {
+  static const Digraph::SuccessorSet kEmpty;
   return kEmpty;
 }
 }  // namespace
+
+void Digraph::Reserve(size_t nodes) {
+  adjacency_.reserve(nodes);
+  node_order_.reserve(nodes);
+}
 
 void Digraph::AddNode(NodeId n) {
   auto [it, inserted] = adjacency_.try_emplace(n);
   if (inserted) node_order_.push_back(n);
 }
 
-void Digraph::AddEdge(NodeId from, NodeId to) {
-  AddNode(from);
-  AddNode(to);
-  if (adjacency_[from].insert(to).second) ++edge_count_;
+void Digraph::ReserveSuccessors(NodeId n, size_t count) {
+  auto [it, inserted] = adjacency_.try_emplace(n);
+  if (inserted) node_order_.push_back(n);
+  it->second.reserve(count);
+}
+
+bool Digraph::AddEdge(NodeId from, NodeId to) {
+  auto [fit, fins] = adjacency_.try_emplace(from);
+  if (fins) node_order_.push_back(from);
+  auto [tit, tins] = adjacency_.try_emplace(to);
+  if (tins) node_order_.push_back(to);
+  // Inserting `to` may have rehashed the table and invalidated `fit`;
+  // refetch only in that (cold) case — the hot fixpoint path adds edges
+  // between known nodes and keeps the single lookup.
+  auto& successors = tins ? adjacency_.find(from)->second : fit->second;
+  if (successors.insert(to)) {
+    ++edge_count_;
+    return true;
+  }
+  return false;
 }
 
 bool Digraph::HasNode(NodeId n) const { return adjacency_.count(n) > 0; }
 
 bool Digraph::HasEdge(NodeId from, NodeId to) const {
+  // Fast path for the fixpoint's hottest query: relations start empty
+  // and most stay small, so skip the hashing when there is nothing to
+  // find.
+  if (edge_count_ == 0) return false;
   auto it = adjacency_.find(from);
   return it != adjacency_.end() && it->second.count(to) > 0;
 }
 
-const std::unordered_set<Digraph::NodeId>& Digraph::Successors(
-    NodeId n) const {
+const Digraph::SuccessorSet& Digraph::Successors(NodeId n) const {
   auto it = adjacency_.find(n);
   return it == adjacency_.end() ? EmptySet() : it->second;
 }
 
 bool Digraph::HasCycle() const { return FindCycle().has_value(); }
 
-std::optional<std::vector<Digraph::NodeId>> Digraph::FindCycle() const {
-  // Iterative DFS with colors; reconstructs the cycle from the DFS stack.
+bool Digraph::HasCycleWith(const Digraph& extra) const {
+  // Colored DFS like FindCycle, but each node's successor list is the
+  // concatenation of both graphs' lists, read in place.
   enum Color : uint8_t { kWhite, kGray, kBlack };
-  std::unordered_map<NodeId, Color> color;
-  color.reserve(adjacency_.size());
-  for (NodeId n : node_order_) color[n] = kWhite;
+  // FlatMap64 default-constructs absent entries to 0 == kWhite, so the
+  // map needs no seeding pass.
+  FlatMap64<uint8_t> color;
+  color.reserve(adjacency_.size() + extra.adjacency_.size());
 
   struct Frame {
     NodeId node;
-    std::unordered_set<NodeId>::const_iterator next;
+    SuccessorSet::const_iterator next;
+    bool in_extra;  // currently walking extra's successor list
+  };
+  auto roots = [&](const std::vector<NodeId>& order) -> bool {
+    for (NodeId start : order) {
+      if (color[start] != kWhite) continue;
+      std::vector<Frame> stack;
+      color[start] = kGray;
+      stack.push_back({start, Successors(start).begin(), false});
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        const auto& succ =
+            f.in_extra ? extra.Successors(f.node) : Successors(f.node);
+        if (f.next == succ.end()) {
+          if (!f.in_extra) {
+            f.in_extra = true;
+            f.next = extra.Successors(f.node).begin();
+            continue;
+          }
+          color[f.node] = kBlack;
+          stack.pop_back();
+          continue;
+        }
+        NodeId child = *f.next;
+        ++f.next;
+        if (color[child] == kGray) return true;
+        if (color[child] == kWhite) {
+          color[child] = kGray;
+          stack.push_back({child, Successors(child).begin(), false});
+        }
+      }
+    }
+    return false;
+  };
+  return roots(node_order_) || roots(extra.node_order_);
+}
+
+std::optional<std::vector<Digraph::NodeId>> Digraph::FindCycle() const {
+  // Iterative DFS with colors; reconstructs the cycle from the DFS stack.
+  enum Color : uint8_t { kWhite, kGray, kBlack };
+  FlatMap64<uint8_t> color;  // absent == 0 == kWhite
+  color.reserve(adjacency_.size());
+
+  struct Frame {
+    NodeId node;
+    SuccessorSet::const_iterator next;
   };
 
   for (NodeId start : node_order_) {
@@ -181,7 +252,7 @@ Digraph::StronglyConnectedComponents() const {
 
   struct Frame {
     NodeId node;
-    std::unordered_set<NodeId>::const_iterator next;
+    SuccessorSet::const_iterator next;
   };
 
   for (NodeId root : node_order_) {

@@ -16,6 +16,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/flat_hash.h"
+
 namespace oodb {
 
 /// A directed graph over dense uint64 node identifiers.
@@ -25,13 +27,29 @@ namespace oodb {
 class Digraph {
  public:
   using NodeId = uint64_t;
+  /// Successor sets iterate in edge-insertion order (deterministic
+  /// across platforms, unlike a node-based hash set) and probe without
+  /// per-element allocations — the dependency fixpoint inserts and
+  /// tests hundreds of thousands of edges.
+  using SuccessorSet = FlatSet64;
+
+  /// Pre-sizes the adjacency structures for `nodes` nodes (an upper
+  /// bound; growing past it stays correct, just slower).
+  void Reserve(size_t nodes);
 
   /// Ensures `n` exists (isolated nodes matter for topological orders).
   void AddNode(NodeId n);
 
+  /// Ensures `n` exists and pre-sizes its successor set for `count`
+  /// edges. Bulk loaders that know out-degrees up front (e.g. from a
+  /// counting pre-pass) avoid every rehash of the successor set.
+  void ReserveSuccessors(NodeId n, size_t count);
+
   /// Adds the edge `from -> to` (and both endpoints). Self-loops allowed;
-  /// a self-loop makes the graph cyclic.
-  void AddEdge(NodeId from, NodeId to);
+  /// a self-loop makes the graph cyclic. Returns true when the edge is
+  /// new, false when it already existed — so callers running a fixpoint
+  /// need no separate HasEdge probe.
+  bool AddEdge(NodeId from, NodeId to);
 
   bool HasNode(NodeId n) const;
   bool HasEdge(NodeId from, NodeId to) const;
@@ -39,14 +57,20 @@ class Digraph {
   size_t NodeCount() const { return adjacency_.size(); }
   size_t EdgeCount() const { return edge_count_; }
 
-  /// Successors of `n` (empty if unknown node).
-  const std::unordered_set<NodeId>& Successors(NodeId n) const;
+  /// Successors of `n` (empty if unknown node), in insertion order.
+  const SuccessorSet& Successors(NodeId n) const;
 
   /// All nodes, in insertion order.
   const std::vector<NodeId>& Nodes() const { return node_order_; }
 
   /// True iff the graph contains a directed cycle.
   bool HasCycle() const;
+
+  /// True iff the union of this graph with `extra` contains a directed
+  /// cycle, without materializing the union (Def 16 ii runs this per
+  /// object; copying the action-dependency relation just to test
+  /// acyclicity dominated the check's cost).
+  bool HasCycleWith(const Digraph& extra) const;
 
   /// Returns one directed cycle as a node sequence (first == last), or
   /// nullopt when acyclic. Useful for diagnostics.
@@ -76,7 +100,7 @@ class Digraph {
       const std::function<std::string(NodeId)>& fmt = nullptr) const;
 
  private:
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> adjacency_;
+  std::unordered_map<NodeId, SuccessorSet> adjacency_;
   std::vector<NodeId> node_order_;
   size_t edge_count_ = 0;
 };

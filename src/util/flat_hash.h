@@ -1,0 +1,175 @@
+// Open-addressing hash containers for u64 id keys (action, object, and
+// transaction ids). The node-based std containers pay one heap
+// allocation per element and scatter elements across the heap; the
+// dependency analysis inserts and probes hundreds of thousands of graph
+// edges, where both costs dominate. These containers keep elements in
+// one dense vector (which is also the iteration order: insertion order,
+// deterministic across platforms) and probe through a separate
+// linear-probing index table of element positions.
+//
+// Deliberately minimal: no erase (the analysis only grows relations),
+// keys are plain u64, and growth doubles the table. Not thread-safe.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oodb {
+
+namespace flat_internal {
+
+/// splitmix64 finalizer: ids are small sequential integers, so identity
+/// hashing (std::hash) would pile them into neighboring buckets;
+/// mixing spreads the probe sequences.
+inline size_t Mix(uint64_t key) {
+  uint64_t x = key + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return size_t(x ^ (x >> 31));
+}
+
+}  // namespace flat_internal
+
+/// Insertion-ordered set of u64 keys.
+class FlatSet64 {
+ public:
+  using value_type = uint64_t;
+  using const_iterator = const uint64_t*;
+
+  /// Inserts `key`; returns true when it was not yet present.
+  bool insert(uint64_t key) {
+    if (4 * (elements_.size() + 1) > 3 * table_.size()) Grow();
+    const size_t mask = table_.size() - 1;
+    size_t idx = flat_internal::Mix(key) & mask;
+    for (;;) {
+      const uint32_t slot = table_[idx];
+      if (slot == kEmpty) {
+        table_[idx] = uint32_t(elements_.size());
+        elements_.push_back(key);
+        return true;
+      }
+      if (elements_[slot] == key) return false;
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  bool contains(uint64_t key) const {
+    if (elements_.empty()) return false;
+    const size_t mask = table_.size() - 1;
+    size_t idx = flat_internal::Mix(key) & mask;
+    for (;;) {
+      const uint32_t slot = table_[idx];
+      if (slot == kEmpty) return false;
+      if (elements_[slot] == key) return true;
+      idx = (idx + 1) & mask;
+    }
+  }
+  size_t count(uint64_t key) const { return contains(key) ? 1 : 0; }
+
+  void reserve(size_t n) {
+    size_t want = 16;
+    while (3 * want < 4 * n) want *= 2;
+    if (want > table_.size()) Rebuild(want);
+  }
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const_iterator begin() const { return elements_.data(); }
+  const_iterator end() const { return elements_.data() + elements_.size(); }
+
+  void clear() {
+    elements_.clear();
+    table_.clear();
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  void Grow() { Rebuild(table_.empty() ? 16 : table_.size() * 2); }
+
+  void Rebuild(size_t capacity) {
+    table_.assign(capacity, kEmpty);
+    const size_t mask = capacity - 1;
+    for (size_t i = 0; i < elements_.size(); ++i) {
+      size_t idx = flat_internal::Mix(elements_[i]) & mask;
+      while (table_[idx] != kEmpty) idx = (idx + 1) & mask;
+      table_[idx] = uint32_t(i);
+    }
+  }
+
+  std::vector<uint64_t> elements_;  ///< insertion order; the iteration
+  std::vector<uint32_t> table_;     ///< element positions, linear probing
+};
+
+/// Map from u64 keys to `V`, same layout as FlatSet64. operator[]
+/// default-constructs absent entries, like std::unordered_map.
+template <typename V>
+class FlatMap64 {
+ public:
+  V& operator[](uint64_t key) {
+    if (4 * (keys_.size() + 1) > 3 * table_.size()) Grow();
+    const size_t mask = table_.size() - 1;
+    size_t idx = flat_internal::Mix(key) & mask;
+    for (;;) {
+      const uint32_t slot = table_[idx];
+      if (slot == kEmpty) {
+        table_[idx] = uint32_t(keys_.size());
+        keys_.push_back(key);
+        values_.emplace_back();
+        return values_.back();
+      }
+      if (keys_[slot] == key) return values_[slot];
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  V* find(uint64_t key) {
+    if (keys_.empty()) return nullptr;
+    const size_t mask = table_.size() - 1;
+    size_t idx = flat_internal::Mix(key) & mask;
+    for (;;) {
+      const uint32_t slot = table_[idx];
+      if (slot == kEmpty) return nullptr;
+      if (keys_[slot] == key) return &values_[slot];
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  void reserve(size_t n) {
+    size_t want = 16;
+    while (3 * want < 4 * n) want *= 2;
+    if (want > table_.size()) Rebuild(want);
+  }
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  void clear() {
+    keys_.clear();
+    values_.clear();
+    table_.clear();
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  void Grow() { Rebuild(table_.empty() ? 16 : table_.size() * 2); }
+
+  void Rebuild(size_t capacity) {
+    table_.assign(capacity, kEmpty);
+    const size_t mask = capacity - 1;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      size_t idx = flat_internal::Mix(keys_[i]) & mask;
+      while (table_[idx] != kEmpty) idx = (idx + 1) & mask;
+      table_[idx] = uint32_t(i);
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+  std::vector<uint32_t> table_;
+};
+
+}  // namespace oodb

@@ -32,6 +32,33 @@ void ThreadPool::Wait() {
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = std::min(num_threads(), n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Stack state is safe: we block below until every worker finished.
+  std::atomic<size_t> next{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t finished = 0;
+  for (size_t w = 0; w < workers; ++w) {
+    Submit([&, n] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (++finished == workers) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return finished == workers; });
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

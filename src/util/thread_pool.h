@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -29,6 +30,13 @@ class ThreadPool {
 
   /// Blocks until the queue is empty and all workers are idle.
   void Wait();
+
+  /// Runs `fn(i)` for every i in [0, n), distributing indices across
+  /// the workers, and blocks until all calls returned. Indices are
+  /// handed out dynamically, so uneven per-index cost balances itself.
+  /// Must not be called from inside a pool task (it would wait on the
+  /// worker it occupies).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size(); }
 

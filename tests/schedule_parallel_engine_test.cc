@@ -1,0 +1,276 @@
+// Equivalence of the indexed (memoized, worklist-driven, parallel)
+// dependency engine with the serial reference engine, property-tested
+// over random histories:
+//
+//   P1  For random histories the indexed engine at 2 and 8 threads
+//       produces identical DependencyStats, identical per-object edge
+//       sets (action, transaction, and added dependencies), and
+//       identical conflict pairs.
+//   P2  The same holds on non-atomic interleavings, where most
+//       histories are *rejected* (Def 13 ii) — verdict equivalence on
+//       the rejecting side.
+//   P3  Full Validator runs agree on verdicts and statistics across
+//       num_threads ∈ {1, 2, 8}.
+//   P4  Memoized conflict decisions equal direct Commute results pair
+//       by pair.
+//   P5  A state-dependent escrow-style spec (CommutativityMemo::kNone)
+//       bypasses the memo: the indexed engine tracks the spec's current
+//       state exactly as the reference engine does, and every query
+//       reaches the spec.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "model/extension.h"
+#include "schedule/conflict_index.h"
+#include "schedule/validator.h"
+#include "workload/random_history.h"
+
+namespace oodb {
+namespace {
+
+using EdgeList = std::vector<std::pair<uint64_t, uint64_t>>;
+
+EdgeList SortedEdges(const Digraph& g) {
+  EdgeList edges;
+  edges.reserve(g.EdgeCount());
+  for (Digraph::NodeId n : g.Nodes()) {
+    for (Digraph::NodeId s : g.Successors(n)) edges.emplace_back(n, s);
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+void ExpectStatsEqual(const DependencyStats& a, const DependencyStats& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.primitive_conflicts, b.primitive_conflicts) << what;
+  EXPECT_EQ(a.inherited_txn_deps, b.inherited_txn_deps) << what;
+  EXPECT_EQ(a.stopped_inheritance, b.stopped_inheritance) << what;
+  EXPECT_EQ(a.added_deps, b.added_deps) << what;
+  EXPECT_EQ(a.fixpoint_rounds, b.fixpoint_rounds) << what;
+  EXPECT_EQ(a.unordered_conflicts, b.unordered_conflicts) << what;
+}
+
+void ExpectEnginesEqual(const TransactionSystem& ts, size_t threads,
+                        const std::string& what) {
+  DependencyEngine reference(ts);
+  ASSERT_TRUE(reference.Compute().ok()) << what;
+
+  DependencyOptions options;
+  options.mode = DependencyOptions::Mode::kIndexed;
+  options.num_threads = threads;
+  DependencyEngine indexed(ts, options);
+  ASSERT_TRUE(indexed.Compute().ok()) << what;
+
+  ExpectStatsEqual(reference.stats(), indexed.stats(), what);
+  ASSERT_EQ(reference.schedules().size(), indexed.schedules().size());
+  for (size_t i = 0; i < reference.schedules().size(); ++i) {
+    const ObjectSchedule& r = reference.schedules()[i];
+    const ObjectSchedule& x = indexed.schedules()[i];
+    std::string where = what + " object " + std::to_string(i);
+    EXPECT_EQ(r.conflict_pairs, x.conflict_pairs) << where;
+    EXPECT_EQ(SortedEdges(r.action_deps), SortedEdges(x.action_deps))
+        << where;
+    EXPECT_EQ(SortedEdges(r.txn_deps), SortedEdges(x.txn_deps)) << where;
+    EXPECT_EQ(SortedEdges(r.added_deps), SortedEdges(x.added_deps)) << where;
+    EXPECT_EQ(r.IsOoSerializable(), x.IsOoSerializable()) << where;
+    EXPECT_EQ(r.AddedAcyclic(), x.AddedAcyclic()) << where;
+  }
+}
+
+class ParallelEngineProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelEngineProperty, IndexedEngineMatchesReference) {
+  RandomHistoryConfig config;
+  config.seed = GetParam();
+  config.num_txns = 6;
+  config.ops_per_txn = 4;
+  config.num_leaves = 2;
+  config.keys_per_leaf = 6;
+  RandomHistory h = GenerateRandomHistory(config);
+  SystemExtender::Extend(h.ts.get());
+  for (size_t threads : {2, 8}) {
+    ExpectEnginesEqual(*h.ts, threads,
+                       "seed " + std::to_string(GetParam()) + " threads " +
+                           std::to_string(threads));
+  }
+}
+
+TEST_P(ParallelEngineProperty, IndexedEngineMatchesReferenceOnRejections) {
+  // Free interleaving of primitives: almost every history contains a
+  // Def 13(ii) contradiction, so equivalence is exercised on cyclic
+  // relations too.
+  RandomHistoryConfig config;
+  config.seed = GetParam();
+  config.num_txns = 4;
+  config.ops_per_txn = 3;
+  config.atomic_ops = false;
+  RandomHistory h = GenerateRandomHistory(config);
+  SystemExtender::Extend(h.ts.get());
+  ExpectEnginesEqual(*h.ts, 2, "seed " + std::to_string(GetParam()));
+}
+
+TEST_P(ParallelEngineProperty, ValidatorAgreesAcrossThreadCounts) {
+  auto make = [&] {
+    RandomHistoryConfig config;
+    config.seed = GetParam();
+    config.num_txns = 5;
+    config.ops_per_txn = 4;
+    config.num_leaves = 2;
+    config.keys_per_leaf = 8;
+    return GenerateRandomHistory(config);
+  };
+  RandomHistory serial = make();
+  ValidationOptions serial_options;
+  serial_options.check_global = true;
+  ValidationReport want = Validator::Validate(serial.ts.get(),
+                                              serial_options);
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    RandomHistory h = make();
+    ValidationOptions options;
+    options.check_global = true;
+    options.num_threads = threads;
+    ValidationReport got = Validator::Validate(h.ts.get(), options);
+    std::string what = "seed " + std::to_string(GetParam()) + " threads " +
+                       std::to_string(threads);
+    EXPECT_EQ(want.oo_serializable, got.oo_serializable) << what;
+    EXPECT_EQ(want.conventionally_serializable,
+              got.conventionally_serializable)
+        << what;
+    EXPECT_EQ(want.conform, got.conform) << what;
+    EXPECT_EQ(want.globally_acyclic, got.globally_acyclic) << what;
+    EXPECT_EQ(want.conventional.conflicting_pairs,
+              got.conventional.conflicting_pairs)
+        << what;
+    EXPECT_EQ(SortedEdges(want.conventional.conflict_graph),
+              SortedEdges(got.conventional.conflict_graph))
+        << what;
+    ExpectStatsEqual(want.stats, got.stats, what);
+  }
+}
+
+TEST_P(ParallelEngineProperty, MemoizedConflictsEqualDirectCommute) {
+  RandomHistoryConfig config;
+  config.seed = GetParam();
+  config.num_txns = 4;
+  config.ops_per_txn = 4;
+  RandomHistory h = GenerateRandomHistory(config);
+  SystemExtender::Extend(h.ts.get());
+  const TransactionSystem& ts = *h.ts;
+
+  ConflictIndex index(ts);
+  for (size_t i = 0; i < ts.object_count(); ++i) {
+    index.BuildForObject(ObjectId(i));
+  }
+  size_t queries = 0;
+  for (size_t i = 0; i < ts.object_count(); ++i) {
+    const auto& acts = ts.ActionsOn(ObjectId(i));
+    for (size_t a = 0; a < acts.size(); ++a) {
+      for (size_t b = a + 1; b < acts.size(); ++b) {
+        ++queries;
+        EXPECT_EQ(ts.Commute(acts[a], acts[b]),
+                  index.Commute(acts[a], acts[b]))
+            << ts.Describe(acts[a]) << " vs " << ts.Describe(acts[b]);
+      }
+    }
+  }
+  // The history's types (pages, leaves, tree, S) all declare memoizable
+  // specs: spec work is bounded by the class matrix, never by the
+  // quadratic pair volume, and repeated queries are served from the
+  // memo. (The absorption *ratio* only becomes dramatic at bench scale;
+  // tiny histories have mostly-distinct invocation classes.)
+  EXPECT_LE(index.spec_calls(), queries)
+      << "memo did more spec work than the naive sweep";
+  EXPECT_GT(index.memo_hits(), 0u) << "memo never answered a query";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEngineProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+// --- state-dependent escrow spec -------------------------------------
+
+/// Escrow-style commutativity: two withdrawals commute only while their
+/// combined amount fits in the account's current headroom — a decision
+/// that "includes ... the status of accessed objects", so it must not
+/// be cached. Inherits the base-class default CommutativityMemo::kNone:
+/// safety is the default for custom specs.
+class HeadroomSpec : public CommutativitySpec {
+ public:
+  bool Commutes(const Invocation& a, const Invocation& b) const override {
+    ++calls_;
+    if (a.method == "withdraw" && b.method == "withdraw") {
+      return a.params[0].AsInt() + b.params[0].AsInt() <= headroom_;
+    }
+    return true;  // deposits commute with everything
+  }
+
+  void set_headroom(int64_t h) { headroom_ = h; }
+  size_t calls() const { return calls_.load(); }
+
+ private:
+  int64_t headroom_ = 100;
+  // Atomic: the indexed engine consults kNone specs from pool threads.
+  mutable std::atomic<size_t> calls_{0};
+};
+
+TEST(StateDependentSpec, DefaultsToNoMemo) {
+  EXPECT_EQ(HeadroomSpec().memo(), CommutativityMemo::kNone);
+  EXPECT_EQ(MatrixCommutativity().memo(), CommutativityMemo::kMethodPair);
+  EXPECT_EQ(PredicateCommutativity().memo(),
+            CommutativityMemo::kInvocationPair);
+  PredicateCommutativity stateful;
+  stateful.DeclareStateDependent();
+  EXPECT_EQ(stateful.memo(), CommutativityMemo::kNone);
+}
+
+TEST(StateDependentSpec, IndexedEngineBypassesMemo) {
+  auto owned = std::make_unique<HeadroomSpec>();
+  HeadroomSpec* spec = owned.get();
+  ObjectType account("Account", std::move(owned), /*primitive=*/true);
+
+  auto build = [&] {
+    auto ts = std::make_unique<TransactionSystem>();
+    ObjectId acct = ts->AddObject(&account, "A");
+    for (int t = 0; t < 2; ++t) {
+      ActionId top = ts->BeginTopLevel("T" + std::to_string(t + 1));
+      ActionId w = ts->Call(top, acct, Invocation("withdraw", {Value(60)}));
+      ts->SetTimestamp(w, ts->NextTimestamp());
+    }
+    return ts;
+  };
+
+  // Tight headroom: 60 + 60 > 100, the withdrawals conflict.
+  spec->set_headroom(100);
+  {
+    auto ts = build();
+    ExpectEnginesEqual(*ts, 2, "tight headroom");
+    DependencyOptions options;
+    options.mode = DependencyOptions::Mode::kIndexed;
+    DependencyEngine engine(*ts, options);
+    ASSERT_TRUE(engine.Compute().ok());
+    EXPECT_EQ(engine.stats().primitive_conflicts, 1u);
+  }
+
+  // The account state changed: the same history now commutes. A memo
+  // keyed on the invocations would still report the stale conflict;
+  // the kNone declaration forces every query through the spec.
+  spec->set_headroom(200);
+  {
+    auto ts = build();
+    size_t calls_before = spec->calls();
+    ExpectEnginesEqual(*ts, 2, "relaxed headroom");
+    DependencyOptions options;
+    options.mode = DependencyOptions::Mode::kIndexed;
+    DependencyEngine engine(*ts, options);
+    ASSERT_TRUE(engine.Compute().ok());
+    EXPECT_EQ(engine.stats().primitive_conflicts, 0u);
+    EXPECT_GT(spec->calls(), calls_before)
+        << "indexed engine never consulted the state-dependent spec";
+  }
+}
+
+}  // namespace
+}  // namespace oodb

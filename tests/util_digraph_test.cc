@@ -180,6 +180,58 @@ TEST(DigraphTest, ToStringWithFormatter) {
   EXPECT_EQ(g.ToString(fmt), "T1->T2");
 }
 
+TEST(DigraphTest, AddEdgeReportsNovelty) {
+  Digraph g;
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_FALSE(g.AddEdge(1, 2));
+  EXPECT_TRUE(g.AddEdge(2, 1));
+  EXPECT_EQ(g.EdgeCount(), 2u);
+}
+
+TEST(DigraphTest, ReserveSuccessorsKeepsSemantics) {
+  Digraph g;
+  g.ReserveSuccessors(7, 100);
+  EXPECT_TRUE(g.HasNode(7));
+  EXPECT_TRUE(g.Successors(7).empty());
+  for (Digraph::NodeId n = 0; n < 100; ++n) EXPECT_TRUE(g.AddEdge(7, n));
+  EXPECT_EQ(g.Successors(7).size(), 100u);
+  // Node order: the reserved node first, then targets as mentioned.
+  EXPECT_EQ(g.Nodes().front(), 7u);
+}
+
+TEST(DigraphTest, SuccessorsIterateInInsertionOrder) {
+  Digraph g;
+  const Digraph::NodeId order[] = {9, 3, 27, 1};
+  for (Digraph::NodeId n : order) g.AddEdge(0, n);
+  std::vector<Digraph::NodeId> seen(g.Successors(0).begin(),
+                                    g.Successors(0).end());
+  EXPECT_EQ(seen, std::vector<Digraph::NodeId>(order, order + 4));
+}
+
+TEST(DigraphTest, HasCycleWithMatchesMaterializedUnion) {
+  // Acyclic halves whose union is cyclic — the Def 16(ii) shape.
+  Digraph base, extra;
+  base.AddEdge(1, 2);
+  base.AddEdge(2, 3);
+  extra.AddEdge(3, 1);
+  EXPECT_FALSE(base.HasCycle());
+  EXPECT_FALSE(extra.HasCycle());
+  EXPECT_TRUE(base.HasCycleWith(extra));
+  EXPECT_TRUE(extra.HasCycleWith(base));
+
+  Digraph disjoint;
+  disjoint.AddEdge(10, 11);
+  EXPECT_FALSE(base.HasCycleWith(disjoint));
+  // A cycle entirely inside `extra` must also be found, even from
+  // roots only `extra` knows.
+  Digraph self;
+  self.AddEdge(20, 21);
+  self.AddEdge(21, 20);
+  EXPECT_TRUE(base.HasCycleWith(self));
+  Digraph empty;
+  EXPECT_FALSE(empty.HasCycleWith(empty));
+}
+
 TEST(DigraphTest, LargeAcyclicStress) {
   Digraph g;
   constexpr int kN = 2000;

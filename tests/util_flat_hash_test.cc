@@ -1,0 +1,96 @@
+#include "util/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace oodb {
+namespace {
+
+TEST(FlatSet64Test, InsertContainsAndDedup) {
+  FlatSet64 s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(42));
+  EXPECT_FALSE(s.insert(42));
+  EXPECT_TRUE(s.insert(0));  // zero is an ordinary key, not a sentinel
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_EQ(s.count(42), 1u);
+  EXPECT_EQ(s.count(7), 0u);
+}
+
+TEST(FlatSet64Test, IteratesInInsertionOrderAcrossGrowth) {
+  FlatSet64 s;
+  std::vector<uint64_t> inserted;
+  std::mt19937_64 rng(1234);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng();
+    if (s.insert(v)) inserted.push_back(v);
+  }
+  std::vector<uint64_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen, inserted);
+}
+
+TEST(FlatSet64Test, MatchesUnorderedSetUnderRandomOps) {
+  FlatSet64 s;
+  std::unordered_set<uint64_t> ref;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng() % 4096;  // force collisions and duplicates
+    EXPECT_EQ(s.insert(v), ref.insert(v).second);
+  }
+  EXPECT_EQ(s.size(), ref.size());
+  for (uint64_t v = 0; v < 4096; ++v) {
+    EXPECT_EQ(s.contains(v), ref.count(v) > 0) << v;
+  }
+}
+
+TEST(FlatSet64Test, ReserveAndClear) {
+  FlatSet64 s;
+  s.reserve(1000);
+  for (uint64_t v = 0; v < 1000; ++v) s.insert(v);
+  EXPECT_EQ(s.size(), 1000u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_TRUE(s.insert(5));
+}
+
+TEST(FlatMap64Test, OperatorIndexDefaultConstructs) {
+  FlatMap64<uint8_t> m;
+  // Absent keys read as value-initialized — the DFS color maps rely on
+  // 0 meaning "white" with no seeding pass.
+  EXPECT_EQ(m[17], 0);
+  m[17] = 3;
+  EXPECT_EQ(m[17], 3);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_NE(m.find(17), nullptr);
+  EXPECT_EQ(m.find(18), nullptr);
+}
+
+TEST(FlatMap64Test, MatchesUnorderedMapUnderRandomOps) {
+  FlatMap64<uint32_t> m;
+  std::unordered_map<uint64_t, uint32_t> ref;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = rng() % 2048;
+    uint32_t v = uint32_t(rng());
+    m[k] = v;
+    ref[k] = v;
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const uint32_t* found = m.find(k);
+    ASSERT_NE(found, nullptr) << k;
+    EXPECT_EQ(*found, v) << k;
+  }
+}
+
+}  // namespace
+}  // namespace oodb
