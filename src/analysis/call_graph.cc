@@ -1,0 +1,144 @@
+#include "analysis/call_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "model/object_type.h"
+
+namespace oodb::analysis {
+
+namespace {
+
+using NodeKey = std::pair<std::string, std::string>;  // (type, method)
+
+}  // namespace
+
+CallGraphResult AnalyzeCallGraph(const MethodRegistry& registry) {
+  CallGraphResult result;
+  std::map<std::string, const ObjectType*> types_by_name;
+  for (const ObjectType* type : registry.Types()) {
+    types_by_name.emplace(type->name(), type);
+  }
+
+  // Collect nodes and validate each declared edge.
+  std::map<NodeKey, std::vector<CallTarget>> edges;
+  for (const ObjectType* type : registry.Types()) {
+    for (const std::string& method : registry.MethodsOf(type)) {
+      const MethodTraits* traits = registry.Traits(type, method);
+      const bool has_impl = registry.Find(type, method) != nullptr;
+      if (!has_impl) {
+        result.diagnostics.push_back(
+            {Severity::kWarning, "call-graph", type->name(), method, "",
+             "traits declared for a method with no registered "
+             "implementation — stale schema entry"});
+      }
+      if (traits == nullptr || !traits->Declared()) {
+        result.diagnostics.push_back(
+            {Severity::kWarning, "call-graph", type->name(), method, "",
+             "registered method has no declared traits; the schema "
+             "audit cannot see its call targets or probe its "
+             "parameters"});
+        edges[{type->name(), method}];
+        continue;
+      }
+      std::vector<CallTarget> calls = traits->calls;
+      std::sort(calls.begin(), calls.end());
+      calls.erase(std::unique(calls.begin(), calls.end()), calls.end());
+      if (type->primitive() && !calls.empty()) {
+        result.diagnostics.push_back(
+            {Severity::kError, "call-graph", type->name(), method, "",
+             "primitive type declares outgoing calls (first: " +
+                 calls.front().type + "." + calls.front().method +
+                 ") — Def 3 requires that its methods call no other "
+                 "actions"});
+      }
+      for (const CallTarget& target : calls) {
+        auto it = types_by_name.find(target.type);
+        if (it == types_by_name.end()) {
+          result.diagnostics.push_back(
+              {Severity::kError, "call-graph", type->name(), method, "",
+               "call target " + target.type + "." + target.method +
+                   ": type is not registered in this schema"});
+          continue;
+        }
+        const std::vector<std::string> methods =
+            registry.MethodsOf(it->second);
+        if (std::find(methods.begin(), methods.end(), target.method) ==
+            methods.end()) {
+          result.diagnostics.push_back(
+              {Severity::kError, "call-graph", type->name(), method, "",
+               "call target " + target.type + "." + target.method +
+                   ": method is not registered on that type"});
+        }
+      }
+      edges[{type->name(), method}] = std::move(calls);
+    }
+  }
+
+  // Def 5 sites: BFS over the type-level graph from every node; a
+  // reachable callee on the receiver's own type makes the node a
+  // virtual-object site. Parent links give a witness path.
+  for (auto& [key, calls] : edges) {
+    CallGraphNode node;
+    node.type_name = key.first;
+    node.method = key.second;
+    node.calls = calls;
+
+    std::map<NodeKey, NodeKey> parent;
+    std::vector<NodeKey> frontier;
+    std::set<NodeKey> visited;
+    NodeKey hit{"", ""};
+    for (const CallTarget& t : calls) {
+      NodeKey next{t.type, t.method};
+      if (visited.insert(next).second) {
+        parent[next] = key;
+        frontier.push_back(next);
+      }
+    }
+    while (!frontier.empty() && hit.first.empty()) {
+      std::vector<NodeKey> next_frontier;
+      for (const NodeKey& at : frontier) {
+        if (at.first == key.first) {
+          hit = at;
+          break;
+        }
+        auto it = edges.find(at);
+        if (it == edges.end()) continue;
+        for (const CallTarget& t : it->second) {
+          NodeKey next{t.type, t.method};
+          if (visited.insert(next).second) {
+            parent[next] = at;
+            next_frontier.push_back(next);
+          }
+        }
+      }
+      frontier = std::move(next_frontier);
+    }
+    if (!hit.first.empty()) {
+      node.def5_site = true;
+      std::vector<NodeKey> path;
+      for (NodeKey at = hit; at != key; at = parent.at(at)) {
+        path.push_back(at);
+      }
+      path.push_back(key);
+      std::reverse(path.begin(), path.end());
+      if (path.size() == 1) path.push_back(hit);  // direct self-call
+      for (const NodeKey& at : path) {
+        if (!node.def5_path.empty()) node.def5_path += " -> ";
+        node.def5_path += at.first + "." + at.second;
+      }
+      result.diagnostics.push_back(
+          {Severity::kNote, "call-graph", key.first, key.second, "",
+           "Def 5 virtual-object site: an execution can reach further "
+           "executions on its own receiver type (" + node.def5_path +
+               "); the system extension introduces a virtual object "
+               "here"});
+    }
+    result.nodes.push_back(std::move(node));
+  }
+  return result;
+}
+
+}  // namespace oodb::analysis

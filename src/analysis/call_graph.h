@@ -1,0 +1,47 @@
+// Pass 4 — static call-graph analysis.
+//
+// Builds the type-level method call graph from the MethodTraits each
+// registration declares (a static over-approximation of the Def 1/2
+// "action sends messages" relation) and checks it against the schema:
+//
+//   * every declared call target must resolve to a registered method of
+//     a registered type (dangling targets are schema rot);
+//   * a primitive type (Def 3: "methods call no other actions") must
+//     declare no outgoing calls;
+//   * traits declared for a method that has no implementation, and
+//     implementations without declared traits, are flagged — the
+//     schema the linter audits must cover the code that runs;
+//   * a method that can transitively re-reach its own receiver type is
+//     a Def 5 virtual-object site (an execution may contain further
+//     executions on objects of the same type — the B-tree insert that
+//     splits into child inserts). Reported as a note with a witness
+//     path: these sites are where the system-extension construction
+//     (Def 5/6) does real work.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "cc/method_registry.h"
+
+namespace oodb::analysis {
+
+/// One node of the type-level call graph, with its declared edges.
+struct CallGraphNode {
+  std::string type_name;
+  std::string method;
+  std::vector<CallTarget> calls;   ///< declared, deduplicated
+  bool def5_site = false;          ///< transitively re-reaches own type
+  std::string def5_path;           ///< witness, "T.m -> U.n -> T.k"
+};
+
+struct CallGraphResult {
+  std::vector<CallGraphNode> nodes;  ///< sorted by (type, method)
+  std::vector<Diagnostic> diagnostics;
+};
+
+CallGraphResult AnalyzeCallGraph(const MethodRegistry& registry);
+
+}  // namespace oodb::analysis

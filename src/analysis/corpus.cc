@@ -1,0 +1,60 @@
+#include "analysis/corpus.h"
+
+#include <algorithm>
+
+namespace oodb::analysis {
+
+std::vector<Invocation> TypeCorpus::Invocations() const {
+  std::vector<Invocation> out;
+  for (const MethodCorpus& m : methods) {
+    for (const ValueList& p : m.params) out.emplace_back(m.method, p);
+  }
+  return out;
+}
+
+ValueList MutateParams(const ValueList& params) {
+  ValueList out;
+  out.reserve(params.size());
+  for (const Value& v : params) {
+    if (v.IsInt()) {
+      out.emplace_back(v.AsInt() + 1);
+    } else if (v.IsString()) {
+      out.emplace_back(v.AsString() + "~");
+    } else {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+TypeCorpus BuildTypeCorpus(const ObjectType* type,
+                           const MethodRegistry& registry) {
+  TypeCorpus corpus;
+  corpus.type = type;
+  for (const std::string& name : registry.MethodsOf(type)) {
+    MethodCorpus mc;
+    mc.method = name;
+    const MethodTraits* traits = registry.Traits(type, name);
+    if (traits != nullptr) {
+      mc.has_traits = traits->Declared();
+      mc.observer = traits->observer;
+      for (const ValueList& sample : traits->samples) {
+        mc.params.push_back(sample);
+        if (!sample.empty()) mc.params.push_back(MutateParams(sample));
+      }
+    }
+    if (mc.params.empty()) mc.params.push_back({});
+    // Dedup, keeping first occurrence so declared order stays stable.
+    std::vector<ValueList> unique;
+    for (ValueList& p : mc.params) {
+      if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+        unique.push_back(std::move(p));
+      }
+    }
+    mc.params = std::move(unique);
+    corpus.methods.push_back(std::move(mc));
+  }
+  return corpus;
+}
+
+}  // namespace oodb::analysis

@@ -1,0 +1,49 @@
+// Invocation corpus: the probe inputs for the dynamic-on-spec passes.
+//
+// The linter never runs a workload; it drives each type's
+// CommutativitySpec (a pure value-level object) over a generated corpus
+// of invocations. The corpus comes from the schema itself: the sample
+// ValueLists each method declares in its MethodTraits, widened with
+// deterministic mutations (ints shifted, strings extended) so
+// parameter-sensitive predicates — DifferentParam and friends — are
+// exercised on both the equal and the unequal side.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/method_registry.h"
+#include "model/invocation.h"
+#include "model/object_type.h"
+
+namespace oodb::analysis {
+
+/// One method's probe set.
+struct MethodCorpus {
+  std::string method;
+  bool observer = false;               ///< from MethodTraits
+  bool has_traits = false;             ///< traits were declared at all
+  std::vector<ValueList> params;       ///< deduplicated, declared order
+};
+
+/// Everything the value-level passes need to probe one type.
+struct TypeCorpus {
+  const ObjectType* type = nullptr;
+  std::vector<MethodCorpus> methods;   ///< sorted by method name
+
+  /// All invocations, flattened in (method, sample) order.
+  std::vector<Invocation> Invocations() const;
+};
+
+/// Deterministic mutation of a parameter list: ints + 1, strings with a
+/// '~' appended, None untouched. Preserves arity and value kinds.
+ValueList MutateParams(const ValueList& params);
+
+/// Builds the corpus for `type` from the registry's declared traits.
+/// Methods without declared samples contribute one empty-parameter
+/// invocation; every declared sample also contributes its mutation.
+TypeCorpus BuildTypeCorpus(const ObjectType* type,
+                           const MethodRegistry& registry);
+
+}  // namespace oodb::analysis

@@ -1,0 +1,107 @@
+#include "analysis/lock_conformance.h"
+
+#include <chrono>
+#include <set>
+#include <string>
+
+#include "cc/lock_manager.h"
+#include "model/transaction_system.h"
+
+namespace oodb::analysis {
+
+std::vector<Diagnostic> CheckLockConformance(
+    const TypeCorpus& corpus, const LockConformanceOptions& options) {
+  std::vector<Diagnostic> out;
+  const ObjectType* type = corpus.type;
+  const CommutativitySpec& reference =
+      options.reference ? *options.reference : type->commutativity();
+
+  TransactionSystem ts;
+  const ObjectId obj = ts.AddObject(type, "LintProbe");
+  const ActionId t1 = ts.BeginTopLevel("LintHolder");
+  const ActionId t2 = ts.BeginTopLevel("LintRequester");
+
+  LockManagerOptions lm_options;
+  lm_options.wait_timeout = std::chrono::milliseconds(0);
+  LockManager lm(&ts, lm_options);
+
+  // One diagnostic per (method pair, kind); the first witnessing
+  // invocation pair carries the detail.
+  std::set<std::string> seen;
+  auto Report = [&](const std::string& kind, Severity severity,
+                    const Invocation& a, const Invocation& b,
+                    const std::string& message) {
+    if (!seen.insert(kind + "|" + a.method + "|" + b.method).second) return;
+    out.push_back({severity, "lock-conformance", type->name(), a.method,
+                   b.method, message});
+  };
+
+  const std::vector<Invocation> invs = corpus.Invocations();
+  for (const Invocation& a : invs) {
+    for (const Invocation& b : invs) {
+      const bool expected = reference.Commutes(a, b);
+
+      // Commutativity semantics: admit iff the pair commutes.
+      Status held = lm.Acquire(obj, type, a, t1, t1);
+      if (!held.ok()) {
+        Report("held", Severity::kError, a, b,
+               "could not seed the probe lock on an empty table: " +
+                   held.ToString());
+        lm.ReleaseAllHeldBy(t1);
+        continue;
+      }
+      const bool admitted = lm.Acquire(obj, type, b, t2, t2).ok();
+      lm.ReleaseAllHeldBy(t2);
+      if (admitted && !expected) {
+        Report("admit", Severity::kError, a, b,
+               "lock table admits " + b.ToString() + " while " +
+                   a.ToString() +
+                   " is held, but the specification says they conflict "
+                   "— schedules stop being oo-serializable");
+      } else if (!admitted && expected) {
+        Report("block", Severity::kWarning, a, b,
+               "lock table blocks " + b.ToString() + " although " +
+                   a.ToString() +
+                   " commutes with it per the specification — "
+                   "concurrency the spec allows is lost");
+      }
+
+      // Sphere rule: the holder itself never blocks (t1 re-requesting).
+      if (!lm.Acquire(obj, type, b, t1, t1).ok()) {
+        Report("sphere", Severity::kError, a, b,
+               "holder blocked on its own sphere: " + b.ToString() +
+                   " from the same action that holds " + a.ToString());
+      }
+      lm.ReleaseAllHeldBy(t1);
+
+      // Exclusive strawman held: everything outside the sphere blocks.
+      held = lm.Acquire(obj, type, a, t1, t1, LockSemantics::kExclusive);
+      if (held.ok()) {
+        if (lm.Acquire(obj, type, b, t2, t2).ok()) {
+          Report("excl-held", Severity::kError, a, b,
+                 "an exclusive lock on " + a.ToString() +
+                     " failed to block " + b.ToString());
+        }
+        lm.ReleaseAllHeldBy(t2);
+      }
+      lm.ReleaseAllHeldBy(t1);
+
+      // Exclusive request against a held commutativity lock.
+      held = lm.Acquire(obj, type, a, t1, t1);
+      if (held.ok()) {
+        if (lm.Acquire(obj, type, b, t2, t2, LockSemantics::kExclusive)
+                .ok()) {
+          Report("excl-req", Severity::kError, a, b,
+                 "an exclusive request for " + b.ToString() +
+                     " was admitted although " + a.ToString() +
+                     " is held by another transaction");
+        }
+        lm.ReleaseAllHeldBy(t2);
+      }
+      lm.ReleaseAllHeldBy(t1);
+    }
+  }
+  return out;
+}
+
+}  // namespace oodb::analysis

@@ -1,0 +1,36 @@
+// Pass 3 — lock-table conformance.
+//
+// The LockManager's compatibility decision must be exactly the Def 9
+// relation: admit iff the invocations commute (plus the sphere rule and
+// the kExclusive strawman, which blocks everything outside the sphere).
+// The pass verifies this black-box, without touching LockManager
+// internals: a throwaway TransactionSystem with a single object of the
+// audited type, two top-level transactions, and a LockManager with a
+// zero wait timeout, so an incompatible Acquire returns kDeadlock
+// immediately instead of blocking. Every ordered corpus pair is probed
+// in both lock semantics plus the same-sphere case.
+//
+// The expected relation defaults to the type's own spec; tests inject a
+// divergent reference spec to prove the pass catches a lock table that
+// disagrees with the specification.
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/diagnostics.h"
+
+namespace oodb::analysis {
+
+struct LockConformanceOptions {
+  /// The relation the lock table is audited against. Null means the
+  /// type's own commutativity spec (the shipped configuration, in
+  /// which runtime and reference share one source of truth).
+  const CommutativitySpec* reference = nullptr;
+};
+
+std::vector<Diagnostic> CheckLockConformance(
+    const TypeCorpus& corpus, const LockConformanceOptions& options = {});
+
+}  // namespace oodb::analysis

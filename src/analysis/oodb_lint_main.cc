@@ -1,0 +1,88 @@
+// oodb_lint: static spec-and-schema analyzer.
+//
+//   oodb_lint [--json] [--notes] [schema ...]
+//
+// Schemas: bank, document, encyclopedia (default: all three). Each is
+// registered into a fresh Database and audited without running any
+// workload. Exit status: 0 clean, 1 warnings, 2 errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "apps/bank.h"
+#include "apps/document.h"
+#include "apps/encyclopedia.h"
+#include "cc/database.h"
+
+namespace {
+
+using oodb::analysis::AnalysisReport;
+using oodb::analysis::AnalyzeSchema;
+
+AnalysisReport RunSchema(const std::string& name) {
+  oodb::Database db;
+  if (name == "bank") {
+    oodb::Bank::RegisterMethods(&db, oodb::BankSemantics::kEscrow);
+    oodb::Bank::RegisterMethods(&db, oodb::BankSemantics::kNameOnly);
+    oodb::Bank::RegisterMethods(&db, oodb::BankSemantics::kReadWrite);
+  } else if (name == "document") {
+    oodb::Document::RegisterMethods(&db);
+  } else if (name == "encyclopedia") {
+    oodb::Encyclopedia::RegisterMethods(&db);
+  } else {
+    std::fprintf(stderr, "oodb_lint: unknown schema '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  return AnalyzeSchema(name, db);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool notes = false;
+  std::vector<std::string> schemas;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--notes") {
+      notes = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: oodb_lint [--json] [--notes] [schema ...]\n"
+                  "schemas: bank document encyclopedia (default: all)\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "oodb_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      schemas.push_back(arg);
+    }
+  }
+  if (schemas.empty()) schemas = {"bank", "document", "encyclopedia"};
+
+  int exit_code = 0;
+  std::string json_out = "[";
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    const AnalysisReport report = RunSchema(schemas[i]);
+    if (json) {
+      if (i > 0) json_out += ",";
+      json_out += oodb::analysis::RenderJson(report);
+    } else {
+      std::fputs(oodb::analysis::RenderText(report, notes).c_str(),
+                 stdout);
+    }
+    if (report.errors() > 0) {
+      exit_code = 2;
+    } else if (report.warnings() > 0 && exit_code == 0) {
+      exit_code = 1;
+    }
+  }
+  if (json) {
+    json_out += "]\n";
+    std::fputs(json_out.c_str(), stdout);
+  }
+  return exit_code;
+}

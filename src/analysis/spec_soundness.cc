@@ -1,0 +1,107 @@
+#include "analysis/spec_soundness.h"
+
+#include <set>
+#include <string>
+#include <utility>
+
+namespace oodb::analysis {
+
+namespace {
+
+/// One finding per (method pair, kind), not per invocation pair: the
+/// first witnessing invocation pair goes into the message, repeats are
+/// dropped so a bad method pair with many samples stays one line.
+class Dedup {
+ public:
+  bool Seen(const std::string& kind, const std::string& a,
+            const std::string& b) {
+    return !seen_.insert(kind + "|" + a + "|" + b).second;
+  }
+
+ private:
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> CheckSpecSoundness(const TypeCorpus& corpus) {
+  std::vector<Diagnostic> out;
+  const ObjectType* type = corpus.type;
+  const CommutativitySpec& spec = type->commutativity();
+  Dedup dedup;
+
+  // Observer classification for the primitive cross-check. Methods
+  // without traits are treated as mutators (the conservative side).
+  std::set<std::string> observers;
+  for (const MethodCorpus& m : corpus.methods) {
+    if (m.observer) observers.insert(m.method);
+  }
+
+  const std::vector<Invocation> invs = corpus.Invocations();
+  for (size_t i = 0; i < invs.size(); ++i) {
+    for (size_t j = i; j < invs.size(); ++j) {
+      const Invocation& a = invs[i];
+      const Invocation& b = invs[j];
+      const bool ab = spec.Commutes(a, b);
+      const bool ba = spec.Commutes(b, a);
+      if (ab != ba && !dedup.Seen("sym", a.method, b.method)) {
+        out.push_back(
+            {Severity::kError, "spec-soundness", type->name(), a.method,
+             b.method,
+             "asymmetric: Commutes(" + a.ToString() + ", " + b.ToString() +
+                 ") = " + (ab ? "true" : "false") + " but Commutes(" +
+                 b.ToString() + ", " + a.ToString() + ") = " +
+                 (ba ? "true" : "false") +
+                 " — Def 9 requires a symmetric relation"});
+      }
+      if (!type->primitive()) continue;
+      // Conventional zero-layer classification: commute iff both read.
+      const bool conventional =
+          observers.count(a.method) > 0 && observers.count(b.method) > 0;
+      if (conventional && !ab &&
+          !dedup.Seen("rw-lost", a.method, b.method)) {
+        out.push_back(
+            {Severity::kWarning, "spec-soundness", type->name(), a.method,
+             b.method,
+             "two observers conflict (" + a.ToString() + " vs " +
+                 b.ToString() +
+                 "): the spec admits less concurrency than conventional "
+                 "read/write locking on this primitive type"});
+      }
+      if (!conventional && ab &&
+          !dedup.Seen("rw-gain", a.method, b.method)) {
+        out.push_back(
+            {Severity::kNote, "spec-soundness", type->name(), a.method,
+             b.method,
+             "commutes although a mutator is involved (" + a.ToString() +
+                 " vs " + b.ToString() +
+                 "): semantic commutativity beyond the conventional "
+                 "read/write classification"});
+      }
+    }
+  }
+
+  // Open-world conservatism: a method name the spec has never heard of
+  // must conflict with every corpus invocation (and with itself).
+  const Invocation unknown("__oodb_lint_unknown__");
+  if (spec.Commutes(unknown, unknown)) {
+    out.push_back({Severity::kWarning, "spec-soundness", type->name(),
+                   unknown.method, unknown.method,
+                   "unknown methods commute with themselves; specs "
+                   "should treat unregistered methods conservatively "
+                   "(conflict)"});
+  }
+  for (const Invocation& inv : invs) {
+    if ((spec.Commutes(unknown, inv) || spec.Commutes(inv, unknown)) &&
+        !dedup.Seen("unk", inv.method, unknown.method)) {
+      out.push_back({Severity::kWarning, "spec-soundness", type->name(),
+                     inv.method, unknown.method,
+                     "commutes with an unknown method (probe " +
+                         inv.ToString() +
+                         "); unregistered methods must conflict"});
+    }
+  }
+  return out;
+}
+
+}  // namespace oodb::analysis

@@ -1,0 +1,30 @@
+// Pass 1 — spec soundness.
+//
+// Drives the type's CommutativitySpec over every ordered pair of corpus
+// invocations and checks the Def 9 ground rules:
+//
+//   * symmetry: Commutes(a, b) == Commutes(b, a) (asymmetry is an
+//     error — the dependency relation would depend on enumeration
+//     order);
+//   * conservatism: an unknown method must conflict with everything
+//     (specs are open-world; treating the unknown as commuting hides
+//     conflicts of future methods);
+//   * for primitive types (Def 3), a cross-check against the
+//     conventional page read/write classification derived from the
+//     declared observer flags: two observers that conflict lose
+//     concurrency the zero layer would have allowed (warning); a pair
+//     that commutes although a mutator is involved is the whole point
+//     of semantic concurrency control and is reported as a note.
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/diagnostics.h"
+
+namespace oodb::analysis {
+
+std::vector<Diagnostic> CheckSpecSoundness(const TypeCorpus& corpus);
+
+}  // namespace oodb::analysis

@@ -225,6 +225,34 @@ void Bank::RegisterMethods(Database* db, BankSemantics semantics) {
   db->Register(type, "withdraw", BankWithdraw);
   db->Register(type, "balance", BankBalance);
   db->Register(type, "audit", BankAudit);
+
+  // Schema traits. Bank methods only ever reach the matching account
+  // variant; audit reads every account (hence its conflict with
+  // mutators must be justified at the account layer too).
+  const std::string acct = AccountTypeFor(semantics)->name();
+  db->DeclareTraits(type, "transfer",
+                    {.observer = false,
+                     .calls = {{acct, "withdraw"}, {acct, "deposit"}},
+                     .samples = {{Value(0), Value(1), Value(5)},
+                                 {Value(2), Value(3), Value(7)}}});
+  db->DeclareTraits(type, "deposit",
+                    {.observer = false,
+                     .calls = {{acct, "deposit"}},
+                     .samples = {{Value(0), Value(5)},
+                                 {Value(1), Value(7)}}});
+  db->DeclareTraits(type, "withdraw",
+                    {.observer = false,
+                     .calls = {{acct, "withdraw"}},
+                     .samples = {{Value(0), Value(5)},
+                                 {Value(1), Value(7)}}});
+  db->DeclareTraits(type, "balance",
+                    {.observer = true,
+                     .calls = {{acct, "balance"}},
+                     .samples = {{Value(0)}, {Value(1)}}});
+  db->DeclareTraits(type, "audit",
+                    {.observer = true,
+                     .calls = {{acct, "balance"}},
+                     .samples = {{}}});
 }
 
 ObjectId Bank::Create(Database* db, const std::string& name,

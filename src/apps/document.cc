@@ -123,6 +123,29 @@ void Document::RegisterMethods(Database* db) {
   db->Register(DocumentObjectType(), "readAll", DocReadAll);
   db->Register(SectionObjectType(), "edit", SectionEdit);
   db->Register(SectionObjectType(), "read", SectionRead);
+
+  // Schema traits.
+  db->DeclareTraits(DocumentObjectType(), "editSection",
+                    {.observer = false,
+                     .calls = {{"Section", "edit"}},
+                     .samples = {{Value(0), Value("t1")},
+                                 {Value(1), Value("t2")}}});
+  db->DeclareTraits(DocumentObjectType(), "readSection",
+                    {.observer = true,
+                     .calls = {{"Section", "read"}},
+                     .samples = {{Value(0)}, {Value(1)}}});
+  db->DeclareTraits(DocumentObjectType(), "readAll",
+                    {.observer = true,
+                     .calls = {{"Section", "read"}},
+                     .samples = {{}}});
+  db->DeclareTraits(SectionObjectType(), "edit",
+                    {.observer = false,
+                     .calls = {{"Page", "read"}, {"Page", "write"}},
+                     .samples = {{Value("a")}, {Value("b")}}});
+  db->DeclareTraits(SectionObjectType(), "read",
+                    {.observer = true,
+                     .calls = {{"Page", "read"}},
+                     .samples = {{}}});
 }
 
 ObjectId Document::Create(Database* db, const std::string& name,

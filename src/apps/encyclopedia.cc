@@ -418,6 +418,74 @@ void Encyclopedia::RegisterMethods(Database* db) {
   db->Register(EncObjectType(), "change", EncChange);
   db->Register(EncObjectType(), "erase", EncErase);
   db->Register(EncObjectType(), "readSeq", EncReadSeq);
+
+  // Schema traits: the Fig 2 layering — Enc over BpTree, LinkedList and
+  // Items; items and list entries live on shared pages.
+  const std::vector<ValueList> keyed1 = {{Value("k1")}, {Value("k2")}};
+  const std::vector<ValueList> keyed2 = {{Value("k1"), Value("d1")},
+                                         {Value("k2"), Value("d2")}};
+  db->DeclareTraits(ItemObjectType(), "read",
+                    {.observer = true,
+                     .calls = {{"Page", "read"}},
+                     .samples = {{}}});
+  db->DeclareTraits(ItemObjectType(), "change",
+                    {.observer = false,
+                     .calls = {{"Page", "read"}, {"Page", "write"}},
+                     .samples = {{Value("d1")}, {Value("d2")}}});
+  db->DeclareTraits(ItemObjectType(), "clear",
+                    {.observer = false,
+                     .calls = {{"Page", "erase"}},
+                     .samples = {{}}});
+  db->DeclareTraits(LinkedListObjectType(), "append",
+                    {.observer = false,
+                     .calls = {{"Page", "write"}},
+                     .samples = {{Value("k1"), Value("7")},
+                                 {Value("k2"), Value("9")}}});
+  db->DeclareTraits(LinkedListObjectType(), "readSeq",
+                    {.observer = true,
+                     .calls = {{"Page", "scan"}, {"Item", "read"}},
+                     .samples = {{}}});
+  db->DeclareTraits(LinkedListObjectType(), "remove",
+                    {.observer = false,
+                     .calls = {{"Page", "scan"}, {"Page", "erase"}},
+                     .samples = keyed1});
+  db->DeclareTraits(LinkedListObjectType(), "removeSeq",
+                    {.observer = false,
+                     .calls = {{"Page", "contains"}, {"Page", "erase"}},
+                     .samples = {{Value("000000000001")},
+                                 {Value("000000000002")}}});
+  db->DeclareTraits(LinkedListObjectType(), "restore",
+                    {.observer = false,
+                     .calls = {{"Page", "write"}},
+                     .samples = {{Value("000000000001"), Value("e1")},
+                                 {Value("000000000002"), Value("e2")}}});
+  db->DeclareTraits(EncObjectType(), "insert",
+                    {.observer = false,
+                     .calls = {{"BpTree", "search"},
+                               {"BpTree", "insert"},
+                               {"Item", "change"},
+                               {"LinkedList", "append"}},
+                     .samples = keyed2});
+  db->DeclareTraits(EncObjectType(), "search",
+                    {.observer = true,
+                     .calls = {{"BpTree", "search"}, {"Item", "read"}},
+                     .samples = keyed1});
+  db->DeclareTraits(EncObjectType(), "change",
+                    {.observer = false,
+                     .calls = {{"BpTree", "search"}, {"Item", "change"}},
+                     .samples = keyed2});
+  db->DeclareTraits(EncObjectType(), "erase",
+                    {.observer = false,
+                     .calls = {{"BpTree", "search"},
+                               {"BpTree", "erase"},
+                               {"Item", "read"},
+                               {"Item", "clear"},
+                               {"LinkedList", "remove"}},
+                     .samples = keyed1});
+  db->DeclareTraits(EncObjectType(), "readSeq",
+                    {.observer = true,
+                     .calls = {{"LinkedList", "readSeq"}},
+                     .samples = {{}}});
 }
 
 ObjectId Encyclopedia::Create(Database* db, const std::string& name,

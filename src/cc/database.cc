@@ -28,8 +28,14 @@ Database::Database(DatabaseOptions options)
     : options_(options), locks_(&ts_, options.lock_options) {}
 
 void Database::Register(const ObjectType* type, const std::string& method,
-                        MethodImpl impl) {
-  registry_.Register(type, method, std::move(impl));
+                        MethodImpl impl, MethodTraits traits) {
+  registry_.Register(type, method, std::move(impl), std::move(traits));
+}
+
+void Database::DeclareTraits(const ObjectType* type,
+                             const std::string& method,
+                             MethodTraits traits) {
+  registry_.SetTraits(type, method, std::move(traits));
 }
 
 ObjectId Database::CreateObject(const ObjectType* type, std::string name,

@@ -76,9 +76,16 @@ class Database {
 
   // --- setup ----------------------------------------------------------
 
-  /// Registers the implementation of `method` for `type`.
+  /// Registers the implementation of `method` for `type`, with optional
+  /// declared schema traits (observer flag, call targets, parameter
+  /// samples — see MethodTraits) for the static analysis passes.
   void Register(const ObjectType* type, const std::string& method,
-                MethodImpl impl);
+                MethodImpl impl, MethodTraits traits = {});
+
+  /// Declares schema traits for an already-registered method (keeps the
+  /// registration call sites compact when implementations are lambdas).
+  void DeclareTraits(const ObjectType* type, const std::string& method,
+                     MethodTraits traits);
 
   /// Creates an object with the given state. Thread-safe (splits create
   /// objects mid-transaction).
@@ -101,6 +108,8 @@ class Database {
   const TransactionSystem& ts() const { return ts_; }
 
   LockManager& locks() { return locks_; }
+  /// The registered methods and their declared traits (for oodb_lint).
+  const MethodRegistry& registry() const { return registry_; }
   RunCounters& counters() { return counters_; }
   const DatabaseOptions& options() const { return options_; }
 

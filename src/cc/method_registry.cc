@@ -1,16 +1,62 @@
 #include "cc/method_registry.h"
 
+#include <algorithm>
+#include <set>
+
 namespace oodb {
 
 void MethodRegistry::Register(const ObjectType* type,
-                              const std::string& method, MethodImpl impl) {
-  impls_[{type, method}] = std::move(impl);
+                              const std::string& method, MethodImpl impl,
+                              MethodTraits traits) {
+  impls_[{type, method}] = Entry{std::move(impl), std::move(traits)};
+}
+
+void MethodRegistry::SetTraits(const ObjectType* type,
+                               const std::string& method,
+                               MethodTraits traits) {
+  impls_[{type, method}].traits = std::move(traits);
 }
 
 const MethodImpl* MethodRegistry::Find(const ObjectType* type,
                                        const std::string& method) const {
   auto it = impls_.find({type, method});
-  return it == impls_.end() ? nullptr : &it->second;
+  if (it == impls_.end() || !it->second.impl) return nullptr;
+  return &it->second.impl;
+}
+
+const MethodTraits* MethodRegistry::Traits(const ObjectType* type,
+                                           const std::string& method) const {
+  auto it = impls_.find({type, method});
+  return it == impls_.end() ? nullptr : &it->second.traits;
+}
+
+std::vector<const ObjectType*> MethodRegistry::Types() const {
+  std::set<const ObjectType*> seen;
+  for (const auto& [key, entry] : impls_) {
+    (void)entry;
+    seen.insert(key.first);
+  }
+  std::vector<const ObjectType*> types(seen.begin(), seen.end());
+  // The set orders by pointer, which is not stable across runs; reports
+  // must see name order.
+  std::sort(types.begin(), types.end(),
+            [](const ObjectType* a, const ObjectType* b) {
+              return a->name() < b->name();
+            });
+  return types;
+}
+
+std::vector<std::string> MethodRegistry::MethodsOf(
+    const ObjectType* type) const {
+  std::vector<std::string> methods;
+  for (auto it = impls_.lower_bound({type, std::string()});
+       it != impls_.end() && it->first.first == type; ++it) {
+    methods.push_back(it->first.second);
+  }
+  // Entries for one type are contiguous and string-ordered already, but
+  // sort anyway so the guarantee doesn't rest on the map's key order.
+  std::sort(methods.begin(), methods.end());
+  return methods;
 }
 
 }  // namespace oodb

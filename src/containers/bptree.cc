@@ -577,6 +577,99 @@ void BpTree::RegisterMethods(Database* db) {
   db->Register(BpTreeObjectType(), "search", TreeSearch);
   db->Register(BpTreeObjectType(), "erase", TreeErase);
   db->Register(BpTreeObjectType(), "scan", TreeScan);
+
+  // Schema traits. The self-typed targets (Leaf.insert -> Leaf.insert
+  // via the B-link, Leaf.insert -> Leaf.split on overflow, Node.insert
+  // -> Node.insertSep after a child split) are the Def 5 virtual-object
+  // sites of section 2; oodb_lint reports them as such.
+  const std::vector<ValueList> keyed2 = {{Value("k1"), Value("v1")},
+                                         {Value("k2"), Value("v2")}};
+  const std::vector<ValueList> keyed1 = {{Value("k1")}, {Value("k2")}};
+  const std::vector<ValueList> ranges = {{Value("a"), Value("m")},
+                                         {Value("n"), Value("z")}};
+  db->DeclareTraits(LeafObjectType(), "insert",
+                    {.observer = false,
+                     .calls = {{"Leaf", "insert"},
+                               {"Leaf", "split"},
+                               {"Page", "read"},
+                               {"Page", "write"}},
+                     .samples = keyed2});
+  db->DeclareTraits(LeafObjectType(), "split",
+                    {.observer = false,
+                     .calls = {{"Page", "count"},
+                               {"Page", "scan"},
+                               {"Page", "write"},
+                               {"Page", "erase"}},
+                     .samples = {{}}});
+  db->DeclareTraits(LeafObjectType(), "search",
+                    {.observer = true,
+                     .calls = {{"Leaf", "search"}, {"Page", "read"}},
+                     .samples = keyed1});
+  db->DeclareTraits(LeafObjectType(), "erase",
+                    {.observer = false,
+                     .calls = {{"Leaf", "erase"}, {"Page", "erase"}},
+                     .samples = keyed1});
+  db->DeclareTraits(LeafObjectType(), "scan",
+                    {.observer = true,
+                     .calls = {{"Leaf", "scan"}, {"Page", "scan"}},
+                     .samples = ranges});
+  db->DeclareTraits(NodeObjectType(), "insert",
+                    {.observer = false,
+                     .calls = {{"Leaf", "insert"},
+                               {"Node", "insert"},
+                               {"Node", "insertSep"},
+                               {"Page", "routeLE"}},
+                     .samples = keyed2});
+  db->DeclareTraits(NodeObjectType(), "insertSep",
+                    {.observer = false,
+                     .calls = {{"Node", "insertSep"},
+                               {"Node", "split"},
+                               {"Page", "write"}},
+                     .samples = keyed2});
+  db->DeclareTraits(NodeObjectType(), "split",
+                    {.observer = false,
+                     .calls = {{"Page", "count"},
+                               {"Page", "scan"},
+                               {"Page", "write"},
+                               {"Page", "erase"}},
+                     .samples = {{}}});
+  db->DeclareTraits(NodeObjectType(), "search",
+                    {.observer = true,
+                     .calls = {{"Leaf", "search"},
+                               {"Node", "search"},
+                               {"Page", "routeLE"}},
+                     .samples = keyed1});
+  db->DeclareTraits(NodeObjectType(), "erase",
+                    {.observer = false,
+                     .calls = {{"Leaf", "erase"},
+                               {"Node", "erase"},
+                               {"Page", "routeLE"}},
+                     .samples = keyed1});
+  db->DeclareTraits(NodeObjectType(), "scan",
+                    {.observer = true,
+                     .calls = {{"Leaf", "scan"},
+                               {"Node", "scan"},
+                               {"Page", "routeLE"}},
+                     .samples = ranges});
+  db->DeclareTraits(BpTreeObjectType(), "insert",
+                    {.observer = false,
+                     .calls = {{"Leaf", "insert"},
+                               {"Node", "insert"},
+                               {"Node", "insertSep"},
+                               {"Page", "write"}},
+                     .samples = keyed2});
+  db->DeclareTraits(BpTreeObjectType(), "search",
+                    {.observer = true,
+                     .calls = {{"Leaf", "search"}, {"Node", "search"}},
+                     .samples = keyed1});
+  db->DeclareTraits(BpTreeObjectType(), "erase",
+                    {.observer = false,
+                     .calls = {{"Leaf", "erase"}, {"Node", "erase"}},
+                     .samples = keyed1});
+  db->DeclareTraits(BpTreeObjectType(), "scan",
+                    {.observer = true,
+                     .calls = {{"Leaf", "scan"}, {"Node", "scan"}},
+                     .samples = ranges});
 }
 
 ObjectId BpTree::Create(Database* db, const std::string& name,

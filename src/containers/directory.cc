@@ -99,6 +99,27 @@ void RegisterDirectoryMethods(Database* db) {
                  it->second = params[1].AsString();
                  return Status::OK();
                });
+
+  // Schema traits: the directory is primitive; lookup is the only
+  // observer.
+  db->DeclareTraits(DirectoryType(), "insert",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value("k1"), Value("v1")},
+                                 {Value("k2"), Value("v2")}}});
+  db->DeclareTraits(DirectoryType(), "remove",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value("k1")}, {Value("k2")}}});
+  db->DeclareTraits(DirectoryType(), "lookup",
+                    {.observer = true,
+                     .calls = {},
+                     .samples = {{Value("k1")}, {Value("k2")}}});
+  db->DeclareTraits(DirectoryType(), "update",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value("k1"), Value("v1")},
+                                 {Value("k2"), Value("v2")}}});
 }
 
 ObjectId CreateDirectory(Database* db, std::string name) {

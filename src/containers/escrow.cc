@@ -83,6 +83,19 @@ void RegisterAccountMethods(Database* db, const ObjectType* type) {
                  *result = Value(ctx.state<AccountState>()->balance);
                  return Status::OK();
                });
+
+  // Schema traits: accounts are primitive (Def 3 — no outgoing calls);
+  // balance is the only observer.
+  db->DeclareTraits(type, "deposit",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value(5)}, {Value(7)}}});
+  db->DeclareTraits(type, "withdraw",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value(5)}, {Value(7)}}});
+  db->DeclareTraits(type, "balance",
+                    {.observer = true, .calls = {}, .samples = {{}}});
 }
 
 ObjectId CreateAccount(Database* db, const ObjectType* type,

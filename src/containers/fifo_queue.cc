@@ -85,6 +85,24 @@ void RegisterQueueMethods(Database* db) {
                  *result = Value();
                  return Status::OK();
                });
+
+  // Schema traits: the queue is primitive; size is the only observer.
+  db->DeclareTraits(FifoQueueType(), "enq",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value("x")}, {Value("y")}}});
+  db->DeclareTraits(FifoQueueType(), "deq",
+                    {.observer = false, .calls = {}, .samples = {{}}});
+  db->DeclareTraits(FifoQueueType(), "size",
+                    {.observer = true, .calls = {}, .samples = {{}}});
+  db->DeclareTraits(FifoQueueType(), "cancel",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value("x")}, {Value("y")}}});
+  db->DeclareTraits(FifoQueueType(), "pushFront",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value("x")}, {Value("y")}}});
 }
 
 ObjectId CreateQueue(Database* db, std::string name) {

@@ -356,6 +356,58 @@ void HashIndex::RegisterMethods(Database* db) {
   db->Register(HashIndexObjectType(), "insert", IndexInsert);
   db->Register(HashIndexObjectType(), "search", IndexSearch);
   db->Register(HashIndexObjectType(), "erase", IndexErase);
+
+  // Schema traits. HashIndex.insert reaches the whole split machinery
+  // (freeze/info/moveTo/stamp plus the sibling page's count) when a
+  // bucket overflows.
+  const std::vector<ValueList> keyed2 = {{Value("k1"), Value("v1")},
+                                         {Value("k2"), Value("v2")}};
+  const std::vector<ValueList> keyed1 = {{Value("k1")}, {Value("k2")}};
+  db->DeclareTraits(BucketObjectType(), "insert",
+                    {.observer = false,
+                     .calls = {{"Page", "read"}, {"Page", "write"}},
+                     .samples = keyed2});
+  db->DeclareTraits(BucketObjectType(), "search",
+                    {.observer = true,
+                     .calls = {{"Page", "read"}},
+                     .samples = keyed1});
+  db->DeclareTraits(BucketObjectType(), "erase",
+                    {.observer = false,
+                     .calls = {{"Page", "erase"}},
+                     .samples = keyed1});
+  db->DeclareTraits(BucketObjectType(), "freeze",
+                    {.observer = false, .calls = {}, .samples = {{}}});
+  db->DeclareTraits(BucketObjectType(), "info",
+                    {.observer = true, .calls = {}, .samples = {{}}});
+  db->DeclareTraits(BucketObjectType(), "moveTo",
+                    {.observer = false,
+                     .calls = {{"Page", "scan"},
+                               {"Page", "write"},
+                               {"Page", "erase"}},
+                     .samples = {{Value(1), Value(1), Value(2)},
+                                 {Value(2), Value(3), Value(2)}}});
+  db->DeclareTraits(BucketObjectType(), "stamp",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value(1), Value(2)},
+                                 {Value(3), Value(2)}}});
+  db->DeclareTraits(HashIndexObjectType(), "insert",
+                    {.observer = false,
+                     .calls = {{"Bucket", "insert"},
+                               {"Bucket", "freeze"},
+                               {"Bucket", "info"},
+                               {"Bucket", "moveTo"},
+                               {"Bucket", "stamp"},
+                               {"Page", "count"}},
+                     .samples = keyed2});
+  db->DeclareTraits(HashIndexObjectType(), "search",
+                    {.observer = true,
+                     .calls = {{"Bucket", "search"}},
+                     .samples = keyed1});
+  db->DeclareTraits(HashIndexObjectType(), "erase",
+                    {.observer = false,
+                     .calls = {{"Bucket", "erase"}},
+                     .samples = keyed1});
 }
 
 ObjectId HashIndex::Create(Database* db, const std::string& name,

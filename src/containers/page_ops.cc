@@ -125,6 +125,35 @@ void RegisterPageMethods(Database* db) {
                      static_cast<int64_t>(ctx.state<PageState>()->size()));
                  return Status::OK();
                });
+
+  // Schema traits: the conventional reader/writer classification of the
+  // zero layer (pages call nothing — Def 3), plus corpus samples for
+  // oodb_lint.
+  db->DeclareTraits(PageObjectType(), "read",
+                    {.observer = true,
+                     .calls = {},
+                     .samples = {{Value("k1")}, {Value("k2")}}});
+  db->DeclareTraits(PageObjectType(), "contains",
+                    {.observer = true,
+                     .calls = {},
+                     .samples = {{Value("k1")}, {Value("k2")}}});
+  db->DeclareTraits(PageObjectType(), "write",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value("k1"), Value("v1")},
+                                 {Value("k2"), Value("v2")}}});
+  db->DeclareTraits(PageObjectType(), "erase",
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{Value("k1")}, {Value("k2")}}});
+  db->DeclareTraits(PageObjectType(), "scan",
+                    {.observer = true, .calls = {}, .samples = {{}}});
+  db->DeclareTraits(PageObjectType(), "routeLE",
+                    {.observer = true,
+                     .calls = {},
+                     .samples = {{Value("k1")}, {Value("k2")}}});
+  db->DeclareTraits(PageObjectType(), "count",
+                    {.observer = true, .calls = {}, .samples = {{}}});
 }
 
 ObjectId CreatePage(Database* db, std::string name, size_t capacity) {

@@ -13,7 +13,9 @@ void RenderSubtree(const TransactionSystem& ts, ActionId a,
   const ActionRecord& rec = ts.action(a);
   *out += prefix;
   *out += last ? "`- " : "+- ";
-  *out += ts.object(rec.object).name + "." + rec.invocation.ToString();
+  *out += ts.object(rec.object).name;
+  *out += '.';
+  *out += rec.invocation.ToString();
   if (rec.is_virtual) *out += " (virtual)";
   if (ts.IsPrimitive(a) && rec.timestamp != 0) {
     *out += " @" + std::to_string(rec.timestamp);
@@ -87,10 +89,13 @@ std::string DotEscape(const std::string& s) {
 }
 
 std::string DotNode(const TransactionSystem& ts, ActionId a) {
-  return "a" + std::to_string(a.value) + " [label=\"" +
-         DotEscape(ts.object(ts.action(a).object).name + "." +
-                   ts.action(a).invocation.ToString()) +
-         "\"];\n";
+  std::string out = "a";
+  out += std::to_string(a.value);
+  out += " [label=\"";
+  out += DotEscape(ts.object(ts.action(a).object).name + "." +
+                   ts.action(a).invocation.ToString());
+  out += "\"];\n";
+  return out;
 }
 
 void EmitEdges(const TransactionSystem& ts, const Digraph& graph,
@@ -100,8 +105,13 @@ void EmitEdges(const TransactionSystem& ts, const Digraph& graph,
     for (Digraph::NodeId s : graph.Successors(n)) {
       if (declared->insert(n).second) *out += DotNode(ts, ActionId(n));
       if (declared->insert(s).second) *out += DotNode(ts, ActionId(s));
-      *out += "a" + std::to_string(n) + " -> a" + std::to_string(s) +
-              " [style=" + style + "];\n";
+      *out += "a";
+      *out += std::to_string(n);
+      *out += " -> a";
+      *out += std::to_string(s);
+      *out += " [style=";
+      *out += style;
+      *out += "];\n";
     }
   }
 }
@@ -121,8 +131,11 @@ std::string SchedulePrinter::CallForestDot(const TransactionSystem& ts) {
       if (a != top) out += DotNode(ts, a);
       for (ActionId c : ts.action(a).children) {
         if (a != top) {
-          out += "a" + std::to_string(a.value) + " -> a" +
-                 std::to_string(c.value) + ";\n";
+          out += "a";
+          out += std::to_string(a.value);
+          out += " -> a";
+          out += std::to_string(c.value);
+          out += ";\n";
         }
         stack.push_back(c);
       }

@@ -319,7 +319,11 @@ std::string Digraph::ToString(
     for (NodeId s : succ) {
       if (!first) out += ", ";
       first = false;
-      out += name(n) + "->" + name(s);
+      // Sequential appends, not a temporary-chaining `a + "->" + b`:
+      // this runs once per edge.
+      out += name(n);
+      out += "->";
+      out += name(s);
     }
   }
   return out;

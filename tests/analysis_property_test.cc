@@ -1,0 +1,196 @@
+// Property tests for the linter, plus the memoization regression the
+// honesty pass exists to prevent: a spec that truthfully declares
+// kNone (state-dependent, escrow-style) must never be served from the
+// conflict-index memo, while a mis-declared state-dependent spec that
+// claims a memoizable class must be caught by the honesty pass.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/corpus.h"
+#include "analysis/memo_honesty.h"
+#include "cc/database.h"
+#include "model/transaction_system.h"
+#include "schedule/conflict_index.h"
+#include "util/random.h"
+
+namespace oodb {
+namespace {
+
+using analysis::BuildTypeCorpus;
+using analysis::CheckMemoHonesty;
+using analysis::HonestyOptions;
+using analysis::MutateParams;
+using analysis::Severity;
+
+Status NoOp(MethodContext&, const ValueList&, Value*) {
+  return Status::OK();
+}
+
+/// Answers depend on a hidden counter but the declaration claims
+/// parameter-level purity. Symmetric by construction (method lengths
+/// commute under +), so only the honesty pass can object.
+class HiddenCounterSpec : public CommutativitySpec {
+ public:
+  explicit HiddenCounterSpec(const int* counter) : counter_(counter) {}
+  bool Commutes(const Invocation& a, const Invocation& b) const override {
+    return (*counter_ + a.method.size() + b.method.size()) % 2 == 0;
+  }
+  CommutativityMemo memo() const override {
+    return CommutativityMemo::kInvocationPair;
+  }
+
+ private:
+  const int* counter_;
+};
+
+TEST(MemoHonestyProperty, MisdeclaredSpecIsCaughtAcrossRandomSchemas) {
+  Rng rng(20260805);
+  for (int trial = 0; trial < 32; ++trial) {
+    int counter = static_cast<int>(rng.NextBelow(1000));
+    ObjectType type("Hidden" + std::to_string(trial),
+                    std::make_unique<HiddenCounterSpec>(&counter));
+    Database db;
+    const size_t methods = 1 + rng.NextBelow(4);
+    for (size_t m = 0; m < methods; ++m) {
+      // Random-length names vary which pairs commute at baseline.
+      std::string name(1 + rng.NextBelow(6), 'a' + char(m));
+      db.Register(&type, name, NoOp,
+                  {.samples = {{Value(int64_t(rng.NextBelow(100)))}}});
+    }
+    HonestyOptions options;
+    options.state_perturbations.push_back([&counter] { ++counter; });
+    const auto diags =
+        CheckMemoHonesty(BuildTypeCorpus(&type, db.registry()), options);
+    bool caught = false;
+    for (const auto& d : diags) {
+      if (d.severity == Severity::kError) caught = true;
+    }
+    EXPECT_TRUE(caught) << "trial " << trial
+                        << ": state-dependent spec claiming "
+                           "kInvocationPair escaped the honesty pass";
+  }
+}
+
+TEST(CorpusProperty, MutationPreservesArityAndKinds) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    ValueList params;
+    const size_t arity = rng.NextBelow(5);
+    for (size_t i = 0; i < arity; ++i) {
+      switch (rng.NextBelow(3)) {
+        case 0:
+          params.emplace_back(int64_t(rng.NextBelow(1000)));
+          break;
+        case 1:
+          params.emplace_back("s" + std::to_string(rng.NextBelow(10)));
+          break;
+        default:
+          params.emplace_back();
+      }
+    }
+    const ValueList mutated = MutateParams(params);
+    ASSERT_EQ(mutated.size(), params.size());
+    bool mutable_slot = false;
+    for (size_t i = 0; i < params.size(); ++i) {
+      EXPECT_EQ(params[i].IsInt(), mutated[i].IsInt());
+      EXPECT_EQ(params[i].IsString(), mutated[i].IsString());
+      EXPECT_EQ(params[i].IsNone(), mutated[i].IsNone());
+      if (!params[i].IsNone()) {
+        mutable_slot = true;
+        EXPECT_FALSE(params[i] == mutated[i]);
+      }
+    }
+    if (mutable_slot) EXPECT_FALSE(params == mutated);
+  }
+}
+
+// --- the regression the honesty pass guards --------------------------
+
+std::unique_ptr<PredicateCommutativity> EscrowStyleSpec(
+    const int64_t* balance) {
+  // deposit always commutes with deposit; withdraw/withdraw and
+  // deposit/withdraw commute only while the balance stays comfortable —
+  // a function of object state, hence DeclareStateDependent.
+  auto spec = std::make_unique<PredicateCommutativity>();
+  spec->SetCommutes("deposit", "deposit");
+  spec->SetPredicate("deposit", "withdraw",
+                     [balance](const Invocation&, const Invocation&) {
+                       return *balance > 100;
+                     });
+  spec->SetPredicate("withdraw", "withdraw",
+                     [balance](const Invocation&, const Invocation&) {
+                       return *balance > 100;
+                     });
+  spec->DeclareStateDependent();
+  return spec;
+}
+
+TEST(ConflictIndexRegression, CorrectlyDeclaredEscrowSpecNeverMemoizes) {
+  int64_t balance = 500;
+  ObjectType type("EscrowLike", EscrowStyleSpec(&balance),
+                  /*primitive=*/true);
+  ASSERT_EQ(type.commutativity().memo(), CommutativityMemo::kNone);
+
+  TransactionSystem ts;
+  const ObjectId obj = ts.AddObject(&type, "acct");
+  std::vector<ActionId> actions;
+  for (int i = 0; i < 4; ++i) {
+    const ActionId top = ts.BeginTopLevel("T" + std::to_string(i));
+    actions.push_back(ts.Call(
+        top, obj,
+        Invocation(i % 2 == 0 ? "deposit" : "withdraw", {Value(10)})));
+  }
+
+  ConflictIndex index(ts);
+  index.BuildForObject(obj);
+  EXPECT_EQ(index.memo_hits(), 0u);
+
+  // Every repeated query must go back to the spec: the answers move
+  // with the balance, so yesterday's answer may be wrong today.
+  const size_t calls_after_build = index.spec_calls();
+  EXPECT_TRUE(index.Commute(actions[1], actions[2]));
+  balance = 0;  // drains: mutator pairs stop commuting
+  EXPECT_FALSE(index.Commute(actions[1], actions[2]));
+  EXPECT_TRUE(index.Commute(actions[0], actions[2]));  // deposit pair
+  EXPECT_EQ(index.memo_hits(), 0u);
+  EXPECT_GT(index.spec_calls(), calls_after_build);
+}
+
+TEST(ConflictIndexRegression, MethodPairSpecDoesMemoize) {
+  // The contrast case: an honest kMethodPair matrix is decided once per
+  // class pair at build time and served from the memo afterwards.
+  auto spec = std::make_unique<MatrixCommutativity>();
+  spec->SetCommutes("r", "r");
+  ObjectType type("Memoizable", std::move(spec), /*primitive=*/true);
+
+  TransactionSystem ts;
+  const ObjectId obj = ts.AddObject(&type, "o");
+  const ObjectId obj2 = ts.AddObject(&type, "o2");
+  std::vector<ActionId> actions;
+  for (int i = 0; i < 4; ++i) {
+    const ActionId top = ts.BeginTopLevel("T" + std::to_string(i));
+    actions.push_back(
+        ts.Call(top, obj, Invocation(i % 2 == 0 ? "r" : "w")));
+    ts.Call(top, obj2, Invocation(i % 2 == 0 ? "r" : "w"));
+  }
+
+  ConflictIndex index(ts);
+  index.BuildForObject(obj);
+  const size_t calls_after_build = index.spec_calls();
+  // The second object of the type reuses every class-pair decision
+  // from the shared per-type cache: memo hits, no new spec calls.
+  index.BuildForObject(obj2);
+  EXPECT_GT(index.memo_hits(), 0u);
+  EXPECT_EQ(index.spec_calls(), calls_after_build);
+  // Queries on a memoized object are served from the class matrix.
+  EXPECT_TRUE(index.Commute(actions[0], actions[2]));
+  EXPECT_FALSE(index.Commute(actions[0], actions[1]));
+  EXPECT_EQ(index.spec_calls(), calls_after_build);
+}
+
+}  // namespace
+}  // namespace oodb
