@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "apps/encyclopedia.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 #include "workload/harness.h"
 
@@ -23,11 +24,13 @@ namespace {
 constexpr size_t kKeys = 256;
 
 HarnessResult RunCell(SchedulerKind scheduler, size_t threads,
-                      double zipf_theta, size_t txns_per_thread) {
+                      double zipf_theta, size_t txns_per_thread,
+                      MetricsRegistry* metrics) {
   DatabaseOptions opts;
   opts.scheduler = scheduler;
   opts.lock_options.wait_timeout = std::chrono::milliseconds(300);
   Database db(opts);
+  if (metrics != nullptr) db.AttachObservability(metrics, nullptr);
   Encyclopedia::RegisterMethods(&db);
   ObjectId enc = Encyclopedia::Create(&db, "Enc", /*leaf_capacity=*/32,
                                       /*fanout=*/32, /*items_per_page=*/8);
@@ -44,6 +47,7 @@ HarnessResult RunCell(SchedulerKind scheduler, size_t threads,
   HarnessConfig config;
   config.threads = threads;
   config.txns_per_thread = txns_per_thread;
+  config.metrics = metrics;
   return Harness::Run(
       &db, config,
       [enc, zipf_theta](size_t thread, size_t index) -> TransactionBody {
@@ -81,7 +85,19 @@ HarnessResult RunCell(SchedulerKind scheduler, size_t threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-json=PATH: accumulate every cell's runtime counters and
+  // latency histogram into one registry and dump it at exit.
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::string("--metrics-json=").size());
+    }
+  }
+  MetricsRegistry registry;
+  MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
+
   constexpr size_t kTxnsPerThread = 60;
   std::printf("S2: encyclopedia workload (50%% search / 50%% change over "
               "256 preloaded items),\n%zu txns per thread, each holding its locks ~200us\n\n",
@@ -93,7 +109,8 @@ int main() {
          {SchedulerKind::kOpenNested, SchedulerKind::kClosedNested,
           SchedulerKind::kFlat2PL, SchedulerKind::kObjectExclusive}) {
       for (size_t threads : {1, 2, 4, 8}) {
-        HarnessResult r = RunCell(kind, threads, theta, kTxnsPerThread);
+        HarnessResult r =
+            RunCell(kind, threads, theta, kTxnsPerThread, metrics);
         std::printf("%-18s %8zu %s\n", SchedulerKindName(kind), threads,
                     r.Row().c_str());
       }
@@ -107,5 +124,16 @@ int main() {
       "waits on shared pages under contention, open nested waits only on\n"
       "genuine same-key conflicts. At 1 thread the three are comparable\n"
       "(the S3 bench isolates the CC overhead).\n");
+  if (metrics != nullptr) {
+    FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("note: could not open %s for writing\n",
+                  metrics_path.c_str());
+      return 0;
+    }
+    std::fputs(registry.JsonSnapshot().c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -22,9 +22,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "apps/encyclopedia.h"
+#include "obs/metrics.h"
 #include "schedule/validator.h"
+#include "util/random.h"
+#include "workload/harness.h"
 #include "workload/random_history.h"
 
 using namespace oodb;
@@ -198,6 +203,59 @@ void WriteJson(const std::vector<ValidateRow>& validate,
   std::printf("wrote BENCH_s6.json\n\n");
 }
 
+// --metrics-json: one registry snapshot covering both halves of the
+// pipeline. A small contended encyclopedia run feeds the runtime side
+// (lock acquire/wait counters, db.lock.wait_ns histogram), then its own
+// history goes through the indexed validator publishing engine metrics
+// (dep.memo.hits/misses, dep.stage.*_ns, dep.worklist.*) into the same
+// registry.
+void WriteMetricsJson(const std::string& path) {
+  MetricsRegistry registry;
+  DatabaseOptions opts;
+  opts.lock_options.wait_timeout = std::chrono::milliseconds(300);
+  Database db(opts);
+  db.AttachObservability(&registry, nullptr);
+  Encyclopedia::RegisterMethods(&db);
+  ObjectId enc = Encyclopedia::Create(&db, "Enc", /*leaf_capacity=*/32,
+                                      /*fanout=*/32, /*items_per_page=*/8);
+  HarnessConfig config;
+  config.threads = 4;
+  config.txns_per_thread = 50;
+  config.metrics = &registry;
+  (void)Harness::Run(
+      &db, config, [enc](size_t thread, size_t index) -> TransactionBody {
+        return [enc, thread, index](MethodContext& txn) {
+          thread_local Rng rng(thread * 7919 + 3);
+          std::string key = "K" + std::to_string(rng.NextBelow(32));
+          Status st;
+          if (index % 2 == 0) {
+            st = txn.Call(enc, Encyclopedia::Insert(key, "v"));
+            if (st.code() == StatusCode::kAlreadyExists) st = Status::OK();
+          } else {
+            Value out;
+            st = txn.Call(enc, Encyclopedia::Search(key), &out);
+          }
+          OODB_RETURN_IF_ERROR(st);
+          // Hold the locks briefly so concurrent same-key transactions
+          // actually wait and the db.lock.wait_ns histogram fills.
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          return Status::OK();
+        };
+      });
+  ValidationOptions options;
+  options.metrics = &registry;
+  options.num_threads = 4;  // indexed engine: memo + worklist counters
+  (void)Validator::Validate(&db.ts(), options);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("note: could not open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fputs(registry.JsonSnapshot().c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
 void BM_ValidateScaling(benchmark::State& state) {
   RandomHistoryConfig config;
   config.num_txns = size_t(state.range(0));
@@ -255,11 +313,26 @@ BENCHMARK(BM_ExtensionOnCleanSystem);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // benchmark::Initialize rejects flags it does not know, so strip the
+  // custom one before handing argv over.
+  std::string metrics_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::string("--metrics-json=").size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   std::vector<ValidateRow> validate_rows;
   std::vector<EngineRow> engine_rows;
   PrintScalingTable(&validate_rows);
   PrintEngineTable(&engine_rows);
   WriteJson(validate_rows, engine_rows);
+  if (!metrics_path.empty()) WriteMetricsJson(metrics_path);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

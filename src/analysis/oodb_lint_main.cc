@@ -1,10 +1,13 @@
 // oodb_lint: static spec-and-schema analyzer.
 //
-//   oodb_lint [--json] [--notes] [schema ...]
+//   oodb_lint [--json] [--notes] [--metrics-json=PATH] [schema ...]
 //
 // Schemas: bank, document, encyclopedia (default: all three). Each is
 // registered into a fresh Database and audited without running any
 // workload. Exit status: 0 clean, 1 warnings, 2 errors.
+// --metrics-json writes aggregate lint.errors / lint.warnings /
+// lint.notes counters (summed over the audited schemas) as a
+// MetricsRegistry snapshot.
 
 #include <cstdio>
 #include <string>
@@ -15,6 +18,7 @@
 #include "apps/document.h"
 #include "apps/encyclopedia.h"
 #include "cc/database.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -43,6 +47,7 @@ AnalysisReport RunSchema(const std::string& name) {
 int main(int argc, char** argv) {
   bool json = false;
   bool notes = false;
+  std::string metrics_path;
   std::vector<std::string> schemas;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -50,8 +55,11 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--notes") {
       notes = true;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::string("--metrics-json=").size());
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: oodb_lint [--json] [--notes] [schema ...]\n"
+      std::printf("usage: oodb_lint [--json] [--notes] "
+                  "[--metrics-json=PATH] [schema ...]\n"
                   "schemas: bank document encyclopedia (default: all)\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -64,9 +72,14 @@ int main(int argc, char** argv) {
   if (schemas.empty()) schemas = {"bank", "document", "encyclopedia"};
 
   int exit_code = 0;
+  oodb::MetricsRegistry metrics;
   std::string json_out = "[";
   for (size_t i = 0; i < schemas.size(); ++i) {
     const AnalysisReport report = RunSchema(schemas[i]);
+    metrics.GetCounter("lint.errors")->Increment(report.errors());
+    metrics.GetCounter("lint.warnings")->Increment(report.warnings());
+    metrics.GetCounter("lint.notes")->Increment(report.notes());
+    metrics.GetCounter("lint.schemas")->Increment();
     if (json) {
       if (i > 0) json_out += ",";
       json_out += oodb::analysis::RenderJson(report);
@@ -83,6 +96,16 @@ int main(int argc, char** argv) {
   if (json) {
     json_out += "]\n";
     std::fputs(json_out.c_str(), stdout);
+  }
+  if (!metrics_path.empty()) {
+    FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "oodb_lint: could not open '%s'\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    std::fputs(metrics.JsonSnapshot().c_str(), f);
+    std::fclose(f);
   }
   return exit_code;
 }

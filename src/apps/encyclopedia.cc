@@ -14,8 +14,6 @@ namespace oodb {
 
 namespace {
 
-std::atomic<uint64_t> g_enc_counter{0};
-
 std::string SeqKey(uint64_t seq) {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "%012llu",
@@ -99,9 +97,13 @@ Status ListAppend(MethodContext& ctx, const ValueList& params,
       }
       if (st.code() != StatusCode::kCapacity) return st;
     }
-    // Last page full (or none yet): extend the list.
+    // Last page full (or none yet): extend the list. Pages are named by
+    // their index in this list, not a process-global counter, so repeated
+    // runs in one process produce identical object names (golden traces).
+    size_t page_index = ctx.WithState<LinkedListState>(
+        [](LinkedListState* s) { return s->pages.size(); });
     ObjectId fresh = CreatePage(
-        ctx.db(), "ListPage" + std::to_string(++g_enc_counter), capacity);
+        ctx.db(), "ListPage" + std::to_string(page_index), capacity);
     page = ctx.WithState<LinkedListState>([&](LinkedListState* s) {
       if (s->pages.empty() || s->pages.back() == page || !page.valid()) {
         s->pages.push_back(fresh);
@@ -255,10 +257,13 @@ Status EncInsert(MethodContext& ctx, const ValueList& params,
     return ObjectId();
   });
   if (!item_page.valid()) {
-    size_t per_page = ctx.WithState<EncState>(
-        [](EncState* s) { return s->items_per_page; });
+    // Named by page index within this encyclopedia (deterministic across
+    // runs; ids, not names, are what must be unique).
+    auto [per_page, page_index] = ctx.WithState<EncState>([](EncState* s) {
+      return std::make_pair(s->items_per_page, s->item_pages.size());
+    });
     ObjectId fresh = CreatePage(
-        ctx.db(), "ItemPage" + std::to_string(++g_enc_counter), per_page);
+        ctx.db(), "ItemPage" + std::to_string(page_index), per_page);
     item_page = ctx.WithState<EncState>([&](EncState* s) {
       s->item_pages.push_back(fresh);
       ++s->item_count;

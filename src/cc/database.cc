@@ -24,8 +24,100 @@ const char* SchedulerKindName(SchedulerKind kind) {
   return "?";
 }
 
+namespace {
+
+/// Span outcome vocabulary: "ok" / "commit" plus kebab-case error
+/// codes. Part of the stable trace schema (docs/OBSERVABILITY.md).
+const char* TraceOutcome(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kConflict:
+      return "conflict";
+    case StatusCode::kDeadlock:
+      return "deadlock";
+    case StatusCode::kAborted:
+      return "abort";
+    case StatusCode::kNotSerializable:
+      return "not-serializable";
+    case StatusCode::kCapacity:
+      return "capacity";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void RunCounters::PublishTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->SetGauge("run.committed",
+                     static_cast<int64_t>(committed.load()));
+  registry->SetGauge("run.aborted", static_cast<int64_t>(aborted.load()));
+  registry->SetGauge("run.deadlocks",
+                     static_cast<int64_t>(deadlocks.load()));
+  registry->SetGauge("run.conflicts",
+                     static_cast<int64_t>(conflicts.load()));
+  registry->SetGauge("run.operations",
+                     static_cast<int64_t>(operations.load()));
+  registry->SetGauge("run.retries", static_cast<int64_t>(retries.load()));
+}
+
 Database::Database(DatabaseOptions options)
     : options_(options), locks_(&ts_, options.lock_options) {}
+
+void Database::AttachObservability(MetricsRegistry* metrics,
+                                   Tracer* tracer) {
+  locks_.AttachMetrics(metrics);
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    m_committed_ = m_aborted_ = m_deadlocks_ = nullptr;
+    m_retries_ = m_conflicts_ = m_operations_ = nullptr;
+    return;
+  }
+  m_committed_ = metrics->GetCounter("db.txn.committed");
+  m_aborted_ = metrics->GetCounter("db.txn.aborted");
+  m_deadlocks_ = metrics->GetCounter("db.txn.deadlocks");
+  m_retries_ = metrics->GetCounter("db.txn.retries");
+  m_conflicts_ = metrics->GetCounter("db.call.conflicts");
+  m_operations_ = metrics->GetCounter("db.call.operations");
+}
+
+uint32_t Database::LevelOf(ActionId action) const {
+  uint32_t level = 0;
+  ActionId cur = ts_.action(action).parent;
+  while (cur.valid()) {
+    ++level;
+    cur = ts_.action(cur).parent;
+  }
+  return level;
+}
+
+void Database::TraceAction(ActionId action, ActionId parent, ObjectId obj,
+                           const std::string& name, uint64_t start,
+                           const char* outcome) {
+  TraceSpan span;
+  span.id = action.value;
+  span.parent = parent.value;
+  span.name = name;
+  span.object = obj.value;
+  span.txn = ts_.TopLevelOf(action).value;
+  span.level = LevelOf(action);
+  span.tid = tracer_->ThreadId();
+  span.start = start;
+  span.end = tracer_->NowNs();
+  span.outcome = outcome;
+  tracer_->RecordSpan(std::move(span));
+}
 
 void Database::Register(const ObjectType* type, const std::string& method,
                         MethodImpl impl, MethodTraits traits) {
@@ -126,6 +218,13 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
   if (process != 0) ts_.SetProcess(action, process);
   ActionId top = ts_.TopLevelOf(action);
 
+  // Span start precedes the lock acquire so lock waits show up inside
+  // the action's span, where they are spent.
+  const bool traced = tracer_ != nullptr;
+  const uint64_t span_start = traced ? tracer_->NowNs() : 0;
+  std::string span_name;
+  if (traced) span_name = ts_.object(obj).name + "." + inv.method;
+
   // Acquire per the scheduler mode.
   Status lock_status;
   switch (options_.scheduler) {
@@ -154,6 +253,11 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
   }
   if (!lock_status.ok()) {
     counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    if (m_conflicts_) m_conflicts_->Increment();
+    if (traced) {
+      TraceAction(action, parent, obj, span_name, span_start,
+                  TraceOutcome(lock_status));
+    }
     return lock_status;
   }
 
@@ -170,6 +274,7 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
       ts_.SetTimestamp(action, ts_.NextTimestamp());
     }
     counters_.operations.fetch_add(1, std::memory_order_relaxed);
+    if (m_operations_) m_operations_->Increment();
   } else {
     body_status = (*impl)(ctx, inv.params, result);
   }
@@ -183,6 +288,12 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
     {
       std::lock_guard<std::mutex> guard(comp_mutex_);
       comp_log_.erase(action.value);
+    }
+    // Span ends after compensation, so the compensating children's
+    // spans nest inside the failed action's.
+    if (traced) {
+      TraceAction(action, parent, obj, span_name, span_start,
+                  TraceOutcome(body_status));
     }
     return body_status;
   }
@@ -203,6 +314,9 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
       action, parent,
       /*release_children=*/options_.scheduler !=
           SchedulerKind::kClosedNested);
+  if (traced) {
+    TraceAction(action, parent, obj, span_name, span_start, "ok");
+  }
   return Status::OK();
 }
 
@@ -234,8 +348,11 @@ Status Database::RunTransaction(const std::string& name,
   thread_local Rng backoff_rng(
       std::hash<std::thread::id>()(std::this_thread::get_id()));
   for (int attempt = 0;; ++attempt) {
-    ActionId top = ts_.BeginTopLevel(
-        attempt == 0 ? name : name + "#r" + std::to_string(attempt));
+    std::string attempt_name =
+        attempt == 0 ? name : name + "#r" + std::to_string(attempt);
+    ActionId top = ts_.BeginTopLevel(attempt_name);
+    const bool traced = tracer_ != nullptr;
+    const uint64_t span_start = traced ? tracer_->NowNs() : 0;
     MethodContext ctx(this, top, ObjectId(), nullptr, nullptr);
     Status st = body(ctx);
     if (st.ok()) {
@@ -246,6 +363,11 @@ Status Database::RunTransaction(const std::string& name,
         comp_log_.erase(top.value);
       }
       counters_.committed.fetch_add(1, std::memory_order_relaxed);
+      if (m_committed_) m_committed_->Increment();
+      if (traced) {
+        TraceAction(top, ActionId(), ObjectId(), attempt_name, span_start,
+                    "commit");
+      }
       return Status::OK();
     }
 
@@ -259,10 +381,21 @@ Status Database::RunTransaction(const std::string& name,
     }
     locks_.ReleaseAllHeldBy(top);
     counters_.aborted.fetch_add(1, std::memory_order_relaxed);
+    if (m_aborted_) m_aborted_->Increment();
+    if (traced) {
+      TraceAction(top, ActionId(), ObjectId(), attempt_name, span_start,
+                  TraceOutcome(st));
+    }
     if (st.IsDeadlock()) {
       counters_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      if (m_deadlocks_) m_deadlocks_->Increment();
       if (attempt < options_.max_retries) {
         counters_.retries.fetch_add(1, std::memory_order_relaxed);
+        if (m_retries_) m_retries_->Increment();
+        if (tracer_ != nullptr) {
+          tracer_->RecordInstant("txn.retry", tracer_->NowNs(),
+                                 attempt_name);
+        }
         std::this_thread::sleep_for(std::chrono::microseconds(
             100 + backoff_rng.NextBelow(400) * (attempt + 1)));
         continue;

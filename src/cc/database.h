@@ -41,9 +41,33 @@
 #include "cc/method.h"
 #include "cc/method_registry.h"
 #include "model/transaction_system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/histogram.h"
 
 namespace oodb {
+
+/// Cheap atomic tallies of everything a Database ran. Writers bump them
+/// with relaxed atomics on the hot path; readers (benches, harness,
+/// monitors) may load at any time.
+struct RunCounters {
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> deadlocks{0};   ///< deadlock verdicts at top level
+  std::atomic<uint64_t> conflicts{0};   ///< lock acquisitions denied
+  std::atomic<uint64_t> operations{0};  ///< primitive actions executed
+  std::atomic<uint64_t> retries{0};     ///< deadlock-triggered re-runs
+
+  void Reset() {
+    committed = aborted = deadlocks = 0;
+    conflicts = operations = retries = 0;
+  }
+
+  /// Copies the current values onto run.* gauges in `registry`.
+  /// Idempotent (gauges are set, not added), so snapshotting twice is
+  /// safe; call it whenever a fresh snapshot is about to be exported.
+  void PublishTo(MetricsRegistry* registry) const;
+};
 
 enum class SchedulerKind {
   kOpenNested,
@@ -101,6 +125,16 @@ class Database {
   /// transaction system, so validation sees the real history.
   Status RunTransaction(const std::string& name, const TransactionBody& body);
 
+  // --- observability ---------------------------------------------------
+
+  /// Publishes into `metrics` (db.txn.* / db.call.* counters, plus the
+  /// lock manager's db.lock.* family) and records one span per action
+  /// into `tracer` from now on. Either may be null to leave that side
+  /// off; calling again with nulls detaches. Attach before running
+  /// transactions; attaching is not synchronized against concurrent
+  /// ExecuteCall traffic.
+  void AttachObservability(MetricsRegistry* metrics, Tracer* tracer);
+
   // --- introspection ---------------------------------------------------
 
   /// The recorded execution (for the validator and the printers).
@@ -130,6 +164,14 @@ class Database {
   };
 
   RuntimeObject* RuntimeOf(ObjectId id);
+
+  /// Call-tree depth of `action` (0 = top-level). Traced path only.
+  uint32_t LevelOf(ActionId action) const;
+
+  /// Records the span of `action` into tracer_. Caller checks tracer_.
+  void TraceAction(ActionId action, ActionId parent, ObjectId obj,
+                   const std::string& name, uint64_t start,
+                   const char* outcome);
 
   /// Records, locks, and executes one call; the heart of the runtime.
   /// `process` overrides the inherited intra-transaction process id
@@ -163,6 +205,16 @@ class Database {
   /// Fresh intra-transaction process ids for CallParallel (Def 9);
   /// process 0 is the default sequential process of every transaction.
   std::atomic<uint32_t> next_process_{1};
+
+  /// Observability sinks; all null when detached, so the hot path pays
+  /// one predictable branch per event.
+  Tracer* tracer_ = nullptr;
+  Counter* m_committed_ = nullptr;
+  Counter* m_aborted_ = nullptr;
+  Counter* m_deadlocks_ = nullptr;
+  Counter* m_retries_ = nullptr;
+  Counter* m_conflicts_ = nullptr;
+  Counter* m_operations_ = nullptr;
 };
 
 }  // namespace oodb

@@ -19,6 +19,18 @@ LockManager::LockManager(const TransactionSystem* ts,
                          LockManagerOptions options)
     : ts_(ts), options_(options) {}
 
+void LockManager::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_acquires_ = m_waits_ = m_deadlocks_ = nullptr;
+    m_wait_ns_ = nullptr;
+    return;
+  }
+  m_acquires_ = registry->GetCounter("db.lock.acquires");
+  m_waits_ = registry->GetCounter("db.lock.waits");
+  m_deadlocks_ = registry->GetCounter("db.lock.deadlocks");
+  m_wait_ns_ = registry->GetHistogram("db.lock.wait_ns");
+}
+
 bool LockManager::InSphere(ActionId holder, ActionId action) const {
   ActionId cur = action;
   while (cur.valid()) {
@@ -85,9 +97,22 @@ Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
                             const Invocation& inv, ActionId action,
                             ActionId top, LockSemantics semantics,
                             bool hold_at_top) {
+  if (m_acquires_) m_acquires_->Increment();
   std::unique_lock<std::mutex> lock(mutex_);
   auto deadline = std::chrono::steady_clock::now() + options_.wait_timeout;
   bool waited = false;
+  std::chrono::steady_clock::time_point wait_start;
+  // Wait time per blocked Acquire, clock read only on the cold path.
+  // Waits that end in a deadlock verdict count too: the victim's wait
+  // is exactly the latency its transaction lost before the retry.
+  auto observe_wait = [&] {
+    if (waited && m_wait_ns_ != nullptr) {
+      m_wait_ns_->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count()));
+    }
+  };
   for (;;) {
     std::vector<uint64_t> blockers =
         Blockers(obj, type, inv, action, semantics);
@@ -96,6 +121,8 @@ Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
       ++waits_;
       ++waits_per_object_[obj.value];
       waited = true;
+      if (m_waits_) m_waits_->Increment();
+      if (m_wait_ns_) wait_start = std::chrono::steady_clock::now();
     }
     if (options_.deadlock_policy == DeadlockPolicy::kWaitDie) {
       // Wait only for younger transactions; die when an older one
@@ -103,7 +130,9 @@ Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
       for (uint64_t blocker : blockers) {
         if (blocker < top.value) {
           ++deadlocks_;
+          if (m_deadlocks_) m_deadlocks_->Increment();
           waits_for_.erase(top.value);
+          observe_wait();
           return Status::Deadlock(
               "wait-die: blocked by older transaction on " +
               ts_->object(obj).name);
@@ -111,7 +140,9 @@ Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
       }
     } else if (WouldDeadlock(top.value, blockers)) {
       ++deadlocks_;
+      if (m_deadlocks_) m_deadlocks_->Increment();
       waits_for_.erase(top.value);
+      observe_wait();
       return Status::Deadlock("waits-for cycle on " +
                               ts_->object(obj).name);
     }
@@ -120,12 +151,15 @@ Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
     edges.insert(blockers.begin(), blockers.end());
     if (released_.wait_until(lock, deadline) == std::cv_status::timeout) {
       ++deadlocks_;
+      if (m_deadlocks_) m_deadlocks_->Increment();
       waits_for_.erase(top.value);
+      observe_wait();
       return Status::Deadlock("lock wait timeout on " +
                               ts_->object(obj).name);
     }
   }
   waits_for_.erase(top.value);
+  observe_wait();
 
   ActionId holder = hold_at_top ? top : action;
   auto& locks = table_[obj];

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "model/transaction_system.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace oodb {
@@ -116,6 +117,13 @@ class LockManager {
   /// Number of locks currently in the table (for tests).
   size_t LockCount() const;
 
+  /// Publishes into `registry` from now on: db.lock.acquires/waits/
+  /// deadlocks counters and the db.lock.wait_ns histogram (wait time per
+  /// blocked Acquire, including the waits that end in a deadlock
+  /// verdict). Pass nullptr to detach. Attach before traffic; not
+  /// synchronized against concurrent Acquire calls.
+  void AttachMetrics(MetricsRegistry* registry);
+
   /// Observability counters. Safe to read concurrently with running
   /// transactions (the counters are atomic; writers update them under
   /// mutex_, monitors read them lock-free).
@@ -179,6 +187,13 @@ class LockManager {
   std::atomic<uint64_t> deadlocks_{0};
   /// waits observed per object (keyed by ObjectId value).
   std::unordered_map<uint64_t, uint64_t> waits_per_object_;
+
+  /// Cached registry metrics; all null when detached (the fast path
+  /// then costs one predictable branch per event).
+  Counter* m_acquires_ = nullptr;
+  Counter* m_waits_ = nullptr;
+  Counter* m_deadlocks_ = nullptr;
+  HistogramMetric* m_wait_ns_ = nullptr;
 };
 
 }  // namespace oodb

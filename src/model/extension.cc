@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace oodb {
+
+void ExtensionStats::PublishTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->SetGauge("ext.cycles_broken",
+                     static_cast<int64_t>(cycles_broken));
+  registry->SetGauge("ext.virtual_objects",
+                     static_cast<int64_t>(virtual_objects));
+  registry->SetGauge("ext.virtual_actions",
+                     static_cast<int64_t>(virtual_actions));
+}
 
 namespace {
 
@@ -36,7 +49,8 @@ bool SystemExtender::NeedsExtension(const TransactionSystem& ts) {
   return false;
 }
 
-ExtensionStats SystemExtender::Extend(TransactionSystem* ts) {
+ExtensionStats SystemExtender::Extend(TransactionSystem* ts,
+                                      Tracer* tracer) {
   ExtensionStats stats;
   // Deeper actions first: moving a descendant cannot re-create a
   // violation for its ancestors, and processing in reverse id order
@@ -52,10 +66,12 @@ ExtensionStats SystemExtender::Extend(TransactionSystem* ts) {
       // Re-check: an earlier move this pass may have resolved it.
       if (!HasAncestorOnSameObject(*ts, a)) continue;
       ObjectId o = ts->action(a).object;
-      const ObjectRecord& orec = ts->object(o);
+      // Copy: AddObject below may reallocate the object table.
+      const ObjectType* otype = ts->object(o).type;
+      const std::string oname = ts->object(o).name;
 
       // Create the virtual object O'.
-      ObjectId vo = ts->AddObject(orec.type, orec.name + "'");
+      ObjectId vo = ts->AddObject(otype, oname + "'");
       {
         std::lock_guard<std::mutex> lock(ts->mutex_);
         ObjectRecord& vrec = ts->MutableObject(vo);
@@ -63,6 +79,9 @@ ExtensionStats SystemExtender::Extend(TransactionSystem* ts) {
         vrec.original = o;
       }
       ++stats.virtual_objects;
+      if (tracer != nullptr) {
+        tracer->RecordInstant("extension.split", tracer->NowNs(), oname);
+      }
 
       // Move a from O to O' (ACT_O := ACT_O - {a}; ACT_O' gains a).
       {

@@ -18,17 +18,25 @@
 
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "model/transaction_system.h"
 
 namespace oodb {
 
+class MetricsRegistry;
+class Tracer;
+
 /// Statistics of one extension pass.
 struct ExtensionStats {
   size_t cycles_broken = 0;      ///< actions moved to virtual objects
   size_t virtual_objects = 0;    ///< virtual objects created
   size_t virtual_actions = 0;    ///< duplicate actions created
+
+  /// Sets the ext.* gauges in `registry` to these values (idempotent;
+  /// null registry is a no-op).
+  void PublishTo(MetricsRegistry* registry) const;
 };
 
 /// Applies the Def 5 extension to `ts` until no action has a proper
@@ -36,8 +44,11 @@ struct ExtensionStats {
 /// performs no work. Returns what was done.
 class SystemExtender {
  public:
-  /// Extends the system in place.
-  static ExtensionStats Extend(TransactionSystem* ts);
+  /// Extends the system in place. A non-null `tracer` receives one
+  /// "extension.split" instant per virtual object created, tagged with
+  /// the original object's name.
+  static ExtensionStats Extend(TransactionSystem* ts,
+                               Tracer* tracer = nullptr);
 
   /// True iff some action has a proper call-ancestor on the same object,
   /// i.e. the Def 5 extension still has work to do.

@@ -1,0 +1,257 @@
+// oodb_trace: run an instrumented workload and export its trace.
+//
+// Runs either the paper's Fig 7 / Example 4 schedule (the deterministic
+// golden workload) or a small concurrent encyclopedia mix through the
+// real runtime with a Tracer and a MetricsRegistry attached, optionally
+// validates the recorded history, and writes the trace as Chrome
+// trace_event JSON (open in Perfetto or chrome://tracing) or as the
+// JSON-lines schema that trace_schema_check enforces.
+//
+// Examples:
+//   oodb_trace --trace-out=fig7.json           # Chrome trace of Fig 7
+//   oodb_trace --golden --format=jsonl         # byte-stable JSONL
+//   oodb_trace --workload=mix --threads=8 --metrics-out=-
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "apps/encyclopedia.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "schedule/validator.h"
+#include "util/random.h"
+#include "workload/harness.h"
+
+using namespace oodb;
+
+namespace {
+
+struct Options {
+  std::string workload = "fig7";
+  std::string scheduler = "open";
+  std::string format = "chrome";
+  std::string trace_out = "-";
+  std::string metrics_out;
+  size_t threads = 4;
+  size_t txns = 50;
+  bool golden = false;
+  bool validate = true;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: oodb_trace [options]\n"
+      "  --workload=fig7|mix   fig7: the Example 4 schedule (default);\n"
+      "                        mix: a concurrent encyclopedia mix\n"
+      "  --scheduler=open|closed|flat2pl|exclusive|none  (default open)\n"
+      "  --format=chrome|jsonl (default chrome)\n"
+      "  --trace-out=PATH      trace destination, '-' = stdout (default)\n"
+      "  --metrics-out=PATH    metrics JSON destination ('-' = stdout)\n"
+      "  --threads=N           mix workers (default 4)\n"
+      "  --txns=N              mix transactions per worker (default 50)\n"
+      "  --golden              logical clock + tid 0: byte-stable traces\n"
+      "  --no-validate         skip the oo-serializability validation\n");
+}
+
+bool ParseFlag(const std::string& arg, const char* name,
+               std::string* value) {
+  std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--golden") {
+      opts->golden = true;
+    } else if (arg == "--no-validate") {
+      opts->validate = false;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (ParseFlag(arg, "--workload", &opts->workload) ||
+               ParseFlag(arg, "--scheduler", &opts->scheduler) ||
+               ParseFlag(arg, "--format", &opts->format) ||
+               ParseFlag(arg, "--trace-out", &opts->trace_out) ||
+               ParseFlag(arg, "--metrics-out", &opts->metrics_out)) {
+      // handled
+    } else if (ParseFlag(arg, "--threads", &value)) {
+      opts->threads = std::stoul(value);
+    } else if (ParseFlag(arg, "--txns", &value)) {
+      opts->txns = std::stoul(value);
+    } else {
+      std::fprintf(stderr, "oodb_trace: unknown argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SchedulerFromName(const std::string& name, SchedulerKind* out) {
+  if (name == "open") {
+    *out = SchedulerKind::kOpenNested;
+  } else if (name == "closed") {
+    *out = SchedulerKind::kClosedNested;
+  } else if (name == "flat2pl") {
+    *out = SchedulerKind::kFlat2PL;
+  } else if (name == "exclusive") {
+    *out = SchedulerKind::kObjectExclusive;
+  } else if (name == "none") {
+    *out = SchedulerKind::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The four transactions of Example 4 on a small encyclopedia — the
+/// schedule behind Fig 7, and the golden-trace workload.
+void RunFig7(Database* db) {
+  Encyclopedia::RegisterMethods(db);
+  ObjectId enc = Encyclopedia::Create(db, "Enc", 8, 8, 4);
+  (void)db->RunTransaction("T1", [&](MethodContext& txn) {
+    return txn.Call(enc, Encyclopedia::Insert("DBS", "database systems"));
+  });
+  (void)db->RunTransaction("T2", [&](MethodContext& txn) {
+    OODB_RETURN_IF_ERROR(
+        txn.Call(enc, Encyclopedia::Insert("DBMS", "dbms v1")));
+    return txn.Call(enc, Encyclopedia::Change("DBMS", "dbms v2"));
+  });
+  (void)db->RunTransaction("T3", [&](MethodContext& txn) {
+    Value out;
+    return txn.Call(enc, Encyclopedia::Search("DBS"), &out);
+  });
+  (void)db->RunTransaction("T4", [&](MethodContext& txn) {
+    Value out;
+    return txn.Call(enc, Encyclopedia::ReadSeq(), &out);
+  });
+}
+
+/// A contended concurrent mix: inserts, changes, searches, and readSeq
+/// over a small key range, from `threads` workers.
+void RunMix(Database* db, MetricsRegistry* registry, size_t threads,
+            size_t txns) {
+  Encyclopedia::RegisterMethods(db);
+  ObjectId enc = Encyclopedia::Create(db, "Enc", 16, 16, 4);
+  HarnessConfig config;
+  config.threads = threads;
+  config.txns_per_thread = txns;
+  config.metrics = registry;
+  HarnessResult result = Harness::Run(
+      db, config, [enc](size_t thread, size_t index) -> TransactionBody {
+        return [enc, thread, index](MethodContext& txn) -> Status {
+          Rng rng(thread * 7919 + index);
+          std::string key = "K" + std::to_string(rng.NextBelow(64));
+          switch (rng.NextBelow(10)) {
+            case 0:
+              return txn.Call(enc, Encyclopedia::ReadSeq());
+            case 1:
+            case 2: {
+              Value out;
+              return txn.Call(enc, Encyclopedia::Search(key), &out);
+            }
+            case 3:
+            case 4:
+            case 5: {
+              Status st = txn.Call(
+                  enc, Encyclopedia::Change(key, "v" + std::to_string(index)));
+              // Changing a key nobody inserted yet is a benign miss.
+              return st.IsNotFound() ? Status::OK() : st;
+            }
+            default: {
+              Status st = txn.Call(
+                  enc,
+                  Encyclopedia::Insert(key, "d" + std::to_string(index)));
+              return st.code() == StatusCode::kAlreadyExists ? Status::OK()
+                                                             : st;
+            }
+          }
+        };
+      });
+  std::fprintf(stderr, "mix: %s\n", result.Row().c_str());
+}
+
+bool WriteOut(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "oodb_trace: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    PrintUsage();
+    return 2;
+  }
+  SchedulerKind kind;
+  if (!SchedulerFromName(opts.scheduler, &kind)) {
+    std::fprintf(stderr, "oodb_trace: unknown scheduler '%s'\n",
+                 opts.scheduler.c_str());
+    return 2;
+  }
+  if (opts.format != "chrome" && opts.format != "jsonl") {
+    std::fprintf(stderr, "oodb_trace: unknown format '%s'\n",
+                 opts.format.c_str());
+    return 2;
+  }
+
+  MetricsRegistry registry;
+  TracerOptions trace_options;
+  trace_options.golden = opts.golden;
+  trace_options.tag = opts.workload + ":" + opts.scheduler;
+  Tracer tracer(trace_options);
+
+  DatabaseOptions db_options;
+  db_options.scheduler = kind;
+  Database db(db_options);
+  db.AttachObservability(&registry, &tracer);
+
+  if (opts.workload == "fig7") {
+    RunFig7(&db);
+  } else if (opts.workload == "mix") {
+    RunMix(&db, &registry, opts.threads, opts.txns);
+  } else {
+    std::fprintf(stderr, "oodb_trace: unknown workload '%s'\n",
+                 opts.workload.c_str());
+    return 2;
+  }
+  db.counters().PublishTo(&registry);
+
+  if (opts.validate) {
+    ValidationOptions voptions;
+    voptions.metrics = &registry;
+    voptions.tracer = &tracer;
+    ValidationReport report = Validator::Validate(&db.ts(), voptions);
+    std::fprintf(stderr, "validate: %s\n", report.Summary().c_str());
+  }
+
+  std::string trace = opts.format == "chrome" ? tracer.ToChromeTrace()
+                                              : tracer.ToJsonLines();
+  if (!WriteOut(opts.trace_out, trace)) return 1;
+  if (!opts.metrics_out.empty() &&
+      !WriteOut(opts.metrics_out, registry.JsonSnapshot() + "\n")) {
+    return 1;
+  }
+  std::fprintf(stderr, "oodb_trace: %zu spans (%s, %s)\n",
+               tracer.SpanCount(), opts.workload.c_str(),
+               opts.format.c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Tracer: one span per action of the nested transaction tree.
+//
+// The runtime records a span for every action it executes — parented by
+// the calling action, tagged with object id, method, top-level
+// transaction id, call-tree level, and outcome (commit / abort /
+// deadlock / error code) — and the Def 5 extension contributes instant
+// events for virtual-object splits. Span ids ARE action ids, so a trace
+// lines up 1:1 with the TransactionSystem record the validator reads.
+//
+// Two exports:
+//   * JSON lines — one self-contained object per line, the schema the
+//     trace_check validator enforces (docs/OBSERVABILITY.md);
+//   * Chrome trace_event JSON — open in Perfetto or chrome://tracing;
+//     spans become "X" (complete) events whose ts/dur containment
+//     renders the call tree.
+//
+// Golden mode (TracerOptions::golden) replaces the wall clock by a
+// process-wide logical tick counter and pins every thread id to 0, so a
+// deterministic workload (e.g. the Fig 7 schedule, single-threaded)
+// produces a byte-stable trace across runs — the contract of the
+// obs_trace_golden_test.
+//
+// Thread-safety: RecordSpan/RecordInstant/NowNs may be called from any
+// thread; exports require quiescence only for a *stable* result, never
+// for memory safety.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oodb {
+
+/// One completed action, as the tracer saw it.
+struct TraceSpan {
+  uint64_t id = 0;          ///< action id (span ids are action ids)
+  uint64_t parent = UINT64_MAX;  ///< calling action id; UINT64_MAX = root
+  std::string name;         ///< "Object.method" (or the txn name at top)
+  uint64_t object = UINT64_MAX;  ///< object id; UINT64_MAX for top-level
+  uint64_t txn = 0;         ///< top-level transaction (root action) id
+  uint32_t level = 0;       ///< call-tree depth; 0 = top-level
+  uint32_t tid = 0;         ///< worker thread (0 in golden mode)
+  uint64_t start = 0;       ///< NowNs() at entry
+  uint64_t end = 0;         ///< NowNs() at exit
+  std::string outcome;      ///< "ok","commit","abort","deadlock",...
+};
+
+/// A point event (virtual-object split, retry backoff, ...).
+struct TraceInstant {
+  std::string name;
+  uint64_t ts = 0;
+  std::string detail;
+};
+
+struct TracerOptions {
+  /// Logical clock + tid 0: byte-stable traces for deterministic
+  /// workloads.
+  bool golden = false;
+  /// Free-form tag carried in the trace header (e.g. scheduler name).
+  std::string tag;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+
+  /// Current trace clock: wall nanoseconds (monotonic, zero-based), or
+  /// the next logical tick in golden mode.
+  uint64_t NowNs();
+
+  /// Compact trace thread id of the caller (0 in golden mode).
+  uint32_t ThreadId();
+
+  void RecordSpan(TraceSpan span);
+  void RecordInstant(std::string name, uint64_t ts, std::string detail);
+
+  /// One meta line, then every instant and span sorted by (start, id).
+  std::string ToJsonLines() const;
+
+  /// Chrome trace_event JSON (the {"traceEvents": [...]} form).
+  std::string ToChromeTrace() const;
+
+  /// Recorded spans in record order (tests).
+  std::vector<TraceSpan> Spans() const;
+
+  size_t SpanCount() const;
+  const TracerOptions& options() const { return options_; }
+
+ private:
+  /// Spans and instants in deterministic export order.
+  void SortedEvents(std::vector<const TraceSpan*>* spans,
+                    std::vector<const TraceInstant*>* instants) const;
+
+  TracerOptions options_;
+  std::atomic<uint64_t> logical_clock_{0};
+  uint64_t wall_base_ = 0;
+
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+};
+
+}  // namespace oodb

@@ -1,0 +1,163 @@
+#include "obs/trace_check.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace oodb {
+
+namespace {
+
+/// Extracts the value of "key": as a signed number. False if absent or
+/// malformed.
+bool FindNumber(const std::string& line, const std::string& key,
+                long long* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  long long v = std::strtoll(start, &end, 10);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+/// Extracts the value of "key": as a string (no unescaping; emitter
+/// escapes quotes, so scanning to the next unescaped quote is exact).
+bool FindString(const std::string& line, const std::string& key,
+                std::string* out) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  std::string value;
+  while (pos < line.size()) {
+    char c = line[pos];
+    if (c == '\\' && pos + 1 < line.size()) {
+      value += line[pos + 1];
+      pos += 2;
+      continue;
+    }
+    if (c == '"') {
+      *out = std::move(value);
+      return true;
+    }
+    value += c;
+    ++pos;
+  }
+  return false;
+}
+
+struct SpanRow {
+  long long parent, txn, level;
+  long long start, end;
+};
+
+Status Fail(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                 ": " + what);
+}
+
+}  // namespace
+
+Status ValidateTraceLines(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  std::string line;
+  size_t line_no = 0;
+  std::unordered_map<long long, SpanRow> spans;
+  // Two passes over the same document: the first collects spans (the
+  // export sorts by start time, which is not topological for parents —
+  // a parent *ends* after but *starts* before its children, so parents
+  // do come first; still, collecting up front keeps the checker
+  // order-independent), the second verifies parent linkage.
+  std::vector<std::pair<size_t, long long>> to_check;  // (line, id)
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string type;
+    if (!FindString(line, "type", &type)) {
+      return Fail(line_no, "missing \"type\"");
+    }
+    if (line_no == 1) {
+      if (type != "meta") return Fail(line_no, "first line must be meta");
+      long long version;
+      if (!FindNumber(line, "version", &version)) {
+        return Fail(line_no, "meta without version");
+      }
+      continue;
+    }
+    if (type == "meta") return Fail(line_no, "duplicate meta record");
+    if (type == "instant") {
+      std::string name;
+      long long ts;
+      if (!FindString(line, "name", &name) || name.empty()) {
+        return Fail(line_no, "instant without name");
+      }
+      if (!FindNumber(line, "ts", &ts) || ts < 0) {
+        return Fail(line_no, "instant without ts");
+      }
+      continue;
+    }
+    if (type != "span") return Fail(line_no, "unknown type '" + type + "'");
+
+    long long id, object, tid;
+    SpanRow row;
+    std::string name, outcome;
+    if (!FindNumber(line, "id", &id)) return Fail(line_no, "span without id");
+    if (!FindNumber(line, "parent", &row.parent) ||
+        !FindNumber(line, "object", &object) ||
+        !FindNumber(line, "txn", &row.txn) ||
+        !FindNumber(line, "level", &row.level) ||
+        !FindNumber(line, "tid", &tid) ||
+        !FindNumber(line, "start", &row.start) ||
+        !FindNumber(line, "end", &row.end)) {
+      return Fail(line_no, "span missing a required numeric field");
+    }
+    if (!FindString(line, "name", &name) || name.empty()) {
+      return Fail(line_no, "span without name");
+    }
+    if (!FindString(line, "outcome", &outcome) || outcome.empty()) {
+      return Fail(line_no, "span without outcome");
+    }
+    if (row.start > row.end) return Fail(line_no, "span with start > end");
+    if (row.level < 0) return Fail(line_no, "negative level");
+    if (row.level == 0 && row.parent != -1) {
+      return Fail(line_no, "level-0 span with a parent");
+    }
+    if (row.level > 0 && row.parent == -1) {
+      return Fail(line_no, "nested span without parent");
+    }
+    if (!spans.emplace(id, row).second) {
+      return Fail(line_no, "duplicate span id " + std::to_string(id));
+    }
+    if (row.parent != -1) to_check.emplace_back(line_no, id);
+  }
+  if (line_no == 0) return Status::InvalidArgument("trace: empty document");
+
+  for (const auto& [at, id] : to_check) {
+    const SpanRow& child = spans.at(id);
+    auto it = spans.find(child.parent);
+    if (it == spans.end()) {
+      return Fail(at, "parent " + std::to_string(child.parent) +
+                          " has no span");
+    }
+    const SpanRow& parent = it->second;
+    if (child.start < parent.start || child.end > parent.end) {
+      return Fail(at, "span escapes its parent's time window");
+    }
+    if (child.txn != parent.txn) {
+      return Fail(at, "span and parent disagree on txn");
+    }
+    if (child.level != parent.level + 1) {
+      return Fail(at, "span level is not parent level + 1");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oodb

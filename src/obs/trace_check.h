@@ -1,0 +1,29 @@
+// Trace schema validation: the machine-checkable contract of the JSON
+// lines trace export (docs/OBSERVABILITY.md).
+//
+// Checked per file:
+//   * line 1 is a meta record with a version;
+//   * every other line is a span or instant with its required fields;
+//   * span ids are unique, start <= end, outcome is nonempty;
+//   * every non-root span's parent exists, contains the child's
+//     [start, end] window, belongs to the same top-level transaction,
+//     and sits exactly one level above it — i.e. the flat file really
+//     encodes the nested transaction tree.
+//
+// The checker parses only what the emitter writes (flat one-line JSON
+// objects with known keys); it is a schema gate for CI, not a general
+// JSON parser.
+
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+namespace oodb {
+
+/// Validates a full JSON-lines trace document. Returns OK or an error
+/// naming the first offending line.
+Status ValidateTraceLines(const std::string& jsonl);
+
+}  // namespace oodb

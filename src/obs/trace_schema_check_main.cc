@@ -1,0 +1,45 @@
+// trace_schema_check: validate a JSON-lines trace against the span
+// schema (docs/OBSERVABILITY.md). The CI gate behind `oodb_trace
+// --format=jsonl | trace_schema_check -`.
+//
+// Exit codes: 0 = valid, 1 = schema violation, 2 = usage/IO error.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_check.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_schema_check FILE  ('-' = stdin)\n");
+    return 2;
+  }
+  std::string path = argv[1];
+  std::string content;
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    content = buf.str();
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "trace_schema_check: cannot open '%s'\n",
+                   path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    content = buf.str();
+  }
+
+  oodb::Status st = oodb::ValidateTraceLines(content);
+  if (!st.ok()) {
+    std::fprintf(stderr, "trace_schema_check: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("trace_schema_check: OK\n");
+  return 0;
+}

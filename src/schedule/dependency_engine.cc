@@ -5,7 +5,9 @@
 #include <thread>
 
 #include "model/extension.h"
+#include "obs/metrics.h"
 #include "schedule/conflict_index.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace oodb {
@@ -23,7 +25,32 @@ void RunPerObject(ThreadPool* pool, size_t n,
   }
 }
 
+/// Observes the elapsed time of one engine stage and restarts the
+/// clock. No-op without a registry.
+void ObserveStage(MetricsRegistry* metrics, Stopwatch* sw,
+                  const char* name) {
+  if (metrics != nullptr) {
+    metrics->GetHistogram(name)->Observe(sw->ElapsedNanos());
+  }
+  sw->Restart();
+}
+
 }  // namespace
+
+void DependencyStats::PublishTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->SetGauge("dep.primitive_conflicts",
+                     static_cast<int64_t>(primitive_conflicts));
+  registry->SetGauge("dep.inherited_txn_deps",
+                     static_cast<int64_t>(inherited_txn_deps));
+  registry->SetGauge("dep.stopped_inheritance",
+                     static_cast<int64_t>(stopped_inheritance));
+  registry->SetGauge("dep.added_deps", static_cast<int64_t>(added_deps));
+  registry->SetGauge("dep.fixpoint_rounds",
+                     static_cast<int64_t>(fixpoint_rounds));
+  registry->SetGauge("dep.unordered_conflicts",
+                     static_cast<int64_t>(unordered_conflicts));
+}
 
 Status DependencyEngine::Compute() {
   if (SystemExtender::NeedsExtension(ts_)) {
@@ -47,16 +74,22 @@ Status DependencyEngine::Compute() {
     if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
     ComputeIndexed(pool.get());
   } else {
+    Stopwatch sw;
     ComputeConflictPairs();
+    ObserveStage(options_.metrics, &sw, "dep.stage.conflict_pairs_ns");
     SeedAxiom1();
+    ObserveStage(options_.metrics, &sw, "dep.stage.seed_ns");
     while (PropagateOnce()) {
       ++stats_.fixpoint_rounds;
     }
+    ObserveStage(options_.metrics, &sw, "dep.stage.fixpoint_ns");
     FinalizeDerivedStats(
         [this](ActionId a, ActionId b) { return ts_.Commute(a, b); },
         nullptr);
+    ObserveStage(options_.metrics, &sw, "dep.stage.derived_stats_ns");
   }
   computed_ = true;
+  stats_.PublishTo(options_.metrics);
   return Status::OK();
 }
 
@@ -211,6 +244,8 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
   const size_t num_objects = schedules_.size();
   const size_t num_actions = ts_.action_count();
   ConflictIndex index(ts_);
+  MetricsRegistry* metrics = options_.metrics;
+  Stopwatch sw;
 
   // Flat per-action arrays. The pair sweeps below touch actions in
   // data-dependent order; reading a handful of u64 arrays beats chasing
@@ -237,6 +272,7 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
     index.BuildForObject(o);
     index.AppendConflictPairs(o, &schedules_[i].conflict_pairs);
   });
+  ObserveStage(metrics, &sw, "dep.stage.conflict_pairs_ns");
 
   // Stage 2: fused Axiom 1 seeding + first Def 10 pass, per object in
   // parallel. A pair of executed primitives gets its timestamp
@@ -325,6 +361,12 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
   for (size_t i = 0; i < num_objects; ++i) {
     stats_.primitive_conflicts += prim[i];
   }
+  ObserveStage(metrics, &sw, "dep.stage.seed_ns");
+  Counter* m_waves =
+      metrics ? metrics->GetCounter("dep.worklist.waves") : nullptr;
+  Counter* m_frontier =
+      metrics ? metrics->GetCounter("dep.worklist.frontier_edges")
+              : nullptr;
 
   // Delta-driven fixpoint. Each wave places the transaction
   // dependencies recorded by the previous Def 10 stage (Def 11/15) and
@@ -372,6 +414,10 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
       new_txn[i].clear();
     }
     if (changed) ++stats_.fixpoint_rounds;
+    if (changed && m_waves) m_waves->Increment();
+    if (m_frontier && frontier_total > 0) {
+      m_frontier->Increment(frontier_total);
+    }
     if (frontier_total == 0) break;
 
     // Def 10 stage: per object, in parallel (each task writes only its
@@ -390,6 +436,7 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
       frontier[i].clear();
     });
   }
+  ObserveStage(metrics, &sw, "dep.stage.fixpoint_ns");
 
   // Post-fixpoint derived counters — the indexed twin of
   // FinalizeDerivedStats. The directed flags replace the per-pair
@@ -426,6 +473,13 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
   for (size_t i = 0; i < num_objects; ++i) {
     stats_.unordered_conflicts += unordered[i];
     stats_.stopped_inheritance += stopped[i];
+  }
+  ObserveStage(metrics, &sw, "dep.stage.derived_stats_ns");
+  if (metrics != nullptr) {
+    // Memo efficiency of the conflict index: hits were served from the
+    // class matrix, misses reached the commutativity spec.
+    metrics->GetCounter("dep.memo.hits")->Increment(index.memo_hits());
+    metrics->GetCounter("dep.memo.misses")->Increment(index.spec_calls());
   }
 }
 

@@ -47,6 +47,7 @@
 
 namespace oodb {
 
+class MetricsRegistry;
 class ThreadPool;
 
 /// Aggregate statistics of one dependency computation. These are the
@@ -65,6 +66,10 @@ struct DependencyStats {
   /// treats them as freely orderable and reports the count so callers
   /// can see how much of the conflict relation is actually grounded.
   size_t unordered_conflicts = 0;
+
+  /// Sets the dep.* gauges in `registry` to these values (idempotent;
+  /// null registry is a no-op).
+  void PublishTo(MetricsRegistry* registry) const;
 };
 
 /// Selects and configures the engine implementation.
@@ -78,6 +83,13 @@ struct DependencyOptions {
   /// concurrency, 1 = run every stage inline (no pool). Ignored by
   /// kReference.
   size_t num_threads = 1;
+  /// When set, Compute() records per-stage wall timings into the
+  /// dep.stage.*_ns histograms, worklist progress into the
+  /// dep.worklist.waves / dep.worklist.frontier_edges counters, the
+  /// conflict-index memo efficiency into dep.memo.hits / dep.memo.misses
+  /// (kIndexed only), and publishes the final DependencyStats as dep.*
+  /// gauges.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Computes and stores all object schedules for one transaction system.

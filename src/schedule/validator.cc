@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "model/extension.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace oodb {
@@ -133,10 +134,12 @@ ValidationReport Validator::Validate(TransactionSystem* ts,
   ValidationReport report;
 
   if (options.apply_extension) {
-    report.extension = SystemExtender::Extend(ts);
+    report.extension = SystemExtender::Extend(ts, options.tracer);
   }
+  report.extension.PublishTo(options.metrics);
 
   DependencyOptions dep_options;
+  dep_options.metrics = options.metrics;
   if (options.num_threads != 1) {
     dep_options.mode = DependencyOptions::Mode::kIndexed;
     dep_options.num_threads = options.num_threads;
@@ -250,6 +253,14 @@ ValidationReport Validator::Validate(TransactionSystem* ts,
   if (options.check_conventional) {
     report.conventional = ConventionalChecker::Check(*ts, options.num_threads);
     report.conventionally_serializable = report.conventional.serializable;
+  }
+
+  if (options.metrics != nullptr) {
+    options.metrics->SetGauge("validate.oo_serializable",
+                              report.oo_serializable ? 1 : 0);
+    options.metrics->SetGauge("validate.conventional",
+                              report.conventionally_serializable ? 1 : 0);
+    options.metrics->SetGauge("validate.conform", report.conform ? 1 : 0);
   }
 
   if (report.oo_serializable) {

@@ -44,6 +44,14 @@ struct ValidationOptions {
   /// fixpoint, per-object stages fanned out over that many threads
   /// (0 = hardware concurrency) — which produces identical reports.
   size_t num_threads = 1;
+
+  /// When set, the run publishes into the registry: the engine's dep.*
+  /// family (stage timings, worklist, memo, final stats), the ext.*
+  /// extension gauges, and the validate.* verdict gauges (1 = holds).
+  MetricsRegistry* metrics = nullptr;
+  /// When set, the Def 5 extension records its "extension.split"
+  /// instants here.
+  Tracer* tracer = nullptr;
 };
 
 /// Everything a validation run learned about one execution.

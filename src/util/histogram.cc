@@ -6,9 +6,9 @@
 
 namespace oodb {
 
-Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+namespace hist_layout {
 
-size_t Histogram::BucketFor(uint64_t value) {
+size_t BucketFor(uint64_t value) {
   if (value < 4) return static_cast<size_t>(value);
   // Octave = position of the highest set bit; 4 linear sub-buckets each.
   int octave = 63 - std::countl_zero(value);
@@ -18,7 +18,7 @@ size_t Histogram::BucketFor(uint64_t value) {
   return std::min(idx, kBucketCount - 1);
 }
 
-uint64_t Histogram::BucketUpperBound(size_t bucket) {
+uint64_t BucketUpperBound(size_t bucket) {
   if (bucket < 4) return bucket;
   size_t octave = bucket / 4;
   size_t sub = bucket % 4;
@@ -26,8 +26,25 @@ uint64_t Histogram::BucketUpperBound(size_t bucket) {
   return base + (base / 4) * (sub + 1);
 }
 
+uint64_t Quantile(const uint64_t* buckets, uint64_t count, uint64_t max,
+                  double q) {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * double(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return std::min(BucketUpperBound(i), max);
+  }
+  return max;
+}
+
+}  // namespace hist_layout
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
 void Histogram::Add(uint64_t value) {
-  ++buckets_[BucketFor(value)];
+  ++buckets_[hist_layout::BucketFor(value)];
   ++count_;
   sum_ += value;
   min_ = std::min(min_, value);
@@ -47,15 +64,7 @@ double Histogram::Mean() const {
 }
 
 uint64_t Histogram::Quantile(double q) const {
-  if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  uint64_t rank = static_cast<uint64_t>(q * double(count_ - 1));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kBucketCount; ++i) {
-    seen += buckets_[i];
-    if (seen > rank) return std::min(BucketUpperBound(i), max_);
-  }
-  return max_;
+  return hist_layout::Quantile(buckets_.data(), count_, max_, q);
 }
 
 std::string Histogram::Summary() const {

@@ -2,16 +2,40 @@
 
 #pragma once
 
-#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace oodb {
 
+/// The one log-bucketed layout shared by every histogram in the
+/// repository (the thread-compatible Histogram below and the atomic
+/// obs::HistogramMetric): 4 linear sub-buckets per octave. Keeping the
+/// bucket math here means harness latency quantiles, lock-wait
+/// histograms, and metric snapshots all agree on boundaries.
+namespace hist_layout {
+
+constexpr size_t kBucketCount = 64 * 4;
+
+/// Bucket index of `value`.
+size_t BucketFor(uint64_t value);
+
+/// Inclusive upper bound of `bucket`.
+uint64_t BucketUpperBound(size_t bucket);
+
+/// Approximate quantile (q in [0,1]) from a bucket array of this
+/// layout; `max` caps the answer at the largest observed value.
+uint64_t Quantile(const uint64_t* buckets, uint64_t count, uint64_t max,
+                  double q);
+
+}  // namespace hist_layout
+
 /// A fixed-layout log-bucketed histogram of nonnegative values
 /// (typically latencies in nanoseconds). Thread-compatible; use one per
-/// thread and Merge for cross-thread aggregation.
+/// thread and Merge for cross-thread aggregation. For a thread-safe
+/// variant registered by name, see obs::HistogramMetric, which shares
+/// this bucket layout.
 class Histogram {
  public:
   Histogram();
@@ -31,29 +55,13 @@ class Histogram {
   std::string Summary() const;
 
  private:
-  static constexpr size_t kBucketCount = 64 * 4;  // 4 sub-buckets per octave
-  static size_t BucketFor(uint64_t value);
-  static uint64_t BucketUpperBound(size_t bucket);
+  static constexpr size_t kBucketCount = hist_layout::kBucketCount;
 
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t min_ = UINT64_MAX;
   uint64_t max_ = 0;
-};
-
-/// A set of named monotonic counters shared across worker threads.
-struct RunCounters {
-  std::atomic<uint64_t> committed{0};
-  std::atomic<uint64_t> aborted{0};
-  std::atomic<uint64_t> deadlocks{0};
-  std::atomic<uint64_t> conflicts{0};     ///< lock waits observed
-  std::atomic<uint64_t> operations{0};    ///< leaf-level operations executed
-  std::atomic<uint64_t> retries{0};
-
-  void Reset() {
-    committed = aborted = deadlocks = conflicts = operations = retries = 0;
-  }
 };
 
 }  // namespace oodb

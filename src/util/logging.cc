@@ -1,18 +1,63 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace oodb {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kError)};
+
+int LevelFromEnv() {
+  const char* env = std::getenv("OODB_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kError);
+  }
+  if (std::strcmp(env, "none") == 0) return 0;
+  if (std::strcmp(env, "error") == 0) return 1;
+  if (std::strcmp(env, "info") == 0) return 2;
+  if (std::strcmp(env, "debug") == 0) return 3;
+  if (env[0] >= '0' && env[0] <= '3' && env[1] == '\0') return env[0] - '0';
+  std::fprintf(stderr,
+               "[E] OODB_LOG_LEVEL='%s' not recognized "
+               "(none|error|info|debug|0-3); using 'error'\n",
+               env);
+  return static_cast<int>(LogLevel::kError);
+}
+
+std::atomic<int>& LevelHolder() {
+  static std::atomic<int> level{LevelFromEnv()};
+  return level;
+}
+
 std::mutex g_mutex;
+
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(LevelHolder().load(std::memory_order_relaxed));
+}
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  LevelHolder().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+uint64_t LogMonotonicNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point base = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           base)
+          .count());
+}
+
+uint32_t LogThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void LogLine(LogLevel level, const std::string& message) {
   const char* tag = "?";
@@ -29,8 +74,11 @@ void LogLine(LogLevel level, const std::string& message) {
     case LogLevel::kNone:
       return;
   }
+  uint64_t ns = LogMonotonicNanos();
+  uint32_t tid = LogThreadId();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+  std::fprintf(stderr, "[%10.6f] [T%u] [%s] %s\n", double(ns) * 1e-9, tid,
+               tag, message.c_str());
 }
 
 }  // namespace oodb

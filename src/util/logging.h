@@ -1,9 +1,18 @@
 // Minimal leveled logging. Off by default; benchmarks and examples can
-// raise the level. Thread-safe via a single mutex (logging is not on any
+// raise the level, and the OODB_LOG_LEVEL environment variable
+// ("none"/"error"/"info"/"debug" or 0-3) overrides the default without
+// code changes. Thread-safe via a single mutex (logging is not on any
 // hot path when disabled).
+//
+// Each line carries a monotonic timestamp (seconds since the first log
+// call of the process) and a compact per-thread id, so interleaved
+// output from harness workers can be read back in order:
+//
+//   [  0.003217] [T2] [I] message
 
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -12,11 +21,20 @@ namespace oodb {
 
 enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
 
-/// Global log level; default kError.
+/// Global log level; default kError, overridable by OODB_LOG_LEVEL (read
+/// once, at the first query). SetLogLevel wins over the environment.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
-/// Writes one line to stderr with a level tag. Prefer the macros below.
+/// Monotonic nanoseconds since the first logging call of this process
+/// (the timestamp base of every LogLine prefix).
+uint64_t LogMonotonicNanos();
+
+/// Small dense id of the calling thread (1, 2, ... in first-log order).
+uint32_t LogThreadId();
+
+/// Writes one line to stderr with timestamp, thread-id, and level tags.
+/// Prefer the macros below.
 void LogLine(LogLevel level, const std::string& message);
 
 }  // namespace oodb

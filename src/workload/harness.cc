@@ -27,7 +27,14 @@ HarnessResult Harness::Run(Database* db, const HarnessConfig& config,
   db->counters().Reset();
   uint64_t waits_before = db->locks().wait_count();
 
-  std::vector<Histogram> histograms(config.threads);
+  // One shared thread-safe histogram replaces the old per-thread
+  // Histogram-and-Merge dance; the registry's copy (when attached)
+  // additionally accumulates across runs for the exported snapshot.
+  HistogramMetric latency;
+  HistogramMetric* registry_latency =
+      config.metrics != nullptr
+          ? config.metrics->GetHistogram("harness.latency_ns")
+          : nullptr;
   std::vector<std::thread> workers;
   workers.reserve(config.threads);
   Stopwatch clock;
@@ -40,7 +47,9 @@ HarnessResult Harness::Run(Database* db, const HarnessConfig& config,
         // keeps going.
         (void)db->RunTransaction(
             "W" + std::to_string(t) + "_" + std::to_string(i), body);
-        histograms[t].Add(txn_clock.ElapsedNanos());
+        uint64_t ns = txn_clock.ElapsedNanos();
+        latency.Observe(ns);
+        if (registry_latency != nullptr) registry_latency->Observe(ns);
       }
     });
   }
@@ -53,7 +62,10 @@ HarnessResult Harness::Run(Database* db, const HarnessConfig& config,
   result.deadlocks = db->counters().deadlocks.load();
   result.operations = db->counters().operations.load();
   result.lock_waits = db->locks().wait_count() - waits_before;
-  for (const Histogram& h : histograms) result.latency_ns.Merge(h);
+  result.latency_ns = latency.Snapshot();
+  if (config.metrics != nullptr) {
+    db->counters().PublishTo(config.metrics);
+  }
   return result;
 }
 

@@ -8,13 +8,18 @@
 #include <string>
 
 #include "cc/database.h"
-#include "util/histogram.h"
+#include "obs/metrics.h"
 
 namespace oodb {
 
 struct HarnessConfig {
   size_t threads = 4;
   size_t txns_per_thread = 100;
+  /// When set, per-transaction latencies are observed into this
+  /// registry's "harness.latency_ns" histogram (so they appear in the
+  /// registry snapshot) instead of a private one. The result's
+  /// latency_ns snapshot covers this run either way.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct HarnessResult {
@@ -24,7 +29,8 @@ struct HarnessResult {
   uint64_t deadlocks = 0;
   uint64_t lock_waits = 0;
   uint64_t operations = 0;
-  Histogram latency_ns;
+  /// Per-transaction wall latency, in the shared hist_layout buckets.
+  HistogramSnapshot latency_ns;
 
   double Throughput() const {
     return seconds > 0 ? double(committed) / seconds : 0;

@@ -244,5 +244,60 @@ TEST(DatabaseTest, RetryCounterTracksDeadlockRetries) {
   EXPECT_EQ(db.counters().committed.load() + failures.load(), 20u);
 }
 
+TEST(RunCountersTest, ResetZeroes) {
+  RunCounters c;
+  c.committed = 5;
+  c.aborted = 3;
+  c.deadlocks = 1;
+  c.conflicts = 10;
+  c.operations = 100;
+  c.retries = 2;
+  c.Reset();
+  EXPECT_EQ(c.committed.load(), 0u);
+  EXPECT_EQ(c.aborted.load(), 0u);
+  EXPECT_EQ(c.deadlocks.load(), 0u);
+  EXPECT_EQ(c.conflicts.load(), 0u);
+  EXPECT_EQ(c.operations.load(), 0u);
+  EXPECT_EQ(c.retries.load(), 0u);
+}
+
+TEST(RunCountersTest, PublishToSetsRunGauges) {
+  RunCounters c;
+  c.committed = 7;
+  c.operations = 41;
+  MetricsRegistry registry;
+  c.PublishTo(&registry);
+  EXPECT_EQ(registry.GetGauge("run.committed")->Value(), 7);
+  EXPECT_EQ(registry.GetGauge("run.operations")->Value(), 41);
+  EXPECT_EQ(registry.GetGauge("run.aborted")->Value(), 0);
+  c.PublishTo(nullptr);  // no-op, must not crash
+}
+
+TEST(DatabaseTest, AttachObservabilityMirrorsCounters) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  Database db;
+  db.AttachObservability(&registry, &tracer);
+  RegisterDirectoryMethods(&db);
+  ObjectId d = CreateDirectory(&db, "D");
+  ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                  return txn.Call(
+                      d, Invocation("insert", {Value("k"), Value("v")}));
+                }).ok());
+  EXPECT_EQ(registry.GetCounter("db.txn.committed")->Value(), 1u);
+  EXPECT_GE(registry.GetCounter("db.lock.acquires")->Value(), 1u);
+  EXPECT_GE(registry.GetCounter("db.call.operations")->Value(), 1u);
+  // One span per action plus the top-level transaction span.
+  EXPECT_GE(tracer.SpanCount(), 2u);
+  // Detach: traffic stops publishing.
+  db.AttachObservability(nullptr, nullptr);
+  uint64_t committed = registry.GetCounter("db.txn.committed")->Value();
+  ASSERT_TRUE(db.RunTransaction("T2", [&](MethodContext& txn) {
+                  return txn.Call(
+                      d, Invocation("insert", {Value("k2"), Value("v")}));
+                }).ok());
+  EXPECT_EQ(registry.GetCounter("db.txn.committed")->Value(), committed);
+}
+
 }  // namespace
 }  // namespace oodb

@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace_check.h"
+
+namespace oodb {
+namespace {
+
+TraceSpan MakeSpan(uint64_t id, uint64_t parent, uint64_t txn,
+                   uint32_t level, uint64_t start, uint64_t end,
+                   const std::string& name = "Obj.method",
+                   const std::string& outcome = "ok") {
+  TraceSpan s;
+  s.id = id;
+  s.parent = parent;
+  s.name = name;
+  s.object = 3;
+  s.txn = txn;
+  s.level = level;
+  s.tid = 0;
+  s.start = start;
+  s.end = end;
+  s.outcome = outcome;
+  return s;
+}
+
+TraceSpan TopSpan(uint64_t id, uint64_t start, uint64_t end) {
+  TraceSpan s = MakeSpan(id, UINT64_MAX, id, 0, start, end, "T1", "commit");
+  s.object = UINT64_MAX;
+  return s;
+}
+
+TEST(TracerTest, GoldenClockIsLogicalAndTidZero) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = "t"});
+  EXPECT_EQ(tracer.NowNs(), 1u);
+  EXPECT_EQ(tracer.NowNs(), 2u);
+  EXPECT_EQ(tracer.ThreadId(), 0u);
+}
+
+TEST(TracerTest, WallClockIsMonotonicNonGolden) {
+  Tracer tracer;
+  uint64_t a = tracer.NowNs();
+  uint64_t b = tracer.NowNs();
+  EXPECT_LE(a, b);
+  EXPECT_GE(tracer.ThreadId(), 1u);
+}
+
+TEST(TracerTest, JsonLinesPassSchemaCheck) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = "unit"});
+  tracer.RecordSpan(TopSpan(1, 1, 8));
+  tracer.RecordSpan(MakeSpan(2, 1, 1, 1, 2, 5));
+  tracer.RecordSpan(MakeSpan(3, 2, 1, 2, 3, 4, "Page.insert"));
+  tracer.RecordInstant("extension.split", 6, "Node6");
+  std::string jsonl = tracer.ToJsonLines();
+  Status st = ValidateTraceLines(jsonl);
+  EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << jsonl;
+  // Meta first, instants before spans, ids as recorded.
+  EXPECT_EQ(jsonl.rfind("{\"type\":\"meta\",\"version\":1,\"golden\":true",
+                        0),
+            0u);
+  EXPECT_NE(jsonl.find("\"name\":\"extension.split\""), std::string::npos);
+}
+
+TEST(TracerTest, ChromeTraceShape) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = "unit"});
+  tracer.RecordSpan(TopSpan(1, 1, 4));
+  tracer.RecordSpan(MakeSpan(2, 1, 1, 1, 2, 3));
+  std::string chrome = tracer.ToChromeTrace();
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(chrome.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"outcome\":\"commit\""), std::string::npos);
+}
+
+TEST(TracerTest, ExportSortsByStartThenId) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = ""});
+  // Recorded out of order; export must sort deterministically.
+  tracer.RecordSpan(MakeSpan(3, 1, 1, 1, 5, 6));
+  tracer.RecordSpan(TopSpan(1, 1, 9));
+  tracer.RecordSpan(MakeSpan(2, 1, 1, 1, 2, 4));
+  std::string jsonl = tracer.ToJsonLines();
+  size_t p1 = jsonl.find("\"id\":1,");
+  size_t p2 = jsonl.find("\"id\":2,");
+  size_t p3 = jsonl.find("\"id\":3,");
+  ASSERT_NE(p1, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+// --- checker negatives -------------------------------------------------
+
+TEST(TraceCheckTest, RejectsEmptyAndMissingMeta) {
+  EXPECT_FALSE(ValidateTraceLines("").ok());
+  Tracer tracer(TracerOptions{.golden = true, .tag = ""});
+  tracer.RecordSpan(TopSpan(1, 1, 2));
+  std::string jsonl = tracer.ToJsonLines();
+  std::string no_meta = jsonl.substr(jsonl.find('\n') + 1);
+  EXPECT_FALSE(ValidateTraceLines(no_meta).ok());
+}
+
+TEST(TraceCheckTest, RejectsDuplicateSpanId) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = ""});
+  tracer.RecordSpan(TopSpan(1, 1, 4));
+  tracer.RecordSpan(TopSpan(1, 2, 3));
+  EXPECT_FALSE(ValidateTraceLines(tracer.ToJsonLines()).ok());
+}
+
+TEST(TraceCheckTest, RejectsOrphanParent) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = ""});
+  tracer.RecordSpan(MakeSpan(2, 99, 1, 1, 2, 3));
+  EXPECT_FALSE(ValidateTraceLines(tracer.ToJsonLines()).ok());
+}
+
+TEST(TraceCheckTest, RejectsChildEscapingParentWindow) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = ""});
+  tracer.RecordSpan(TopSpan(1, 2, 4));
+  tracer.RecordSpan(MakeSpan(2, 1, 1, 1, 1, 3));  // starts before parent
+  EXPECT_FALSE(ValidateTraceLines(tracer.ToJsonLines()).ok());
+}
+
+TEST(TraceCheckTest, RejectsLevelNotParentPlusOne) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = ""});
+  tracer.RecordSpan(TopSpan(1, 1, 6));
+  tracer.RecordSpan(MakeSpan(2, 1, 1, 2, 2, 3));  // level jumps 0 -> 2
+  EXPECT_FALSE(ValidateTraceLines(tracer.ToJsonLines()).ok());
+}
+
+TEST(TraceCheckTest, RejectsCrossTxnParentage) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = ""});
+  tracer.RecordSpan(TopSpan(1, 1, 6));
+  tracer.RecordSpan(MakeSpan(2, 1, 7, 1, 2, 3));  // txn 7 under txn 1
+  EXPECT_FALSE(ValidateTraceLines(tracer.ToJsonLines()).ok());
+}
+
+TEST(TraceCheckTest, RejectsTopLevelWithParent) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = ""});
+  tracer.RecordSpan(TopSpan(1, 1, 6));
+  tracer.RecordSpan(MakeSpan(2, 1, 1, 0, 2, 3));  // level 0 with parent
+  EXPECT_FALSE(ValidateTraceLines(tracer.ToJsonLines()).ok());
+}
+
+TEST(TraceCheckTest, RejectsStartAfterEnd) {
+  Tracer tracer(TracerOptions{.golden = true, .tag = ""});
+  tracer.RecordSpan(TopSpan(1, 5, 2));
+  EXPECT_FALSE(ValidateTraceLines(tracer.ToJsonLines()).ok());
+}
+
+}  // namespace
+}  // namespace oodb

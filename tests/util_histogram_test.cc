@@ -94,21 +94,28 @@ TEST(HistogramTest, SummaryFormat) {
   EXPECT_NE(s.find("mean=100.0"), std::string::npos);
 }
 
-TEST(RunCountersTest, ResetZeroes) {
-  RunCounters c;
-  c.committed = 5;
-  c.aborted = 3;
-  c.deadlocks = 1;
-  c.conflicts = 10;
-  c.operations = 100;
-  c.retries = 2;
-  c.Reset();
-  EXPECT_EQ(c.committed.load(), 0u);
-  EXPECT_EQ(c.aborted.load(), 0u);
-  EXPECT_EQ(c.deadlocks.load(), 0u);
-  EXPECT_EQ(c.conflicts.load(), 0u);
-  EXPECT_EQ(c.operations.load(), 0u);
-  EXPECT_EQ(c.retries.load(), 0u);
+TEST(HistLayoutTest, BucketForIsMonotonicAndInRange) {
+  size_t prev = 0;
+  for (uint64_t v = 0; v < 10000; ++v) {
+    size_t b = hist_layout::BucketFor(v);
+    EXPECT_LT(b, hist_layout::kBucketCount);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_LT(hist_layout::BucketFor(UINT64_MAX),
+            hist_layout::kBucketCount);
+}
+
+TEST(HistLayoutTest, ValueLiesWithinItsBucketBounds) {
+  for (uint64_t v : {0ull, 1ull, 7ull, 255ull, 4096ull, 1ull << 33,
+                     (1ull << 40) + 12345ull}) {
+    size_t b = hist_layout::BucketFor(v);
+    EXPECT_LE(v, hist_layout::BucketUpperBound(b)) << v;
+    if (b > 0) {
+      // The previous bucket's bound is this bucket's inclusive floor.
+      EXPECT_GE(v, hist_layout::BucketUpperBound(b - 1)) << v;
+    }
+  }
 }
 
 }  // namespace
