@@ -10,14 +10,23 @@
 // deliberate: an attached-vs-detached wall-clock A/B on a short run is
 // noise-bound, so the A/B ratio is only reported, never asserted.
 //
-// Exit codes: 0 = bound holds, 1 = bound exceeded.
+// A second phase covers the validator's provenance switch: with
+// record_provenance=false (the default) the report must stay free of
+// provenance, chains, and schedules, the verdict must be identical to
+// the recording run, and validation must not be slower than the
+// recording path (a deliberately loose bound — the off path pays
+// nothing, so only gross regressions can trip it).
+//
+// Exit codes: 0 = bounds hold, 1 = a bound was exceeded.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "apps/encyclopedia.h"
 #include "obs/metrics.h"
+#include "schedule/validator.h"
 #include "util/stopwatch.h"
 
 using namespace oodb;
@@ -71,6 +80,70 @@ double DetachedHookNanos() {
   return ns;
 }
 
+/// Runs a fresh micro row (execution is deterministic, so every build
+/// yields the same history) and validates it with or without provenance
+/// recording. Returns validation nanoseconds.
+double ValidateRow(size_t txns, bool provenance, ValidationReport* out) {
+  auto db = std::make_unique<Database>();
+  Encyclopedia::RegisterMethods(db.get());
+  ObjectId enc = Encyclopedia::Create(db.get(), "Enc", 64, 64, 16);
+  for (size_t i = 0; i < txns; ++i) {
+    (void)db->RunTransaction("M" + std::to_string(i),
+                             [&](MethodContext& txn) {
+                               return MicroTxn(txn, enc, i);
+                             });
+  }
+  ValidationOptions options;
+  options.record_provenance = provenance;
+  Stopwatch clock;
+  *out = Validator::Validate(&db->ts(), options);
+  return double(clock.ElapsedNanos());
+}
+
+/// The provenance phase: off must cost nothing and change nothing.
+int ProvenancePhase() {
+  constexpr size_t kValTxns = 200;
+  constexpr int kReps = 3;
+  double off_ns = 0, on_ns = 0;
+  ValidationReport off, on;
+  for (int rep = 0; rep < kReps; ++rep) {
+    double o = ValidateRow(kValTxns, false, &off);
+    double p = ValidateRow(kValTxns, true, &on);
+    off_ns = (rep == 0) ? o : std::min(off_ns, o);
+    on_ns = (rep == 0) ? p : std::min(on_ns, p);
+  }
+
+  std::printf("provenance phase (%zu-txn row, min of %d):\n", kValTxns,
+              kReps);
+  std::printf("  validate (off):         %10.0f ns\n", off_ns);
+  std::printf("  validate (recording):   %10.0f ns  (x%.3f)\n", on_ns,
+              on_ns / off_ns);
+
+  if (off.provenance != nullptr || !off.schedules.empty()) {
+    std::printf("FAIL: record_provenance=false left evidence on the "
+                "report\n");
+    return 1;
+  }
+  if (on.provenance == nullptr || on.provenance->EdgeCount() == 0) {
+    std::printf("FAIL: record_provenance=true recorded nothing\n");
+    return 1;
+  }
+  if (off.oo_serializable != on.oo_serializable ||
+      off.conventionally_serializable != on.conventionally_serializable ||
+      off.conform != on.conform || off.diagnostics != on.diagnostics ||
+      off.witnesses.size() != on.witnesses.size()) {
+    std::printf("FAIL: recording changed the verdict\n");
+    return 1;
+  }
+  // Loose bound: the off path does strictly less work, so it must not
+  // be meaningfully slower than the recording path (1ms noise slack).
+  if (off_ns > on_ns * 1.5 + 1e6) {
+    std::printf("FAIL: provenance-off validation slower than recording\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -111,6 +184,7 @@ int main() {
     std::printf("FAIL: disabled-path overhead above 5%% bound\n");
     return 1;
   }
+  if (ProvenancePhase() != 0) return 1;
   std::printf("OK\n");
   return 0;
 }

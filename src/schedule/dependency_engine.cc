@@ -64,6 +64,11 @@ Status DependencyEngine::Compute() {
     schedules_[i].object = ObjectId(i);
   }
   stats_ = DependencyStats();
+  provenance_.reset();
+  if (options_.record_provenance) {
+    provenance_ = std::make_unique<ProvenanceStore>(ts_.object_count(),
+                                                    ts_.action_count());
+  }
 
   if (options_.mode == DependencyOptions::Mode::kIndexed) {
     size_t threads = options_.num_threads;
@@ -168,10 +173,13 @@ void DependencyEngine::SeedAxiom1() {
       uint64_t ta = ts_.action(a).timestamp;
       uint64_t tb = ts_.action(b).timestamp;
       if (ta == 0 || tb == 0 || ta == tb) continue;
-      if (ta < tb) {
-        sch.action_deps.AddEdge(a.value, b.value);
-      } else {
-        sch.action_deps.AddEdge(b.value, a.value);
+      ActionId first = ta < tb ? a : b;
+      ActionId second = ta < tb ? b : a;
+      sch.action_deps.AddEdge(first.value, second.value);
+      if (provenance_) {
+        provenance_->Record(
+            DepRelation::kAction, sch.object, first, second,
+            {DepRule::kAxiom1, sch.object, first, second});
       }
       ++stats_.primitive_conflicts;
     }
@@ -191,12 +199,20 @@ bool DependencyEngine::PropagateOnce() {
       if (sch.action_deps.HasEdge(a.value, b.value) &&
           !sch.txn_deps.HasEdge(t.value, u.value)) {
         sch.txn_deps.AddEdge(t.value, u.value);
+        if (provenance_) {
+          provenance_->Record(DepRelation::kTxn, sch.object, t, u,
+                              {DepRule::kDef10, sch.object, a, b});
+        }
         ++stats_.inherited_txn_deps;
         changed = true;
       }
       if (sch.action_deps.HasEdge(b.value, a.value) &&
           !sch.txn_deps.HasEdge(u.value, t.value)) {
         sch.txn_deps.AddEdge(u.value, t.value);
+        if (provenance_) {
+          provenance_->Record(DepRelation::kTxn, sch.object, u, t,
+                              {DepRule::kDef10, sch.object, b, a});
+        }
         ++stats_.inherited_txn_deps;
         changed = true;
       }
@@ -216,6 +232,12 @@ bool DependencyEngine::PropagateOnce() {
           ObjectSchedule& target = schedules_[ot.value];
           if (!target.action_deps.HasEdge(tn, un)) {
             target.action_deps.AddEdge(tn, un);
+            if (provenance_) {
+              provenance_->Record(
+                  DepRelation::kAction, ot, ActionId(tn), ActionId(un),
+                  {DepRule::kDef11, sch.object, ActionId(tn),
+                   ActionId(un)});
+            }
             changed = true;
           }
         } else {
@@ -223,11 +245,23 @@ bool DependencyEngine::PropagateOnce() {
           ObjectSchedule& su = schedules_[ou.value];
           if (!st.added_deps.HasEdge(tn, un)) {
             st.added_deps.AddEdge(tn, un);
+            if (provenance_) {
+              provenance_->Record(
+                  DepRelation::kAdded, ot, ActionId(tn), ActionId(un),
+                  {DepRule::kDef15, sch.object, ActionId(tn),
+                   ActionId(un)});
+            }
             ++stats_.added_deps;
             changed = true;
           }
           if (!su.added_deps.HasEdge(tn, un)) {
             su.added_deps.AddEdge(tn, un);
+            if (provenance_) {
+              provenance_->Record(
+                  DepRelation::kAdded, ou, ActionId(tn), ActionId(un),
+                  {DepRule::kDef15, sch.object, ActionId(tn),
+                   ActionId(un)});
+            }
             ++stats_.added_deps;
             changed = true;
           }
@@ -245,6 +279,10 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
   const size_t num_actions = ts_.action_count();
   ConflictIndex index(ts_);
   MetricsRegistry* metrics = options_.metrics;
+  // Recording is race-free without locks: every parallel stage records
+  // only into its own object's shard; the cross-object Def 11/15
+  // placements happen in the serial merge phase.
+  ProvenanceStore* prov = provenance_.get();
   Stopwatch sw;
 
   // Flat per-action arrays. The pair sweeps below touch actions in
@@ -345,6 +383,12 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
       }
       if (ta > tb) std::swap(a, b);
       sch.action_deps.AddEdge(a, b);
+      if (prov) {
+        prov->Record(DepRelation::kAction, sch.object, ActionId(a),
+                     ActionId(b),
+                     {DepRule::kAxiom1, sch.object, ActionId(a),
+                      ActionId(b)});
+      }
       directed[i][s] = 1;
       ++prim[i];
       uint64_t t = parent_of[a], u = parent_of[b];
@@ -355,7 +399,15 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
           seen_txn[(t * 0x9E3779B97F4A7C15ull ^ u) & (kCacheSize - 1)];
       if (slot.from == t && slot.to == u) continue;
       slot = {t, u};
-      if (sch.txn_deps.AddEdge(t, u)) new_txn[i].push_back({t, u});
+      if (sch.txn_deps.AddEdge(t, u)) {
+        new_txn[i].push_back({t, u});
+        if (prov) {
+          prov->Record(DepRelation::kTxn, sch.object, ActionId(t),
+                       ActionId(u),
+                       {DepRule::kDef10, sch.object, ActionId(a),
+                        ActionId(b)});
+        }
+      }
     }
   });
   for (size_t i = 0; i < num_objects; ++i) {
@@ -395,6 +447,12 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
         if (ot == ou) {
           ObjectSchedule& target = schedules_[ot.value];
           if (target.action_deps.AddEdge(e.from, e.to)) {
+            if (prov) {
+              prov->Record(DepRelation::kAction, ot, ActionId(e.from),
+                           ActionId(e.to),
+                           {DepRule::kDef11, ObjectId(i),
+                            ActionId(e.from), ActionId(e.to)});
+            }
             frontier[ot.value].push_back(e);
             ++frontier_total;
             if (const uint32_t* slot = undirected_slot[ot.value].find(
@@ -404,9 +462,21 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
           }
         } else {
           if (schedules_[ot.value].added_deps.AddEdge(e.from, e.to)) {
+            if (prov) {
+              prov->Record(DepRelation::kAdded, ot, ActionId(e.from),
+                           ActionId(e.to),
+                           {DepRule::kDef15, ObjectId(i),
+                            ActionId(e.from), ActionId(e.to)});
+            }
             ++stats_.added_deps;
           }
           if (schedules_[ou.value].added_deps.AddEdge(e.from, e.to)) {
+            if (prov) {
+              prov->Record(DepRelation::kAdded, ou, ActionId(e.from),
+                           ActionId(e.to),
+                           {DepRule::kDef15, ObjectId(i),
+                            ActionId(e.from), ActionId(e.to)});
+            }
             ++stats_.added_deps;
           }
         }
@@ -431,7 +501,15 @@ void DependencyEngine::ComputeIndexed(ThreadPool* pool) {
         if (t == ActionId::kInvalid || u == ActionId::kInvalid || t == u) {
           continue;
         }
-        if (sch.txn_deps.AddEdge(t, u)) new_txn[i].push_back({t, u});
+        if (sch.txn_deps.AddEdge(t, u)) {
+          new_txn[i].push_back({t, u});
+          if (prov) {
+            prov->Record(DepRelation::kTxn, sch.object, ActionId(t),
+                         ActionId(u),
+                         {DepRule::kDef10, sch.object, ActionId(e.from),
+                          ActionId(e.to)});
+          }
+        }
       }
       frontier[i].clear();
     });

@@ -39,10 +39,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "model/transaction_system.h"
 #include "schedule/object_schedule.h"
+#include "schedule/provenance.h"
 #include "util/result.h"
 
 namespace oodb {
@@ -90,6 +92,11 @@ struct DependencyOptions {
   /// (kIndexed only), and publishes the final DependencyStats as dep.*
   /// gauges.
   MetricsRegistry* metrics = nullptr;
+  /// Record the derivation of every edge (schedule/provenance.h) so a
+  /// failed verdict can be expanded to its primitive conflicts. Off by
+  /// default; when off, both engines pay one predictable null test per
+  /// derived edge and allocate nothing.
+  bool record_provenance = false;
 };
 
 /// Computes and stores all object schedules for one transaction system.
@@ -118,6 +125,22 @@ class DependencyEngine {
   /// serialization order of top-level transactions.
   const Digraph& TopLevelOrder() const;
 
+  /// The recorded edge provenance, or null when
+  /// DependencyOptions::record_provenance was off.
+  const ProvenanceStore* provenance() const { return provenance_.get(); }
+
+  /// Releases the provenance store to the caller (the validator moves
+  /// it into the report so explanations outlive the engine).
+  std::shared_ptr<const ProvenanceStore> TakeProvenance() {
+    return std::shared_ptr<const ProvenanceStore>(std::move(provenance_));
+  }
+
+  /// Moves the computed schedules out (for reports that must outlive
+  /// the engine). The engine is spent afterwards.
+  std::vector<ObjectSchedule> TakeSchedules() {
+    return std::move(schedules_);
+  }
+
  private:
   // --- reference engine ---------------------------------------------
   void ComputeConflictPairs();
@@ -139,6 +162,7 @@ class DependencyEngine {
   DependencyOptions options_;
   std::vector<ObjectSchedule> schedules_;
   DependencyStats stats_;
+  std::unique_ptr<ProvenanceStore> provenance_;
   bool computed_ = false;
 };
 

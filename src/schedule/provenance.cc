@@ -1,0 +1,120 @@
+#include "schedule/provenance.h"
+
+namespace oodb {
+
+const char* DepRuleName(DepRule rule) {
+  switch (rule) {
+    case DepRule::kAxiom1:
+      return "axiom1";
+    case DepRule::kDef10:
+      return "def10";
+    case DepRule::kDef11:
+      return "def11";
+    case DepRule::kDef15:
+      return "def15";
+  }
+  return "?";
+}
+
+const char* DepRelationName(DepRelation relation) {
+  switch (relation) {
+    case DepRelation::kAction:
+      return "action";
+    case DepRelation::kTxn:
+      return "txn";
+    case DepRelation::kAdded:
+      return "added";
+  }
+  return "?";
+}
+
+const char* WitnessKindName(Witness::Kind kind) {
+  switch (kind) {
+    case Witness::Kind::kTxnCycle:
+      return "txn-cycle";
+    case Witness::Kind::kActionCycle:
+      return "action-cycle";
+    case Witness::Kind::kAddedCycle:
+      return "added-cycle";
+    case Witness::Kind::kGlobalCycle:
+      return "global-cycle";
+    case Witness::Kind::kConformance:
+      return "conformance";
+  }
+  return "?";
+}
+
+ProvenanceStore::ProvenanceStore(size_t num_objects, size_t num_actions)
+    : num_actions_(num_actions), shards_(num_objects) {}
+
+void ProvenanceStore::Record(DepRelation relation, ObjectId at,
+                             ActionId from, ActionId to,
+                             EdgeProvenance provenance) {
+  shards_[at.value]
+      .relations[size_t(relation)]
+      .try_emplace(EdgeKey(from, to), provenance);
+}
+
+const EdgeProvenance* ProvenanceStore::Find(DepRelation relation,
+                                            ObjectId at, ActionId from,
+                                            ActionId to) const {
+  if (at.value >= shards_.size()) return nullptr;
+  const auto& edges = shards_[at.value].relations[size_t(relation)];
+  auto it = edges.find(EdgeKey(from, to));
+  return it == edges.end() ? nullptr : &it->second;
+}
+
+std::vector<ProvenanceStep> ProvenanceStore::Chain(DepRelation relation,
+                                                   ObjectId at,
+                                                   ActionId from,
+                                                   ActionId to) const {
+  std::vector<ProvenanceStep> chain;
+  // Derivations are well-founded (Def 10 strictly ascends the call
+  // trees between Def 11/15 placements), so this bound is never the
+  // limiting factor on a store the engine filled; it only contains the
+  // walk if the store is inconsistent.
+  constexpr size_t kMaxSteps = 256;
+  while (chain.size() < kMaxSteps) {
+    const EdgeProvenance* p = Find(relation, at, from, to);
+    if (p == nullptr) break;  // unrecorded edge: stop early
+    ProvenanceStep step;
+    step.rule = p->rule;
+    step.relation = relation;
+    step.object = at;
+    step.from = from;
+    step.to = to;
+    step.cause_object = p->object;
+    step.cause_from = p->cause_from;
+    step.cause_to = p->cause_to;
+    chain.push_back(step);
+    switch (p->rule) {
+      case DepRule::kAxiom1:
+        return chain;  // grounded in a primitive conflict
+      case DepRule::kDef10:
+        // Inherited from the action pair (cause_from, cause_to), whose
+        // dependency lives in this object's action relation.
+        relation = DepRelation::kAction;
+        from = p->cause_from;
+        to = p->cause_to;
+        break;
+      case DepRule::kDef11:
+      case DepRule::kDef15:
+        // Placed from the transaction dependency recorded at
+        // p->object; the endpoints are the same pair.
+        relation = DepRelation::kTxn;
+        at = p->object;
+        break;
+    }
+  }
+  return chain;
+}
+
+size_t ProvenanceStore::EdgeCount() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    for (const auto& rel : shard.relations) total += rel.size();
+  }
+  return total;
+}
+
+}  // namespace oodb

@@ -47,11 +47,20 @@ struct ValidationOptions {
 
   /// When set, the run publishes into the registry: the engine's dep.*
   /// family (stage timings, worklist, memo, final stats), the ext.*
-  /// extension gauges, and the validate.* verdict gauges (1 = holds).
+  /// extension gauges, the validate.* verdict gauges (1 = holds), and
+  /// the explain.* witness family (witness count and lengths,
+  /// provenance edges, extraction time).
   MetricsRegistry* metrics = nullptr;
   /// When set, the Def 5 extension records its "extension.split"
   /// instants here.
   Tracer* tracer = nullptr;
+
+  /// Record edge provenance during the dependency computation and keep
+  /// the computed schedules on the report, so every witness edge can be
+  /// expanded down to its primitive conflict (obs/explain.h renders
+  /// them). Off by default: the hot path then pays one null test per
+  /// derived edge and the report carries no relations.
+  bool record_provenance = false;
 };
 
 /// Everything a validation run learned about one execution.
@@ -70,8 +79,23 @@ struct ValidationReport {
   ExtensionStats extension;
 
   /// Object names that failed Def 13 (i) / (ii) or Def 16 (ii), with the
-  /// offending cycle rendered, plus conformance violations.
+  /// offending cycle rendered, plus conformance violations. Cycles are
+  /// minimal (BFS shortest) and byte-stable across runs.
   std::vector<std::string> diagnostics;
+
+  /// One witness per failed Def 13 / Def 16 / Def 7 verdict: the
+  /// shortest offending cycle (or violating pair), with each edge's
+  /// derivation chain attached when `record_provenance` was on.
+  std::vector<Witness> witnesses;
+
+  /// The recorded edge provenance; null unless
+  /// ValidationOptions::record_provenance was set.
+  std::shared_ptr<const ProvenanceStore> provenance;
+
+  /// The computed object schedules (Def 6 relations, Def 15 added
+  /// relations); kept only when `record_provenance` was set, so the
+  /// explainer can render and cross-reference them.
+  std::vector<ObjectSchedule> schedules;
 
   /// One serial order of the top-level transactions equivalent to the
   /// execution (empty when not oo-serializable).

@@ -157,6 +157,86 @@ std::optional<std::vector<Digraph::NodeId>> Digraph::FindCycle() const {
   return std::nullopt;
 }
 
+std::optional<std::vector<Digraph::NodeId>>
+Digraph::FindShortestCycleThrough(NodeId node) const {
+  return internal_ShortestCycleThrough(node, nullptr);
+}
+
+std::optional<std::vector<Digraph::NodeId>> Digraph::FindShortestCycle()
+    const {
+  return internal_ShortestCycle(nullptr);
+}
+
+std::optional<std::vector<Digraph::NodeId>> Digraph::FindShortestCycleWith(
+    const Digraph& extra) const {
+  return internal_ShortestCycle(&extra);
+}
+
+std::optional<std::vector<Digraph::NodeId>>
+Digraph::internal_ShortestCycleThrough(NodeId node,
+                                       const Digraph* extra) const {
+  // BFS from `node` back to itself. The first rediscovery of `node` is
+  // at minimal depth, and scanning successors in insertion order makes
+  // the tie-break among equally short cycles deterministic.
+  auto successors_of = [&](NodeId n, const std::function<void(NodeId)>& fn) {
+    for (NodeId s : Successors(n)) fn(s);
+    if (extra != nullptr) {
+      for (NodeId s : extra->Successors(n)) fn(s);
+    }
+  };
+  FlatMap64<uint64_t> parent;  // child -> predecessor on the BFS tree
+  std::deque<NodeId> frontier;
+  std::optional<NodeId> closing;  // predecessor of node on the cycle
+  auto visit = [&](NodeId from, NodeId to) {
+    if (closing) return;
+    if (to == node) {
+      closing = from;
+      return;
+    }
+    if (parent.find(to) == nullptr) {
+      parent[to] = from;
+      frontier.push_back(to);
+    }
+  };
+  successors_of(node, [&](NodeId s) { visit(node, s); });
+  while (!closing && !frontier.empty()) {
+    NodeId cur = frontier.front();
+    frontier.pop_front();
+    successors_of(cur, [&](NodeId s) { visit(cur, s); });
+  }
+  if (!closing) return std::nullopt;
+  std::vector<NodeId> cycle{node};
+  for (NodeId cur = *closing; cur != node; cur = NodeId(parent[cur])) {
+    cycle.push_back(cur);
+  }
+  cycle.push_back(node);
+  // The parent walk listed the interior in reverse; the closing `node`
+  // copies are already in place at both ends.
+  std::reverse(cycle.begin() + 1, cycle.end() - 1);
+  return cycle;
+}
+
+std::optional<std::vector<Digraph::NodeId>> Digraph::internal_ShortestCycle(
+    const Digraph* extra) const {
+  std::optional<std::vector<NodeId>> best;
+  auto consider = [&](NodeId start) {
+    if (best && best->size() == 2) return;  // a self-loop cannot be beaten
+    auto cycle = internal_ShortestCycleThrough(start, extra);
+    // Strictly-shorter wins, so among equal lengths the
+    // earliest-inserted start node's cycle is kept.
+    if (cycle && (!best || cycle->size() < best->size())) {
+      best = std::move(cycle);
+    }
+  };
+  for (NodeId start : node_order_) consider(start);
+  if (extra != nullptr) {
+    for (NodeId start : extra->node_order_) {
+      if (!HasNode(start)) consider(start);
+    }
+  }
+  return best;
+}
+
 std::optional<std::vector<Digraph::NodeId>> Digraph::TopologicalOrder()
     const {
   // Kahn's algorithm; preserves insertion order among ready nodes so the
@@ -223,15 +303,24 @@ Digraph Digraph::TransitiveClosure() const {
   Digraph closure;
   for (NodeId n : node_order_) {
     closure.AddNode(n);
-    for (NodeId r : ReachableFrom(n)) closure.AddEdge(n, r);
+    // ReachableFrom hands back a hash set; sort before inserting so the
+    // closure's successor sets are deterministic.
+    std::unordered_set<NodeId> reachable = ReachableFrom(n);
+    std::vector<NodeId> sorted(reachable.begin(), reachable.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (NodeId r : sorted) closure.AddEdge(n, r);
   }
   return closure;
 }
 
 void Digraph::UnionWith(const Digraph& other) {
+  // Walk other's nodes and successors in insertion order — NOT its
+  // adjacency hash map — so the merged graph's node_order_ and
+  // successor sets (and therefore every cycle a later walk renders) are
+  // byte-stable across runs and platforms.
   for (NodeId n : other.node_order_) AddNode(n);
-  for (const auto& [n, succ] : other.adjacency_) {
-    for (NodeId s : succ) AddEdge(n, s);
+  for (NodeId n : other.node_order_) {
+    for (NodeId s : other.Successors(n)) AddEdge(n, s);
   }
 }
 

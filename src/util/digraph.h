@@ -76,6 +76,25 @@ class Digraph {
   /// nullopt when acyclic. Useful for diagnostics.
   std::optional<std::vector<NodeId>> FindCycle() const;
 
+  /// The shortest cycle through `node` (first == last == `node`), found
+  /// by BFS, or nullopt when no cycle passes through it. Deterministic:
+  /// ties are broken by successor insertion order.
+  std::optional<std::vector<NodeId>> FindShortestCycleThrough(
+      NodeId node) const;
+
+  /// A minimum-length cycle of the whole graph, or nullopt when
+  /// acyclic. Deterministic: among equally short cycles the one through
+  /// the earliest-inserted start node wins, then insertion-order BFS
+  /// tie-breaks. Witness extraction wants the smallest explanation, not
+  /// whichever back edge a DFS happens to hit first.
+  std::optional<std::vector<NodeId>> FindShortestCycle() const;
+
+  /// FindShortestCycle over the union of this graph with `extra`,
+  /// without materializing the union (the Def 16 ii witness runs on
+  /// action_deps ∪ added_deps per object).
+  std::optional<std::vector<NodeId>> FindShortestCycleWith(
+      const Digraph& extra) const;
+
   /// A topological order of all nodes, or nullopt when cyclic.
   std::optional<std::vector<NodeId>> TopologicalOrder() const;
 
@@ -100,6 +119,11 @@ class Digraph {
       const std::function<std::string(NodeId)>& fmt = nullptr) const;
 
  private:
+  std::optional<std::vector<NodeId>> internal_ShortestCycleThrough(
+      NodeId node, const Digraph* extra) const;
+  std::optional<std::vector<NodeId>> internal_ShortestCycle(
+      const Digraph* extra) const;
+
   std::unordered_map<NodeId, SuccessorSet> adjacency_;
   std::vector<NodeId> node_order_;
   size_t edge_count_ = 0;

@@ -132,6 +132,118 @@ TEST_P(DigraphProperty, SccPartitionConsistentWithMutualReachability) {
   }
 }
 
+/// Brute-force length (in edges) of the shortest cycle through `start`:
+/// BFS distance start -> start, or 0 when none.
+size_t BruteShortestThrough(const RandomGraph& rg, uint64_t start) {
+  std::vector<size_t> dist(rg.n, 0);
+  std::vector<uint64_t> frontier{start};
+  for (size_t depth = 1; !frontier.empty(); ++depth) {
+    std::vector<uint64_t> next;
+    for (uint64_t cur : frontier) {
+      for (const auto& [a, b] : rg.edges) {
+        if (a != cur) continue;
+        if (b == start) return depth;
+        if (dist[b] == 0) {
+          dist[b] = depth;
+          next.push_back(b);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return 0;
+}
+
+TEST_P(DigraphProperty, ShortestCycleThroughIsValidAndMinimal) {
+  RandomGraph rg = Build(GetParam());
+  for (size_t i = 0; i < rg.n; ++i) {
+    size_t brute = BruteShortestThrough(rg, i);
+    auto cycle = rg.g.FindShortestCycleThrough(i);
+    ASSERT_EQ(cycle.has_value(), brute != 0) << "node " << i;
+    if (!cycle) continue;
+    EXPECT_EQ(cycle->size() - 1, brute) << "node " << i;
+    EXPECT_EQ(cycle->front(), i);
+    EXPECT_EQ(cycle->back(), i);
+    for (size_t k = 0; k + 1 < cycle->size(); ++k) {
+      EXPECT_TRUE(rg.g.HasEdge((*cycle)[k], (*cycle)[k + 1]))
+          << (*cycle)[k] << "->" << (*cycle)[k + 1];
+    }
+  }
+}
+
+TEST_P(DigraphProperty, ShortestCycleIsValidAndGloballyMinimal) {
+  RandomGraph rg = Build(GetParam());
+  size_t best = 0;
+  for (size_t i = 0; i < rg.n; ++i) {
+    size_t len = BruteShortestThrough(rg, i);
+    if (len != 0 && (best == 0 || len < best)) best = len;
+  }
+  auto cycle = rg.g.FindShortestCycle();
+  ASSERT_EQ(cycle.has_value(), best != 0);
+  EXPECT_EQ(rg.g.HasCycle(), cycle.has_value());
+  if (!cycle) return;
+  EXPECT_EQ(cycle->size() - 1, best);
+  EXPECT_EQ(cycle->front(), cycle->back());
+  for (size_t k = 0; k + 1 < cycle->size(); ++k) {
+    EXPECT_TRUE(rg.g.HasEdge((*cycle)[k], (*cycle)[k + 1]));
+  }
+}
+
+TEST_P(DigraphProperty, ShortestCycleIsDeterministic) {
+  RandomGraph a = Build(GetParam());
+  RandomGraph b = Build(GetParam());
+  EXPECT_EQ(a.g.FindShortestCycle(), b.g.FindShortestCycle());
+  for (size_t i = 0; i < a.n; ++i) {
+    EXPECT_EQ(a.g.FindShortestCycleThrough(i),
+              b.g.FindShortestCycleThrough(i));
+  }
+}
+
+TEST_P(DigraphProperty, ShortestCycleWithMatchesMaterializedUnion) {
+  // Split the edges across two graphs; the overlay search must agree
+  // with FindShortestCycle on the materialized union, byte for byte
+  // (same insertion order => same tie-breaks).
+  RandomGraph rg = Build(GetParam());
+  Digraph base, extra, merged;
+  for (size_t i = 0; i < rg.n; ++i) {
+    base.AddNode(i);
+    merged.AddNode(i);
+  }
+  for (size_t e = 0; e < rg.edges.size(); ++e) {
+    (e % 2 == 0 ? base : extra).AddEdge(rg.edges[e].first,
+                                        rg.edges[e].second);
+  }
+  merged.UnionWith(base);
+  merged.UnionWith(extra);
+  auto overlay = base.FindShortestCycleWith(extra);
+  auto direct = merged.FindShortestCycle();
+  ASSERT_EQ(overlay.has_value(), direct.has_value());
+  if (!overlay) return;
+  EXPECT_EQ(overlay->size(), direct->size());
+  for (size_t k = 0; k + 1 < overlay->size(); ++k) {
+    EXPECT_TRUE(base.HasEdge((*overlay)[k], (*overlay)[k + 1]) ||
+                extra.HasEdge((*overlay)[k], (*overlay)[k + 1]));
+  }
+}
+
+TEST(DigraphUnionDeterminism, UnionWithPreservesInsertionOrder) {
+  // The regression behind nondeterministic rendered cycles: UnionWith
+  // used to iterate the other graph's adjacency hash map. The merged
+  // graph must list the other graph's nodes and edges in its insertion
+  // order, so ToString (and every cycle search) is byte-stable.
+  Digraph a, b;
+  a.AddEdge(5, 3);
+  b.AddEdge(9, 7);
+  b.AddEdge(2, 9);
+  b.AddEdge(7, 2);
+  a.UnionWith(b);
+  EXPECT_EQ(a.Nodes(), (std::vector<Digraph::NodeId>{5, 3, 9, 7, 2}));
+  EXPECT_EQ(a.ToString(), "5->3, 9->7, 7->2, 2->9");
+  auto cycle = a.FindShortestCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, (std::vector<Digraph::NodeId>{9, 7, 2, 9}));
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DigraphProperty,
                          ::testing::Range(uint64_t{1}, uint64_t{60}));
 
