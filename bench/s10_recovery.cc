@@ -1,0 +1,237 @@
+// S10 (robustness): what durability costs and what recovery buys.
+//
+// Two axes, both written to BENCH_recovery.json:
+//
+//   throughput  the same directory/hash-index workload with no engine
+//               attached (the in-memory baseline), with the WAL on but
+//               unsynced, and with the full force-at-commit discipline.
+//               The gap no-wal -> wal-nosync is the logging overhead
+//               (serialization + append); wal-nosync -> wal-fsync is
+//               the price of the commit fsync itself.
+//
+//   recovery    restart time as a function of epoch log length: N
+//               committed transactions with no checkpoint, then
+//               Open + Recover on a fresh process image. Logical redo
+//               re-executes real methods, so this is the cost model for
+//               "how often should I checkpoint".
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "containers/directory.h"
+#include "containers/hash_index.h"
+#include "containers/persist.h"
+#include "storage/recovery.h"
+#include "util/random.h"
+
+using namespace oodb;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = "/tmp/oodb_bench_s10_" + tag + "_" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void Register(Database* db) {
+  RegisterDirectoryMethods(db);
+  HashIndex::RegisterMethods(db);
+}
+
+Status OpenStore(StorageEngine* engine, Database* db) {
+  OODB_RETURN_IF_ERROR(RegisterStandardSerdes(engine));
+  OODB_RETURN_IF_ERROR(engine->Open(db));
+  if (!engine->RootId("D").valid()) {
+    OODB_RETURN_IF_ERROR(
+        engine->AttachRoot("D", "directory", CreateDirectory(db, "D")));
+  }
+  if (!engine->RootId("H").valid()) {
+    OODB_RETURN_IF_ERROR(engine->AttachRoot(
+        "H", "hash-index", HashIndex::Create(db, "H", /*capacity=*/4)));
+  }
+  return Recover(engine, db);
+}
+
+/// The workload cell: `txns` transactions over `threads` threads, each
+/// 1-3 inserts split between the directory and the hash index.
+double RunWorkload(Database* db, ObjectId dir, ObjectId idx, size_t txns,
+                   size_t threads, uint64_t seed) {
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  const size_t per_thread = (txns + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([=] {
+      Rng rng(seed * 7919 + t);
+      for (size_t i = 0; i < per_thread; ++i) {
+        (void)db->RunTransaction("b", [&](MethodContext& txn) -> Status {
+          const size_t ops = 1 + rng.NextBelow(3);
+          for (size_t k = 0; k < ops; ++k) {
+            const std::string key = "k" + std::to_string(rng.NextBelow(200));
+            const std::string val = "v" + std::to_string(i);
+            Status st =
+                rng.NextBool()
+                    ? txn.Call(dir, Invocation("insert",
+                                               {Value(key), Value(val)}))
+                    : txn.Call(idx, HashIndex::Insert(key, val));
+            if (!st.ok()) return st;
+          }
+          return Status::OK();
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return MsSince(start);
+}
+
+struct ThroughputRow {
+  std::string mode;
+  size_t txns = 0;
+  double ms = 0;
+  double txns_per_sec() const { return txns / (ms / 1000.0); }
+};
+
+ThroughputRow ThroughputCell(const std::string& mode, size_t txns,
+                             size_t threads) {
+  Database db;
+  Register(&db);
+  ThroughputRow row{mode, txns, 0};
+  if (mode == "no-wal") {
+    ObjectId dir = CreateDirectory(&db, "D");
+    ObjectId idx = HashIndex::Create(&db, "H", 4);
+    row.ms = RunWorkload(&db, dir, idx, txns, threads, 42);
+    return row;
+  }
+  StorageEngineOptions opts;
+  opts.dir = FreshDir("tp_" + mode);
+  opts.wal.fsync = mode == "wal-fsync";
+  StorageEngine engine(opts);
+  if (!OpenStore(&engine, &db).ok()) std::exit(1);
+  db.AttachDurability(&engine);
+  row.ms = RunWorkload(&db, engine.RootId("D"), engine.RootId("H"), txns,
+                       threads, 42);
+  std::filesystem::remove_all(opts.dir);
+  return row;
+}
+
+struct RecoveryRow {
+  size_t logged_txns = 0;
+  uint64_t redo_records = 0;
+  uint64_t winners = 0;
+  double recover_ms = 0;
+};
+
+RecoveryRow RecoveryCell(size_t txns) {
+  const std::string dir = FreshDir("rec_" + std::to_string(txns));
+  StorageEngineOptions opts;
+  opts.dir = dir;
+  {
+    Database db;
+    Register(&db);
+    StorageEngine engine(opts);
+    if (!OpenStore(&engine, &db).ok()) std::exit(1);
+    db.AttachDurability(&engine);
+    // No checkpoint: the whole workload stays in the epoch WAL.
+    RunWorkload(&db, engine.RootId("D"), engine.RootId("H"), txns,
+                /*threads=*/2, /*seed=*/7);
+  }
+  RecoveryRow row;
+  row.logged_txns = txns;
+  {
+    Database db;
+    Register(&db);
+    StorageEngine engine(opts);
+    if (!RegisterStandardSerdes(&engine).ok()) std::exit(1);
+    if (!engine.Open(&db).ok()) std::exit(1);
+    RecoveryStats stats;
+    auto start = std::chrono::steady_clock::now();
+    if (!Recover(&engine, &db, &stats).ok()) std::exit(1);
+    row.recover_ms = MsSince(start);
+    row.redo_records = stats.redo_records;
+    row.winners = stats.winners;
+  }
+  std::filesystem::remove_all(dir);
+  return row;
+}
+
+void WriteJson(const std::vector<ThroughputRow>& throughput,
+               const std::vector<RecoveryRow>& recovery) {
+  FILE* f = std::fopen("BENCH_recovery.json", "w");
+  if (f == nullptr) {
+    std::printf("note: could not open BENCH_recovery.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"s10_recovery\",\n");
+  std::fprintf(f, "  \"throughput\": [\n");
+  for (size_t i = 0; i < throughput.size(); ++i) {
+    const ThroughputRow& r = throughput[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"txns\": %zu, \"ms\": %.2f, "
+                 "\"txns_per_sec\": %.0f}%s\n",
+                 r.mode.c_str(), r.txns, r.ms, r.txns_per_sec(),
+                 i + 1 < throughput.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"recovery\": [\n");
+  for (size_t i = 0; i < recovery.size(); ++i) {
+    const RecoveryRow& r = recovery[i];
+    std::fprintf(f,
+                 "    {\"logged_txns\": %zu, \"winners\": %llu, "
+                 "\"redo_records\": %llu, \"recover_ms\": %.2f}%s\n",
+                 r.logged_txns, (unsigned long long)r.winners,
+                 (unsigned long long)r.redo_records, r.recover_ms,
+                 i + 1 < recovery.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_recovery.json\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("S10: durability cost and recovery scaling\n\n");
+
+  constexpr size_t kTxns = 600;
+  constexpr size_t kThreads = 2;
+  std::printf("%-10s %6s %10s %12s\n", "mode", "txns", "ms", "txns/sec");
+  std::vector<ThroughputRow> throughput;
+  for (const char* mode : {"no-wal", "wal-nosync", "wal-fsync"}) {
+    ThroughputRow row = ThroughputCell(mode, kTxns, kThreads);
+    std::printf("%-10s %6zu %10.1f %12.0f\n", row.mode.c_str(), row.txns,
+                row.ms, row.txns_per_sec());
+    throughput.push_back(row);
+  }
+
+  std::printf("\n%-12s %8s %13s %12s\n", "logged_txns", "winners",
+              "redo_records", "recover_ms");
+  std::vector<RecoveryRow> recovery;
+  for (size_t txns : {200, 800, 3200}) {
+    RecoveryRow row = RecoveryCell(txns);
+    std::printf("%-12zu %8llu %13llu %12.2f\n", row.logged_txns,
+                (unsigned long long)row.winners,
+                (unsigned long long)row.redo_records, row.recover_ms);
+    recovery.push_back(row);
+  }
+
+  WriteJson(throughput, recovery);
+  std::printf(
+      "\nShape check: logging off the commit path is cheap; the fsync\n"
+      "dominates durable throughput. Recovery time grows linearly in\n"
+      "the epoch's redo records — checkpoint frequency bounds restart\n"
+      "time, not correctness.\n");
+  return 0;
+}

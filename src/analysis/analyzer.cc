@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "analysis/spec_soundness.h"
+#include "analysis/undo_completeness.h"
 
 namespace oodb::analysis {
 
@@ -48,6 +49,7 @@ AnalysisReport AnalyzeSchema(const std::string& schema_name,
     };
     Take(CheckSpecSoundness(corpus));
     Take(CheckMemoHonesty(corpus, options.honesty));
+    Take(CheckUndoCompleteness(corpus));
     if (options.lock_conformance) {
       LockConformanceOptions lock_options;
       auto it = options.lock_references.find(type->name());

@@ -38,6 +38,8 @@ TypeCorpus BuildTypeCorpus(const ObjectType* type,
     if (traits != nullptr) {
       mc.has_traits = traits->Declared();
       mc.observer = traits->observer;
+      mc.undo_free = traits->undo_free;
+      mc.compensations = traits->compensations;
       for (const ValueList& sample : traits->samples) {
         mc.params.push_back(sample);
         if (!sample.empty()) mc.params.push_back(MutateParams(sample));

@@ -24,6 +24,8 @@ struct MethodCorpus {
   std::string method;
   bool observer = false;               ///< from MethodTraits
   bool has_traits = false;             ///< traits were declared at all
+  bool undo_free = false;              ///< no-comp paths are identities
+  std::vector<std::string> compensations;  ///< declared undo methods
   std::vector<ValueList> params;       ///< deduplicated, declared order
 };
 

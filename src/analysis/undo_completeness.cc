@@ -1,0 +1,86 @@
+#include "analysis/undo_completeness.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace oodb::analysis {
+
+std::vector<Diagnostic> CheckUndoCompleteness(const TypeCorpus& corpus) {
+  std::vector<Diagnostic> out;
+  const std::string& type = corpus.type->name();
+
+  std::unordered_map<std::string, const MethodCorpus*> by_name;
+  std::unordered_map<std::string, std::string> comp_of;
+  for (const MethodCorpus& m : corpus.methods) {
+    by_name[m.method] = &m;
+    for (const std::string& comp : m.compensations) {
+      comp_of.emplace(comp, m.method);
+    }
+  }
+
+  for (const MethodCorpus& m : corpus.methods) {
+    if (!m.has_traits) continue;  // call-graph flags unaudited methods
+
+    if (m.observer) {
+      if (!m.compensations.empty()) {
+        out.push_back({Severity::kWarning, "undo-completeness", type,
+                       m.method, "",
+                       "observer declares compensating invocations; an "
+                       "observer has nothing to undo — either the "
+                       "observer flag or the compensation list is wrong"});
+      }
+      if (m.undo_free) {
+        out.push_back({Severity::kNote, "undo-completeness", type,
+                       m.method, "",
+                       "undo_free on an observer is redundant"});
+      }
+      continue;
+    }
+
+    // Mutator: needs a declared logical undo, or an explicit waiver.
+    if (m.compensations.empty() && !m.undo_free) {
+      auto owner = comp_of.find(m.method);
+      if (owner != comp_of.end()) {
+        // Undo actions are never themselves undone (recovery replays
+        // them as CLRs), so a compensation-only mutator is by design —
+        // but a forward call to it would still be unrecoverable.
+        out.push_back({Severity::kNote, "undo-completeness", type,
+                       m.method, owner->second,
+                       "mutator declares no compensation but is the "
+                       "declared compensation of '" + owner->second +
+                           "'; forward calls to it are not undoable"});
+      } else {
+        out.push_back({Severity::kError, "undo-completeness", type,
+                       m.method, "",
+                       "mutator declares no compensating invocation and "
+                       "is not undo_free: a loser transaction's effect "
+                       "would survive crash recovery"});
+      }
+    } else if (m.compensations.empty() && m.undo_free) {
+      out.push_back({Severity::kNote, "undo-completeness", type,
+                     m.method, "",
+                     "mutator is declared fully undo_free (never "
+                     "registers a compensation)"});
+    }
+
+    for (const std::string& comp : m.compensations) {
+      auto it = by_name.find(comp);
+      if (it == by_name.end()) {
+        out.push_back({Severity::kError, "undo-completeness", type,
+                       m.method, comp,
+                       "declared compensation '" + comp +
+                           "' is not a registered method of " + type});
+        continue;
+      }
+      if (it->second->has_traits && it->second->observer) {
+        out.push_back({Severity::kError, "undo-completeness", type,
+                       m.method, comp,
+                       "declared compensation '" + comp +
+                           "' is an observer; it cannot restore state"});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace oodb::analysis

@@ -1,0 +1,44 @@
+// Pass — undo completeness.
+//
+// Crash recovery undoes a loser transaction by re-running the
+// compensating invocations its completed actions registered (logical
+// undo; see storage/recovery.h). A mutator that never registers one is
+// a durability hole: its effect survives a crash even when its
+// transaction lost. The schema makes the intent auditable through two
+// MethodTraits fields —
+//
+//   * compensations: the methods the body may pass to SetCompensation;
+//   * undo_free: every completion path that skips SetCompensation
+//     leaves the object unchanged (removing an absent key, say), so a
+//     logged record without a compensation is safe to skip in undo.
+//
+// The pass checks, per declared method:
+//
+//   * a mutator that declares neither compensations nor undo_free is an
+//     error — recovery would log "cannot undo" and keep the effect —
+//     unless it is itself some method's declared compensation: undo
+//     actions are never undone (recovery replays them as CLRs), so a
+//     compensation-only mutator is by design and only noted;
+//   * a declared compensation must name a registered method of the same
+//     type (error), and that method must itself be a mutator — an
+//     observer cannot restore anything (error);
+//   * an observer declaring compensations (warning) or undo_free (note)
+//     is contradicting its own classification;
+//   * a mutator relying on undo_free alone is reported as a note, so
+//     intentionally un-undoable methods stay visible in review.
+//
+// Methods with no declared traits are skipped here; the call-graph pass
+// already flags them as unaudited.
+
+#pragma once
+
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/diagnostics.h"
+
+namespace oodb::analysis {
+
+std::vector<Diagnostic> CheckUndoCompleteness(const TypeCorpus& corpus);
+
+}  // namespace oodb::analysis

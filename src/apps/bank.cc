@@ -234,25 +234,30 @@ void Bank::RegisterMethods(Database* db, BankSemantics semantics) {
                     {.observer = false,
                      .calls = {{acct, "withdraw"}, {acct, "deposit"}},
                      .samples = {{Value(0), Value(1), Value(5)},
-                                 {Value(2), Value(3), Value(7)}}});
+                                 {Value(2), Value(3), Value(7)}},
+                     .compensations = {"transfer"}});
   db->DeclareTraits(type, "deposit",
                     {.observer = false,
                      .calls = {{acct, "deposit"}},
                      .samples = {{Value(0), Value(5)},
-                                 {Value(1), Value(7)}}});
+                                 {Value(1), Value(7)}},
+                     .compensations = {"withdraw"}});
   db->DeclareTraits(type, "withdraw",
                     {.observer = false,
                      .calls = {{acct, "withdraw"}},
                      .samples = {{Value(0), Value(5)},
-                                 {Value(1), Value(7)}}});
+                                 {Value(1), Value(7)}},
+                     .compensations = {"deposit"}});
   db->DeclareTraits(type, "balance",
                     {.observer = true,
                      .calls = {{acct, "balance"}},
-                     .samples = {{Value(0)}, {Value(1)}}});
+                     .samples = {{Value(0)}, {Value(1)}},
+                     .compensations = {}});
   db->DeclareTraits(type, "audit",
                     {.observer = true,
                      .calls = {{acct, "balance"}},
-                     .samples = {{}}});
+                     .samples = {{}},
+                     .compensations = {}});
 }
 
 ObjectId Bank::Create(Database* db, const std::string& name,

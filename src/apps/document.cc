@@ -129,23 +129,28 @@ void Document::RegisterMethods(Database* db) {
                     {.observer = false,
                      .calls = {{"Section", "edit"}},
                      .samples = {{Value(0), Value("t1")},
-                                 {Value(1), Value("t2")}}});
+                                 {Value(1), Value("t2")}},
+                     .compensations = {"editSection"}});
   db->DeclareTraits(DocumentObjectType(), "readSection",
                     {.observer = true,
                      .calls = {{"Section", "read"}},
-                     .samples = {{Value(0)}, {Value(1)}}});
+                     .samples = {{Value(0)}, {Value(1)}},
+                     .compensations = {}});
   db->DeclareTraits(DocumentObjectType(), "readAll",
                     {.observer = true,
                      .calls = {{"Section", "read"}},
-                     .samples = {{}}});
+                     .samples = {{}},
+                     .compensations = {}});
   db->DeclareTraits(SectionObjectType(), "edit",
                     {.observer = false,
                      .calls = {{"Page", "read"}, {"Page", "write"}},
-                     .samples = {{Value("a")}, {Value("b")}}});
+                     .samples = {{Value("a")}, {Value("b")}},
+                     .compensations = {"edit"}});
   db->DeclareTraits(SectionObjectType(), "read",
                     {.observer = true,
                      .calls = {{"Page", "read"}},
-                     .samples = {{}}});
+                     .samples = {{}},
+                     .compensations = {}});
 }
 
 ObjectId Document::Create(Database* db, const std::string& name,

@@ -432,53 +432,67 @@ void Encyclopedia::RegisterMethods(Database* db) {
   db->DeclareTraits(ItemObjectType(), "read",
                     {.observer = true,
                      .calls = {{"Page", "read"}},
-                     .samples = {{}}});
+                     .samples = {{}},
+                     .compensations = {}});
   db->DeclareTraits(ItemObjectType(), "change",
                     {.observer = false,
                      .calls = {{"Page", "read"}, {"Page", "write"}},
-                     .samples = {{Value("d1")}, {Value("d2")}}});
+                     .samples = {{Value("d1")}, {Value("d2")}},
+                     .compensations = {"clear", "change"}});
   db->DeclareTraits(ItemObjectType(), "clear",
                     {.observer = false,
                      .calls = {{"Page", "erase"}},
-                     .samples = {{}}});
+                     .samples = {{}},
+                     .compensations = {"change"},
+                     .undo_free = true});
   db->DeclareTraits(LinkedListObjectType(), "append",
                     {.observer = false,
                      .calls = {{"Page", "write"}},
                      .samples = {{Value("k1"), Value("7")},
-                                 {Value("k2"), Value("9")}}});
+                                 {Value("k2"), Value("9")}},
+                     .compensations = {"removeSeq"}});
   db->DeclareTraits(LinkedListObjectType(), "readSeq",
                     {.observer = true,
                      .calls = {{"Page", "scan"}, {"Item", "read"}},
-                     .samples = {{}}});
+                     .samples = {{}},
+                     .compensations = {}});
   db->DeclareTraits(LinkedListObjectType(), "remove",
                     {.observer = false,
                      .calls = {{"Page", "scan"}, {"Page", "erase"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {"restore"},
+                     .undo_free = true});
   db->DeclareTraits(LinkedListObjectType(), "removeSeq",
                     {.observer = false,
                      .calls = {{"Page", "contains"}, {"Page", "erase"}},
                      .samples = {{Value("000000000001")},
-                                 {Value("000000000002")}}});
+                                 {Value("000000000002")}},
+                     .compensations = {"restore"},
+                     .undo_free = true});
   db->DeclareTraits(LinkedListObjectType(), "restore",
                     {.observer = false,
                      .calls = {{"Page", "write"}},
                      .samples = {{Value("000000000001"), Value("e1")},
-                                 {Value("000000000002"), Value("e2")}}});
+                                 {Value("000000000002"), Value("e2")}},
+                     .compensations = {"removeSeq"}});
   db->DeclareTraits(EncObjectType(), "insert",
                     {.observer = false,
                      .calls = {{"BpTree", "search"},
                                {"BpTree", "insert"},
                                {"Item", "change"},
                                {"LinkedList", "append"}},
-                     .samples = keyed2});
+                     .samples = keyed2,
+                     .compensations = {"erase"}});
   db->DeclareTraits(EncObjectType(), "search",
                     {.observer = true,
                      .calls = {{"BpTree", "search"}, {"Item", "read"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {}});
   db->DeclareTraits(EncObjectType(), "change",
                     {.observer = false,
                      .calls = {{"BpTree", "search"}, {"Item", "change"}},
-                     .samples = keyed2});
+                     .samples = keyed2,
+                     .compensations = {"change"}});
   db->DeclareTraits(EncObjectType(), "erase",
                     {.observer = false,
                      .calls = {{"BpTree", "search"},
@@ -486,11 +500,14 @@ void Encyclopedia::RegisterMethods(Database* db) {
                                {"Item", "read"},
                                {"Item", "clear"},
                                {"LinkedList", "remove"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {"insert"},
+                     .undo_free = true});
   db->DeclareTraits(EncObjectType(), "readSeq",
                     {.observer = true,
                      .calls = {{"LinkedList", "readSeq"}},
-                     .samples = {{}}});
+                     .samples = {{}},
+                     .compensations = {}});
 }
 
 ObjectId Encyclopedia::Create(Database* db, const std::string& name,

@@ -149,8 +149,12 @@ Database::RuntimeObject* Database::RuntimeOf(ObjectId id) {
 
 Status MethodContext::Call(ObjectId obj, Invocation inv, Value* result) {
   Value scratch;
-  return db_->ExecuteCall(action_, obj, std::move(inv),
-                          result ? result : &scratch);
+  uint64_t lsn = 0;
+  Status st = db_->ExecuteCall(action_, obj, std::move(inv),
+                               result ? result : &scratch,
+                               /*process=*/0, &lsn);
+  if (lsn != 0) last_lsn_ = lsn;
+  return st;
 }
 
 Status MethodContext::CallParallel(const std::vector<ParallelCall>& calls,
@@ -189,7 +193,9 @@ void MethodContext::SetCompensation(Invocation inv) {
 }
 
 Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
-                             Value* result, uint32_t process) {
+                             Value* result, uint32_t process,
+                             uint64_t* logged_lsn) {
+  if (logged_lsn != nullptr) *logged_lsn = 0;
   RuntimeObject* runtime = RuntimeOf(obj);
   if (runtime == nullptr) {
     return Status::NotFound("no object with id " +
@@ -299,6 +305,24 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
   }
 
   ts_.MarkCompleted(action);
+  // Log completed mutating actions on persistent roots *before* the
+  // lock passes up: the action still holds its semantic lock here, so
+  // for any pair of conflicting root operations the WAL append order is
+  // the lock serialization order — recovery's redo-in-LSN-order then
+  // repeats history faithfully. Observers that registered no
+  // compensation are not logged (nothing to redo or undo).
+  if (durability_ != nullptr && durability_->IsPersistent(obj)) {
+    const MethodTraits* traits = registry_.Traits(runtime->type, inv.method);
+    const bool observer = traits != nullptr && traits->observer;
+    if (!observer || ctx.compensation_.has_value()) {
+      const Invocation* comp =
+          ctx.compensation_.has_value() ? &*ctx.compensation_ : nullptr;
+      uint64_t lsn =
+          durability_->LogOp(top.value, ts_.action(top).invocation.method,
+                             ts_.object(obj).name, inv, comp);
+      if (logged_lsn != nullptr) *logged_lsn = lsn;
+    }
+  }
   if (ctx.compensation_.has_value()) {
     std::lock_guard<std::mutex> guard(comp_mutex_);
     comp_log_[parent.value].push_back(
@@ -343,13 +367,29 @@ void Database::CompensateChildren(ActionId action) {
   }
 }
 
+void Database::QuiesceAndRun(const std::function<void()>& fn) {
+  std::unique_lock<std::shared_mutex> gate(txn_gate_);
+  fn();
+}
+
 Status Database::RunTransaction(const std::string& name,
                                 const TransactionBody& body) {
+  // Deadlock backoff: per-thread seeding spreads contending threads,
+  // but varies run to run. With backoff_seed set, the sequence depends
+  // only on (seed, transaction name), so a failing schedule replays.
   thread_local Rng backoff_rng(
       std::hash<std::thread::id>()(std::this_thread::get_id()));
+  Rng seeded_rng(options_.backoff_seed ^
+                 (std::hash<std::string>()(name) | 1));
+  Rng& rng = options_.backoff_seed != 0 ? seeded_rng : backoff_rng;
   for (int attempt = 0;; ++attempt) {
     std::string attempt_name =
         attempt == 0 ? name : name + "#r" + std::to_string(attempt);
+    // Each attempt holds the transaction gate shared for its whole
+    // life (body, compensation, WAL commit/abort record), so an
+    // exclusive holder (checkpoint) only ever sees whole transactions.
+    std::shared_lock<std::shared_mutex> gate(txn_gate_, std::defer_lock);
+    if (durability_ != nullptr) gate.lock();
     ActionId top = ts_.BeginTopLevel(attempt_name);
     const bool traced = tracer_ != nullptr;
     const uint64_t span_start = traced ? tracer_->NowNs() : 0;
@@ -357,6 +397,11 @@ Status Database::RunTransaction(const std::string& name,
     Status st = body(ctx);
     if (st.ok()) {
       ts_.MarkCompleted(top);
+      // Write-ahead: the commit record is appended and forced before
+      // any lock releases, so no other transaction can observe (and
+      // log operations depending on) effects whose commit might still
+      // be lost in a crash.
+      if (durability_ != nullptr) durability_->OnCommit(top.value);
       locks_.OnActionComplete(top, ActionId());
       {
         std::lock_guard<std::mutex> guard(comp_mutex_);
@@ -367,6 +412,10 @@ Status Database::RunTransaction(const std::string& name,
       if (traced) {
         TraceAction(top, ActionId(), ObjectId(), attempt_name, span_start,
                     "commit");
+      }
+      if (durability_ != nullptr) {
+        gate.unlock();
+        durability_->MaybeCheckpoint(this);
       }
       return Status::OK();
     }
@@ -379,6 +428,11 @@ Status Database::RunTransaction(const std::string& name,
       std::lock_guard<std::mutex> guard(comp_mutex_);
       comp_log_.erase(top.value);
     }
+    // The abort record follows the compensations (which were logged as
+    // ordinary operations) and precedes the lock release. It need not
+    // be forced: if it is lost, recovery treats the transaction as a
+    // loser and re-runs the same compensations — same end state.
+    if (durability_ != nullptr) durability_->OnAbort(top.value);
     locks_.ReleaseAllHeldBy(top);
     counters_.aborted.fetch_add(1, std::memory_order_relaxed);
     if (m_aborted_) m_aborted_->Increment();
@@ -396,8 +450,11 @@ Status Database::RunTransaction(const std::string& name,
           tracer_->RecordInstant("txn.retry", tracer_->NowNs(),
                                  attempt_name);
         }
+        // Back off outside the gate so a pending checkpoint is not
+        // stalled by a sleeping loser.
+        if (gate.owns_lock()) gate.unlock();
         std::this_thread::sleep_for(std::chrono::microseconds(
-            100 + backoff_rng.NextBelow(400) * (attempt + 1)));
+            100 + rng.NextBelow(400) * (attempt + 1)));
         continue;
       }
     }

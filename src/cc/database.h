@@ -33,10 +33,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "cc/durability.h"
 #include "cc/lock_manager.h"
 #include "cc/method.h"
 #include "cc/method_registry.h"
@@ -85,6 +87,11 @@ struct DatabaseOptions {
   LockManagerOptions lock_options;
   /// RunTransaction retries after deadlock up to this many times.
   int max_retries = 16;
+  /// When nonzero, deadlock-retry backoff is drawn from an Rng seeded
+  /// from this value and the transaction name, making retry schedules
+  /// reproducible run to run. 0 keeps the per-thread seeding (distinct
+  /// every run), which spreads contending threads better.
+  uint64_t backoff_seed = 0;
 };
 
 /// The body of a transaction: issues top-level calls through the
@@ -135,6 +142,23 @@ class Database {
   /// ExecuteCall traffic.
   void AttachObservability(MetricsRegistry* metrics, Tracer* tracer);
 
+  // --- durability ------------------------------------------------------
+
+  /// Attaches (or, with null, detaches) the persistence engine. While
+  /// attached, every RunTransaction attempt runs under a shared
+  /// transaction gate and reports op/commit/abort events to the hook
+  /// (see DurabilityHook for the exact ordering contract). Attach while
+  /// no transactions run; the runtime does not synchronize the switch.
+  void AttachDurability(DurabilityHook* hook) { durability_ = hook; }
+  DurabilityHook* durability() const { return durability_; }
+
+  /// Runs `fn` while holding the transaction gate exclusively: no
+  /// transaction attempt is in flight during `fn`, and every previously
+  /// committed transaction's effects are fully applied. This is the
+  /// stop-the-world window a consistent checkpoint needs. Must not be
+  /// called from inside a transaction body (it would self-deadlock).
+  void QuiesceAndRun(const std::function<void()>& fn);
+
   // --- introspection ---------------------------------------------------
 
   /// The recorded execution (for the validator and the printers).
@@ -175,9 +199,12 @@ class Database {
 
   /// Records, locks, and executes one call; the heart of the runtime.
   /// `process` overrides the inherited intra-transaction process id
-  /// (0 = inherit); used by CallParallel.
+  /// (0 = inherit); used by CallParallel. When the call completed on a
+  /// persistent root and was logged, `logged_lsn` (if non-null)
+  /// receives the WAL record's LSN (0 otherwise).
   Status ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
-                     Value* result, uint32_t process = 0);
+                     Value* result, uint32_t process = 0,
+                     uint64_t* logged_lsn = nullptr);
 
   /// Runs the registered compensations of `action`'s completed children
   /// in reverse completion order (as ordinary actions under `action`).
@@ -205,6 +232,13 @@ class Database {
   /// Fresh intra-transaction process ids for CallParallel (Def 9);
   /// process 0 is the default sequential process of every transaction.
   std::atomic<uint32_t> next_process_{1};
+
+  /// Persistence engine, or null for the classic in-memory database.
+  /// The WAL-off fast path costs one null test per event.
+  DurabilityHook* durability_ = nullptr;
+  /// Transaction gate: attempts hold it shared, checkpoints exclusive.
+  /// Only taken while durability_ is attached.
+  std::shared_mutex txn_gate_;
 
   /// Observability sinks; all null when detached, so the hot path pays
   /// one predictable branch per event.

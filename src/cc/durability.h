@@ -1,0 +1,66 @@
+// DurabilityHook: the runtime's window onto a persistence engine.
+//
+// The cc layer stays storage-agnostic: a Database with no hook attached
+// is the in-memory system it always was (the disabled path costs one
+// null test per event, like the observability sinks). With a hook
+// attached — in practice storage/StorageEngine — the runtime reports
+// the object-level logical facts recovery needs:
+//
+//   * LogOp: an action on a persistent root completed, with the
+//     compensating invocation it registered (the logical undo).
+//   * OnCommit / OnAbort: the fate of a top-level transaction. Commit
+//     forces the log before returning — the write-ahead contract.
+//   * MaybeCheckpoint: a commit finished and the transaction gate is
+//     free; the engine may take a consistent checkpoint now.
+//
+// All calls except MaybeCheckpoint arrive under the database's shared
+// transaction gate, so a checkpoint (which takes the gate exclusively)
+// never observes a transaction half-logged.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/ids.h"
+#include "model/invocation.h"
+
+namespace oodb {
+
+class Database;
+
+/// A log sequence number. 0 means "nothing was logged".
+using Lsn = uint64_t;
+
+class DurabilityHook {
+ public:
+  virtual ~DurabilityHook() = default;
+
+  /// True iff completed mutating actions on `obj` must be logged
+  /// (i.e. `obj` is a registered persistent root). Called on the hot
+  /// path; implementations must be cheap and thread-safe.
+  virtual bool IsPersistent(ObjectId obj) const = 0;
+
+  /// A mutating action on persistent root `root_name` completed inside
+  /// top-level transaction `top` (named `txn_name`). `comp` is the
+  /// registered compensating invocation, or null when the method
+  /// registered none. Returns the record's LSN.
+  virtual Lsn LogOp(uint64_t top, const std::string& txn_name,
+                    const std::string& root_name, const Invocation& inv,
+                    const Invocation* comp) = 0;
+
+  /// Top-level transaction `top` committed. Forces the log when the
+  /// transaction logged anything; returns the commit record's LSN (0
+  /// for transactions that touched no persistent root).
+  virtual Lsn OnCommit(uint64_t top) = 0;
+
+  /// Top-level transaction `top` aborted, after its compensations ran
+  /// (and were themselves logged as ordinary operations).
+  virtual void OnAbort(uint64_t top) = 0;
+
+  /// Called after a commit, outside the transaction gate. The engine
+  /// may quiesce the database (Database::QuiesceAndRun) and checkpoint.
+  virtual void MaybeCheckpoint(Database* db) = 0;
+};
+
+}  // namespace oodb

@@ -77,6 +77,12 @@ class MethodContext {
   /// The object this method runs on (invalid for a transaction body).
   ObjectId self() const { return self_; }
 
+  /// LSN of the most recent Call from this context that was logged to
+  /// the write-ahead log (0 when durability is off or nothing was
+  /// logged yet). Lets a transaction body correlate its work with the
+  /// log — e.g. the crash harness choosing an injection point.
+  uint64_t last_lsn() const { return last_lsn_; }
+
   /// The current action (the top-level action for a transaction body).
   ActionId action() const { return action_; }
 
@@ -112,6 +118,7 @@ class MethodContext {
   ObjectState* raw_state_;
   std::mutex* latch_;
   std::optional<Invocation> compensation_;
+  uint64_t last_lsn_ = 0;
 };
 
 }  // namespace oodb

@@ -53,11 +53,25 @@ struct MethodTraits {
   /// mutator declares `{{}}`.
   std::vector<ValueList> samples;
 
+  /// Methods of the same type the body may register as compensating
+  /// invocations on its receiver (via MethodContext::SetCompensation).
+  /// The undo-completeness pass requires every mutator to declare at
+  /// least one, or to set undo_free — otherwise crash recovery has no
+  /// logical undo for it and a loser transaction's effect survives.
+  std::vector<std::string> compensations;
+
+  /// Declares that every completion path that skips SetCompensation
+  /// leaves the object unchanged (e.g. removing an absent key), so
+  /// skipping the undo of a logged-but-compensationless record is
+  /// sound. Meaningless for observers.
+  bool undo_free = false;
+
   /// True when any metadata was declared. A value-initialized
   /// MethodTraits (the Register default) declares nothing and the
   /// call-graph pass flags the method as unaudited.
   bool Declared() const {
-    return observer || !calls.empty() || !samples.empty();
+    return observer || !calls.empty() || !samples.empty() ||
+           !compensations.empty() || undo_free;
   }
 };
 

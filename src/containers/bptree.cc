@@ -587,89 +587,115 @@ void BpTree::RegisterMethods(Database* db) {
   const std::vector<ValueList> keyed1 = {{Value("k1")}, {Value("k2")}};
   const std::vector<ValueList> ranges = {{Value("a"), Value("m")},
                                          {Value("n"), Value("z")}};
+  // Undo traits: inserts compensate with erase (or insert of the old
+  // value), erases with insert; erase of an absent key is a no-op. The
+  // structural methods — split, insertSep — reorganize pages without
+  // changing the tree's abstract contents, so they are undo_free: open
+  // nesting lets a split survive the abort of the insert that caused it.
   db->DeclareTraits(LeafObjectType(), "insert",
                     {.observer = false,
                      .calls = {{"Leaf", "insert"},
                                {"Leaf", "split"},
                                {"Page", "read"},
                                {"Page", "write"}},
-                     .samples = keyed2});
+                     .samples = keyed2,
+                     .compensations = {"insert", "erase"}});
   db->DeclareTraits(LeafObjectType(), "split",
                     {.observer = false,
                      .calls = {{"Page", "count"},
                                {"Page", "scan"},
                                {"Page", "write"},
                                {"Page", "erase"}},
-                     .samples = {{}}});
+                     .samples = {{}},
+                     .compensations = {},
+                     .undo_free = true});
   db->DeclareTraits(LeafObjectType(), "search",
                     {.observer = true,
                      .calls = {{"Leaf", "search"}, {"Page", "read"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {}});
   db->DeclareTraits(LeafObjectType(), "erase",
                     {.observer = false,
                      .calls = {{"Leaf", "erase"}, {"Page", "erase"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {"insert"},
+                     .undo_free = true});
   db->DeclareTraits(LeafObjectType(), "scan",
                     {.observer = true,
                      .calls = {{"Leaf", "scan"}, {"Page", "scan"}},
-                     .samples = ranges});
+                     .samples = ranges,
+                     .compensations = {}});
   db->DeclareTraits(NodeObjectType(), "insert",
                     {.observer = false,
                      .calls = {{"Leaf", "insert"},
                                {"Node", "insert"},
                                {"Node", "insertSep"},
                                {"Page", "routeLE"}},
-                     .samples = keyed2});
+                     .samples = keyed2,
+                     .compensations = {"insert", "erase"}});
   db->DeclareTraits(NodeObjectType(), "insertSep",
                     {.observer = false,
                      .calls = {{"Node", "insertSep"},
                                {"Node", "split"},
                                {"Page", "write"}},
-                     .samples = keyed2});
+                     .samples = keyed2,
+                     .compensations = {},
+                     .undo_free = true});
   db->DeclareTraits(NodeObjectType(), "split",
                     {.observer = false,
                      .calls = {{"Page", "count"},
                                {"Page", "scan"},
                                {"Page", "write"},
                                {"Page", "erase"}},
-                     .samples = {{}}});
+                     .samples = {{}},
+                     .compensations = {},
+                     .undo_free = true});
   db->DeclareTraits(NodeObjectType(), "search",
                     {.observer = true,
                      .calls = {{"Leaf", "search"},
                                {"Node", "search"},
                                {"Page", "routeLE"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {}});
   db->DeclareTraits(NodeObjectType(), "erase",
                     {.observer = false,
                      .calls = {{"Leaf", "erase"},
                                {"Node", "erase"},
                                {"Page", "routeLE"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {"insert"},
+                     .undo_free = true});
   db->DeclareTraits(NodeObjectType(), "scan",
                     {.observer = true,
                      .calls = {{"Leaf", "scan"},
                                {"Node", "scan"},
                                {"Page", "routeLE"}},
-                     .samples = ranges});
+                     .samples = ranges,
+                     .compensations = {}});
   db->DeclareTraits(BpTreeObjectType(), "insert",
                     {.observer = false,
                      .calls = {{"Leaf", "insert"},
                                {"Node", "insert"},
                                {"Node", "insertSep"},
                                {"Page", "write"}},
-                     .samples = keyed2});
+                     .samples = keyed2,
+                     .compensations = {"insert", "erase"}});
   db->DeclareTraits(BpTreeObjectType(), "search",
                     {.observer = true,
                      .calls = {{"Leaf", "search"}, {"Node", "search"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {}});
   db->DeclareTraits(BpTreeObjectType(), "erase",
                     {.observer = false,
                      .calls = {{"Leaf", "erase"}, {"Node", "erase"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {"insert"},
+                     .undo_free = true});
   db->DeclareTraits(BpTreeObjectType(), "scan",
                     {.observer = true,
                      .calls = {{"Leaf", "scan"}, {"Node", "scan"}},
-                     .samples = ranges});
+                     .samples = ranges,
+                     .compensations = {}});
 }
 
 ObjectId BpTree::Create(Database* db, const std::string& name,

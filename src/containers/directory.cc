@@ -101,25 +101,30 @@ void RegisterDirectoryMethods(Database* db) {
                });
 
   // Schema traits: the directory is primitive; lookup is the only
-  // observer.
+  // observer. remove of an absent key is a no-op, hence undo_free.
   db->DeclareTraits(DirectoryType(), "insert",
                     {.observer = false,
                      .calls = {},
                      .samples = {{Value("k1"), Value("v1")},
-                                 {Value("k2"), Value("v2")}}});
+                                 {Value("k2"), Value("v2")}},
+                     .compensations = {"remove", "insert"}});
   db->DeclareTraits(DirectoryType(), "remove",
                     {.observer = false,
                      .calls = {},
-                     .samples = {{Value("k1")}, {Value("k2")}}});
+                     .samples = {{Value("k1")}, {Value("k2")}},
+                     .compensations = {"insert"},
+                     .undo_free = true});
   db->DeclareTraits(DirectoryType(), "lookup",
                     {.observer = true,
                      .calls = {},
-                     .samples = {{Value("k1")}, {Value("k2")}}});
+                     .samples = {{Value("k1")}, {Value("k2")}},
+                     .compensations = {}});
   db->DeclareTraits(DirectoryType(), "update",
                     {.observer = false,
                      .calls = {},
                      .samples = {{Value("k1"), Value("v1")},
-                                 {Value("k2"), Value("v2")}}});
+                                 {Value("k2"), Value("v2")}},
+                     .compensations = {"update"}});
 }
 
 ObjectId CreateDirectory(Database* db, std::string name) {

@@ -89,13 +89,16 @@ void RegisterAccountMethods(Database* db, const ObjectType* type) {
   db->DeclareTraits(type, "deposit",
                     {.observer = false,
                      .calls = {},
-                     .samples = {{Value(5)}, {Value(7)}}});
+                     .samples = {{Value(5)}, {Value(7)}},
+                     .compensations = {"withdraw"}});
   db->DeclareTraits(type, "withdraw",
                     {.observer = false,
                      .calls = {},
-                     .samples = {{Value(5)}, {Value(7)}}});
+                     .samples = {{Value(5)}, {Value(7)}},
+                     .compensations = {"deposit"}});
   db->DeclareTraits(type, "balance",
-                    {.observer = true, .calls = {}, .samples = {{}}});
+                    {.observer = true, .calls = {}, .samples = {{}},
+                    .compensations = {}});
 }
 
 ObjectId CreateAccount(Database* db, const ObjectType* type,

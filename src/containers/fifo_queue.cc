@@ -87,22 +87,32 @@ void RegisterQueueMethods(Database* db) {
                });
 
   // Schema traits: the queue is primitive; size is the only observer.
+  // cancel and pushFront exist to compensate enq and deq; undo actions
+  // are not themselves undone.
   db->DeclareTraits(FifoQueueType(), "enq",
                     {.observer = false,
                      .calls = {},
-                     .samples = {{Value("x")}, {Value("y")}}});
+                     .samples = {{Value("x")}, {Value("y")}},
+                     .compensations = {"cancel"}});
   db->DeclareTraits(FifoQueueType(), "deq",
-                    {.observer = false, .calls = {}, .samples = {{}}});
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{}},
+                     .compensations = {"pushFront"},
+                     .undo_free = true});
   db->DeclareTraits(FifoQueueType(), "size",
-                    {.observer = true, .calls = {}, .samples = {{}}});
+                    {.observer = true, .calls = {}, .samples = {{}},
+                    .compensations = {}});
   db->DeclareTraits(FifoQueueType(), "cancel",
                     {.observer = false,
                      .calls = {},
-                     .samples = {{Value("x")}, {Value("y")}}});
+                     .samples = {{Value("x")}, {Value("y")}},
+                     .compensations = {}});
   db->DeclareTraits(FifoQueueType(), "pushFront",
                     {.observer = false,
                      .calls = {},
-                     .samples = {{Value("x")}, {Value("y")}}});
+                     .samples = {{Value("x")}, {Value("y")}},
+                     .compensations = {}});
 }
 
 ObjectId CreateQueue(Database* db, std::string name) {

@@ -363,34 +363,51 @@ void HashIndex::RegisterMethods(Database* db) {
   const std::vector<ValueList> keyed2 = {{Value("k1"), Value("v1")},
                                          {Value("k2"), Value("v2")}};
   const std::vector<ValueList> keyed1 = {{Value("k1")}, {Value("k2")}};
+  // Undo traits: inserts and erases compensate each other; erase of an
+  // absent key is a no-op. freeze's body is empty (its value is its
+  // lock) and moveTo/stamp are split machinery — none of the three
+  // changes the index's abstract contents, so they are undo_free.
   db->DeclareTraits(BucketObjectType(), "insert",
                     {.observer = false,
                      .calls = {{"Page", "read"}, {"Page", "write"}},
-                     .samples = keyed2});
+                     .samples = keyed2,
+                     .compensations = {"erase", "insert"}});
   db->DeclareTraits(BucketObjectType(), "search",
                     {.observer = true,
                      .calls = {{"Page", "read"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {}});
   db->DeclareTraits(BucketObjectType(), "erase",
                     {.observer = false,
                      .calls = {{"Page", "erase"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {"insert"},
+                     .undo_free = true});
   db->DeclareTraits(BucketObjectType(), "freeze",
-                    {.observer = false, .calls = {}, .samples = {{}}});
+                    {.observer = false,
+                     .calls = {},
+                     .samples = {{}},
+                     .compensations = {},
+                     .undo_free = true});
   db->DeclareTraits(BucketObjectType(), "info",
-                    {.observer = true, .calls = {}, .samples = {{}}});
+                    {.observer = true, .calls = {}, .samples = {{}},
+                    .compensations = {}});
   db->DeclareTraits(BucketObjectType(), "moveTo",
                     {.observer = false,
                      .calls = {{"Page", "scan"},
                                {"Page", "write"},
                                {"Page", "erase"}},
                      .samples = {{Value(1), Value(1), Value(2)},
-                                 {Value(2), Value(3), Value(2)}}});
+                                 {Value(2), Value(3), Value(2)}},
+                     .compensations = {},
+                     .undo_free = true});
   db->DeclareTraits(BucketObjectType(), "stamp",
                     {.observer = false,
                      .calls = {},
                      .samples = {{Value(1), Value(2)},
-                                 {Value(3), Value(2)}}});
+                                 {Value(3), Value(2)}},
+                     .compensations = {},
+                     .undo_free = true});
   db->DeclareTraits(HashIndexObjectType(), "insert",
                     {.observer = false,
                      .calls = {{"Bucket", "insert"},
@@ -399,15 +416,19 @@ void HashIndex::RegisterMethods(Database* db) {
                                {"Bucket", "moveTo"},
                                {"Bucket", "stamp"},
                                {"Page", "count"}},
-                     .samples = keyed2});
+                     .samples = keyed2,
+                     .compensations = {"erase", "insert"}});
   db->DeclareTraits(HashIndexObjectType(), "search",
                     {.observer = true,
                      .calls = {{"Bucket", "search"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {}});
   db->DeclareTraits(HashIndexObjectType(), "erase",
                     {.observer = false,
                      .calls = {{"Bucket", "erase"}},
-                     .samples = keyed1});
+                     .samples = keyed1,
+                     .compensations = {"insert"},
+                     .undo_free = true});
 }
 
 ObjectId HashIndex::Create(Database* db, const std::string& name,

@@ -132,28 +132,36 @@ void RegisterPageMethods(Database* db) {
   db->DeclareTraits(PageObjectType(), "read",
                     {.observer = true,
                      .calls = {},
-                     .samples = {{Value("k1")}, {Value("k2")}}});
+                     .samples = {{Value("k1")}, {Value("k2")}},
+                     .compensations = {}});
   db->DeclareTraits(PageObjectType(), "contains",
                     {.observer = true,
                      .calls = {},
-                     .samples = {{Value("k1")}, {Value("k2")}}});
+                     .samples = {{Value("k1")}, {Value("k2")}},
+                     .compensations = {}});
   db->DeclareTraits(PageObjectType(), "write",
                     {.observer = false,
                      .calls = {},
                      .samples = {{Value("k1"), Value("v1")},
-                                 {Value("k2"), Value("v2")}}});
+                                 {Value("k2"), Value("v2")}},
+                     .compensations = {"write", "erase"}});
   db->DeclareTraits(PageObjectType(), "erase",
                     {.observer = false,
                      .calls = {},
-                     .samples = {{Value("k1")}, {Value("k2")}}});
+                     .samples = {{Value("k1")}, {Value("k2")}},
+                     .compensations = {"write"},
+                     .undo_free = true});
   db->DeclareTraits(PageObjectType(), "scan",
-                    {.observer = true, .calls = {}, .samples = {{}}});
+                    {.observer = true, .calls = {}, .samples = {{}},
+                    .compensations = {}});
   db->DeclareTraits(PageObjectType(), "routeLE",
                     {.observer = true,
                      .calls = {},
-                     .samples = {{Value("k1")}, {Value("k2")}}});
+                     .samples = {{Value("k1")}, {Value("k2")}},
+                     .compensations = {}});
   db->DeclareTraits(PageObjectType(), "count",
-                    {.observer = true, .calls = {}, .samples = {{}}});
+                    {.observer = true, .calls = {}, .samples = {{}},
+                    .compensations = {}});
 }
 
 ObjectId CreatePage(Database* db, std::string name, size_t capacity) {

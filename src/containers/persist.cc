@@ -1,0 +1,183 @@
+#include "containers/persist.h"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "containers/directory.h"
+#include "containers/hash_index.h"
+#include "containers/page_ops.h"
+#include "storage/serde.h"
+
+namespace oodb {
+
+namespace {
+
+// --- Directory ---------------------------------------------------------
+
+std::string SerializeDirectory(Database& db, ObjectId id) {
+  const DirectoryState* s = db.StateOf<DirectoryState>(id);
+  BlobWriter w;
+  w.U32(static_cast<uint32_t>(s->entries.size()));
+  for (const auto& [k, v] : s->entries) {
+    w.Str(k);
+    w.Str(v);
+  }
+  return w.Take();
+}
+
+Result<ObjectId> DeserializeDirectory(Database* db, const std::string& name,
+                                      const std::string& blob) {
+  auto state = std::make_unique<DirectoryState>();
+  BlobReader r(blob);
+  uint32_t n = 0;
+  if (!r.U32(&n)) return Status::Internal("torn directory blob");
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string k, v;
+    if (!r.Str(&k) || !r.Str(&v)) {
+      return Status::Internal("torn directory blob entry");
+    }
+    state->entries.emplace(std::move(k), std::move(v));
+  }
+  if (!r.Done()) return Status::Internal("trailing directory blob bytes");
+  return db->CreateObject(DirectoryType(), name, std::move(state));
+}
+
+std::string DumpDirectory(Database& db, ObjectId id) {
+  const DirectoryState* s = db.StateOf<DirectoryState>(id);
+  std::string out;
+  for (const auto& [k, v] : s->entries) {
+    out += k + "=" + v + "\n";
+  }
+  return out;
+}
+
+// --- HashIndex ---------------------------------------------------------
+
+std::string SerializeHashIndex(Database& db, ObjectId id) {
+  const HashIndexState* s = db.StateOf<HashIndexState>(id);
+  // Slots share buckets; write each bucket once, slots as indices.
+  std::vector<ObjectId> buckets;
+  std::unordered_map<uint64_t, uint32_t> bucket_index;
+  for (ObjectId slot : s->directory) {
+    if (bucket_index.emplace(slot.value, buckets.size()).second) {
+      buckets.push_back(slot);
+    }
+  }
+  BlobWriter w;
+  w.U64(s->global_depth);
+  w.U64(s->bucket_capacity);
+  w.U32(static_cast<uint32_t>(buckets.size()));
+  for (ObjectId b : buckets) {
+    const BucketState* bs = db.StateOf<BucketState>(b);
+    const PageState* ps = db.StateOf<PageState>(bs->page);
+    w.U64(bs->pattern);
+    w.U64(bs->local_depth);
+    w.U64(bs->capacity);
+    w.U32(static_cast<uint32_t>(ps->entries().size()));
+    for (const auto& [k, v] : ps->entries()) {
+      w.Str(k);
+      w.Str(v);
+    }
+  }
+  w.U32(static_cast<uint32_t>(s->directory.size()));
+  for (ObjectId slot : s->directory) {
+    w.U32(bucket_index[slot.value]);
+  }
+  return w.Take();
+}
+
+Result<ObjectId> DeserializeHashIndex(Database* db, const std::string& name,
+                                      const std::string& blob) {
+  BlobReader r(blob);
+  uint64_t global_depth = 0, bucket_capacity = 0;
+  uint32_t n_buckets = 0;
+  if (!r.U64(&global_depth) || !r.U64(&bucket_capacity) ||
+      !r.U32(&n_buckets)) {
+    return Status::Internal("torn hash-index blob");
+  }
+  std::vector<ObjectId> buckets;
+  buckets.reserve(n_buckets);
+  for (uint32_t i = 0; i < n_buckets; ++i) {
+    uint64_t pattern = 0, local_depth = 0, capacity = 0;
+    uint32_t n_entries = 0;
+    if (!r.U64(&pattern) || !r.U64(&local_depth) || !r.U64(&capacity) ||
+        !r.U32(&n_entries)) {
+      return Status::Internal("torn hash-index bucket header");
+    }
+    ObjectId page = CreatePage(
+        db, name + ".rp" + std::to_string(i), static_cast<size_t>(capacity));
+    PageState* ps = db->StateOf<PageState>(page);
+    for (uint32_t e = 0; e < n_entries; ++e) {
+      std::string k, v;
+      if (!r.Str(&k) || !r.Str(&v)) {
+        return Status::Internal("torn hash-index bucket entry");
+      }
+      OODB_RETURN_IF_ERROR(ps->Write(std::move(k), std::move(v)));
+    }
+    auto bs = std::make_unique<BucketState>();
+    bs->page = page;
+    bs->pattern = pattern;
+    bs->local_depth = static_cast<size_t>(local_depth);
+    bs->capacity = static_cast<size_t>(capacity);
+    buckets.push_back(db->CreateObject(
+        BucketObjectType(), name + ".rb" + std::to_string(i),
+        std::move(bs)));
+  }
+  uint32_t n_slots = 0;
+  if (!r.U32(&n_slots)) return Status::Internal("torn hash-index slots");
+  auto state = std::make_unique<HashIndexState>();
+  state->global_depth = static_cast<size_t>(global_depth);
+  state->bucket_capacity = static_cast<size_t>(bucket_capacity);
+  state->directory.reserve(n_slots);
+  for (uint32_t i = 0; i < n_slots; ++i) {
+    uint32_t idx = 0;
+    if (!r.U32(&idx) || idx >= buckets.size()) {
+      return Status::Internal("bad hash-index slot index");
+    }
+    state->directory.push_back(buckets[idx]);
+  }
+  if (!r.Done()) return Status::Internal("trailing hash-index blob bytes");
+  return db->CreateObject(HashIndexObjectType(), name, std::move(state));
+}
+
+std::string DumpHashIndex(Database& db, ObjectId id) {
+  const HashIndexState* s = db.StateOf<HashIndexState>(id);
+  std::map<std::string, std::string> all;
+  std::unordered_map<uint64_t, bool> seen;
+  for (ObjectId slot : s->directory) {
+    if (!seen.emplace(slot.value, true).second) continue;
+    const BucketState* bs = db.StateOf<BucketState>(slot);
+    const PageState* ps = db.StateOf<PageState>(bs->page);
+    for (const auto& [k, v] : ps->entries()) all[k] = v;
+  }
+  std::string out;
+  for (const auto& [k, v] : all) out += k + "=" + v + "\n";
+  return out;
+}
+
+}  // namespace
+
+RootSerde DirectorySerde() {
+  RootSerde serde;
+  serde.serialize = SerializeDirectory;
+  serde.deserialize = DeserializeDirectory;
+  serde.dump = DumpDirectory;
+  return serde;
+}
+
+RootSerde HashIndexSerde() {
+  RootSerde serde;
+  serde.serialize = SerializeHashIndex;
+  serde.deserialize = DeserializeHashIndex;
+  serde.dump = DumpHashIndex;
+  return serde;
+}
+
+Status RegisterStandardSerdes(StorageEngine* engine) {
+  OODB_RETURN_IF_ERROR(engine->RegisterType("directory", DirectorySerde()));
+  return engine->RegisterType("hash-index", HashIndexSerde());
+}
+
+}  // namespace oodb

@@ -1,0 +1,36 @@
+// RootSerde hooks for the persistable container types.
+//
+// The storage engine moves whole roots between the object store and
+// checkpoint blobs through these hooks; it never learns container
+// internals. Two levels of fidelity matter here:
+//
+//   serialize/deserialize  reproduce the *structure* (for the hash
+//                          index: bucket layout, depths, page content)
+//                          so a restart resumes with the same shape;
+//   dump                   renders only the *semantic* content (sorted
+//                          key=value lines), because recovery replays
+//                          logical operations and is free to rebuild a
+//                          different — equally correct — structure.
+//                          All equality checks in the crash harness
+//                          compare dumps, never structure.
+
+#pragma once
+
+#include <string>
+
+#include "storage/engine.h"
+
+namespace oodb {
+
+/// Serde for Directory roots (tag "directory").
+RootSerde DirectorySerde();
+
+/// Serde for HashIndex roots (tag "hash-index"). Deserialization
+/// recreates the bucket and page objects (with fresh object ids and
+/// names derived from the root name) and rebuilds the directory.
+RootSerde HashIndexSerde();
+
+/// Registers both standard serdes on `engine` under their usual tags.
+Status RegisterStandardSerdes(StorageEngine* engine);
+
+}  // namespace oodb

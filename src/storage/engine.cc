@@ -1,0 +1,491 @@
+#include "storage/engine.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/serde.h"
+#include "util/logging.h"
+
+namespace oodb {
+
+namespace {
+
+/// Data pages start after the two meta slots.
+constexpr PageNo kFirstDataPage = 2;
+/// Each chain page: [u64 next][payload].
+constexpr size_t kChainHeader = 8;
+constexpr size_t kChainPayload = kPageSize - kChainHeader;
+
+}  // namespace
+
+StorageEngine::StorageEngine(StorageEngineOptions options)
+    : options_(std::move(options)) {}
+
+StorageEngine::~StorageEngine() = default;
+
+Status StorageEngine::RegisterType(const std::string& tag, RootSerde serde) {
+  if (opened_) {
+    return Status::InvalidArgument("RegisterType after Open");
+  }
+  if (!serde.serialize || !serde.deserialize || !serde.dump) {
+    return Status::InvalidArgument("RootSerde for '" + tag +
+                                   "' is missing a hook");
+  }
+  serdes_[tag] = std::move(serde);
+  return Status::OK();
+}
+
+const RootSerde* StorageEngine::SerdeFor(const std::string& tag) const {
+  auto it = serdes_.find(tag);
+  return it == serdes_.end() ? nullptr : &it->second;
+}
+
+std::string StorageEngine::WalPath(uint64_t epoch) const {
+  return options_.dir + "/wal." + std::to_string(epoch);
+}
+
+uint64_t StorageEngine::next_lsn() const {
+  return wal_.IsOpen() ? wal_.next_lsn() : next_lsn_;
+}
+
+StorageEngineStats StorageEngine::stats() const {
+  std::lock_guard<std::mutex> guard(log_mutex_);
+  return stats_;
+}
+
+// --- meta slots --------------------------------------------------------
+
+std::string StorageEngine::EncodeMeta(uint64_t version, uint64_t epoch,
+                                      uint64_t next_lsn) const {
+  BlobWriter w;
+  w.U64(version);
+  w.U64(epoch);
+  w.U64(next_lsn);
+  w.U32(static_cast<uint32_t>(roots_.size()));
+  for (const auto& [name, entry] : roots_) {
+    w.Str(name);
+    w.Str(entry.tag);
+    w.U64(entry.first_page);
+    w.U64(entry.bytes);
+  }
+  w.Str(allocator_->SerializeBitmap());
+  return w.Take();
+}
+
+Status StorageEngine::WriteMetaSlot(uint64_t version, uint64_t epoch,
+                                    uint64_t next_lsn) {
+  const std::string payload = EncodeMeta(version, epoch, next_lsn);
+  if (payload.size() > kPageSize - 8) {
+    return Status::Capacity("meta payload (" +
+                            std::to_string(payload.size()) +
+                            " bytes) exceeds one page; lower max_pages");
+  }
+  BlobWriter head;
+  head.U32(static_cast<uint32_t>(payload.size()));
+  head.U32(Crc32(payload));
+  std::vector<char> page(kPageSize, 0);
+  std::memcpy(page.data(), head.blob().data(), 8);
+  std::memcpy(page.data() + 8, payload.data(), payload.size());
+  // Ping-pong: versions alternate slots, so the previous meta is never
+  // overwritten and a torn write loses only the newer version.
+  OODB_RETURN_IF_ERROR(file_.WritePage(version % 2, page.data()));
+  return file_.Sync();
+}
+
+bool StorageEngine::ReadMetaSlot(PageNo slot, uint64_t* version,
+                                 std::string* payload) {
+  std::vector<char> page(kPageSize);
+  if (!file_.ReadPage(slot, page.data()).ok()) return false;
+  BlobReader head(page.data(), 8);
+  uint32_t len = 0, crc = 0;
+  head.U32(&len);
+  head.U32(&crc);
+  if (len == 0 || len > kPageSize - 8) return false;
+  if (Crc32(page.data() + 8, len) != crc) return false;
+  payload->assign(page.data() + 8, len);
+  BlobReader r(*payload);
+  return r.U64(version);
+}
+
+// --- blob page chains --------------------------------------------------
+
+Result<std::vector<PageNo>> StorageEngine::ChainPages(PageNo first,
+                                                      uint64_t bytes) {
+  std::vector<PageNo> pages;
+  PageNo cur = first;
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    if (cur == 0) {
+      return Status::Internal("page chain ends " +
+                              std::to_string(remaining) + " bytes early");
+    }
+    pages.push_back(cur);
+    OODB_ASSIGN_OR_RETURN(char* frame, cache_->Pin(cur));
+    BlobReader head(frame, kChainHeader);
+    uint64_t next = 0;
+    head.U64(&next);
+    OODB_RETURN_IF_ERROR(cache_->Unpin(cur, /*dirty=*/false));
+    remaining -= std::min<uint64_t>(remaining, kChainPayload);
+    cur = next;
+  }
+  return pages;
+}
+
+Result<std::string> StorageEngine::ReadBlob(PageNo first, uint64_t bytes) {
+  std::string blob;
+  blob.reserve(bytes);
+  PageNo cur = first;
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    if (cur == 0) {
+      return Status::Internal("page chain ends " +
+                              std::to_string(remaining) + " bytes early");
+    }
+    OODB_ASSIGN_OR_RETURN(char* frame, cache_->Pin(cur));
+    BlobReader head(frame, kChainHeader);
+    uint64_t next = 0;
+    head.U64(&next);
+    const uint64_t chunk = std::min<uint64_t>(remaining, kChainPayload);
+    blob.append(frame + kChainHeader, chunk);
+    OODB_RETURN_IF_ERROR(cache_->Unpin(cur, /*dirty=*/false));
+    remaining -= chunk;
+    cur = next;
+  }
+  return blob;
+}
+
+Result<PageNo> StorageEngine::WriteBlob(const std::string& blob) {
+  if (blob.empty()) return PageNo(0);
+  const size_t n_pages = (blob.size() + kChainPayload - 1) / kChainPayload;
+  std::vector<PageNo> pages;
+  pages.reserve(n_pages);
+  for (size_t i = 0; i < n_pages; ++i) {
+    OODB_ASSIGN_OR_RETURN(PageNo p, allocator_->Allocate());
+    pages.push_back(p);
+  }
+  for (size_t i = 0; i < n_pages; ++i) {
+    OODB_ASSIGN_OR_RETURN(char* frame, cache_->Pin(pages[i]));
+    BlobWriter head;
+    head.U64(i + 1 < n_pages ? pages[i + 1] : 0);
+    std::memcpy(frame, head.blob().data(), kChainHeader);
+    const size_t off = i * kChainPayload;
+    const size_t chunk = std::min(kChainPayload, blob.size() - off);
+    std::memcpy(frame + kChainHeader, blob.data() + off, chunk);
+    if (chunk < kChainPayload) {
+      std::memset(frame + kChainHeader + chunk, 0, kChainPayload - chunk);
+    }
+    OODB_RETURN_IF_ERROR(cache_->Unpin(pages[i], /*dirty=*/true));
+  }
+  return pages[0];
+}
+
+// --- open --------------------------------------------------------------
+
+Status StorageEngine::Open(Database* db) {
+  if (opened_) return Status::InvalidArgument("engine already open");
+  ::mkdir(options_.dir.c_str(), 0755);  // EEXIST is fine
+  OODB_RETURN_IF_ERROR(file_.Open(options_.dir + "/pages.db"));
+  cache_ = std::make_unique<PageCache>(&file_, options_.cache_frames);
+  allocator_ =
+      std::make_unique<PageAllocator>(kFirstDataPage, options_.max_pages);
+
+  // The slot with the higher intact version is the store.
+  uint64_t v0 = 0, v1 = 0;
+  std::string p0, p1;
+  const bool ok0 = ReadMetaSlot(0, &v0, &p0);
+  const bool ok1 = ReadMetaSlot(1, &v1, &p1);
+  if (!ok0 && !ok1) {
+    // Fresh store: epoch 1, empty catalog. The meta goes down now so a
+    // crash before the first checkpoint still finds a valid store.
+    epoch_ = 1;
+    meta_version_ = 1;
+    next_lsn_ = 1;
+    OODB_RETURN_IF_ERROR(WriteMetaSlot(meta_version_, epoch_, next_lsn_));
+    opened_ = true;
+    return Status::OK();
+  }
+  const std::string& payload = (ok1 && (!ok0 || v1 > v0)) ? p1 : p0;
+  BlobReader r(payload);
+  uint32_t n_roots = 0;
+  std::string bitmap;
+  if (!r.U64(&meta_version_) || !r.U64(&epoch_) || !r.U64(&next_lsn_) ||
+      !r.U32(&n_roots)) {
+    return Status::Internal("corrupt meta payload");
+  }
+  std::vector<std::pair<std::string, CatalogEntry>> entries;
+  for (uint32_t i = 0; i < n_roots; ++i) {
+    std::string name;
+    CatalogEntry e;
+    if (!r.Str(&name) || !r.Str(&e.tag) || !r.U64(&e.first_page) ||
+        !r.U64(&e.bytes)) {
+      return Status::Internal("corrupt meta catalog");
+    }
+    entries.emplace_back(std::move(name), std::move(e));
+  }
+  if (!r.Str(&bitmap) || !r.Done()) {
+    return Status::Internal("corrupt meta bitmap");
+  }
+  OODB_RETURN_IF_ERROR(allocator_->LoadBitmap(bitmap));
+
+  for (auto& [name, entry] : entries) {
+    const RootSerde* serde = SerdeFor(entry.tag);
+    if (serde == nullptr) {
+      return Status::InvalidArgument("no RootSerde registered for tag '" +
+                                     entry.tag + "' (root '" + name + "')");
+    }
+    OODB_ASSIGN_OR_RETURN(std::string blob,
+                          ReadBlob(entry.first_page, entry.bytes));
+    OODB_ASSIGN_OR_RETURN(ObjectId id,
+                          serde->deserialize(db, name, blob));
+    entry.id = id;
+    persistent_ids_.insert(id.value);
+    roots_[name] = std::move(entry);
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status StorageEngine::AttachRoot(const std::string& name,
+                                 const std::string& tag, ObjectId root) {
+  if (!opened_) return Status::InvalidArgument("AttachRoot before Open");
+  if (roots_.count(name)) {
+    return Status::AlreadyExists("root '" + name + "' already attached");
+  }
+  if (SerdeFor(tag) == nullptr) {
+    return Status::InvalidArgument("no RootSerde registered for tag '" +
+                                   tag + "'");
+  }
+  if (!root.valid()) {
+    return Status::InvalidArgument("invalid root id for '" + name + "'");
+  }
+  CatalogEntry entry;
+  entry.tag = tag;
+  entry.id = root;
+  roots_[name] = std::move(entry);
+  persistent_ids_.insert(root.value);
+  return Status::OK();
+}
+
+ObjectId StorageEngine::RootId(const std::string& name) const {
+  auto it = roots_.find(name);
+  return it == roots_.end() ? ObjectId() : it->second.id;
+}
+
+std::vector<std::string> StorageEngine::RootNames() const {
+  std::vector<std::string> names;
+  names.reserve(roots_.size());
+  for (const auto& [name, entry] : roots_) names.push_back(name);
+  return names;
+}
+
+std::string StorageEngine::DumpRoots(Database& db) const {
+  std::string out;
+  for (const auto& [name, entry] : roots_) {
+    const RootSerde* serde = SerdeFor(entry.tag);
+    out += "== " + name + " (" + entry.tag + ")\n";
+    if (serde != nullptr && entry.id.valid()) {
+      out += serde->dump(db, entry.id);
+    }
+  }
+  return out;
+}
+
+// --- checkpoint --------------------------------------------------------
+
+Status StorageEngine::Checkpoint(Database* db) {
+  Status st;
+  db->QuiesceAndRun([&] { st = CheckpointQuiesced(db); });
+  return st;
+}
+
+Status StorageEngine::CheckpointQuiesced(Database* db) {
+  if (!opened_) return Status::InvalidArgument("checkpoint before Open");
+  // 1. Serialize every root into shadow pages; the old chains stay
+  //    allocated and referenced by the current meta until the flip.
+  std::map<std::string, std::pair<PageNo, uint64_t>> fresh;
+  std::vector<PageNo> old_pages;
+  for (const auto& [name, entry] : roots_) {
+    const RootSerde* serde = SerdeFor(entry.tag);
+    const std::string blob = serde->serialize(*db, entry.id);
+    OODB_ASSIGN_OR_RETURN(PageNo first, WriteBlob(blob));
+    fresh[name] = {first, blob.size()};
+    if (entry.first_page != 0) {
+      OODB_ASSIGN_OR_RETURN(std::vector<PageNo> chain,
+                            ChainPages(entry.first_page, entry.bytes));
+      old_pages.insert(old_pages.end(), chain.begin(), chain.end());
+    }
+  }
+  OODB_RETURN_IF_ERROR(cache_->FlushAll());
+  OODB_RETURN_IF_ERROR(file_.Sync());
+
+  // 2. Free the old chains *before* the meta write: the new bitmap
+  //    must show them free. If the flip never lands, the crash restores
+  //    the old meta, whose bitmap still holds them allocated.
+  for (PageNo p : old_pages) {
+    OODB_RETURN_IF_ERROR(allocator_->Free(p));
+  }
+  for (auto& [name, pages] : fresh) {
+    roots_[name].first_page = pages.first;
+    roots_[name].bytes = pages.second;
+  }
+
+  // 3. Atomic flip: one synced meta slot carries catalog + bitmap +
+  //    epoch + next LSN.
+  const uint64_t new_epoch = epoch_ + 1;
+  const uint64_t lsn = next_lsn();
+  OODB_RETURN_IF_ERROR(WriteMetaSlot(meta_version_ + 1, new_epoch, lsn));
+  ++meta_version_;
+  const uint64_t old_epoch = epoch_;
+  epoch_ = new_epoch;
+  next_lsn_ = lsn;
+
+  // 4. Fresh WAL epoch; the finished one becomes the archive.
+  const bool had_wal = wal_.IsOpen();
+  OODB_RETURN_IF_ERROR(wal_.Create(WalPath(new_epoch), lsn, options_.wal));
+  if (had_wal && !options_.keep_archived_wals) {
+    ::unlink(WalPath(old_epoch).c_str());
+  }
+  {
+    std::lock_guard<std::mutex> guard(log_mutex_);
+    begun_.clear();  // the gate guarantees it is already empty
+    ++stats_.checkpoints;
+  }
+  commits_since_ckpt_.store(0, std::memory_order_relaxed);
+  if (m_checkpoints_) m_checkpoints_->Increment();
+  return Status::OK();
+}
+
+// --- DurabilityHook ----------------------------------------------------
+
+bool StorageEngine::IsPersistent(ObjectId obj) const {
+  return persistent_ids_.count(obj.value) != 0;
+}
+
+Lsn StorageEngine::LogOp(uint64_t top, const std::string& txn_name,
+                         const std::string& root_name, const Invocation& inv,
+                         const Invocation* comp) {
+  std::lock_guard<std::mutex> guard(log_mutex_);
+  if (begun_.insert(top).second) {
+    WalRecord begin;
+    begin.type = WalRecordType::kBegin;
+    begin.txn = top;
+    begin.txn_name = txn_name;
+    if (!wal_.Append(std::move(begin)).ok()) {
+      ++stats_.log_failures;
+      begun_.erase(top);
+      OODB_ERROR("wal begin append failed for txn " << top);
+      return 0;
+    }
+  }
+  WalRecord rec;
+  rec.type = WalRecordType::kOp;
+  rec.txn = top;
+  rec.root = root_name;
+  rec.op = inv;
+  if (comp != nullptr) {
+    rec.has_comp = true;
+    rec.comp = *comp;
+  }
+  Result<uint64_t> lsn = wal_.Append(std::move(rec));
+  if (!lsn.ok()) {
+    ++stats_.log_failures;
+    OODB_ERROR("wal op append failed: " << lsn.status().ToString());
+    return 0;
+  }
+  return *lsn;
+}
+
+Lsn StorageEngine::OnCommit(uint64_t top) {
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> guard(log_mutex_);
+    if (begun_.erase(top) == 0) return 0;  // read-only: nothing logged
+    WalRecord rec;
+    rec.type = WalRecordType::kCommit;
+    rec.txn = top;
+    Result<uint64_t> r = wal_.Append(std::move(rec));
+    if (!r.ok()) {
+      ++stats_.log_failures;
+      OODB_ERROR("wal commit append failed: " << r.status().ToString());
+      return 0;
+    }
+    lsn = *r;
+  }
+  Status forced = wal_.Force();
+  if (!forced.ok()) {
+    std::lock_guard<std::mutex> guard(log_mutex_);
+    ++stats_.log_failures;
+    OODB_ERROR("wal force failed: " << forced.ToString());
+  }
+  commits_since_ckpt_.fetch_add(1, std::memory_order_relaxed);
+  return lsn;
+}
+
+void StorageEngine::OnAbort(uint64_t top) {
+  std::lock_guard<std::mutex> guard(log_mutex_);
+  if (begun_.erase(top) == 0) return;
+  WalRecord rec;
+  rec.type = WalRecordType::kAbort;
+  rec.txn = top;
+  if (!wal_.Append(std::move(rec)).ok()) {
+    // Harmless for correctness: recovery will treat the transaction as
+    // a loser and re-run the compensations it already ran.
+    ++stats_.log_failures;
+  }
+}
+
+void StorageEngine::MaybeCheckpoint(Database* db) {
+  if (options_.checkpoint_every_commits == 0) return;
+  if (commits_since_ckpt_.load(std::memory_order_relaxed) <
+      options_.checkpoint_every_commits) {
+    return;
+  }
+  // One checkpointer; everyone else just keeps running.
+  std::unique_lock<std::mutex> only(ckpt_mutex_, std::try_to_lock);
+  if (!only.owns_lock()) return;
+  if (commits_since_ckpt_.load(std::memory_order_relaxed) <
+      options_.checkpoint_every_commits) {
+    return;
+  }
+  Status st = Checkpoint(db);
+  if (!st.ok()) {
+    OODB_ERROR("automatic checkpoint failed: " << st.ToString());
+  }
+}
+
+// --- observability -----------------------------------------------------
+
+void StorageEngine::AttachMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  wal_.AttachMetrics(registry);
+  m_checkpoints_ =
+      registry == nullptr ? nullptr : registry->GetCounter("storage.checkpoints");
+}
+
+void StorageEngine::PublishStorageStats() {
+  if (metrics_ == nullptr) return;
+  if (cache_ != nullptr) {
+    const PageCacheStats cs = cache_->stats();
+    metrics_->SetGauge("storage.cache.hits", static_cast<int64_t>(cs.hits));
+    metrics_->SetGauge("storage.cache.misses",
+                       static_cast<int64_t>(cs.misses));
+    metrics_->SetGauge("storage.cache.evictions",
+                       static_cast<int64_t>(cs.evictions));
+    metrics_->SetGauge("storage.cache.writebacks",
+                       static_cast<int64_t>(cs.writebacks));
+    metrics_->SetGauge("storage.cache.pinned",
+                       static_cast<int64_t>(cache_->PinnedCount()));
+  }
+  if (allocator_ != nullptr) {
+    metrics_->SetGauge("storage.pages.allocated",
+                       static_cast<int64_t>(allocator_->AllocatedCount()));
+  }
+  std::lock_guard<std::mutex> guard(log_mutex_);
+  metrics_->SetGauge("storage.log_failures",
+                     static_cast<int64_t>(stats_.log_failures));
+}
+
+}  // namespace oodb

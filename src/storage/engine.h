@@ -1,0 +1,204 @@
+// StorageEngine: the persistent store under a Database.
+//
+// One engine owns one directory:
+//
+//   pages.db   paged file: two meta slots (pages 0 and 1) + data pages
+//   wal.<N>    the WAL of epoch N (records since the checkpoint that
+//              opened the epoch); older epochs are the archive
+//
+// The design is checkpoint + logical log. A *consistent* checkpoint —
+// taken while the database is quiesced through its transaction gate —
+// serializes every registered persistent root into freshly allocated
+// shadow pages, syncs, and then atomically flips the meta: the slot
+// with the higher valid version wins, and it carries the catalog
+// (root name -> page chain), the page-allocator bitmap, the epoch
+// number, and the next LSN. A crash at any byte of that sequence
+// leaves either the old image (shadow pages are simply forgotten by
+// the old bitmap) or the new one, never a mix.
+//
+// Between checkpoints the engine is the Database's DurabilityHook: it
+// logs completed root-level operations (with their registered
+// compensating invocations) to the epoch WAL and forces it at commit.
+// Restart = Open (load the winning image) + Recover (replay the epoch
+// WAL — see recovery.h) + a fresh checkpoint that opens a new epoch.
+//
+// Roots are serialized through per-type hooks (RootSerde) registered
+// by tag, so the engine knows nothing about Directory or HashIndex
+// internals; containers/persist.h provides the standard hooks.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/database.h"
+#include "cc/durability.h"
+#include "storage/page_allocator.h"
+#include "storage/page_cache.h"
+#include "storage/paged_file.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace oodb {
+
+/// How to move one root type between the object store and a byte blob.
+struct RootSerde {
+  /// State -> blob (called quiesced; may read state directly).
+  std::function<std::string(Database&, ObjectId)> serialize;
+  /// Blob -> fresh object(s) named `name` in `db`; returns the root id.
+  std::function<Result<ObjectId>(Database*, const std::string& name,
+                                 const std::string& blob)>
+      deserialize;
+  /// Canonical *semantic* dump (sorted key=value lines): two states
+  /// that dump equal are equal as abstract objects, even when internal
+  /// structure (bucket layout, object ids) differs. The crash harness
+  /// compares recovered state to its oracle with this.
+  std::function<std::string(Database&, ObjectId)> dump;
+};
+
+struct StorageEngineOptions {
+  /// Directory holding pages.db and the wal.<epoch> files (created on
+  /// Open when missing).
+  std::string dir;
+  /// Buffer-manager frames over pages.db.
+  size_t cache_frames = 64;
+  /// Data pages managed by the allocator bitmap (pages 2 .. 2+max).
+  uint64_t max_pages = 4096;
+  WalOptions wal;
+  /// Take a checkpoint after this many commits that logged records;
+  /// 0 = only explicit Checkpoint() calls and the one recovery takes.
+  uint64_t checkpoint_every_commits = 0;
+  /// Keep finished wal.<epoch> files (the archive the crash harness
+  /// replays for its committed-only oracle). Off unlinks them at
+  /// rotation.
+  bool keep_archived_wals = true;
+};
+
+struct StorageEngineStats {
+  uint64_t checkpoints = 0;
+  uint64_t log_failures = 0;  ///< WAL appends that failed (data at risk)
+};
+
+class StorageEngine : public DurabilityHook {
+ public:
+  explicit StorageEngine(StorageEngineOptions options);
+  ~StorageEngine() override;
+
+  /// Registers the serde hooks for roots tagged `tag` ("directory",
+  /// "hash-index", ...). Must precede Open.
+  Status RegisterType(const std::string& tag, RootSerde serde);
+
+  /// Opens (creating) the store and restores every checkpointed root
+  /// into `db`. Does NOT replay the WAL: create/attach any roots the
+  /// checkpoint does not know yet, then call Recover(), and only then
+  /// AttachDurability. Order matters — recovery re-executes logged
+  /// invocations and needs every root to exist.
+  Status Open(Database* db);
+
+  /// Declares `root` (already created in `db`) persistent under
+  /// `name`. No-op state: the root is written by the next checkpoint.
+  Status AttachRoot(const std::string& name, const std::string& tag,
+                    ObjectId root);
+
+  /// The id of the root checkpointed/attached as `name`, or an invalid
+  /// id when unknown.
+  ObjectId RootId(const std::string& name) const;
+  std::vector<std::string> RootNames() const;
+
+  /// Quiesces `db` and writes a consistent checkpoint: all roots to
+  /// shadow pages, meta flip, fresh WAL epoch.
+  Status Checkpoint(Database* db);
+
+  /// Semantic dump of every root (sorted by name) — the engine-level
+  /// equality oracle.
+  std::string DumpRoots(Database& db) const;
+
+  // --- DurabilityHook -------------------------------------------------
+  bool IsPersistent(ObjectId obj) const override;
+  Lsn LogOp(uint64_t top, const std::string& txn_name,
+            const std::string& root_name, const Invocation& inv,
+            const Invocation* comp) override;
+  Lsn OnCommit(uint64_t top) override;
+  void OnAbort(uint64_t top) override;
+  void MaybeCheckpoint(Database* db) override;
+
+  // --- observability ---------------------------------------------------
+
+  /// Wires wal.* metrics and keeps `registry` for checkpoint counters.
+  void AttachMetrics(MetricsRegistry* registry);
+  MetricsRegistry* metrics() const { return metrics_; }
+  /// Copies cache/allocator/engine tallies onto storage.* gauges.
+  void PublishStorageStats();
+
+  // --- introspection (recovery, harness, tests) ------------------------
+  const StorageEngineOptions& options() const { return options_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t next_lsn() const;
+  std::string WalPath(uint64_t epoch) const;
+  Wal& wal() { return wal_; }
+  PageCache* cache() { return cache_.get(); }
+  PageAllocator* allocator() { return allocator_.get(); }
+  StorageEngineStats stats() const;
+  const RootSerde* SerdeFor(const std::string& tag) const;
+
+ private:
+  struct CatalogEntry {
+    std::string tag;
+    PageNo first_page = 0;  ///< 0 = no checkpointed image yet
+    uint64_t bytes = 0;
+    ObjectId id;  ///< runtime id in the attached database
+  };
+
+  std::string EncodeMeta(uint64_t version, uint64_t epoch,
+                         uint64_t next_lsn) const;
+  Status WriteMetaSlot(uint64_t version, uint64_t epoch,
+                       uint64_t next_lsn);
+  /// Parses slot `slot`; false when absent/torn (not an error).
+  bool ReadMetaSlot(PageNo slot, uint64_t* version, std::string* payload);
+
+  /// Pages of the chain starting at `first` holding `bytes` bytes.
+  Result<std::vector<PageNo>> ChainPages(PageNo first, uint64_t bytes);
+  Result<std::string> ReadBlob(PageNo first, uint64_t bytes);
+  /// Writes `blob` into freshly allocated pages; returns the first.
+  Result<PageNo> WriteBlob(const std::string& blob);
+
+  Status CheckpointQuiesced(Database* db);
+
+  StorageEngineOptions options_;
+  PagedFile file_;
+  std::unique_ptr<PageCache> cache_;
+  std::unique_ptr<PageAllocator> allocator_;
+  Wal wal_;
+
+  std::map<std::string, RootSerde> serdes_;  ///< by tag
+  std::map<std::string, CatalogEntry> roots_;  ///< by root name (sorted)
+  /// Runtime ids of the roots; read lock-free on the hot path, so all
+  /// AttachRoot calls must precede AttachDurability.
+  std::unordered_set<uint64_t> persistent_ids_;
+
+  uint64_t meta_version_ = 0;
+  uint64_t epoch_ = 0;
+  /// Next LSN when the WAL is closed (meta value); once wal_ is open it
+  /// is the authority.
+  uint64_t next_lsn_ = 1;
+  bool opened_ = false;
+
+  /// Guards the begin-before-first-op protocol and the stats.
+  mutable std::mutex log_mutex_;
+  std::unordered_set<uint64_t> begun_;  ///< txns with a kBegin this epoch
+  StorageEngineStats stats_;
+  std::atomic<uint64_t> commits_since_ckpt_{0};
+  std::mutex ckpt_mutex_;  ///< one MaybeCheckpoint at a time
+
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* m_checkpoints_ = nullptr;
+};
+
+}  // namespace oodb

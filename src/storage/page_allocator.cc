@@ -1,0 +1,66 @@
+#include "storage/page_allocator.h"
+
+namespace oodb {
+
+PageAllocator::PageAllocator(PageNo first_page, uint64_t max_pages)
+    : first_page_(first_page), max_pages_(max_pages),
+      bitmap_((max_pages + 7) / 8, 0) {}
+
+Result<PageNo> PageAllocator::Allocate() {
+  for (uint64_t i = scan_hint_; i < max_pages_; ++i) {
+    if ((bitmap_[i / 8] & (1u << (i % 8))) == 0) {
+      bitmap_[i / 8] |= (1u << (i % 8));
+      scan_hint_ = i + 1;
+      return first_page_ + i;
+    }
+  }
+  return Status::Capacity("page store full (" +
+                          std::to_string(max_pages_) + " pages)");
+}
+
+Status PageAllocator::Free(PageNo page) {
+  if (page < first_page_ || page >= first_page_ + max_pages_) {
+    return Status::InvalidArgument("free of page " + std::to_string(page) +
+                                   " outside the data area");
+  }
+  uint64_t i = page - first_page_;
+  if ((bitmap_[i / 8] & (1u << (i % 8))) == 0) {
+    return Status::Internal("double free of page " + std::to_string(page));
+  }
+  bitmap_[i / 8] &= ~(1u << (i % 8));
+  if (i < scan_hint_) scan_hint_ = i;
+  return Status::OK();
+}
+
+bool PageAllocator::IsAllocated(PageNo page) const {
+  if (page < first_page_ || page >= first_page_ + max_pages_) return false;
+  uint64_t i = page - first_page_;
+  return (bitmap_[i / 8] & (1u << (i % 8))) != 0;
+}
+
+uint64_t PageAllocator::AllocatedCount() const {
+  uint64_t n = 0;
+  for (uint64_t i = 0; i < max_pages_; ++i) {
+    if ((bitmap_[i / 8] & (1u << (i % 8))) != 0) ++n;
+  }
+  return n;
+}
+
+std::string PageAllocator::SerializeBitmap() const {
+  return std::string(reinterpret_cast<const char*>(bitmap_.data()),
+                     bitmap_.size());
+}
+
+Status PageAllocator::LoadBitmap(const std::string& bits) {
+  if (bits.size() > bitmap_.size()) {
+    return Status::InvalidArgument("bitmap larger than the data area");
+  }
+  std::fill(bitmap_.begin(), bitmap_.end(), 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    bitmap_[i] = static_cast<uint8_t>(bits[i]);
+  }
+  scan_hint_ = 0;
+  return Status::OK();
+}
+
+}  // namespace oodb

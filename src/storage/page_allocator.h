@@ -1,0 +1,51 @@
+// PageAllocator: free-space bitmap over the data pages of one store.
+//
+// Allocation state is part of the engine's meta slot (serialized with
+// the rest of the checkpoint pointer set and made durable by the same
+// atomic meta write), so a crash between allocating pages and
+// committing the checkpoint that uses them simply forgets the
+// allocations — the shadow pages written for an unfinished checkpoint
+// are reclaimed for free.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace oodb {
+
+using PageNo = uint64_t;
+
+class PageAllocator {
+ public:
+  /// Manages pages [first_page, first_page + max_pages).
+  explicit PageAllocator(PageNo first_page, uint64_t max_pages);
+
+  /// Lowest free page, marked used; Capacity when the bitmap is full.
+  Result<PageNo> Allocate();
+
+  /// Returns `page` to the free pool. Double frees are internal errors.
+  Status Free(PageNo page);
+
+  bool IsAllocated(PageNo page) const;
+  uint64_t AllocatedCount() const;
+  uint64_t max_pages() const { return max_pages_; }
+
+  /// The raw bitmap for the meta slot (max_pages / 8 bytes).
+  std::string SerializeBitmap() const;
+
+  /// Replaces the bitmap; `bits` shorter than the bitmap leaves the
+  /// tail free. Returns InvalidArgument when longer.
+  Status LoadBitmap(const std::string& bits);
+
+ private:
+  PageNo first_page_;
+  uint64_t max_pages_;
+  std::vector<uint8_t> bitmap_;
+  PageNo scan_hint_ = 0;  ///< first possibly-free bit
+};
+
+}  // namespace oodb

@@ -1,0 +1,129 @@
+#include "storage/page_cache.h"
+
+#include "util/logging.h"
+
+namespace oodb {
+
+PageCache::PageCache(PagedFile* file, size_t frames) : file_(file) {
+  frames_.resize(frames);
+  free_.reserve(frames);
+  for (size_t i = frames; i > 0; --i) {
+    frames_[i - 1].data.resize(kPageSize);
+    free_.push_back(i - 1);
+  }
+}
+
+Result<size_t> PageCache::EvictLocked() {
+  if (!free_.empty()) {
+    size_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::Capacity("every page-cache frame is pinned (" +
+                            std::to_string(frames_.size()) + " frames)");
+  }
+  size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  if (f.dirty) {
+    OODB_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
+    ++stats_.writebacks;
+    f.dirty = false;
+  }
+  ++stats_.evictions;
+  map_.erase(f.page);
+  f.valid = false;
+  return idx;
+}
+
+Result<char*> PageCache::Pin(PageNo page) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    ++stats_.hits;
+    return f.data.data();
+  }
+  Result<size_t> idx = EvictLocked();
+  OODB_RETURN_IF_ERROR(idx.status());
+  Frame& f = frames_[*idx];
+  OODB_RETURN_IF_ERROR(file_->ReadPage(page, f.data.data()));
+  f.page = page;
+  f.valid = true;
+  f.dirty = false;
+  f.pins = 1;
+  map_[page] = *idx;
+  ++stats_.misses;
+  return f.data.data();
+}
+
+Status PageCache::Unpin(PageNo page, bool dirty) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = map_.find(page);
+  if (it == map_.end() || frames_[it->second].pins == 0) {
+    OODB_ERROR("unpin of page " << page << " that is not pinned");
+    return Status::Internal("unpin of unpinned page " +
+                            std::to_string(page));
+  }
+  Frame& f = frames_[it->second];
+  f.dirty = f.dirty || dirty;
+  if (--f.pins == 0) {
+    f.lru_pos = lru_.insert(lru_.end(), it->second);
+    f.in_lru = true;
+  }
+  return Status::OK();
+}
+
+Status PageCache::FlushAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) {
+      OODB_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
+      ++stats_.writebacks;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status PageCache::InvalidateClean() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (Frame& f : frames_) {
+    if (f.valid && (f.dirty || f.pins > 0)) {
+      return Status::Internal("invalidate would drop a " +
+                              std::string(f.dirty ? "dirty" : "pinned") +
+                              " frame (page " + std::to_string(f.page) +
+                              ")");
+    }
+  }
+  map_.clear();
+  lru_.clear();
+  free_.clear();
+  for (size_t i = frames_.size(); i > 0; --i) {
+    frames_[i - 1].valid = false;
+    frames_[i - 1].in_lru = false;
+    free_.push_back(i - 1);
+  }
+  return Status::OK();
+}
+
+size_t PageCache::PinnedCount() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  size_t n = 0;
+  for (const Frame& f : frames_) n += f.pins;
+  return n;
+}
+
+PageCacheStats PageCache::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace oodb

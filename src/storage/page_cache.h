@@ -1,0 +1,92 @@
+// PageCache: the buffer manager between the engine and the paged file.
+//
+// A fixed set of frames caches pages of one PagedFile. Callers pin a
+// page to get a stable frame pointer, mark it dirty if they wrote, and
+// unpin when done; unpinned frames are eligible for LRU eviction, and
+// evicting a dirty frame writes it back first. FlushAll force-writes
+// every dirty frame (checkpoint); nothing here calls fsync — the engine
+// decides when the file is synced.
+//
+// Thread-safe; pins on distinct pages proceed concurrently once framed,
+// but frame content access is the caller's problem (the engine only
+// touches frames single-threaded, under the checkpoint quiesce).
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/paged_file.h"
+#include "util/result.h"
+
+namespace oodb {
+
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;  ///< dirty pages written (evictions + flushes)
+};
+
+class PageCache {
+ public:
+  /// Caches pages of `file` (not owned) in `frames` frames.
+  PageCache(PagedFile* file, size_t frames);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Pins `page` and returns its frame (kPageSize bytes, stable until
+  /// the matching Unpin). Loads from the file on a miss, evicting the
+  /// least recently used unpinned frame — Capacity when every frame is
+  /// pinned. Pins nest (a pin count per frame).
+  Result<char*> Pin(PageNo page);
+
+  /// Releases one pin of `page`; `dirty` marks the frame as modified.
+  /// Unpinning a page that is not pinned is an internal error (a
+  /// pin-leak bug on the caller's side), reported loudly.
+  Status Unpin(PageNo page, bool dirty);
+
+  /// Writes every dirty frame back to the file (pinned or not — the
+  /// checkpoint runs quiesced) and clears the dirty bits.
+  Status FlushAll();
+
+  /// Drops every unpinned frame without writing (recovery restart path
+  /// after the file was rewritten underneath). Fails if dirty frames
+  /// would be lost.
+  Status InvalidateClean();
+
+  /// Total pins currently outstanding (0 = nothing leaked).
+  size_t PinnedCount() const;
+
+  size_t FrameCount() const { return frames_.size(); }
+  PageCacheStats stats() const;
+
+ private:
+  struct Frame {
+    PageNo page = 0;
+    bool valid = false;
+    bool dirty = false;
+    uint32_t pins = 0;
+    std::vector<char> data;
+    /// Position in lru_ when pins == 0 && valid.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  /// Frees a frame to hold a new page. Requires mutex_ held.
+  Result<size_t> EvictLocked();
+
+  PagedFile* file_;
+  mutable std::mutex mutex_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageNo, size_t> map_;  ///< page -> frame index
+  std::list<size_t> lru_;                   ///< unpinned frames, LRU first
+  std::vector<size_t> free_;                ///< never-used frame indexes
+  PageCacheStats stats_;
+};
+
+}  // namespace oodb

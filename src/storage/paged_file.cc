@@ -1,0 +1,76 @@
+#include "storage/paged_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace oodb {
+
+PagedFile::~PagedFile() { Close(); }
+
+Status PagedFile::Open(const std::string& path) {
+  Close();
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::Internal("open '" + path +
+                            "' failed: " + std::strerror(errno));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+void PagedFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status PagedFile::ReadPage(PageNo page, char* out) const {
+  std::memset(out, 0, kPageSize);
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(page * kPageSize));
+  if (n < 0) {
+    return Status::Internal("pread page " + std::to_string(page) +
+                            " failed: " + std::strerror(errno));
+  }
+  // Short reads at EOF keep their zero fill (never-written tail).
+  return Status::OK();
+}
+
+Status PagedFile::WritePage(PageNo page, const char* data) {
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(page * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::Internal("pwrite page " + std::to_string(page) +
+                            " failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status PagedFile::Sync(uint64_t* ns) {
+  auto start = std::chrono::steady_clock::now();
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(std::string("fsync failed: ") +
+                            std::strerror(errno));
+  }
+  if (ns != nullptr) {
+    *ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return Status::OK();
+}
+
+uint64_t PagedFile::PageCount() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return 0;
+  return (static_cast<uint64_t>(st.st_size) + kPageSize - 1) / kPageSize;
+}
+
+}  // namespace oodb

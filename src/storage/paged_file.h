@@ -1,0 +1,57 @@
+// PagedFile: fixed-size-page random access over one POSIX file.
+//
+// The zero layer of the persistent store. Pages are kPageSize bytes,
+// addressed by page number; reads of never-written pages return zero
+// bytes (the file is grown on demand). All durability flows through
+// Sync(): a crash after WritePage but before Sync may persist any
+// subset of the written bytes, which is exactly the failure model the
+// meta ping-pong slots and the WAL CRCs are built to survive.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace oodb {
+
+inline constexpr size_t kPageSize = 4096;
+using PageNo = uint64_t;
+
+class PagedFile {
+ public:
+  PagedFile() = default;
+  ~PagedFile();
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  /// Opens (creating if absent) `path` for read/write.
+  Status Open(const std::string& path);
+  void Close();
+  bool IsOpen() const { return fd_ >= 0; }
+
+  /// Reads page `page` into `out` (exactly kPageSize bytes). Pages past
+  /// the current end of file read as all zeroes.
+  Status ReadPage(PageNo page, char* out) const;
+
+  /// Writes exactly kPageSize bytes at page `page`, growing the file as
+  /// needed. Not durable until Sync().
+  Status WritePage(PageNo page, const char* data);
+
+  /// fsync. Returns the elapsed nanoseconds via `ns` when non-null.
+  Status Sync(uint64_t* ns = nullptr);
+
+  /// Pages currently backed by the file (size / kPageSize, rounded up).
+  uint64_t PageCount() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace oodb

@@ -1,0 +1,72 @@
+// Crash recovery: ARIES-shaped, but with logical (compensation-based)
+// undo, as open nesting requires.
+//
+// Recovery runs over the current epoch's WAL (everything since the last
+// consistent checkpoint — the checkpoint image itself was loaded by
+// StorageEngine::Open) in three passes:
+//
+//   Analysis   one scan sorts transactions into winners (a commit
+//              record), resolved (an abort record — their compensations
+//              already ran and were logged), and losers (neither: the
+//              crash cut them off).
+//
+//   Redo       *repeat history*: every op and CLR record re-executes in
+//              LSN order through the real method implementations —
+//              winners, resolved, and losers alike. Because conflicting
+//              root operations hold their semantic locks until top-level
+//              commit, WAL order agrees with the dependency order, and
+//              replaying it serially reconstructs exactly the pre-crash
+//              object state (page images are never logged or replayed).
+//
+//   Undo       each loser's compensations run in reverse LSN order
+//              across all losers — the same invocations a live abort
+//              would have executed. Every applied compensation appends
+//              a CLR naming the op LSN it undoes, so a crash during
+//              recovery resumes where it left off instead of undoing
+//              twice; a loser's already-logged runtime compensations
+//              (from a partial abort that was mid-flight at the crash)
+//              are themselves ops of the loser and get compensated
+//              back, netting out correctly.
+//
+// Recovery finishes with a fresh checkpoint, which rotates the WAL
+// epoch and makes the recovered state the new durable image.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cc/database.h"
+#include "obs/metrics.h"
+#include "storage/engine.h"
+
+namespace oodb {
+
+struct RecoveryOptions {
+  /// Test hook simulating a crash *during recovery*: stop (returning
+  /// Aborted) after appending this many CLRs. 0 = off.
+  uint64_t stop_after_clrs = 0;
+};
+
+struct RecoveryStats {
+  uint64_t scanned_records = 0;
+  uint64_t torn_bytes = 0;  ///< dropped from the WAL tail
+  uint64_t winners = 0;
+  uint64_t resolved = 0;  ///< cleanly aborted before the crash
+  uint64_t losers = 0;
+  uint64_t redo_records = 0;  ///< op + CLR records re-executed
+  uint64_t undo_records = 0;  ///< compensations applied (CLRs appended)
+  uint64_t unundoable = 0;    ///< loser ops that had no compensation
+
+  /// Copies the values onto recovery.* gauges.
+  void PublishTo(MetricsRegistry* registry) const;
+};
+
+/// Replays the current epoch's WAL into `db` and checkpoints. Call
+/// after StorageEngine::Open and after every persistent root has been
+/// created/attached; attach the engine as the database's durability
+/// hook only *afterwards* (recovery's own replay transactions must not
+/// be re-logged).
+Status Recover(StorageEngine* engine, Database* db,
+               RecoveryStats* stats = nullptr, RecoveryOptions options = {});
+
+}  // namespace oodb

@@ -1,0 +1,157 @@
+// Binary (de)serialization for durable state: WAL record payloads,
+// checkpoint blobs, and the page-store metadata.
+//
+// The format is deliberately dumb — little-endian fixed-width integers
+// and length-prefixed byte strings — so a blob written by one build is
+// readable by any other and a torn tail is detected by running off the
+// end (every Read* reports failure instead of faulting).
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "model/invocation.h"
+#include "model/value.h"
+
+namespace oodb {
+
+/// Appends fixed-width little-endian scalars and length-prefixed strings
+/// to a byte buffer.
+class BlobWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(char((v >> (8 * i)) & 0xff));
+  }
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(char((v >> (8 * i)) & 0xff));
+  }
+
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  /// Tagged Value: 0 none, 1 int, 2 string.
+  void Val(const Value& v) {
+    if (v.IsInt()) {
+      U8(1);
+      U64(static_cast<uint64_t>(v.AsInt()));
+    } else if (v.IsString()) {
+      U8(2);
+      Str(v.AsString());
+    } else {
+      U8(0);
+    }
+  }
+
+  void Invoke(const Invocation& inv) {
+    Str(inv.method);
+    U32(static_cast<uint32_t>(inv.params.size()));
+    for (const Value& v : inv.params) Val(v);
+  }
+
+  const std::string& blob() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads a BlobWriter buffer back. Every reader returns false on
+/// truncated or malformed input and leaves the cursor unspecified; the
+/// caller treats that as a torn record.
+class BlobReader {
+ public:
+  explicit BlobReader(const std::string& blob) : blob_(blob) {}
+  BlobReader(const char* data, size_t size) : blob_(data, size) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > blob_.size()) return false;
+    *v = static_cast<uint8_t>(blob_[pos_++]);
+    return true;
+  }
+
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > blob_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= uint32_t(uint8_t(blob_[pos_++])) << (8 * i);
+    }
+    return true;
+  }
+
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > blob_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= uint64_t(uint8_t(blob_[pos_++])) << (8 * i);
+    }
+    return true;
+  }
+
+  bool Str(std::string* s) {
+    uint32_t n;
+    if (!U32(&n) || pos_ + n > blob_.size()) return false;
+    s->assign(blob_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool Val(Value* v) {
+    uint8_t tag;
+    if (!U8(&tag)) return false;
+    switch (tag) {
+      case 0:
+        *v = Value();
+        return true;
+      case 1: {
+        uint64_t i;
+        if (!U64(&i)) return false;
+        *v = Value(static_cast<int64_t>(i));
+        return true;
+      }
+      case 2: {
+        std::string s;
+        if (!Str(&s)) return false;
+        *v = Value(std::move(s));
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  bool Invoke(Invocation* inv) {
+    uint32_t n;
+    if (!Str(&inv->method) || !U32(&n)) return false;
+    inv->params.clear();
+    inv->params.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Value v;
+      if (!Val(&v)) return false;
+      inv->params.push_back(std::move(v));
+    }
+    return true;
+  }
+
+  bool Done() const { return pos_ == blob_.size(); }
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string blob_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (the zlib polynomial, bit-reflected) over `data`. Guards every
+/// WAL record and the page-store meta slots against torn writes.
+uint32_t Crc32(const char* data, size_t size);
+inline uint32_t Crc32(const std::string& s) {
+  return Crc32(s.data(), s.size());
+}
+
+}  // namespace oodb

@@ -1,0 +1,123 @@
+// oodb_crash: the crash-recovery harness CLI.
+//
+//   oodb_crash [--dir=PATH] [--seed=N] [--txns=N] [--threads=N]
+//              [--crash-after=N] [--checkpoint-every=N] [--post-txns=N]
+//              [--sweep=A:B[:STEP]] [--verbose]
+//
+// One run forks a child workload, SIGKILLs it after the Nth WAL append,
+// recovers the store, and verifies the recovered state against a
+// committed-only oracle (see workload/crash_harness.h). --sweep repeats
+// the run for every crash point in [A, B] (step STEP, default 1), each
+// in its own store directory under --dir. Exit status: 0 when every
+// point passed, 1 otherwise.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workload/crash_harness.h"
+
+namespace {
+
+bool ParseU64(const std::string& arg, const char* prefix, uint64_t* out) {
+  const std::string p = prefix;
+  if (arg.rfind(p, 0) != 0) return false;
+  *out = std::strtoull(arg.c_str() + p.size(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oodb::CrashHarnessConfig config;
+  config.dir = "/tmp/oodb_crash";
+  uint64_t sweep_from = 0, sweep_to = 0, sweep_step = 1;
+  bool sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t v = 0;
+    if (arg.rfind("--dir=", 0) == 0) {
+      config.dir = arg.substr(6);
+    } else if (ParseU64(arg, "--seed=", &v)) {
+      config.seed = v;
+    } else if (ParseU64(arg, "--txns=", &v)) {
+      config.txns = static_cast<size_t>(v);
+    } else if (ParseU64(arg, "--threads=", &v)) {
+      config.threads = static_cast<size_t>(v);
+    } else if (ParseU64(arg, "--crash-after=", &v)) {
+      config.crash_after_appends = static_cast<int64_t>(v);
+    } else if (ParseU64(arg, "--checkpoint-every=", &v)) {
+      config.checkpoint_every_commits = v;
+    } else if (ParseU64(arg, "--post-txns=", &v)) {
+      config.post_txns = static_cast<size_t>(v);
+    } else if (arg.rfind("--sweep=", 0) == 0) {
+      sweep = true;
+      const std::string spec = arg.substr(8);
+      const size_t c1 = spec.find(':');
+      if (c1 == std::string::npos) {
+        sweep_from = 1;
+        sweep_to = std::strtoull(spec.c_str(), nullptr, 10);
+      } else {
+        sweep_from = std::strtoull(spec.substr(0, c1).c_str(), nullptr, 10);
+        const size_t c2 = spec.find(':', c1 + 1);
+        if (c2 == std::string::npos) {
+          sweep_to = std::strtoull(spec.c_str() + c1 + 1, nullptr, 10);
+        } else {
+          sweep_to = std::strtoull(
+              spec.substr(c1 + 1, c2 - c1 - 1).c_str(), nullptr, 10);
+          sweep_step = std::strtoull(spec.c_str() + c2 + 1, nullptr, 10);
+          if (sweep_step == 0) sweep_step = 1;
+        }
+      }
+    } else if (arg == "--verbose") {
+      config.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: oodb_crash [--dir=PATH] [--seed=N] [--txns=N]\n"
+          "                  [--threads=N] [--crash-after=N]\n"
+          "                  [--checkpoint-every=N] [--post-txns=N]\n"
+          "                  [--sweep=A:B[:STEP]] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "oodb_crash: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  if (!sweep) {
+    const std::string cmd = "rm -rf " + config.dir;
+    (void)std::system(cmd.c_str());
+    oodb::CrashHarnessReport report = oodb::CrashHarness::Run(config);
+    std::printf("crash-after=%lld %s\n",
+                static_cast<long long>(config.crash_after_appends),
+                report.Row().c_str());
+    failures += report.ok() ? 0 : 1;
+  } else {
+    const std::string base = config.dir;
+    ::mkdir(base.c_str(), 0755);
+    for (uint64_t point = sweep_from; point <= sweep_to;
+         point += sweep_step) {
+      oodb::CrashHarnessConfig point_config = config;
+      point_config.dir = base + "/p" + std::to_string(point);
+      point_config.crash_after_appends = static_cast<int64_t>(point);
+      const std::string cmd = "rm -rf " + point_config.dir;
+      (void)std::system(cmd.c_str());
+      oodb::CrashHarnessReport report =
+          oodb::CrashHarness::Run(point_config);
+      std::printf("crash-after=%llu %s\n",
+                  static_cast<unsigned long long>(point),
+                  report.Row().c_str());
+      std::fflush(stdout);
+      if (!report.ok()) ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "oodb_crash: %d crash point(s) FAILED\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "analysis/lock_conformance.h"
 #include "analysis/memo_honesty.h"
 #include "analysis/spec_soundness.h"
+#include "analysis/undo_completeness.h"
 #include "apps/bank.h"
 #include "apps/document.h"
 #include "apps/encyclopedia.h"
@@ -30,6 +31,7 @@ using analysis::BuildTypeCorpus;
 using analysis::CheckLockConformance;
 using analysis::CheckMemoHonesty;
 using analysis::CheckSpecSoundness;
+using analysis::CheckUndoCompleteness;
 using analysis::Diagnostic;
 using analysis::HonestyOptions;
 using analysis::LockConformanceOptions;
@@ -65,7 +67,7 @@ class AsymmetricSpec : public CommutativitySpec {
 TEST(SpecSoundness, AsymmetricSpecIsCaught) {
   ObjectType type("BadSym", std::make_unique<AsymmetricSpec>());
   Database db;
-  db.Register(&type, "r", NoOp, {.observer = true});
+  db.Register(&type, "r", NoOp, {.observer = true, .calls = {}, .samples = {}, .compensations = {}});
   db.Register(&type, "w", NoOp);
   const TypeCorpus corpus = BuildTypeCorpus(&type, db.registry());
   const auto diags = CheckSpecSoundness(corpus);
@@ -76,7 +78,7 @@ TEST(SpecSoundness, AsymmetricSpecIsCaught) {
 TEST(SpecSoundness, UnknownMethodLeakIsCaught) {
   ObjectType type("TooOpen", std::make_unique<AlwaysCommutes>());
   Database db;
-  db.Register(&type, "r", NoOp, {.observer = true});
+  db.Register(&type, "r", NoOp, {.observer = true, .calls = {}, .samples = {}, .compensations = {}});
   const TypeCorpus corpus = BuildTypeCorpus(&type, db.registry());
   const auto diags = CheckSpecSoundness(corpus);
   EXPECT_TRUE(HasDiagnostic(diags, Severity::kWarning, "spec-soundness",
@@ -89,7 +91,7 @@ TEST(SpecSoundness, PrimitiveObserverConflictIsCaught) {
   ObjectType type("Sulky", std::make_unique<NeverCommutes>(),
                   /*primitive=*/true);
   Database db;
-  db.Register(&type, "peek", NoOp, {.observer = true});
+  db.Register(&type, "peek", NoOp, {.observer = true, .calls = {}, .samples = {}, .compensations = {}});
   const TypeCorpus corpus = BuildTypeCorpus(&type, db.registry());
   const auto diags = CheckSpecSoundness(corpus);
   EXPECT_TRUE(HasDiagnostic(diags, Severity::kWarning, "spec-soundness",
@@ -134,7 +136,9 @@ TEST(MemoHonesty, MisdeclaredStateDependentSpecIsCaught) {
   ObjectType type("Liar", std::make_unique<LyingStatefulSpec>(&gate));
   Database db;
   db.Register(&type, "m", NoOp,
-              {.samples = {{Value(1)}, {Value(2)}}});
+              {.calls = {},
+               .samples = {{Value(1)}, {Value(2)}},
+               .compensations = {}});
   const TypeCorpus corpus = BuildTypeCorpus(&type, db.registry());
 
   // Without perturbations the lie is invisible (the state is quiet).
@@ -166,7 +170,9 @@ TEST(MemoHonesty, ParameterDependentMethodPairSpecIsCaught) {
   ObjectType type("KeyedLiar", std::make_unique<LyingKeyedSpec>());
   Database db;
   db.Register(&type, "put", NoOp,
-              {.samples = {{Value("k1")}, {Value("k2")}}});
+              {.calls = {},
+               .samples = {{Value("k1")}, {Value("k2")}},
+               .compensations = {}});
   const TypeCorpus corpus = BuildTypeCorpus(&type, db.registry());
   EXPECT_TRUE(HasDiagnostic(CheckMemoHonesty(corpus), Severity::kError,
                             "memo-honesty", "kMethodPair"));
@@ -198,7 +204,7 @@ std::unique_ptr<MatrixCommutativity> ReadOnlyMatrix() {
 TEST(LockConformance, ShippedConfigurationConforms) {
   ObjectType type("Plain", ReadOnlyMatrix());
   Database db;
-  db.Register(&type, "r", NoOp, {.observer = true});
+  db.Register(&type, "r", NoOp, {.observer = true, .calls = {}, .samples = {}, .compensations = {}});
   db.Register(&type, "w", NoOp);
   const TypeCorpus corpus = BuildTypeCorpus(&type, db.registry());
   EXPECT_TRUE(CheckLockConformance(corpus).empty());
@@ -207,7 +213,7 @@ TEST(LockConformance, ShippedConfigurationConforms) {
 TEST(LockConformance, DivergingLockTableIsCaught) {
   ObjectType type("Diverge", ReadOnlyMatrix());
   Database db;
-  db.Register(&type, "r", NoOp, {.observer = true});
+  db.Register(&type, "r", NoOp, {.observer = true, .calls = {}, .samples = {}, .compensations = {}});
   db.Register(&type, "w", NoOp);
   const TypeCorpus corpus = BuildTypeCorpus(&type, db.registry());
 
@@ -232,7 +238,7 @@ TEST(LockConformance, DivergingLockTableIsCaught) {
 TEST(LockConformance, ReferenceInjectionThroughAnalyzer) {
   ObjectType type("Diverge2", ReadOnlyMatrix());
   Database db;
-  db.Register(&type, "r", NoOp, {.observer = true});
+  db.Register(&type, "r", NoOp, {.observer = true, .calls = {}, .samples = {}, .compensations = {}});
   NeverCommutes strict;
   AnalyzerOptions options;
   options.lock_references["Diverge2"] = &strict;
@@ -250,13 +256,18 @@ TEST(CallGraph, SchemaRotIsCaught) {
   Database db;
   // Dangling type and dangling method.
   db.Register(&caller, "m", NoOp,
-              {.calls = {{"Ghost", "g"}, {"Prim", "nope"}}});
+              {.calls = {{"Ghost", "g"}, {"Prim", "nope"}},
+               .samples = {},
+               .compensations = {}});
   // Def 3 violation: a primitive type with outgoing calls.
-  db.Register(&prim, "p", NoOp, {.calls = {{"Caller", "m"}}});
+  db.Register(&prim, "p", NoOp,
+              {.calls = {{"Caller", "m"}},
+               .samples = {},
+               .compensations = {}});
   // Implementation without declared traits.
   db.Register(&caller, "untraced", NoOp);
   // Traits without implementation (stale schema entry).
-  db.DeclareTraits(&caller, "removed", {.observer = true});
+  db.DeclareTraits(&caller, "removed", {.observer = true, .calls = {}, .samples = {}, .compensations = {}});
 
   const auto result = analysis::AnalyzeCallGraph(db.registry());
   EXPECT_TRUE(HasDiagnostic(result.diagnostics, Severity::kError,
@@ -275,9 +286,11 @@ TEST(CallGraph, TransitiveSelfReachIsADef5Note) {
   ObjectType a("A", ReadOnlyMatrix());
   ObjectType b("B", ReadOnlyMatrix());
   Database db;
-  db.Register(&a, "m", NoOp, {.calls = {{"B", "n"}}});
+  db.Register(&a, "m", NoOp,
+              {.calls = {{"B", "n"}}, .samples = {}, .compensations = {}});
   db.Register(&a, "k", NoOp);
-  db.Register(&b, "n", NoOp, {.calls = {{"A", "k"}}});
+  db.Register(&b, "n", NoOp,
+              {.calls = {{"A", "k"}}, .samples = {}, .compensations = {}});
 
   const auto result = analysis::AnalyzeCallGraph(db.registry());
   EXPECT_TRUE(HasDiagnostic(result.diagnostics, Severity::kNote,
@@ -291,6 +304,88 @@ TEST(CallGraph, TransitiveSelfReachIsADef5Note) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+// --- pass 5: undo completeness ---------------------------------------
+
+TEST(UndoCompleteness, NakedMutatorIsAnError) {
+  ObjectType type("NoUndo", ReadOnlyMatrix());
+  Database db;
+  // A mutator with neither a compensation list nor an undo_free waiver:
+  // a loser transaction's effect would survive recovery.
+  db.Register(&type, "w", NoOp,
+              {.calls = {}, .samples = {{}}, .compensations = {}});
+  const TypeCorpus corpus = BuildTypeCorpus(&type, db.registry());
+  EXPECT_TRUE(HasDiagnostic(CheckUndoCompleteness(corpus), Severity::kError,
+                            "undo-completeness",
+                            "would survive crash recovery"));
+}
+
+TEST(UndoCompleteness, DeclaredInverseAndWaiverPassClean) {
+  ObjectType type("Undoable", ReadOnlyMatrix());
+  Database db;
+  db.Register(&type, "ins", NoOp,
+              {.calls = {}, .samples = {{}}, .compensations = {"del"}});
+  db.Register(&type, "del", NoOp,
+              {.calls = {},
+               .samples = {{}},
+               .compensations = {"ins"},
+               .undo_free = true});  // deleting an absent key is a no-op
+  const auto diags =
+      CheckUndoCompleteness(BuildTypeCorpus(&type, db.registry()));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.severity, Severity::kNote) << d.ToString();
+  }
+}
+
+TEST(UndoCompleteness, CompensationOnlyMutatorIsANote) {
+  ObjectType type("Queueish", ReadOnlyMatrix());
+  Database db;
+  db.Register(&type, "enq", NoOp,
+              {.calls = {}, .samples = {{}}, .compensations = {"cancel"}});
+  // cancel exists only to undo enq; recovery never undoes undo actions
+  // (they replay as CLRs), so the missing compensation is by design.
+  db.Register(&type, "cancel", NoOp,
+              {.calls = {}, .samples = {{}}, .compensations = {}});
+  const auto diags =
+      CheckUndoCompleteness(BuildTypeCorpus(&type, db.registry()));
+  EXPECT_TRUE(HasDiagnostic(diags, Severity::kNote, "undo-completeness",
+                            "declared compensation of 'enq'"));
+  for (const Diagnostic& d : diags) {
+    EXPECT_NE(d.severity, Severity::kError) << d.ToString();
+  }
+}
+
+TEST(UndoCompleteness, BogusCompensationTargetsAreErrors) {
+  ObjectType type("BadComp", ReadOnlyMatrix());
+  Database db;
+  db.Register(&type, "w", NoOp,
+              {.calls = {}, .samples = {{}}, .compensations = {"ghost"}});
+  db.Register(&type, "w2", NoOp,
+              {.calls = {}, .samples = {{}}, .compensations = {"r"}});
+  db.Register(&type, "r", NoOp,
+              {.observer = true, .calls = {}, .samples = {{}},
+               .compensations = {}});
+  const auto diags =
+      CheckUndoCompleteness(BuildTypeCorpus(&type, db.registry()));
+  EXPECT_TRUE(HasDiagnostic(diags, Severity::kError, "undo-completeness",
+                            "not a registered method"));
+  EXPECT_TRUE(HasDiagnostic(diags, Severity::kError, "undo-completeness",
+                            "is an observer"));
+}
+
+TEST(UndoCompleteness, ObserverWithCompensationsIsAWarning) {
+  ObjectType type("OddObs", ReadOnlyMatrix());
+  Database db;
+  db.Register(&type, "r", NoOp,
+              {.observer = true, .calls = {}, .samples = {{}},
+               .compensations = {"w"}});
+  db.Register(&type, "w", NoOp,
+              {.calls = {}, .samples = {{}}, .compensations = {"w"}});
+  const auto diags =
+      CheckUndoCompleteness(BuildTypeCorpus(&type, db.registry()));
+  EXPECT_TRUE(HasDiagnostic(diags, Severity::kWarning, "undo-completeness",
+                            "nothing to undo"));
 }
 
 // --- the shipped schemas ---------------------------------------------

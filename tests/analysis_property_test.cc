@@ -59,7 +59,9 @@ TEST(MemoHonestyProperty, MisdeclaredSpecIsCaughtAcrossRandomSchemas) {
       // Random-length names vary which pairs commute at baseline.
       std::string name(1 + rng.NextBelow(6), 'a' + char(m));
       db.Register(&type, name, NoOp,
-                  {.samples = {{Value(int64_t(rng.NextBelow(100)))}}});
+                  {.calls = {},
+                   .samples = {{Value(int64_t(rng.NextBelow(100)))}},
+                   .compensations = {}});
     }
     HonestyOptions options;
     options.state_perturbations.push_back([&counter] { ++counter; });
@@ -104,7 +106,9 @@ TEST(CorpusProperty, MutationPreservesArityAndKinds) {
         EXPECT_FALSE(params[i] == mutated[i]);
       }
     }
-    if (mutable_slot) EXPECT_FALSE(params == mutated);
+    if (mutable_slot) {
+      EXPECT_FALSE(params == mutated);
+    }
   }
 }
 

@@ -1,0 +1,200 @@
+// Buffer manager and page allocator: pin/unpin discipline, LRU
+// eviction with dirty writeback, capacity pressure, and the allocator
+// bitmap round trip.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "storage/page_allocator.h"
+#include "storage/page_cache.h"
+#include "storage/paged_file.h"
+
+namespace oodb {
+namespace {
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/oodb_page_cache_test_" + std::to_string(::getpid());
+    std::remove(path_.c_str());
+    ASSERT_TRUE(file_.Open(path_).ok());
+  }
+  void TearDown() override {
+    file_.Close();
+    std::remove(path_.c_str());
+  }
+
+  void WriteThrough(PageCache* cache, PageNo page, char fill) {
+    auto frame = cache->Pin(page);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    std::memset(*frame, fill, kPageSize);
+    ASSERT_TRUE(cache->Unpin(page, /*dirty=*/true).ok());
+  }
+
+  std::string path_;
+  PagedFile file_;
+};
+
+TEST_F(PageCacheTest, MissLoadsFromFileAndPinNests) {
+  char buf[kPageSize];
+  std::memset(buf, 'a', kPageSize);
+  ASSERT_TRUE(file_.WritePage(3, buf).ok());
+
+  PageCache cache(&file_, /*frames=*/4);
+  auto frame = cache.Pin(3);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)[0], 'a');
+  EXPECT_EQ((*frame)[kPageSize - 1], 'a');
+
+  // A second pin of the same page is a hit on the same frame.
+  auto again = cache.Pin(3);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*frame, *again);
+  EXPECT_EQ(cache.PinnedCount(), 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  ASSERT_TRUE(cache.Unpin(3, false).ok());
+  ASSERT_TRUE(cache.Unpin(3, false).ok());
+  EXPECT_EQ(cache.PinnedCount(), 0u);
+
+  // Never-written pages read as zeroes through the cache too.
+  auto zero = cache.Pin(9);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ((*zero)[17], 0);
+  ASSERT_TRUE(cache.Unpin(9, false).ok());
+}
+
+TEST_F(PageCacheTest, LruEvictionWritesBackDirtyFrames) {
+  PageCache cache(&file_, /*frames=*/2);
+  WriteThrough(&cache, 0, 'x');
+  WriteThrough(&cache, 1, 'y');
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Page 0 is the LRU victim; its dirty frame must hit the file before
+  // page 2 takes the frame.
+  WriteThrough(&cache, 2, 'z');
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_GE(cache.stats().writebacks, 1u);
+
+  char buf[kPageSize];
+  ASSERT_TRUE(file_.ReadPage(0, buf).ok());
+  EXPECT_EQ(buf[0], 'x');
+  EXPECT_EQ(buf[kPageSize - 1], 'x');
+
+  // Re-pinning page 0 is a miss that reloads the written-back bytes.
+  auto frame = cache.Pin(0);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)[100], 'x');
+  ASSERT_TRUE(cache.Unpin(0, false).ok());
+}
+
+TEST_F(PageCacheTest, AllFramesPinnedIsCapacity) {
+  PageCache cache(&file_, /*frames=*/2);
+  ASSERT_TRUE(cache.Pin(0).ok());
+  ASSERT_TRUE(cache.Pin(1).ok());
+  auto full = cache.Pin(2);
+  EXPECT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), StatusCode::kCapacity);
+
+  // Releasing one pin frees a victim frame.
+  ASSERT_TRUE(cache.Unpin(1, false).ok());
+  EXPECT_TRUE(cache.Pin(2).ok());
+  ASSERT_TRUE(cache.Unpin(0, false).ok());
+  ASSERT_TRUE(cache.Unpin(2, false).ok());
+}
+
+TEST_F(PageCacheTest, UnpinWithoutPinIsInternalError) {
+  PageCache cache(&file_, 2);
+  EXPECT_FALSE(cache.Unpin(5, false).ok());
+  auto frame = cache.Pin(5);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(cache.Unpin(5, false).ok());
+  EXPECT_FALSE(cache.Unpin(5, false).ok());
+}
+
+TEST_F(PageCacheTest, FlushAllThenInvalidateClean) {
+  PageCache cache(&file_, 4);
+  WriteThrough(&cache, 0, 'p');
+  WriteThrough(&cache, 1, 'q');
+
+  // Dirty frames may not be invalidated away...
+  EXPECT_FALSE(cache.InvalidateClean().ok());
+
+  // ...but after a flush they are clean and droppable.
+  ASSERT_TRUE(cache.FlushAll().ok());
+  EXPECT_GE(cache.stats().writebacks, 2u);
+  ASSERT_TRUE(cache.InvalidateClean().ok());
+
+  // The file was rewritten underneath (recovery restart); the cache
+  // must reload, not serve stale frames.
+  char buf[kPageSize];
+  std::memset(buf, 'R', kPageSize);
+  ASSERT_TRUE(file_.WritePage(0, buf).ok());
+  auto frame = cache.Pin(0);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)[0], 'R');
+  ASSERT_TRUE(cache.Unpin(0, false).ok());
+}
+
+TEST(PageAllocatorTest, AllocateLowestFreeAndFree) {
+  PageAllocator alloc(/*first_page=*/4, /*max_pages=*/16);
+  EXPECT_EQ(alloc.AllocatedCount(), 0u);
+  EXPECT_EQ(*alloc.Allocate(), 4u);
+  EXPECT_EQ(*alloc.Allocate(), 5u);
+  EXPECT_EQ(*alloc.Allocate(), 6u);
+  EXPECT_TRUE(alloc.IsAllocated(5));
+  ASSERT_TRUE(alloc.Free(5).ok());
+  EXPECT_FALSE(alloc.IsAllocated(5));
+  // Lowest-free discipline: the hole is reused before fresh pages.
+  EXPECT_EQ(*alloc.Allocate(), 5u);
+  EXPECT_EQ(alloc.AllocatedCount(), 3u);
+
+  // Double free is a loud internal error.
+  ASSERT_TRUE(alloc.Free(6).ok());
+  EXPECT_FALSE(alloc.Free(6).ok());
+}
+
+TEST(PageAllocatorTest, ExhaustionIsCapacity) {
+  PageAllocator alloc(0, 3);
+  EXPECT_TRUE(alloc.Allocate().ok());
+  EXPECT_TRUE(alloc.Allocate().ok());
+  EXPECT_TRUE(alloc.Allocate().ok());
+  auto full = alloc.Allocate();
+  EXPECT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), StatusCode::kCapacity);
+  ASSERT_TRUE(alloc.Free(1).ok());
+  EXPECT_EQ(*alloc.Allocate(), 1u);
+}
+
+TEST(PageAllocatorTest, BitmapRoundTrip) {
+  PageAllocator alloc(2, 24);
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(alloc.Allocate().ok());
+  ASSERT_TRUE(alloc.Free(4).ok());
+  std::string bits = alloc.SerializeBitmap();
+  EXPECT_EQ(bits.size(), 24u / 8);
+
+  PageAllocator other(2, 24);
+  ASSERT_TRUE(other.LoadBitmap(bits).ok());
+  EXPECT_EQ(other.AllocatedCount(), alloc.AllocatedCount());
+  for (PageNo p = 2; p < 2 + 24; ++p) {
+    EXPECT_EQ(other.IsAllocated(p), alloc.IsAllocated(p)) << p;
+  }
+  // The reloaded allocator continues the same lowest-free order.
+  EXPECT_EQ(*other.Allocate(), *alloc.Allocate());
+
+  // Shorter bitmap leaves the tail free; longer is rejected.
+  PageAllocator shorter(2, 24);
+  ASSERT_TRUE(shorter.LoadBitmap(bits.substr(0, 1)).ok());
+  EXPECT_LE(shorter.AllocatedCount(), 8u);
+  PageAllocator longer(2, 8);
+  EXPECT_EQ(longer.LoadBitmap(bits).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace oodb

@@ -1,0 +1,188 @@
+// WAL: append/scan round trips, torn-tail detection, LSN continuity
+// across reopen, and the fsync metric.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/wal.h"
+
+namespace oodb {
+namespace {
+
+std::string TempWalPath(const char* tag) {
+  std::string path = "/tmp/oodb_wal_test_" + std::string(tag) + "_" +
+                     std::to_string(::getpid());
+  std::remove(path.c_str());
+  return path;
+}
+
+WalRecord OpRecord(uint64_t txn, const std::string& root) {
+  WalRecord rec;
+  rec.type = WalRecordType::kOp;
+  rec.txn = txn;
+  rec.root = root;
+  rec.op = Invocation("insert", {Value("k"), Value("v")});
+  rec.has_comp = true;
+  rec.comp = Invocation("remove", {Value("k")});
+  return rec;
+}
+
+TEST(WalTest, AppendScanRoundTripAllTypes) {
+  const std::string path = TempWalPath("roundtrip");
+  Wal wal;
+  ASSERT_TRUE(wal.Create(path, /*first_lsn=*/10).ok());
+
+  WalRecord begin;
+  begin.type = WalRecordType::kBegin;
+  begin.txn = 1;
+  begin.txn_name = "T1";
+  ASSERT_EQ(*wal.Append(begin), 10u);
+  ASSERT_EQ(*wal.Append(OpRecord(1, "D")), 11u);
+  WalRecord clr;
+  clr.type = WalRecordType::kClr;
+  clr.txn = 1;
+  clr.root = "D";
+  clr.comp = Invocation("remove", {Value("k")});
+  clr.undoes_lsn = 11;
+  ASSERT_EQ(*wal.Append(clr), 12u);
+  WalRecord commit;
+  commit.type = WalRecordType::kCommit;
+  commit.txn = 1;
+  ASSERT_EQ(*wal.Append(commit), 13u);
+  WalRecord abort;
+  abort.type = WalRecordType::kAbort;
+  abort.txn = 2;
+  ASSERT_EQ(*wal.Append(abort), 14u);
+  ASSERT_TRUE(wal.Force().ok());
+  EXPECT_EQ(wal.next_lsn(), 15u);
+  EXPECT_EQ(wal.appended_records(), 5u);
+  wal.Close();
+
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0, next_lsn = 0;
+  ASSERT_TRUE(Wal::Scan(path, &records, &valid_bytes, &next_lsn).ok());
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(next_lsn, 15u);
+  EXPECT_EQ(records[0].type, WalRecordType::kBegin);
+  EXPECT_EQ(records[0].txn_name, "T1");
+  EXPECT_EQ(records[1].type, WalRecordType::kOp);
+  EXPECT_EQ(records[1].root, "D");
+  EXPECT_EQ(records[1].op.method, "insert");
+  ASSERT_EQ(records[1].op.params.size(), 2u);
+  EXPECT_EQ(records[1].op.params[1].AsString(), "v");
+  EXPECT_TRUE(records[1].has_comp);
+  EXPECT_EQ(records[1].comp.method, "remove");
+  EXPECT_EQ(records[2].type, WalRecordType::kClr);
+  EXPECT_EQ(records[2].undoes_lsn, 11u);
+  EXPECT_EQ(records[3].type, WalRecordType::kCommit);
+  EXPECT_EQ(records[4].type, WalRecordType::kAbort);
+
+  // valid_bytes counts the record region; the 16-byte header precedes it.
+  struct ::stat st;
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  EXPECT_EQ(valid_bytes + 16, static_cast<uint64_t>(st.st_size));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ScanStopsAtTornTail) {
+  const std::string path = TempWalPath("torn");
+  Wal wal;
+  ASSERT_TRUE(wal.Create(path, 1).ok());
+  ASSERT_TRUE(wal.Append(OpRecord(1, "D")).ok());
+  ASSERT_TRUE(wal.Append(OpRecord(1, "D")).ok());
+  wal.Close();
+
+  uint64_t full_bytes = 0;
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(Wal::Scan(path, &records, &full_bytes).ok());
+  ASSERT_EQ(records.size(), 2u);
+
+  // Chop the last record in half: the crash's torn tail. Offsets from
+  // Scan are relative to the 16-byte file header.
+  ASSERT_EQ(::truncate(path.c_str(), 16 + full_bytes - 5), 0);
+  records.clear();
+  uint64_t valid_bytes = 0, next_lsn = 0;
+  ASSERT_TRUE(Wal::Scan(path, &records, &valid_bytes, &next_lsn).ok());
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(next_lsn, 2u);
+  EXPECT_LT(valid_bytes, full_bytes);
+
+  // A flipped payload byte is a CRC mismatch, same cutoff.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(16 + valid_bytes) + 10);
+    f.put('\xff');
+  }
+  records.clear();
+  uint64_t valid2 = 0;
+  ASSERT_TRUE(Wal::Scan(path, &records, &valid2).ok());
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(valid2, valid_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, OpenForAppendResumesAfterTornTail) {
+  const std::string path = TempWalPath("resume");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Create(path, 1).ok());
+    ASSERT_TRUE(wal.Append(OpRecord(1, "D")).ok());
+    ASSERT_TRUE(wal.Append(OpRecord(2, "D")).ok());
+    wal.Close();
+  }
+  std::vector<WalRecord> records;
+  uint64_t full_bytes = 0;
+  ASSERT_TRUE(Wal::Scan(path, &records, &full_bytes).ok());
+  ASSERT_EQ(::truncate(path.c_str(), 16 + full_bytes - 3), 0);
+
+  records.clear();
+  uint64_t valid_bytes = 0, next_lsn = 0;
+  ASSERT_TRUE(Wal::Scan(path, &records, &valid_bytes, &next_lsn).ok());
+  ASSERT_EQ(records.size(), 1u);
+
+  Wal wal;
+  ASSERT_TRUE(wal.OpenForAppend(path, valid_bytes, next_lsn).ok());
+  EXPECT_EQ(*wal.Append(OpRecord(3, "D")), next_lsn);
+  wal.Close();
+
+  records.clear();
+  ASSERT_TRUE(Wal::Scan(path, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].txn, 1u);
+  EXPECT_EQ(records[1].txn, 3u);  // the torn record is gone for good
+  EXPECT_EQ(records[1].lsn, next_lsn);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ScanMissingFileIsNotFound) {
+  std::vector<WalRecord> records;
+  EXPECT_EQ(Wal::Scan("/tmp/oodb_wal_test_definitely_absent", &records)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WalTest, ForceObservesFsyncMetric) {
+  const std::string path = TempWalPath("metrics");
+  MetricsRegistry registry;
+  Wal wal;
+  wal.AttachMetrics(&registry);
+  ASSERT_TRUE(wal.Create(path, 1).ok());
+  ASSERT_TRUE(wal.Append(OpRecord(1, "D")).ok());
+  ASSERT_TRUE(wal.Force().ok());
+  std::string json = registry.JsonSnapshot();
+  EXPECT_NE(json.find("wal.fsync_ns"), std::string::npos) << json;
+  EXPECT_NE(json.find("wal.appends"), std::string::npos) << json;
+  wal.Close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace oodb
