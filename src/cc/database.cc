@@ -24,6 +24,16 @@ const char* SchedulerKindName(SchedulerKind kind) {
   return "?";
 }
 
+const char* HistoryModeName(HistoryMode mode) {
+  switch (mode) {
+    case HistoryMode::kRecorded:
+      return "recorded";
+    case HistoryMode::kEpochBatched:
+      return "epoch-batched";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Span outcome vocabulary: "ok" / "commit" plus kebab-case error
@@ -56,6 +66,25 @@ const char* TraceOutcome(const Status& status) {
   return "?";
 }
 
+/// Same Fibonacci mix as LockManager::ShardOf, for the object map.
+size_t ObjectShardIndex(uint64_t id, size_t shards) {
+  return static_cast<size_t>((id * 0x9E3779B97F4A7C15ULL) >> 40) % shards;
+}
+
+DatabaseOptions ResolveOptions(DatabaseOptions o) {
+  size_t n = o.shards;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  if (n > LockManager::kMaxShards) n = LockManager::kMaxShards;
+  o.shards = n;
+  // The lock table follows the runtime shard count unless the caller
+  // configured it explicitly.
+  if (o.lock_options.shards == 1) o.lock_options.shards = n;
+  return o;
+}
+
 }  // namespace
 
 void RunCounters::PublishTo(MetricsRegistry* registry) const {
@@ -73,7 +102,16 @@ void RunCounters::PublishTo(MetricsRegistry* registry) const {
 }
 
 Database::Database(DatabaseOptions options)
-    : options_(options), locks_(&ts_, options.lock_options) {}
+    : options_(ResolveOptions(std::move(options))),
+      locks_(&ts_, options_.lock_options) {
+  object_shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    object_shards_.push_back(std::make_unique<ObjectShard>());
+  }
+  if (options_.history == HistoryMode::kEpochBatched) {
+    epoch_log_ = std::make_unique<EpochLog>();
+  }
+}
 
 void Database::AttachObservability(MetricsRegistry* metrics,
                                    Tracer* tracer) {
@@ -82,6 +120,7 @@ void Database::AttachObservability(MetricsRegistry* metrics,
   if (metrics == nullptr) {
     m_committed_ = m_aborted_ = m_deadlocks_ = nullptr;
     m_retries_ = m_conflicts_ = m_operations_ = nullptr;
+    m_epoch_flushes_ = m_epoch_events_ = nullptr;
     return;
   }
   m_committed_ = metrics->GetCounter("db.txn.committed");
@@ -90,6 +129,18 @@ void Database::AttachObservability(MetricsRegistry* metrics,
   m_retries_ = metrics->GetCounter("db.txn.retries");
   m_conflicts_ = metrics->GetCounter("db.call.conflicts");
   m_operations_ = metrics->GetCounter("db.call.operations");
+  m_epoch_flushes_ = metrics->GetCounter("db.epoch.flushes");
+  m_epoch_events_ = metrics->GetCounter("db.epoch.events");
+}
+
+void Database::AttachDurability(DurabilityHook* hook) {
+  if (hook != nullptr && epoch_log_ != nullptr) {
+    OODB_ERROR(
+        "durability requires kRecorded history (the WAL reads the live "
+        "transaction record); ignoring AttachDurability in epoch mode");
+    return;
+  }
+  durability_ = hook;
 }
 
 uint32_t Database::LevelOf(ActionId action) const {
@@ -136,21 +187,25 @@ ObjectId Database::CreateObject(const ObjectType* type, std::string name,
   auto runtime = std::make_unique<RuntimeObject>();
   runtime->type = type;
   runtime->state = std::move(state);
-  std::lock_guard<std::mutex> guard(objects_mutex_);
-  objects_[id.value] = std::move(runtime);
+  ObjectShard& shard =
+      *object_shards_[ObjectShardIndex(id.value, object_shards_.size())];
+  std::unique_lock<std::shared_mutex> guard(shard.mu);
+  shard.objects[id.value] = std::move(runtime);
   return id;
 }
 
 Database::RuntimeObject* Database::RuntimeOf(ObjectId id) {
-  std::lock_guard<std::mutex> guard(objects_mutex_);
-  auto it = objects_.find(id.value);
-  return it == objects_.end() ? nullptr : it->second.get();
+  ObjectShard& shard =
+      *object_shards_[ObjectShardIndex(id.value, object_shards_.size())];
+  std::shared_lock<std::shared_mutex> guard(shard.mu);
+  auto it = shard.objects.find(id.value);
+  return it == shard.objects.end() ? nullptr : it->second.get();
 }
 
 Status MethodContext::Call(ObjectId obj, Invocation inv, Value* result) {
   Value scratch;
   uint64_t lsn = 0;
-  Status st = db_->ExecuteCall(action_, obj, std::move(inv),
+  Status st = db_->ExecuteCall(this, obj, std::move(inv),
                                result ? result : &scratch,
                                /*process=*/0, &lsn);
   if (lsn != 0) last_lsn_ = lsn;
@@ -171,7 +226,7 @@ Status MethodContext::CallParallel(const std::vector<ParallelCall>& calls,
       uint32_t process =
           db_->next_process_.fetch_add(1, std::memory_order_relaxed);
       statuses[i] = db_->ExecuteCall(
-          action_, calls[i].object, calls[i].inv,
+          this, calls[i].object, calls[i].inv,
           results ? &(*results)[i] : &scratch, process);
     });
   }
@@ -192,8 +247,8 @@ void MethodContext::SetCompensation(Invocation inv) {
   compensation_ = std::move(inv);
 }
 
-Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
-                             Value* result, uint32_t process,
+Status Database::ExecuteCall(MethodContext* parent_ctx, ObjectId obj,
+                             Invocation inv, Value* result, uint32_t process,
                              uint64_t* logged_lsn) {
   if (logged_lsn != nullptr) *logged_lsn = 0;
   RuntimeObject* runtime = RuntimeOf(obj);
@@ -206,39 +261,85 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
     return Status::Unsupported("no method '" + inv.method + "' on type " +
                                runtime->type->name());
   }
-  // Def 3: primitive actions call no other action. (The parent is the
-  // top-level action when `parent`'s object is the system object.)
-  if (ts_.action(parent).object.valid() &&
-      !ts_.action(parent).object.IsSystem() &&
-      ts_.object(ts_.action(parent).object).type->primitive()) {
+  // Def 3: primitive actions call no other action. (A transaction body's
+  // context has no self type.)
+  if (parent_ctx->self_type_ != nullptr &&
+      parent_ctx->self_type_->primitive()) {
     return Status::Internal(
         "primitive method attempted to call " + inv.method +
         " (Def 3: primitive actions call no other action)");
   }
 
-  // Record the call (Def 2) before locking: lock ancestry needs it.
-  // Parallel branches run in their own process (Def 9) with no
-  // precedence edge from earlier siblings.
-  ActionId action =
-      ts_.Call(parent, obj, inv, /*sequential=*/process == 0);
-  if (process != 0) ts_.SetProcess(action, process);
-  ActionId top = ts_.TopLevelOf(action);
+  const ActionId parent = parent_ctx->action_;
+  const ActionId top = parent_ctx->top_;
+  const bool epoch = epoch_log_ != nullptr;
+
+  // Record the call (Def 2). Parallel branches run in their own process
+  // (Def 9) with no precedence edge from earlier siblings. In epoch mode
+  // the id comes off an atomic counter and the record is the ActionEvent
+  // emitted when the action finishes.
+  ActionId action;
+  if (epoch) {
+    action = ActionId(next_action_.fetch_add(1, std::memory_order_relaxed));
+  } else {
+    action = ts_.Call(parent, obj, inv, /*sequential=*/process == 0);
+    if (process != 0) ts_.SetProcess(action, process);
+  }
+
+  // The requester's call sphere as a flat id array (itself first, then
+  // its ancestors): the lock manager scans these ids for sphere checks
+  // instead of walking the shared TransactionSystem on the hot path.
+  ActionId chain_stack[32];
+  std::vector<ActionId> chain_heap;
+  size_t chain_len = 0;
+  chain_stack[chain_len++] = action;
+  const MethodContext* anc = parent_ctx;
+  for (; anc != nullptr && chain_len < 32; anc = anc->parent_) {
+    chain_stack[chain_len++] = anc->action_;
+  }
+  SphereChain chain{chain_stack, chain_len};
+  if (anc != nullptr) {  // absurdly deep call tree: spill to the heap
+    chain_heap.assign(chain_stack, chain_stack + chain_len);
+    for (; anc != nullptr; anc = anc->parent_) {
+      chain_heap.push_back(anc->action_);
+    }
+    chain = SphereChain{chain_heap.data(), chain_heap.size()};
+  }
 
   // Span start precedes the lock acquire so lock waits show up inside
-  // the action's span, where they are spent.
-  const bool traced = tracer_ != nullptr;
+  // the action's span, where they are spent. (Tracing reads the live
+  // record, so it is off in epoch mode.)
+  const bool traced = tracer_ != nullptr && !epoch;
   const uint64_t span_start = traced ? tracer_->NowNs() : 0;
   std::string span_name;
   if (traced) span_name = ts_.object(obj).name + "." + inv.method;
 
   // Acquire per the scheduler mode.
+  //
+  // Pre-pass-up: a *sequential* *primitive* action called directly by
+  // the transaction body acquires with its lock already anchored at the
+  // top level — the state ordinary pass-up would reach at its
+  // completion anyway. Nothing can observe the early hand-off (a
+  // parallel sibling only runs while the body sits inside CallParallel,
+  // so no same-transaction action is concurrent with this one; other
+  // transactions see the same object/top/commutativity either way), and
+  // Def 3 rules out children whose passed-up locks the completion visit
+  // would have to release. The per-action completion visit to the lock
+  // stripe then disappears entirely.
+  const bool pre_passed =
+      (options_.scheduler == SchedulerKind::kOpenNested ||
+       options_.scheduler == SchedulerKind::kClosedNested) &&
+      parent == top && process == 0 && runtime->type->primitive();
   Status lock_status;
+  bool acquired = false;
+  bool locks_at_top = pre_passed;
   switch (options_.scheduler) {
     case SchedulerKind::kOpenNested:
     case SchedulerKind::kClosedNested:
       lock_status = locks_.Acquire(obj, runtime->type, inv, action, top,
                                    LockSemantics::kCommutativity,
-                                   /*hold_at_top=*/false);
+                                   /*hold_at_top=*/pre_passed, &chain);
+      acquired = true;
       break;
     case SchedulerKind::kFlat2PL:
       // Only the primitive layer is locked; composite calls pass
@@ -246,13 +347,19 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
       if (runtime->type->primitive()) {
         lock_status = locks_.Acquire(obj, runtime->type, inv, action, top,
                                      LockSemantics::kCommutativity,
-                                     /*hold_at_top=*/true);
+                                     /*hold_at_top=*/true, &chain);
+        acquired = true;
       }
+      // Every flat-2PL lock lives with the top-level transaction, so a
+      // non-top completion visit can never find anything to move.
+      locks_at_top = true;
       break;
     case SchedulerKind::kObjectExclusive:
       lock_status = locks_.Acquire(obj, runtime->type, inv, action, top,
                                    LockSemantics::kExclusive,
-                                   /*hold_at_top=*/true);
+                                   /*hold_at_top=*/true, &chain);
+      acquired = true;
+      locks_at_top = true;
       break;
     case SchedulerKind::kNone:
       break;
@@ -264,11 +371,27 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
       TraceAction(action, parent, obj, span_name, span_start,
                   TraceOutcome(lock_status));
     }
+    if (epoch) {
+      ActionEvent e;
+      e.id = action.value;
+      e.parent = parent.value;
+      e.top = top.value;
+      e.object = obj.value;
+      e.process = process;
+      e.sequential = process == 0;
+      e.outcome = ActionEvent::Outcome::kFailed;
+      e.inv = std::move(inv);
+      epoch_log_->Append(std::move(e));
+    }
     return lock_status;
   }
 
   MethodContext ctx(this, action, obj, runtime->state.get(),
-                    &runtime->latch);
+                    &runtime->latch, parent_ctx, runtime->type);
+  if (acquired) {
+    ctx.lock_shards_.store(locks_.ShardBit(obj), std::memory_order_relaxed);
+  }
+  uint64_t event_timestamp = 0;
   Status body_status;
   if (runtime->type->primitive()) {
     // Primitive action: atomic under the object latch, with the Axiom 1
@@ -277,7 +400,12 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
     std::lock_guard<std::mutex> latch(runtime->latch);
     body_status = (*impl)(ctx, inv.params, result);
     if (body_status.ok()) {
-      ts_.SetTimestamp(action, ts_.NextTimestamp());
+      if (epoch) {
+        event_timestamp =
+            next_timestamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+      } else {
+        ts_.SetTimestamp(action, ts_.NextTimestamp());
+      }
     }
     counters_.operations.fetch_add(1, std::memory_order_relaxed);
     if (m_operations_) m_operations_->Increment();
@@ -289,11 +417,26 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
     // The action failed: undo its completed children (in reverse), then
     // drop everything it holds. The caller decides whether the error is
     // recoverable (e.g. Capacity -> split) or aborts further up.
-    CompensateChildren(action);
-    locks_.ReleaseAllHeldBy(action);
-    {
-      std::lock_guard<std::mutex> guard(comp_mutex_);
-      comp_log_.erase(action.value);
+    CompensateChildren(&ctx);
+    const uint64_t failed_mask =
+        ctx.lock_shards_.load(std::memory_order_relaxed);
+    if (pre_passed) {
+      // The lock was anchored at top on acquire; a failed action must
+      // still die with its lock released, exactly as on the classic
+      // path where it would have held it itself.
+      locks_.ReleaseOwned(action, top, failed_mask);
+    } else {
+      locks_.ReleaseAllHeldBy(action, failed_mask);
+    }
+    // Under hold-at-top disciplines the failed action's lock is held by
+    // the top-level transaction, so the release above finds nothing and
+    // the lock survives until transaction end. Fold the mask up anyway:
+    // the final release must still visit those stripes.
+    parent_ctx->lock_shards_.fetch_or(failed_mask, std::memory_order_relaxed);
+    if (ctx.has_comp_children_.load(std::memory_order_relaxed)) {
+      CompStripe& stripe = CompStripeOf(action);
+      std::lock_guard<std::mutex> guard(stripe.mu);
+      stripe.log.erase(action.value);
     }
     // Span ends after compensation, so the compensating children's
     // spans nest inside the failed action's.
@@ -301,10 +444,28 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
       TraceAction(action, parent, obj, span_name, span_start,
                   TraceOutcome(body_status));
     }
+    if (epoch) {
+      ActionEvent e;
+      e.id = action.value;
+      e.parent = parent.value;
+      e.top = top.value;
+      e.object = obj.value;
+      e.process = process;
+      e.sequential = process == 0;
+      e.outcome = ActionEvent::Outcome::kFailed;
+      e.inv = std::move(inv);
+      epoch_log_->Append(std::move(e));
+    }
     return body_status;
   }
 
-  ts_.MarkCompleted(action);
+  uint64_t completion_seq = 0;
+  if (epoch) {
+    completion_seq =
+        next_completion_.fetch_add(1, std::memory_order_relaxed) + 1;
+  } else {
+    ts_.MarkCompleted(action);
+  }
   // Log completed mutating actions on persistent roots *before* the
   // lock passes up: the action still holds its semantic lock here, so
   // for any pair of conflicting root operations the WAL append order is
@@ -324,38 +485,75 @@ Status Database::ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
     }
   }
   if (ctx.compensation_.has_value()) {
-    std::lock_guard<std::mutex> guard(comp_mutex_);
-    comp_log_[parent.value].push_back(
+    parent_ctx->has_comp_children_.store(true, std::memory_order_relaxed);
+    CompStripe& stripe = CompStripeOf(parent);
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    stripe.log[parent.value].push_back(
         CompensationEntry{obj, std::move(*ctx.compensation_)});
   }
-  {
+  if (ctx.has_comp_children_.load(std::memory_order_relaxed)) {
     // The completed action's children compensations are superseded by
     // its own registered compensation.
-    std::lock_guard<std::mutex> guard(comp_mutex_);
-    comp_log_.erase(action.value);
+    CompStripe& stripe = CompStripeOf(action);
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    stripe.log.erase(action.value);
   }
-  locks_.OnActionComplete(
-      action, parent,
-      /*release_children=*/options_.scheduler !=
-          SchedulerKind::kClosedNested);
+  const uint64_t shard_mask =
+      ctx.lock_shards_.load(std::memory_order_relaxed);
+  if (!locks_at_top) {
+    locks_.OnActionComplete(
+        action, parent,
+        /*release_children=*/options_.scheduler !=
+            SchedulerKind::kClosedNested,
+        shard_mask);
+  }
+  // The parent inherits the child's lock shards (pass-up): fold the
+  // mask up so top-level completion visits every relevant stripe.
+  parent_ctx->lock_shards_.fetch_or(shard_mask, std::memory_order_relaxed);
   if (traced) {
     TraceAction(action, parent, obj, span_name, span_start, "ok");
+  }
+  if (epoch) {
+    ActionEvent e;
+    e.id = action.value;
+    e.parent = parent.value;
+    e.top = top.value;
+    e.object = obj.value;
+    e.process = process;
+    e.sequential = process == 0;
+    e.outcome = ActionEvent::Outcome::kOk;
+    e.timestamp = event_timestamp;
+    e.completion = completion_seq;
+    e.inv = std::move(inv);
+    epoch_log_->Append(std::move(e));
   }
   return Status::OK();
 }
 
-void Database::CompensateChildren(ActionId action) {
+void Database::CompensateChildren(MethodContext* ctx) {
+  if (!ctx->has_comp_children_.load(std::memory_order_relaxed)) return;
+  const ActionId action = ctx->action_;
   std::vector<CompensationEntry> entries;
   {
-    std::lock_guard<std::mutex> guard(comp_mutex_);
-    auto it = comp_log_.find(action.value);
-    if (it == comp_log_.end()) return;
+    CompStripe& stripe = CompStripeOf(action);
+    std::lock_guard<std::mutex> guard(stripe.mu);
+    auto it = stripe.log.find(action.value);
+    if (it == stripe.log.end()) return;
     entries = std::move(it->second);
-    comp_log_.erase(it);
+    stripe.log.erase(it);
   }
   Value scratch;
   for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-    Status st = ExecuteCall(action, it->object, it->inv, &scratch);
+    Status st = ExecuteCall(ctx, it->object, it->inv, &scratch);
+    // A deadlock verdict during undo is transient: the other party of
+    // the cycle is aborting or retrying and will release its locks, so
+    // losing the compensation over it would break abort atomicity.
+    // Retry briefly before surfacing.
+    for (int attempt = 0; !st.ok() && st.IsDeadlock() && attempt < 8;
+         ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+      st = ExecuteCall(ctx, it->object, it->inv, &scratch);
+    }
     if (!st.ok()) {
       // Compensation runs inside the transaction's own lock sphere, so
       // failures here are method bugs or extreme contention; surface
@@ -365,6 +563,19 @@ void Database::CompensateChildren(ActionId action) {
                                  << " failed: " << st.ToString());
     }
   }
+}
+
+uint64_t Database::AdvanceEpoch() {
+  if (epoch_log_ == nullptr) return 0;
+  std::vector<ActionEvent> batch = epoch_log_->Flush();
+  const uint64_t count = batch.size();
+  const uint64_t epoch = epoch_log_->epoch();
+  if (m_epoch_flushes_) m_epoch_flushes_->Increment();
+  if (m_epoch_events_) m_epoch_events_->Increment(count);
+  if (epoch_sink_ != nullptr && count > 0) {
+    epoch_sink_->OnEpoch(epoch, std::move(batch));
+  }
+  return count;
 }
 
 void Database::QuiesceAndRun(const std::function<void()>& fn) {
@@ -382,6 +593,7 @@ Status Database::RunTransaction(const std::string& name,
   Rng seeded_rng(options_.backoff_seed ^
                  (std::hash<std::string>()(name) | 1));
   Rng& rng = options_.backoff_seed != 0 ? seeded_rng : backoff_rng;
+  const bool epoch = epoch_log_ != nullptr;
   for (int attempt = 0;; ++attempt) {
     std::string attempt_name =
         attempt == 0 ? name : name + "#r" + std::to_string(attempt);
@@ -390,28 +602,52 @@ Status Database::RunTransaction(const std::string& name,
     // exclusive holder (checkpoint) only ever sees whole transactions.
     std::shared_lock<std::shared_mutex> gate(txn_gate_, std::defer_lock);
     if (durability_ != nullptr) gate.lock();
-    ActionId top = ts_.BeginTopLevel(attempt_name);
-    const bool traced = tracer_ != nullptr;
+    ActionId top;
+    if (epoch) {
+      top = ActionId(next_action_.fetch_add(1, std::memory_order_relaxed));
+    } else {
+      top = ts_.BeginTopLevel(attempt_name);
+    }
+    const bool traced = tracer_ != nullptr && !epoch;
     const uint64_t span_start = traced ? tracer_->NowNs() : 0;
     MethodContext ctx(this, top, ObjectId(), nullptr, nullptr);
     Status st = body(ctx);
     if (st.ok()) {
-      ts_.MarkCompleted(top);
+      uint64_t completion_seq = 0;
+      if (epoch) {
+        completion_seq =
+            next_completion_.fetch_add(1, std::memory_order_relaxed) + 1;
+      } else {
+        ts_.MarkCompleted(top);
+      }
       // Write-ahead: the commit record is appended and forced before
       // any lock releases, so no other transaction can observe (and
       // log operations depending on) effects whose commit might still
       // be lost in a crash.
       if (durability_ != nullptr) durability_->OnCommit(top.value);
-      locks_.OnActionComplete(top, ActionId());
-      {
-        std::lock_guard<std::mutex> guard(comp_mutex_);
-        comp_log_.erase(top.value);
+      locks_.OnActionComplete(
+          top, ActionId(), /*release_children=*/true,
+          ctx.lock_shards_.load(std::memory_order_relaxed));
+      if (ctx.has_comp_children_.load(std::memory_order_relaxed)) {
+        CompStripe& stripe = CompStripeOf(top);
+        std::lock_guard<std::mutex> guard(stripe.mu);
+        stripe.log.erase(top.value);
       }
       counters_.committed.fetch_add(1, std::memory_order_relaxed);
       if (m_committed_) m_committed_->Increment();
       if (traced) {
         TraceAction(top, ActionId(), ObjectId(), attempt_name, span_start,
                     "commit");
+      }
+      if (epoch) {
+        ActionEvent e;
+        e.id = top.value;
+        e.top = top.value;
+        e.object = ObjectId::kSystem;
+        e.outcome = ActionEvent::Outcome::kCommit;
+        e.completion = completion_seq;
+        e.inv = Invocation(attempt_name);
+        epoch_log_->Append(std::move(e));
       }
       if (durability_ != nullptr) {
         gate.unlock();
@@ -423,22 +659,33 @@ Status Database::RunTransaction(const std::string& name,
     // Abort: semantically undo completed top-level children, then
     // release everything. The compensations themselves re-register
     // their own compensations under `top`; drop those too.
-    CompensateChildren(top);
-    {
-      std::lock_guard<std::mutex> guard(comp_mutex_);
-      comp_log_.erase(top.value);
+    CompensateChildren(&ctx);
+    if (ctx.has_comp_children_.load(std::memory_order_relaxed)) {
+      CompStripe& stripe = CompStripeOf(top);
+      std::lock_guard<std::mutex> guard(stripe.mu);
+      stripe.log.erase(top.value);
     }
     // The abort record follows the compensations (which were logged as
     // ordinary operations) and precedes the lock release. It need not
     // be forced: if it is lost, recovery treats the transaction as a
     // loser and re-runs the same compensations — same end state.
     if (durability_ != nullptr) durability_->OnAbort(top.value);
-    locks_.ReleaseAllHeldBy(top);
+    locks_.ReleaseAllHeldBy(
+        top, ctx.lock_shards_.load(std::memory_order_relaxed));
     counters_.aborted.fetch_add(1, std::memory_order_relaxed);
     if (m_aborted_) m_aborted_->Increment();
     if (traced) {
       TraceAction(top, ActionId(), ObjectId(), attempt_name, span_start,
                   TraceOutcome(st));
+    }
+    if (epoch) {
+      ActionEvent e;
+      e.id = top.value;
+      e.top = top.value;
+      e.object = ObjectId::kSystem;
+      e.outcome = ActionEvent::Outcome::kAbort;
+      e.inv = Invocation(attempt_name);
+      epoch_log_->Append(std::move(e));
     }
     if (st.IsDeadlock()) {
       counters_.deadlocks.fetch_add(1, std::memory_order_relaxed);
@@ -446,7 +693,7 @@ Status Database::RunTransaction(const std::string& name,
       if (attempt < options_.max_retries) {
         counters_.retries.fetch_add(1, std::memory_order_relaxed);
         if (m_retries_) m_retries_->Increment();
-        if (tracer_ != nullptr) {
+        if (tracer_ != nullptr && !epoch) {
           tracer_->RecordInstant("txn.retry", tracer_->NowNs(),
                                  attempt_name);
         }

@@ -25,9 +25,23 @@
 // open nesting requires: each completed action registers a compensating
 // invocation; abort executes the direct children's compensations in
 // reverse completion order as ordinary actions.
+//
+// Sharding and history modes. With `shards` > 1 the object map and the
+// lock table are partitioned by object id: lookups take a per-shard
+// shared_mutex in shared mode, and lock traffic stays within its
+// stripe (see lock_manager.h). Each action carries the set of stripes
+// it may hold locks in as a 64-bit mask, so completion only visits
+// those stripes. History recording has two modes: kRecorded appends
+// every action to the shared TransactionSystem as it happens (the
+// classic, validator-ready path), kEpochBatched appends compact events
+// to per-thread buffers that a flusher drains once per epoch
+// (AdvanceEpoch) — the throughput path; replay the batches through
+// HistoryEpochSink to validate after the fact. Durability and tracing
+// read the live TransactionSystem and are unsupported in epoch mode.
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <deque>
 #include <functional>
@@ -39,6 +53,7 @@
 #include <vector>
 
 #include "cc/durability.h"
+#include "cc/epoch_log.h"
 #include "cc/lock_manager.h"
 #include "cc/method.h"
 #include "cc/method_registry.h"
@@ -82,6 +97,22 @@ enum class SchedulerKind {
 /// Human-readable scheduler name for reports.
 const char* SchedulerKindName(SchedulerKind kind);
 
+/// How the execution history is published.
+enum class HistoryMode {
+  /// Every action is recorded into the shared TransactionSystem as it
+  /// happens. The record is the history: validate, print, or trace it
+  /// directly. One global mutex per recorded event.
+  kRecorded,
+  /// Actions append ActionEvents to per-thread buffers; AdvanceEpoch
+  /// drains all buffers into one batch per epoch for the attached
+  /// EpochSink. Nothing lands in the TransactionSystem during the run
+  /// (objects are still registered); durability and tracing are
+  /// unsupported. See cc/epoch_log.h.
+  kEpochBatched,
+};
+
+const char* HistoryModeName(HistoryMode mode);
+
 struct DatabaseOptions {
   SchedulerKind scheduler = SchedulerKind::kOpenNested;
   LockManagerOptions lock_options;
@@ -92,6 +123,12 @@ struct DatabaseOptions {
   /// reproducible run to run. 0 keeps the per-thread seeding (distinct
   /// every run), which spreads contending threads better.
   uint64_t backoff_seed = 0;
+  /// Runtime shards: partitions the object map and (unless
+  /// lock_options.shards was set explicitly) the lock table. 1 = the
+  /// classic single-shard runtime; 0 = hardware thread count. Capped at
+  /// LockManager::kMaxShards.
+  size_t shards = 1;
+  HistoryMode history = HistoryMode::kRecorded;
 };
 
 /// The body of a transaction: issues top-level calls through the
@@ -132,6 +169,22 @@ class Database {
   /// transaction system, so validation sees the real history.
   Status RunTransaction(const std::string& name, const TransactionBody& body);
 
+  // --- epoch-batched history -------------------------------------------
+
+  /// In kEpochBatched mode: drains every thread's event buffer into one
+  /// batch, hands it to the sink (if any), and returns the batch size.
+  /// Call from a flusher thread at the epoch interval, and once after
+  /// the last transaction finishes to publish the tail. No-op (returns
+  /// 0) in kRecorded mode.
+  uint64_t AdvanceEpoch();
+
+  /// Receives each flushed batch (kEpochBatched only). Attach before
+  /// traffic; null detaches (batches are then counted and dropped).
+  void SetEpochSink(EpochSink* sink) { epoch_sink_ = sink; }
+
+  /// The event log in kEpochBatched mode, null otherwise.
+  EpochLog* epoch_log() { return epoch_log_.get(); }
+
   // --- observability ---------------------------------------------------
 
   /// Publishes into `metrics` (db.txn.* / db.call.* counters, plus the
@@ -139,7 +192,8 @@ class Database {
   /// into `tracer` from now on. Either may be null to leave that side
   /// off; calling again with nulls detaches. Attach before running
   /// transactions; attaching is not synchronized against concurrent
-  /// ExecuteCall traffic.
+  /// ExecuteCall traffic. Tracing requires kRecorded history (spans
+  /// read the live record); in epoch mode the tracer is ignored.
   void AttachObservability(MetricsRegistry* metrics, Tracer* tracer);
 
   // --- durability ------------------------------------------------------
@@ -149,7 +203,9 @@ class Database {
   /// transaction gate and reports op/commit/abort events to the hook
   /// (see DurabilityHook for the exact ordering contract). Attach while
   /// no transactions run; the runtime does not synchronize the switch.
-  void AttachDurability(DurabilityHook* hook) { durability_ = hook; }
+  /// Requires kRecorded history (the WAL reads the live record);
+  /// attaching in epoch mode is rejected with an error log.
+  void AttachDurability(DurabilityHook* hook);
   DurabilityHook* durability() const { return durability_; }
 
   /// Runs `fn` while holding the transaction gate exclusively: no
@@ -162,6 +218,7 @@ class Database {
   // --- introspection ---------------------------------------------------
 
   /// The recorded execution (for the validator and the printers).
+  /// In kEpochBatched mode it holds the objects but no actions.
   TransactionSystem& ts() { return ts_; }
   const TransactionSystem& ts() const { return ts_; }
 
@@ -170,6 +227,8 @@ class Database {
   const MethodRegistry& registry() const { return registry_; }
   RunCounters& counters() { return counters_; }
   const DatabaseOptions& options() const { return options_; }
+  /// Resolved runtime shard count (object map stripes).
+  size_t shard_count() const { return object_shards_.size(); }
 
   /// Direct, unsynchronized state peek for tests and for loading data
   /// outside any transaction. Do not use while transactions run.
@@ -187,6 +246,13 @@ class Database {
     std::mutex latch;
   };
 
+  /// One stripe of the object map. Lookups (the per-call hot path) take
+  /// `mu` shared; only CreateObject takes it exclusive.
+  struct ObjectShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, std::unique_ptr<RuntimeObject>> objects;
+  };
+
   RuntimeObject* RuntimeOf(ObjectId id);
 
   /// Call-tree depth of `action` (0 = top-level). Traced path only.
@@ -198,22 +264,39 @@ class Database {
                    const char* outcome);
 
   /// Records, locks, and executes one call; the heart of the runtime.
-  /// `process` overrides the inherited intra-transaction process id
-  /// (0 = inherit); used by CallParallel. When the call completed on a
-  /// persistent root and was logged, `logged_lsn` (if non-null)
-  /// receives the WAL record's LSN (0 otherwise).
-  Status ExecuteCall(ActionId parent, ObjectId obj, Invocation inv,
-                     Value* result, uint32_t process = 0,
+  /// `parent_ctx` is the caller's context (the transaction body's for
+  /// top-level calls): it supplies the parent action, the cached
+  /// top-level id, the ancestor chain for sphere checks, and receives
+  /// the child's lock-shard mask at completion. `process` overrides the
+  /// inherited intra-transaction process id (0 = inherit); used by
+  /// CallParallel. When the call completed on a persistent root and was
+  /// logged, `logged_lsn` (if non-null) receives the WAL record's LSN
+  /// (0 otherwise).
+  Status ExecuteCall(MethodContext* parent_ctx, ObjectId obj,
+                     Invocation inv, Value* result, uint32_t process = 0,
                      uint64_t* logged_lsn = nullptr);
 
-  /// Runs the registered compensations of `action`'s completed children
-  /// in reverse completion order (as ordinary actions under `action`).
-  void CompensateChildren(ActionId action);
+  /// Runs the registered compensations of `ctx`'s action's completed
+  /// children in reverse completion order (as ordinary actions under
+  /// that action).
+  void CompensateChildren(MethodContext* ctx);
 
   struct CompensationEntry {
     ObjectId object;
     Invocation inv;
   };
+
+  /// One stripe of the compensation log, selected by parent action id.
+  struct CompStripe {
+    std::mutex mu;
+    /// parent action -> compensations of its completed children, in
+    /// completion order.
+    std::unordered_map<uint64_t, std::vector<CompensationEntry>> log;
+  };
+  static constexpr size_t kCompStripes = 16;
+  CompStripe& CompStripeOf(ActionId parent) {
+    return comp_stripes_[parent.value & (kCompStripes - 1)];
+  }
 
   DatabaseOptions options_;
   TransactionSystem ts_;
@@ -221,17 +304,24 @@ class Database {
   MethodRegistry registry_;
   RunCounters counters_;
 
-  std::mutex objects_mutex_;
-  std::unordered_map<uint64_t, std::unique_ptr<RuntimeObject>> objects_;
+  /// Object map stripes; unique_ptr keeps each stripe's shared_mutex
+  /// off its neighbors' cache lines.
+  std::vector<std::unique_ptr<ObjectShard>> object_shards_;
 
-  std::mutex comp_mutex_;
-  /// parent action -> compensations of its completed children, in
-  /// completion order.
-  std::unordered_map<uint64_t, std::vector<CompensationEntry>> comp_log_;
+  std::array<CompStripe, kCompStripes> comp_stripes_;
 
   /// Fresh intra-transaction process ids for CallParallel (Def 9);
   /// process 0 is the default sequential process of every transaction.
   std::atomic<uint32_t> next_process_{1};
+
+  /// Epoch-batched history (null in kRecorded mode). Ids, Axiom 1
+  /// timestamps, and completion sequence numbers come from the atomic
+  /// counters below instead of the TransactionSystem.
+  std::unique_ptr<EpochLog> epoch_log_;
+  EpochSink* epoch_sink_ = nullptr;
+  std::atomic<uint64_t> next_action_{0};
+  std::atomic<uint64_t> next_timestamp_{0};
+  std::atomic<uint64_t> next_completion_{0};
 
   /// Persistence engine, or null for the classic in-memory database.
   /// The WAL-off fast path costs one null test per event.
@@ -249,6 +339,8 @@ class Database {
   Counter* m_retries_ = nullptr;
   Counter* m_conflicts_ = nullptr;
   Counter* m_operations_ = nullptr;
+  Counter* m_epoch_flushes_ = nullptr;
+  Counter* m_epoch_events_ = nullptr;
 };
 
 }  // namespace oodb

@@ -1,0 +1,130 @@
+#include "cc/epoch_log.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace oodb {
+
+namespace {
+
+std::atomic<uint64_t> next_instance{1};
+
+}  // namespace
+
+EpochLog::EpochLog() : instance_(next_instance.fetch_add(1)) {}
+
+EpochLog::~EpochLog() = default;
+
+EpochLog::Buffer* EpochLog::LocalBuffer() {
+  // Per-thread cache of (log instance -> buffer). A handful of slots
+  // covers the realistic number of live databases one thread touches;
+  // collisions just re-register (the registry hands back a new buffer,
+  // which is correct, only marginally slower).
+  struct Slot {
+    uint64_t instance = 0;
+    Buffer* buffer = nullptr;
+  };
+  thread_local Slot slots[4];
+  thread_local size_t clock = 0;
+  for (Slot& s : slots) {
+    if (s.instance == instance_) return s.buffer;
+  }
+  Buffer* buffer;
+  {
+    std::lock_guard<std::mutex> guard(registry_mu_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    buffer = buffers_.back().get();
+  }
+  Slot& victim = slots[clock++ % 4];
+  victim.instance = instance_;
+  victim.buffer = buffer;
+  return buffer;
+}
+
+void EpochLog::Append(ActionEvent&& event) {
+  Buffer* buffer = LocalBuffer();
+  {
+    std::lock_guard<std::mutex> guard(buffer->mu);
+    buffer->events.push_back(std::move(event));
+  }
+  appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<ActionEvent> EpochLog::Flush() {
+  std::vector<ActionEvent> batch;
+  std::lock_guard<std::mutex> registry(registry_mu_);
+  for (auto& buffer : buffers_) {
+    std::vector<ActionEvent> drained;
+    {
+      std::lock_guard<std::mutex> guard(buffer->mu);
+      drained.swap(buffer->events);
+    }
+    if (batch.empty()) {
+      batch = std::move(drained);
+    } else {
+      batch.insert(batch.end(), std::make_move_iterator(drained.begin()),
+                   std::make_move_iterator(drained.end()));
+    }
+  }
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  return batch;
+}
+
+void HistoryEpochSink::OnEpoch(uint64_t epoch,
+                               std::vector<ActionEvent>&& batch) {
+  (void)epoch;
+  std::lock_guard<std::mutex> guard(mu_);
+  events_.insert(events_.end(), std::make_move_iterator(batch.begin()),
+                 std::make_move_iterator(batch.end()));
+}
+
+size_t HistoryEpochSink::event_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return events_.size();
+}
+
+void HistoryEpochSink::ReplayInto(TransactionSystem* ts) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  // Id order is call order: ids come from one atomic counter taken when
+  // the call is recorded, and a parent's id is always taken before any
+  // of its children's. (After a parallel call set, which branch the
+  // next sequential sibling's precedence edge hangs off is normalized
+  // to the highest branch id; the classic recorder uses arrival order.
+  // Both are valid linearizations of the same race.)
+  std::vector<const ActionEvent*> order;
+  order.reserve(events_.size());
+  for (const ActionEvent& e : events_) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [](const ActionEvent* a, const ActionEvent* b) {
+              return a->id < b->id;
+            });
+
+  std::unordered_map<uint64_t, ActionId> ids;
+  ids.reserve(order.size());
+  std::vector<std::pair<uint64_t, ActionId>> completions;
+  for (const ActionEvent* e : order) {
+    ActionId replayed;
+    if (e->parent == ActionId::kInvalid) {
+      replayed = ts->BeginTopLevel(e->inv.method);
+    } else {
+      auto parent = ids.find(e->parent);
+      if (parent == ids.end()) continue;  // orphan (parent never flushed)
+      replayed = ts->Call(parent->second, ObjectId(e->object), e->inv,
+                          e->sequential);
+      if (e->process != 0) ts->SetProcess(replayed, e->process);
+    }
+    ids.emplace(e->id, replayed);
+    if (e->timestamp != 0) ts->SetTimestamp(replayed, e->timestamp);
+    if (e->completion != 0) completions.emplace_back(e->completion, replayed);
+  }
+  // MarkCompleted renumbers internally; applying in the recorded order
+  // reproduces the recorded relative completion order exactly.
+  std::sort(completions.begin(), completions.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [seq, action] : completions) {
+    (void)seq;
+    ts->MarkCompleted(action);
+  }
+}
+
+}  // namespace oodb

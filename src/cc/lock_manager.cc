@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <thread>
 
 namespace oodb {
 
@@ -15,9 +16,26 @@ const char* DeadlockPolicyName(DeadlockPolicy policy) {
   return "?";
 }
 
+namespace {
+
+size_t ResolveShards(size_t requested) {
+  size_t n = requested;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  return std::min(n, LockManager::kMaxShards);
+}
+
+}  // namespace
+
 LockManager::LockManager(const TransactionSystem* ts,
                          LockManagerOptions options)
-    : ts_(ts), options_(options) {}
+    : ts_(ts), options_(options) {
+  size_t n = ResolveShards(options.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
 
 void LockManager::AttachMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -31,7 +49,14 @@ void LockManager::AttachMetrics(MetricsRegistry* registry) {
   m_wait_ns_ = registry->GetHistogram("db.lock.wait_ns");
 }
 
-bool LockManager::InSphere(ActionId holder, ActionId action) const {
+bool LockManager::InSphere(ActionId holder, ActionId action,
+                           const SphereChain* chain) const {
+  if (chain != nullptr) {
+    for (size_t i = 0; i < chain->len; ++i) {
+      if (chain->ids[i] == holder) return true;
+    }
+    return false;
+  }
   ActionId cur = action;
   while (cur.valid()) {
     if (cur == holder) return true;
@@ -42,8 +67,9 @@ bool LockManager::InSphere(ActionId holder, ActionId action) const {
 
 bool LockManager::Compatible(const Lock& lock, const ObjectType* type,
                              const Invocation& inv, ActionId action,
-                             LockSemantics semantics) const {
-  if (InSphere(lock.holder, action)) return true;
+                             LockSemantics semantics,
+                             const SphereChain* chain) const {
+  if (InSphere(lock.holder, action, chain)) return true;
   if (lock.semantics == LockSemantics::kExclusive ||
       semantics == LockSemantics::kExclusive) {
     return false;
@@ -51,18 +77,20 @@ bool LockManager::Compatible(const Lock& lock, const ObjectType* type,
   return type->Commutes(lock.inv, inv);
 }
 
-std::vector<uint64_t> LockManager::Blockers(ObjectId obj,
+std::vector<uint64_t> LockManager::Blockers(const Shard& shard, ObjectId obj,
                                             const ObjectType* type,
                                             const Invocation& inv,
                                             ActionId action,
-                                            LockSemantics semantics) const {
+                                            LockSemantics semantics,
+                                            const SphereChain* chain) const {
   std::vector<uint64_t> blockers;
-  auto it = table_.find(obj);
-  if (it == table_.end()) return blockers;
+  auto it = shard.table.find(obj);
+  if (it == shard.table.end()) return blockers;
   for (const Lock& lock : it->second) {
-    if (!Compatible(lock, type, inv, action, semantics)) {
-      uint64_t holder_top = ts_->TopLevelOf(lock.holder).value;
-      blockers.push_back(holder_top);
+    if (!Compatible(lock, type, inv, action, semantics, chain)) {
+      // The holder moves only within the owner's call tree, so its
+      // top-level transaction is the one recorded at acquire time.
+      blockers.push_back(lock.top.value);
     }
   }
   return blockers;
@@ -93,12 +121,19 @@ bool LockManager::WouldDeadlock(
   return false;
 }
 
+void LockManager::EraseWaitEdges(uint64_t requester_top) {
+  std::lock_guard<std::mutex> guard(graph_mu_);
+  waits_for_.erase(requester_top);
+}
+
 Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
                             const Invocation& inv, ActionId action,
                             ActionId top, LockSemantics semantics,
-                            bool hold_at_top) {
+                            bool hold_at_top, const SphereChain* chain) {
+  Shard& shard = *shards_[ShardOf(obj)];
+  shard.acquires.fetch_add(1, std::memory_order_relaxed);
   if (m_acquires_) m_acquires_->Increment();
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(shard.mu);
   auto deadline = std::chrono::steady_clock::now() + options_.wait_timeout;
   bool waited = false;
   std::chrono::steady_clock::time_point wait_start;
@@ -106,84 +141,105 @@ Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
   // Waits that end in a deadlock verdict count too: the victim's wait
   // is exactly the latency its transaction lost before the retry.
   auto observe_wait = [&] {
-    if (waited && m_wait_ns_ != nullptr) {
-      m_wait_ns_->Observe(static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - wait_start)
-              .count()));
-    }
+    if (!waited) return;
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count());
+    shard.wait_ns.fetch_add(ns, std::memory_order_relaxed);
+    if (m_wait_ns_ != nullptr) m_wait_ns_->Observe(ns);
   };
   for (;;) {
     std::vector<uint64_t> blockers =
-        Blockers(obj, type, inv, action, semantics);
+        Blockers(shard, obj, type, inv, action, semantics, chain);
     if (blockers.empty()) break;
     if (!waited) {
-      ++waits_;
-      ++waits_per_object_[obj.value];
+      waits_.fetch_add(1, std::memory_order_relaxed);
+      shard.waits.fetch_add(1, std::memory_order_relaxed);
+      ++shard.waits_per_object[obj.value];
       waited = true;
       if (m_waits_) m_waits_->Increment();
-      if (m_wait_ns_) wait_start = std::chrono::steady_clock::now();
+      wait_start = std::chrono::steady_clock::now();
     }
     if (options_.deadlock_policy == DeadlockPolicy::kWaitDie) {
       // Wait only for younger transactions; die when an older one
       // blocks us. Intra-transaction waits are always allowed.
       for (uint64_t blocker : blockers) {
         if (blocker < top.value) {
-          ++deadlocks_;
+          deadlocks_.fetch_add(1, std::memory_order_relaxed);
+          shard.deadlocks.fetch_add(1, std::memory_order_relaxed);
           if (m_deadlocks_) m_deadlocks_->Increment();
-          waits_for_.erase(top.value);
+          EraseWaitEdges(top.value);
           observe_wait();
           return Status::Deadlock(
               "wait-die: blocked by older transaction on " +
               ts_->object(obj).name);
         }
       }
-    } else if (WouldDeadlock(top.value, blockers)) {
-      ++deadlocks_;
-      if (m_deadlocks_) m_deadlocks_->Increment();
-      waits_for_.erase(top.value);
-      observe_wait();
-      return Status::Deadlock("waits-for cycle on " +
-                              ts_->object(obj).name);
+      std::lock_guard<std::mutex> graph(graph_mu_);
+      auto& edges = waits_for_[top.value];
+      edges.clear();
+      edges.insert(blockers.begin(), blockers.end());
+    } else {
+      // Detection: check and (re)publish this requester's edges in one
+      // graph critical section. The shard latch is held across it; the
+      // lock order (shard mu, then graph_mu_) is fixed everywhere.
+      std::unique_lock<std::mutex> graph(graph_mu_);
+      if (WouldDeadlock(top.value, blockers)) {
+        waits_for_.erase(top.value);
+        graph.unlock();
+        deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        shard.deadlocks.fetch_add(1, std::memory_order_relaxed);
+        if (m_deadlocks_) m_deadlocks_->Increment();
+        observe_wait();
+        return Status::Deadlock("waits-for cycle on " +
+                                ts_->object(obj).name);
+      }
+      auto& edges = waits_for_[top.value];
+      edges.clear();
+      edges.insert(blockers.begin(), blockers.end());
     }
-    auto& edges = waits_for_[top.value];
-    edges.clear();
-    edges.insert(blockers.begin(), blockers.end());
-    if (released_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      ++deadlocks_;
+    ++shard.waiters;
+    std::cv_status cv = shard.released.wait_until(lock, deadline);
+    --shard.waiters;
+    if (cv == std::cv_status::timeout) {
+      deadlocks_.fetch_add(1, std::memory_order_relaxed);
+      shard.deadlocks.fetch_add(1, std::memory_order_relaxed);
       if (m_deadlocks_) m_deadlocks_->Increment();
-      waits_for_.erase(top.value);
+      EraseWaitEdges(top.value);
       observe_wait();
       return Status::Deadlock("lock wait timeout on " +
                               ts_->object(obj).name);
     }
   }
-  waits_for_.erase(top.value);
-  observe_wait();
+  if (waited) {
+    EraseWaitEdges(top.value);
+    observe_wait();
+  }
 
   ActionId holder = hold_at_top ? top : action;
-  auto& locks = table_[obj];
+  auto& locks = shard.table[obj];
   locks.push_back(Lock{obj, type, inv, action, holder, top, semantics});
-  held_by_[holder.value].push_back(&locks.back());
+  shard.held_by[holder.value].push_back(&locks.back());
   return Status::OK();
 }
 
-void LockManager::MoveHolder(Lock* lock, ActionId new_holder) {
-  auto& old_list = held_by_[lock->holder.value];
+void LockManager::MoveHolder(Shard* shard, Lock* lock, ActionId new_holder) {
+  auto& old_list = shard->held_by[lock->holder.value];
   old_list.erase(std::remove(old_list.begin(), old_list.end(), lock),
                  old_list.end());
-  if (old_list.empty()) held_by_.erase(lock->holder.value);
+  if (old_list.empty()) shard->held_by.erase(lock->holder.value);
   lock->holder = new_holder;
-  held_by_[new_holder.value].push_back(lock);
+  shard->held_by[new_holder.value].push_back(lock);
 }
 
-void LockManager::EraseLock(Lock* lock) {
-  auto& holder_list = held_by_[lock->holder.value];
+void LockManager::EraseLock(Shard* shard, Lock* lock) {
+  auto& holder_list = shard->held_by[lock->holder.value];
   holder_list.erase(
       std::remove(holder_list.begin(), holder_list.end(), lock),
       holder_list.end());
-  if (holder_list.empty()) held_by_.erase(lock->holder.value);
-  auto& locks = table_[lock->object];
+  if (holder_list.empty()) shard->held_by.erase(lock->holder.value);
+  auto& locks = shard->table[lock->object];
   for (auto it = locks.begin(); it != locks.end(); ++it) {
     if (&*it == lock) {
       locks.erase(it);
@@ -193,46 +249,91 @@ void LockManager::EraseLock(Lock* lock) {
 }
 
 void LockManager::OnActionComplete(ActionId action, ActionId parent,
-                                   bool release_children) {
-  std::lock_guard<std::mutex> guard(mutex_);
-  auto it = held_by_.find(action.value);
-  if (it == held_by_.end()) return;
-  // Copy: EraseLock/MoveHolder mutate held_by_.
-  std::vector<Lock*> held = it->second;
-  for (Lock* lock : held) {
-    if (!parent.valid()) {
-      // Top-level completion unwinds everything in both disciplines.
-      EraseLock(lock);
-    } else if (lock->owner == action || !release_children) {
-      // The action's own semantic lock passes up to the caller; under
-      // closed nesting the children's locks ride along instead of
-      // being released.
-      MoveHolder(lock, parent);
-    } else {
-      // Open nesting: locks passed up by (now completed) children are
-      // released — the action's semantic footprint covers them.
-      EraseLock(lock);
+                                   bool release_children,
+                                   uint64_t shard_mask) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((shard_mask & (uint64_t{1} << s)) == 0) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> guard(shard.mu);
+    auto it = shard.held_by.find(action.value);
+    if (it == shard.held_by.end()) continue;
+    // Copy: EraseLock/MoveHolder mutate held_by.
+    std::vector<Lock*> held = it->second;
+    for (Lock* lock : held) {
+      if (!parent.valid()) {
+        // Top-level completion unwinds everything in both disciplines.
+        EraseLock(&shard, lock);
+      } else if (lock->owner == action || !release_children) {
+        // The action's own semantic lock passes up to the caller; under
+        // closed nesting the children's locks ride along instead of
+        // being released.
+        MoveHolder(&shard, lock, parent);
+      } else {
+        // Open nesting: locks passed up by (now completed) children are
+        // released — the action's semantic footprint covers them.
+        EraseLock(&shard, lock);
+      }
     }
+    // Pass-ups can unblock intra-transaction waiters and erases anyone;
+    // waiters in *other* stripes cannot be watching these locks, so the
+    // wake stays stripe-local. Skipped entirely when nobody waits.
+    if (shard.waiters > 0) shard.released.notify_all();
   }
-  released_.notify_all();
 }
 
-void LockManager::ReleaseAllHeldBy(ActionId holder) {
-  std::lock_guard<std::mutex> guard(mutex_);
-  auto it = held_by_.find(holder.value);
-  if (it == held_by_.end()) return;
-  std::vector<Lock*> held = it->second;
-  for (Lock* lock : held) EraseLock(lock);
-  released_.notify_all();
+void LockManager::ReleaseAllHeldBy(ActionId holder, uint64_t shard_mask) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((shard_mask & (uint64_t{1} << s)) == 0) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> guard(shard.mu);
+    auto it = shard.held_by.find(holder.value);
+    if (it == shard.held_by.end()) continue;
+    std::vector<Lock*> held = it->second;
+    for (Lock* lock : held) EraseLock(&shard, lock);
+    if (shard.waiters > 0) shard.released.notify_all();
+  }
+}
+
+void LockManager::ReleaseOwned(ActionId owner, ActionId holder,
+                               uint64_t shard_mask) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((shard_mask & (uint64_t{1} << s)) == 0) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> guard(shard.mu);
+    auto it = shard.held_by.find(holder.value);
+    if (it == shard.held_by.end()) continue;
+    std::vector<Lock*> owned;
+    for (Lock* lock : it->second) {
+      if (lock->owner == owner) owned.push_back(lock);
+    }
+    if (owned.empty()) continue;
+    for (Lock* lock : owned) EraseLock(&shard, lock);
+    if (shard.waiters > 0) shard.released.notify_all();
+  }
+}
+
+std::vector<LockShardStats> LockManager::PerShardStats() const {
+  std::vector<LockShardStats> out(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    out[s].acquires = shard.acquires.load(std::memory_order_relaxed);
+    out[s].waits = shard.waits.load(std::memory_order_relaxed);
+    out[s].deadlocks = shard.deadlocks.load(std::memory_order_relaxed);
+    out[s].wait_ns = shard.wait_ns.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::vector<std::pair<ObjectId, uint64_t>> LockManager::HottestObjects(
     size_t top_n) const {
-  std::lock_guard<std::mutex> guard(mutex_);
   std::vector<std::pair<ObjectId, uint64_t>> rows;
-  rows.reserve(waits_per_object_.size());
-  for (const auto& [obj, waits] : waits_per_object_) {
-    rows.push_back({ObjectId(obj), waits});
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> guard(shard.mu);
+    rows.reserve(rows.size() + shard.waits_per_object.size());
+    for (const auto& [obj, waits] : shard.waits_per_object) {
+      rows.push_back({ObjectId(obj), waits});
+    }
   }
   std::sort(rows.begin(), rows.end(),
             [](const auto& a, const auto& b) {
@@ -244,11 +345,14 @@ std::vector<std::pair<ObjectId, uint64_t>> LockManager::HottestObjects(
 }
 
 size_t LockManager::LockCount() const {
-  std::lock_guard<std::mutex> guard(mutex_);
   size_t n = 0;
-  for (const auto& [obj, locks] : table_) {
-    (void)obj;
-    n += locks.size();
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (const auto& [obj, locks] : shard.table) {
+      (void)obj;
+      n += locks.size();
+    }
   }
   return n;
 }

@@ -30,6 +30,17 @@
 // kDeadlock and is expected to abort. Intra-transaction waits
 // (parallel sibling processes) are exempt from detection and resolved
 // by lock pass-up, with a timeout as the safety net.
+//
+// Sharding. The lock table is partitioned into `shards` stripes by a
+// hash of the object id: each stripe has its own latch, wait condvar,
+// lock lists, and held-by index, so acquires and releases on objects in
+// different stripes never contend and a release only wakes the waiters
+// of its own stripe (with one stripe, every release wakes every waiter
+// — the classic thundering herd this partitioning exists to kill).
+// Only the waits-for graph stays global (deadlock cycles thread through
+// objects in arbitrary stripes); it lives behind its own mutex and is
+// touched only on the blocked path. shards=1 (the default) reproduces
+// the pre-sharding runtime exactly.
 
 #pragma once
 
@@ -38,6 +49,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -76,25 +88,58 @@ struct LockManagerOptions {
   /// safety net for undetected intra-transaction deadlocks).
   std::chrono::milliseconds wait_timeout{2000};
   DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
+  /// Lock-table stripes. 1 (the default) is the original single-table
+  /// runtime; 0 resolves to the hardware thread count. Capped at
+  /// kMaxShards so callers can carry shard sets as 64-bit masks.
+  size_t shards = 1;
+};
+
+/// The requester's call sphere as a flat id array: the acquiring action
+/// first, then its ancestors up to the top-level transaction. When the
+/// runtime passes one, sphere membership is a linear scan over ids the
+/// requesting thread owns — no walk of the shared TransactionSystem on
+/// the hot path. Optional: without it the manager walks `ts` as before.
+struct SphereChain {
+  const ActionId* ids = nullptr;
+  size_t len = 0;
+};
+
+/// Per-shard tallies, read without any shard latch (relaxed atomics
+/// snapshotted into plain integers). The throughput driver reports
+/// these per stripe so hot-stripe imbalance is visible.
+struct LockShardStats {
+  uint64_t acquires = 0;
+  uint64_t waits = 0;
+  uint64_t deadlocks = 0;
+  uint64_t wait_ns = 0;  ///< total blocked time observed in this shard
 };
 
 /// Thread-safe semantic lock table for one Database.
 class LockManager {
  public:
+  /// Callers carry the shards an action holds locks in as a 64-bit
+  /// mask, so shard counts are capped here.
+  static constexpr size_t kMaxShards = 64;
+  /// The "visit every shard" mask for callers that do not track one.
+  static constexpr uint64_t kAllShards = ~uint64_t{0};
+
   /// `ts` provides the call-tree ancestry; it must outlive the manager.
   LockManager(const TransactionSystem* ts, LockManagerOptions options = {});
 
   /// Acquires a lock on `obj` in mode `inv` for `action` (with top-level
   /// transaction `top`). Blocks while incompatible locks exist. When
   /// `hold_at_top` is true the lock is immediately anchored at the
-  /// top-level transaction (flat 2PL / strawman modes).
+  /// top-level transaction (flat 2PL / strawman modes). `chain`, when
+  /// provided, replaces the TransactionSystem ancestry walk for sphere
+  /// checks (it must list `action` and its ancestors).
   ///
   /// Returns OK, or kDeadlock when waiting would close a waits-for cycle
   /// or exceed the timeout.
   Status Acquire(ObjectId obj, const ObjectType* type, const Invocation& inv,
                  ActionId action, ActionId top,
                  LockSemantics semantics = LockSemantics::kCommutativity,
-                 bool hold_at_top = false);
+                 bool hold_at_top = false,
+                 const SphereChain* chain = nullptr);
 
   /// Lock pass-up at completion of `action`: locks passed up by its
   /// children are released; its own lock transfers to `parent`. An
@@ -106,16 +151,44 @@ class LockManager {
   /// parent and is only released at top-level completion. "By the use
   /// of conventional transactions and closed nested transactions only
   /// top-level-transactions are isolated from each other."
+  ///
+  /// `shard_mask` limits the shards visited; pass a superset of the
+  /// shards `action` may hold locks in (kAllShards always works).
   void OnActionComplete(ActionId action, ActionId parent,
-                        bool release_children = true);
+                        bool release_children = true,
+                        uint64_t shard_mask = kAllShards);
 
   /// Releases every lock currently held by `holder` (top-level
   /// commit/abort, or cleanup of a failed action). Locks owned deeper
-  /// but already passed up to `holder` are released too.
-  void ReleaseAllHeldBy(ActionId holder);
+  /// but already passed up to `holder` are released too. `shard_mask`
+  /// as in OnActionComplete.
+  void ReleaseAllHeldBy(ActionId holder, uint64_t shard_mask = kAllShards);
+
+  /// Releases the locks `owner` acquired that now sit with `holder`
+  /// (pre-passed-up acquires cleaning up after a failed action). No-op
+  /// when `owner` holds nothing under `holder`.
+  void ReleaseOwned(ActionId owner, ActionId holder,
+                    uint64_t shard_mask = kAllShards);
 
   /// Number of locks currently in the table (for tests).
   size_t LockCount() const;
+
+  /// Stripe geometry: the shard of `obj`, and how many there are. The
+  /// runtime uses ShardOf to maintain per-action shard masks.
+  size_t ShardOf(ObjectId obj) const {
+    // Fibonacci mix: consecutive ids (the common allocation pattern)
+    // must spread across stripes.
+    return static_cast<size_t>((obj.value * 0x9E3779B97F4A7C15ULL) >> 40) %
+           shards_.size();
+  }
+  size_t shard_count() const { return shards_.size(); }
+  /// Mask bit for `obj`'s shard.
+  uint64_t ShardBit(ObjectId obj) const {
+    return uint64_t{1} << ShardOf(obj);
+  }
+
+  /// Per-shard counters since construction, index = shard.
+  std::vector<LockShardStats> PerShardStats() const;
 
   /// Publishes into `registry` from now on: db.lock.acquires/waits/
   /// deadlocks counters and the db.lock.wait_ns histogram (wait time per
@@ -126,7 +199,7 @@ class LockManager {
 
   /// Observability counters. Safe to read concurrently with running
   /// transactions (the counters are atomic; writers update them under
-  /// mutex_, monitors read them lock-free).
+  /// the shard latches, monitors read them lock-free).
   uint64_t wait_count() const {
     return waits_.load(std::memory_order_relaxed);
   }
@@ -146,47 +219,72 @@ class LockManager {
     Invocation inv;
     ActionId owner;    ///< action that acquired it (never changes)
     ActionId holder;   ///< current holder; moves up the tree
-    ActionId top;      ///< owner's top-level transaction
+    ActionId top;      ///< owner's top-level transaction (never changes)
     LockSemantics semantics;
   };
 
+  /// One lock-table stripe. All non-atomic fields are guarded by `mu`.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable released;
+    std::unordered_map<ObjectId, std::list<Lock>> table;
+    /// holder action id -> locks it currently holds in this shard.
+    std::unordered_map<uint64_t, std::vector<Lock*>> held_by;
+    /// waits observed per object (keyed by ObjectId value).
+    std::unordered_map<uint64_t, uint64_t> waits_per_object;
+    /// Threads currently blocked in this shard's wait loop. Guarded by
+    /// `mu`; releases skip the notify when nobody is waiting.
+    size_t waiters = 0;
+
+    std::atomic<uint64_t> acquires{0};
+    std::atomic<uint64_t> waits{0};
+    std::atomic<uint64_t> deadlocks{0};
+    std::atomic<uint64_t> wait_ns{0};
+  };
+
   /// True iff `holder` is `action` or one of its call ancestors.
-  bool InSphere(ActionId holder, ActionId action) const;
+  bool InSphere(ActionId holder, ActionId action,
+                const SphereChain* chain) const;
 
   /// True iff the requesting lock mode is compatible with `lock`.
   bool Compatible(const Lock& lock, const ObjectType* type,
                   const Invocation& inv, ActionId action,
-                  LockSemantics semantics) const;
+                  LockSemantics semantics, const SphereChain* chain) const;
 
   /// Collects the top-level transactions of all incompatible holders.
-  /// Requires mutex_ held.
-  std::vector<uint64_t> Blockers(ObjectId obj, const ObjectType* type,
+  /// Requires the shard's mu held.
+  std::vector<uint64_t> Blockers(const Shard& shard, ObjectId obj,
+                                 const ObjectType* type,
                                  const Invocation& inv, ActionId action,
-                                 LockSemantics semantics) const;
+                                 LockSemantics semantics,
+                                 const SphereChain* chain) const;
 
   /// True iff adding requester->blockers edges would close a cycle in
-  /// the waits-for graph. Requires mutex_ held.
+  /// the waits-for graph. Requires graph_mu_ held.
   bool WouldDeadlock(uint64_t requester_top,
                      const std::vector<uint64_t>& blocker_tops) const;
 
-  void MoveHolder(Lock* lock, ActionId new_holder);
-  void EraseLock(Lock* lock);
+  /// Drops requester's waits-for edges (under graph_mu_).
+  void EraseWaitEdges(uint64_t requester_top);
+
+  void MoveHolder(Shard* shard, Lock* lock, ActionId new_holder);
+  void EraseLock(Shard* shard, Lock* lock);
 
   const TransactionSystem* ts_;
   LockManagerOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable released_;
-  std::unordered_map<ObjectId, std::list<Lock>> table_;
-  /// holder action id -> locks it currently holds.
-  std::unordered_map<uint64_t, std::vector<Lock*>> held_by_;
-  /// waits-for edges among top-level transactions (by ActionId value).
+  /// Stripes; unique_ptr keeps each shard's latch and condvar off its
+  /// neighbors' cache lines.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Waits-for edges among top-level transactions (by ActionId value).
+  /// Global — deadlock cycles cross stripes. Lock order: a shard's mu
+  /// may be held when taking graph_mu_, never the reverse.
+  mutable std::mutex graph_mu_;
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> waits_for_;
 
   std::atomic<uint64_t> waits_{0};
   std::atomic<uint64_t> deadlocks_{0};
-  /// waits observed per object (keyed by ObjectId value).
-  std::unordered_map<uint64_t, uint64_t> waits_per_object_;
 
   /// Cached registry metrics; all null when detached (the fast path
   /// then costs one predictable branch per event).

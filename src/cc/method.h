@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -108,15 +109,39 @@ class MethodContext {
  private:
   friend class Database;
   MethodContext(Database* db, ActionId action, ObjectId self,
-                ObjectState* raw_state, std::mutex* latch)
+                ObjectState* raw_state, std::mutex* latch,
+                const MethodContext* parent = nullptr,
+                const ObjectType* self_type = nullptr)
       : db_(db), action_(action), self_(self), raw_state_(raw_state),
-        latch_(latch) {}
+        latch_(latch), parent_(parent), self_type_(self_type),
+        top_(parent == nullptr ? action : parent->top_) {}
 
   Database* db_;
   ActionId action_;
   ObjectId self_;
   ObjectState* raw_state_;
   std::mutex* latch_;
+  /// Enclosing action's context (null for a transaction body). The
+  /// chain of parents is this action's call sphere — the runtime hands
+  /// it to the lock manager so sphere checks never walk the shared
+  /// TransactionSystem on the hot path.
+  const MethodContext* parent_;
+  /// Type of `self_` (null for a transaction body); lets the runtime
+  /// enforce Def 3 (primitive actions call no other action) without a
+  /// TransactionSystem read.
+  const ObjectType* self_type_;
+  /// Cached root of the call tree.
+  ActionId top_;
+  /// Shards in which this action (or its completed children, passed up)
+  /// may hold locks — a conservative superset, folded into the parent
+  /// at completion. Atomic: CallParallel branches complete concurrently.
+  std::atomic<uint64_t> lock_shards_{0};
+  /// Set once a completed child registers a compensation under this
+  /// action. Completion, commit and abort consult it to skip the
+  /// compensation-stripe lookup in the (common) case where nothing was
+  /// ever registered. Atomic: CallParallel branches register
+  /// concurrently.
+  std::atomic<bool> has_comp_children_{false};
   std::optional<Invocation> compensation_;
   uint64_t last_lsn_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/random.h"
+
 namespace oodb {
 namespace {
 
@@ -104,6 +106,41 @@ TEST(HistLayoutTest, BucketForIsMonotonicAndInRange) {
   }
   EXPECT_LT(hist_layout::BucketFor(UINT64_MAX),
             hist_layout::kBucketCount);
+}
+
+TEST(HistogramTest, MergeOfSplitsEqualsWhole) {
+  // The per-thread-histograms-then-Merge pattern the throughput driver
+  // uses must agree exactly with one histogram fed every sample: same
+  // count, mean, min, max, and every quantile (shared bucket layout).
+  Rng rng(99);
+  Histogram whole;
+  Histogram parts[4];
+  for (int i = 0; i < 40000; ++i) {
+    uint64_t v = rng.NextBelow(1u << 20);
+    whole.Add(v);
+    parts[i % 4].Add(v);
+  }
+  Histogram merged;
+  for (const Histogram& p : parts) merged.Merge(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  EXPECT_DOUBLE_EQ(merged.Mean(), whole.Mean());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.Quantile(q), whole.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(merged.Summary(), whole.Summary());
+}
+
+TEST(HistogramTest, MergeIntoEmptyAndOfEmpty) {
+  Histogram empty, filled, target;
+  filled.Add(7);
+  filled.Add(1000);
+  target.Merge(filled);  // into empty
+  target.Merge(empty);   // of empty
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min(), 7u);
+  EXPECT_EQ(target.max(), 1000u);
 }
 
 TEST(HistLayoutTest, ValueLiesWithinItsBucketBounds) {

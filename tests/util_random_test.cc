@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <functional>
 #include <map>
 #include <set>
+#include <vector>
 
 namespace oodb {
 namespace {
@@ -104,6 +107,122 @@ TEST(ZipfTest, ValuesInRange) {
 TEST(ZipfTest, SingleElementDomain) {
   ZipfGenerator z(1, 0.5, 3);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(z.Next(), 0u);
+}
+
+// Pearson chi-square statistic against per-key expected counts.
+double ChiSquare(const std::map<uint64_t, int>& counts, uint64_t n,
+                 int draws, const std::function<double(uint64_t)>& pmf) {
+  double stat = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    double expected = pmf(k) * draws;
+    auto it = counts.find(k);
+    double observed = it == counts.end() ? 0.0 : it->second;
+    stat += (observed - expected) * (observed - expected) / expected;
+  }
+  return stat;
+}
+
+// The exact pmf induced by the YCSB map u -> key: keys 0 and 1 get
+// direct slices of [0,1), everything past (1 + 0.5^theta)/zeta(n) goes
+// through the continuous inverse k = floor(n * (eta*u - eta + 1)^alpha),
+// whose per-key mass is the length of the preimage interval. This is
+// what the generator is *supposed* to emit (the YCSB approximation of
+// Zipf), so a chi-square against it tests the RNG and the transform,
+// not the approximation error.
+std::vector<double> YcsbZipfPmf(uint64_t n, double theta) {
+  double zetan = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) zetan += 1.0 / std::pow(double(k), theta);
+  double zeta2 = 1.0 + std::pow(0.5, theta);
+  double eta = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+               (1.0 - zeta2 / zetan);
+  double u_lo = zeta2 / zetan;  // below: direct slices for keys 0, 1
+  std::vector<double> pmf(n, 0.0);
+  pmf[0] = 1.0 / zetan;
+  pmf[1] = std::pow(0.5, theta) / zetan;
+  // u at which the continuous inverse crosses key k (increasing in k).
+  auto u_at = [&](uint64_t k) {
+    return 1.0 + (std::pow(double(k) / double(n), 1.0 - theta) - 1.0) / eta;
+  };
+  for (uint64_t k = 0; k < n; ++k) {
+    double lo = std::max(u_at(k), u_lo);
+    double hi = std::min(u_at(k + 1), 1.0);
+    if (hi > lo) pmf[k] += hi - lo;
+  }
+  return pmf;
+}
+
+TEST(ZipfTest, ChiSquareAgainstInducedPmf) {
+  const uint64_t n = 20;
+  const double theta = 0.9;
+  const int draws = 200000;
+  ZipfGenerator z(n, theta, 77);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < draws; ++i) ++counts[z.Next()];
+  std::vector<double> pmf = YcsbZipfPmf(n, theta);
+  double stat =
+      ChiSquare(counts, n, draws, [&](uint64_t k) { return pmf[k]; });
+  // 19 degrees of freedom; the 0.999 quantile is ~43.8.
+  EXPECT_LT(stat, 43.8) << "chi-square " << stat;
+  // And the approximation itself must still be recognisably Zipf: the
+  // head keys carry the exact harmonic weights.
+  double zetan = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) zetan += 1.0 / std::pow(double(k), theta);
+  EXPECT_NEAR(double(counts[0]) / draws, 1.0 / zetan, 0.01);
+  EXPECT_NEAR(double(counts[1]) / draws, std::pow(0.5, theta) / zetan, 0.01);
+  for (uint64_t k = 1; k < n; ++k) {
+    EXPECT_GE(pmf[k - 1], pmf[k] - 1e-12) << "pmf not non-increasing at " << k;
+  }
+}
+
+TEST(HotSetTest, ValuesInRange) {
+  HotSetGenerator g(100, 10, 0.9, 3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(g.Next(), 100u);
+}
+
+TEST(HotSetTest, ClampsDegenerateParameters) {
+  HotSetGenerator all_hot(10, 50, 2.0, 3);  // hot set clamped to n
+  EXPECT_EQ(all_hot.hot_keys(), 10u);
+  EXPECT_EQ(all_hot.hot_op_fraction(), 1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(all_hot.Next(), 10u);
+  HotSetGenerator cold_only(10, 2, -1.0, 3);
+  EXPECT_EQ(cold_only.hot_op_fraction(), 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t k = cold_only.Next();
+    EXPECT_GE(k, 2u);
+    EXPECT_LT(k, 10u);
+  }
+}
+
+TEST(HotSetTest, HotShareMatchesFraction) {
+  const int draws = 100000;
+  HotSetGenerator g(1000, 100, 0.9, 11);
+  int hot = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (g.Next() < 100) ++hot;
+  }
+  EXPECT_NEAR(hot / double(draws), 0.9, 0.01);
+}
+
+TEST(HotSetTest, ChiSquareUniformWithinEachTier) {
+  // Within the hot set and within the cold set the distribution is
+  // uniform; chi-square both tiers against their conditional pmf.
+  const uint64_t n = 40, hot_keys = 8;
+  const double frac = 0.8;
+  const int draws = 200000;
+  HotSetGenerator g(n, hot_keys, frac, 23);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < draws; ++i) ++counts[g.Next()];
+  double stat = ChiSquare(counts, n, draws, [&](uint64_t k) {
+    return k < hot_keys ? frac / double(hot_keys)
+                        : (1.0 - frac) / double(n - hot_keys);
+  });
+  // 39 degrees of freedom; the 0.999 quantile is ~72.1.
+  EXPECT_LT(stat, 72.1) << "chi-square " << stat;
+}
+
+TEST(HotSetTest, Deterministic) {
+  HotSetGenerator a(100, 10, 0.9, 5), b(100, 10, 0.9, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
 }
 
 }  // namespace
