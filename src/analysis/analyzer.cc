@@ -50,6 +50,12 @@ AnalysisReport AnalyzeSchema(const std::string& schema_name,
     Take(CheckSpecSoundness(corpus));
     Take(CheckMemoHonesty(corpus, options.honesty));
     Take(CheckUndoCompleteness(corpus));
+    if (options.inference) {
+      const InferredMatrix matrix =
+          InferType(type, registry, options.inference_options);
+      report.inference.Add(matrix);
+      Take(CompareWithHand(matrix));
+    }
     if (options.lock_conformance) {
       LockConformanceOptions lock_options;
       auto it = options.lock_references.find(type->name());

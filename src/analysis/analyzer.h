@@ -18,6 +18,7 @@
 #include "analysis/diagnostics.h"
 #include "analysis/lock_conformance.h"
 #include "analysis/memo_honesty.h"
+#include "analysis/spec_synthesis.h"
 #include "cc/database.h"
 
 namespace oodb::analysis {
@@ -30,6 +31,12 @@ struct AnalyzerOptions {
   /// Skip the lock-conformance pass (it spins up a LockManager per
   /// type; value-level-only callers can opt out).
   bool lock_conformance = true;
+  /// Run the commutativity-inference pass (pass 6): probe primitive
+  /// types with declared TypeProbeTraits, classify the rest over
+  /// declared evidence, and compare each inferred matrix against the
+  /// shipped spec (see spec_synthesis.h).
+  bool inference = true;
+  InferenceOptions inference_options;
 };
 
 /// Per-type summary: the potential-conflict footprint of the corpus.
@@ -47,6 +54,7 @@ struct AnalysisReport {
   std::vector<TypeSummary> types;        ///< name order
   std::vector<Diagnostic> diagnostics;   ///< sorted, all severities
   CallGraphResult call_graph;
+  InferenceStats inference;              ///< aggregated over all types
 
   size_t CountBySeverity(Severity severity) const;
   size_t errors() const { return CountBySeverity(Severity::kError); }

@@ -1,0 +1,501 @@
+#include "analysis/commutativity_inference.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "util/status.h"
+
+namespace oodb::analysis {
+
+namespace {
+
+/// Probe parameter lists for one method: the corpus lists (declared
+/// samples plus their full mutations) widened with per-position
+/// mutations, so a keyed writer sees "same key, different payload"
+/// combinations — the witness that separates DifferentParam from
+/// DifferentParamOrIdentical. Deduplicated, declaration order.
+std::vector<ValueList> ProbeParams(const MethodCorpus& method,
+                                   const InferenceOptions& options) {
+  std::vector<ValueList> out;
+  auto add = [&out](const ValueList& params) {
+    for (const ValueList& have : out) {
+      if (have == params) return;
+    }
+    out.push_back(params);
+  };
+  for (const ValueList& params : method.params) {
+    add(params);
+  }
+  for (const ValueList& params : method.params) {
+    if (params.size() < 2) continue;
+    for (size_t i = 0; i < params.size(); ++i) {
+      ValueList mutated = params;
+      ValueList shifted = MutateParams(params);
+      mutated[i] = shifted[i];
+      add(mutated);
+    }
+  }
+  if (options.max_params_per_method != 0 &&
+      out.size() > options.max_params_per_method) {
+    out.resize(options.max_params_per_method);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* EntryKindName(EntryKind kind) {
+  switch (kind) {
+    case EntryKind::kCommutes: return "commute";
+    case EntryKind::kConflicts: return "conflict";
+    case EntryKind::kDifferentParam: return "different-param";
+    case EntryKind::kSameParam: return "same-param";
+    case EntryKind::kDifferentParamOrIdentical:
+      return "different-param-or-identical";
+    case EntryKind::kEvidence: return "evidence-table";
+    case EntryKind::kDelegate: return "declared";
+  }
+  return "?";
+}
+
+bool MethodPairEntry::Commutes(const Invocation& x,
+                               const Invocation& y) const {
+  switch (kind) {
+    case EntryKind::kCommutes:
+      return true;
+    case EntryKind::kConflicts:
+      return false;
+    case EntryKind::kDifferentParam:
+      if (x.params.size() <= param_index || y.params.size() <= param_index) {
+        return false;
+      }
+      return !(x.params[param_index] == y.params[param_index]);
+    case EntryKind::kSameParam:
+      if (x.params.size() <= param_index || y.params.size() <= param_index) {
+        return false;
+      }
+      return x.params[param_index] == y.params[param_index];
+    case EntryKind::kDifferentParamOrIdentical:
+      if (x == y) return true;
+      if (x.params.size() <= param_index || y.params.size() <= param_index) {
+        return false;
+      }
+      return !(x.params[param_index] == y.params[param_index]);
+    case EntryKind::kEvidence:
+      for (const PairEvidence& ev : evidence) {
+        if ((ev.a == x && ev.b == y) || (ev.a == y && ev.b == x)) {
+          return ev.Commutes();
+        }
+      }
+      return false;  // off-corpus: conservative
+    case EntryKind::kDelegate:
+      return false;  // answered by the hand spec at the matrix level
+  }
+  return false;
+}
+
+size_t InferredMatrix::gained_pairs() const {
+  size_t n = 0;
+  for (const MethodPairEntry& e : entries) {
+    if (e.gained > 0) ++n;
+  }
+  return n;
+}
+
+size_t InferredMatrix::unsound_pairs() const {
+  size_t n = 0;
+  for (const MethodPairEntry& e : entries) {
+    if (e.unsound > 0) ++n;
+  }
+  return n;
+}
+
+const MethodPairEntry* InferredMatrix::Entry(const std::string& a,
+                                             const std::string& b) const {
+  const std::string& lo = a <= b ? a : b;
+  const std::string& hi = a <= b ? b : a;
+  for (const MethodPairEntry& e : entries) {
+    if (e.method_a == lo && e.method_b == hi) return &e;
+  }
+  return nullptr;
+}
+
+bool InferredMatrix::Commutes(const Invocation& x,
+                              const Invocation& y) const {
+  const MethodPairEntry* e = Entry(x.method, y.method);
+  if (e == nullptr) return false;
+  if (e->kind == EntryKind::kDelegate) {
+    return type != nullptr && type->Commutes(x, y);
+  }
+  return e->Commutes(x, y);
+}
+
+std::map<std::pair<std::string, std::string>, bool> DeepObservers(
+    const MethodRegistry& registry) {
+  std::map<std::string, const ObjectType*> by_name;
+  for (const ObjectType* type : registry.Types()) {
+    by_name[type->name()] = type;
+  }
+  // Optimistic start: every declared observer is deep; strip any whose
+  // declared call set reaches a non-observer (or an unknown target)
+  // until the fixpoint — the greatest solution of
+  //   deep(m) = observer(m) AND forall t in calls(m): deep(t).
+  std::map<std::pair<std::string, std::string>, bool> deep;
+  for (const ObjectType* type : registry.Types()) {
+    for (const std::string& method : registry.MethodsOf(type)) {
+      const MethodTraits* traits = registry.Traits(type, method);
+      deep[{type->name(), method}] =
+          traits != nullptr && traits->Declared() && traits->observer;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [key, is_deep] : deep) {
+      if (!is_deep) continue;
+      auto type_it = by_name.find(key.first);
+      const MethodTraits* traits =
+          registry.Traits(type_it->second, key.second);
+      for (const CallTarget& call : traits->calls) {
+        auto it = deep.find({call.type, call.method});
+        if (it == deep.end() || !it->second) {
+          is_deep = false;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return deep;
+}
+
+// ---------------------------------------------------------------------
+// State probing
+// ---------------------------------------------------------------------
+
+/// Executes primitive method bodies against generated states. Friend of
+/// MethodContext: it builds contexts with a null database, which is
+/// sound exactly for Def 3 methods (they never Call out).
+class StateProber {
+ public:
+  StateProber(const ObjectType* type, const MethodRegistry& registry,
+              const TypeProbeTraits& probe)
+      : type_(type), registry_(registry), probe_(probe) {}
+
+  /// Outcome of one invocation slot of a two-invocation run.
+  struct SlotOutcome {
+    StatusCode code = StatusCode::kOk;
+    std::string ret;  ///< rendered return value; "" unless code == kOk
+
+    friend bool operator==(const SlotOutcome& a, const SlotOutcome& b) {
+      return a.code == b.code && a.ret == b.ret;
+    }
+  };
+
+  struct RunOutcome {
+    SlotOutcome slots[2];
+    std::string fingerprint;
+    bool HasConflictRefusal() const {
+      return slots[0].code == StatusCode::kConflict ||
+             slots[1].code == StatusCode::kConflict;
+    }
+  };
+
+  /// Runs [first; second] from a fresh instance of `state_class`.
+  RunOutcome Run(const StateClass& state_class, const Invocation& first,
+                 const Invocation& second) {
+    std::unique_ptr<ObjectState> state = state_class.make();
+    std::mutex latch;
+    RunOutcome out;
+    const Invocation* invs[2] = {&first, &second};
+    for (int slot = 0; slot < 2; ++slot) {
+      const MethodImpl* impl = registry_.Find(type_, invs[slot]->method);
+      MethodContext ctx(nullptr, ActionId(), ObjectId(), state.get(),
+                        &latch, nullptr, type_);
+      Value result;
+      Status status = (*impl)(ctx, invs[slot]->params, &result);
+      out.slots[slot].code = status.code();
+      if (status.ok()) out.slots[slot].ret = result.ToString();
+    }
+    out.fingerprint = probe_.fingerprint(*state);
+    return out;
+  }
+
+  /// Runs `inv` alone from a fresh instance; true iff the fingerprint
+  /// stayed put (the observer-honesty check).
+  bool LeavesStateUnchanged(const StateClass& state_class,
+                            const Invocation& inv) {
+    std::unique_ptr<ObjectState> state = state_class.make();
+    const std::string before = probe_.fingerprint(*state);
+    std::mutex latch;
+    const MethodImpl* impl = registry_.Find(type_, inv.method);
+    MethodContext ctx(nullptr, ActionId(), ObjectId(), state.get(), &latch,
+                      nullptr, type_);
+    Value result;
+    (void)(*impl)(ctx, inv.params, &result);
+    return probe_.fingerprint(*state) == before;
+  }
+
+ private:
+  const ObjectType* type_;
+  const MethodRegistry& registry_;
+  const TypeProbeTraits& probe_;
+};
+
+namespace {
+
+/// Probes one unordered invocation pair across every state class and
+/// folds the outcomes into PairEvidence. Both orders always run; each
+/// invocation instance is compared with *itself* across the two runs
+/// (first slot of one order against second slot of the other), which
+/// catches order-observable returns even when the two invocations are
+/// identical (deq/deq, insert(k,v)/insert(k,v)).
+PairEvidence ProbePair(StateProber& prober, const TypeProbeTraits& probe,
+                       const Invocation& a, const Invocation& b,
+                       const InferenceOptions& options,
+                       InferredMatrix* stats) {
+  PairEvidence ev;
+  ev.a = a;
+  ev.b = b;
+  for (const StateClass& sc : probe.states) {
+    StateProber::RunOutcome ab = prober.Run(sc, a, b);
+    StateProber::RunOutcome ba = prober.Run(sc, b, a);
+    stats->probe_runs += 2;
+    // Instance of `a`: slot 0 of [a;b], slot 1 of [b;a]. Instance of
+    // `b`: slot 1 of [a;b], slot 0 of [b;a].
+    const bool a_same = ab.slots[0] == ba.slots[1];
+    const bool b_same = ab.slots[1] == ba.slots[0];
+    const bool state_same = ab.fingerprint == ba.fingerprint;
+    if (a_same && b_same && state_same) {
+      ++ev.equivalent;
+      continue;
+    }
+    if (options.conflict_means_unadmitted &&
+        (ab.HasConflictRefusal() || ba.HasConflictRefusal())) {
+      // The admissibility test refused an order: the refused action
+      // never enters a history from this state, so the flip yields no
+      // evidence either way (escrow semantics).
+      ++ev.vacuous;
+      ++stats->vacuous_runs;
+      continue;
+    }
+    ++ev.divergent;
+    if (ev.witness.empty()) {
+      std::string what;
+      if (!a_same) {
+        what = a.ToString() + ": " + StatusCodeName(ab.slots[0].code) +
+               " \"" + ab.slots[0].ret + "\" vs " +
+               StatusCodeName(ba.slots[1].code) + " \"" + ba.slots[1].ret +
+               "\"";
+      } else if (!b_same) {
+        what = b.ToString() + ": " + StatusCodeName(ab.slots[1].code) +
+               " \"" + ab.slots[1].ret + "\" vs " +
+               StatusCodeName(ba.slots[0].code) + " \"" + ba.slots[0].ret +
+               "\"";
+      } else {
+        what = "final state \"" + ab.fingerprint + "\" vs \"" +
+               ba.fingerprint + "\"";
+      }
+      ev.witness = "state '" + sc.name + "': " + what;
+    }
+  }
+  return ev;
+}
+
+/// Fits the tightest closed shape that reproduces every probed outcome.
+/// A parameter shape is accepted only when it matches the evidence
+/// exactly AND is exercised on both sides (predicts commute for at
+/// least one combination and conflict for at least one) — an
+/// unexercised shape would generalize beyond its evidence.
+void FitEntry(MethodPairEntry* entry) {
+  std::vector<const PairEvidence*> evidenced;
+  for (const PairEvidence& ev : entry->evidence) {
+    if (ev.equivalent + ev.divergent > 0) evidenced.push_back(&ev);
+  }
+  if (evidenced.empty()) {
+    entry->kind = EntryKind::kConflicts;  // no admissible evidence
+    return;
+  }
+  auto commutes = [](const PairEvidence* ev) {
+    return ev->divergent == 0 && ev->equivalent > 0;
+  };
+
+  bool all_commute = true, none_commute = true;
+  size_t min_arity = SIZE_MAX;
+  for (const PairEvidence* ev : evidenced) {
+    (commutes(ev) ? none_commute : all_commute) = false;
+    min_arity = std::min(min_arity,
+                         std::min(ev->a.params.size(), ev->b.params.size()));
+  }
+  if (all_commute) {
+    entry->kind = EntryKind::kCommutes;
+    return;
+  }
+
+  auto fits = [&](auto predicate, size_t* exercised_commute,
+                  size_t* exercised_conflict) {
+    *exercised_commute = *exercised_conflict = 0;
+    for (const PairEvidence* ev : evidenced) {
+      const bool predicted = predicate(ev->a, ev->b);
+      if (predicted != commutes(ev)) return false;
+      ++(predicted ? *exercised_commute : *exercised_conflict);
+    }
+    return *exercised_commute > 0 && *exercised_conflict > 0;
+  };
+
+  struct Shape {
+    EntryKind kind;
+    std::function<bool(const Invocation&, const Invocation&)> predicate;
+  };
+  for (size_t i = 0; i < (min_arity == SIZE_MAX ? 0 : min_arity); ++i) {
+    const Shape shapes[] = {
+        {EntryKind::kDifferentParam,
+         [i](const Invocation& x, const Invocation& y) {
+           return !(x.params[i] == y.params[i]);
+         }},
+        {EntryKind::kSameParam,
+         [i](const Invocation& x, const Invocation& y) {
+           return x.params[i] == y.params[i];
+         }},
+        {EntryKind::kDifferentParamOrIdentical,
+         [i](const Invocation& x, const Invocation& y) {
+           return x == y || !(x.params[i] == y.params[i]);
+         }},
+    };
+    for (const Shape& shape : shapes) {
+      size_t on = 0, off = 0;
+      if (fits(shape.predicate, &on, &off)) {
+        entry->kind = shape.kind;
+        entry->param_index = i;
+        return;
+      }
+    }
+  }
+  entry->kind = none_commute ? EntryKind::kConflicts : EntryKind::kEvidence;
+}
+
+}  // namespace
+
+InferredMatrix InferType(const ObjectType* type,
+                         const MethodRegistry& registry,
+                         const InferenceOptions& options) {
+  InferredMatrix matrix;
+  matrix.type = type;
+  matrix.type_name = type->name();
+  const TypeCorpus corpus = BuildTypeCorpus(type, registry);
+  const TypeProbeTraits* probe = registry.ProbeTraits(type);
+
+  // A type is probeable when it declared generators, is primitive
+  // (Def 3: bodies never Call out, so a bare-state context is the whole
+  // world), and every method has an executable implementation.
+  bool probeable =
+      probe != nullptr && probe->Declared() && type->primitive();
+  if (probeable) {
+    for (const MethodCorpus& m : corpus.methods) {
+      if (registry.Find(type, m.method) == nullptr) probeable = false;
+    }
+  }
+  matrix.probed = probeable;
+
+  if (!probeable) {
+    // Declared evidence: the audited hand spec, tightened by the
+    // deep-observer rule. Everything else delegates.
+    const auto deep = DeepObservers(registry);
+    auto is_deep = [&](const std::string& method) {
+      auto it = deep.find({type->name(), method});
+      return it != deep.end() && it->second;
+    };
+    for (size_t i = 0; i < corpus.methods.size(); ++i) {
+      for (size_t j = i; j < corpus.methods.size(); ++j) {
+        MethodPairEntry entry;
+        entry.method_a = corpus.methods[i].method;
+        entry.method_b = corpus.methods[j].method;
+        if (is_deep(entry.method_a) && is_deep(entry.method_b)) {
+          entry.kind = EntryKind::kCommutes;
+          entry.source = EntrySource::kObserver;
+          // Lost concurrency: corpus combinations the hand spec
+          // refuses although both sides transitively only observe.
+          for (const ValueList& pa : corpus.methods[i].params) {
+            for (const ValueList& pb : corpus.methods[j].params) {
+              if (!type->Commutes(Invocation(entry.method_a, pa),
+                                  Invocation(entry.method_b, pb))) {
+                ++entry.gained;
+              }
+            }
+          }
+        } else {
+          entry.kind = EntryKind::kDelegate;
+          entry.source = EntrySource::kDeclared;
+        }
+        matrix.entries.push_back(std::move(entry));
+      }
+    }
+    return matrix;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  StateProber prober(type, registry, *probe);
+
+  // Observer honesty: a probe-visible mutation under an observer flag
+  // would poison both the deep-observer rule and the declared readers.
+  for (const MethodCorpus& m : corpus.methods) {
+    if (!m.observer) continue;
+    for (const ValueList& params : ProbeParams(m, options)) {
+      for (const StateClass& sc : probe->states) {
+        if (!prober.LeavesStateUnchanged(sc, Invocation(m.method, params))) {
+          matrix.observer_violations.push_back({m.method, sc.name});
+          break;
+        }
+      }
+      if (!matrix.observer_violations.empty() &&
+          matrix.observer_violations.back().method == m.method) {
+        break;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < corpus.methods.size(); ++i) {
+    const std::vector<ValueList> params_a =
+        ProbeParams(corpus.methods[i], options);
+    for (size_t j = i; j < corpus.methods.size(); ++j) {
+      const std::vector<ValueList> params_b =
+          ProbeParams(corpus.methods[j], options);
+      MethodPairEntry entry;
+      entry.method_a = corpus.methods[i].method;
+      entry.method_b = corpus.methods[j].method;
+      entry.source = EntrySource::kProbed;
+      for (size_t pa = 0; pa < params_a.size(); ++pa) {
+        // Same method: unordered combinations only.
+        const size_t pb_start = i == j ? pa : 0;
+        for (size_t pb = pb_start; pb < params_b.size(); ++pb) {
+          Invocation a(entry.method_a, params_a[pa]);
+          Invocation b(entry.method_b, params_b[pb]);
+          PairEvidence ev =
+              ProbePair(prober, *probe, a, b, options, &matrix);
+          ++matrix.pairs_probed;
+          // Compare against the hand spec on this combination.
+          const bool hand = type->Commutes(a, b);
+          if (hand && ev.divergent > 0) {
+            ++entry.unsound;
+            if (entry.unsound_witness.empty()) {
+              entry.unsound_witness = ev.witness;
+            }
+          }
+          if (!hand && ev.Commutes()) ++entry.gained;
+          entry.evidence.push_back(std::move(ev));
+        }
+      }
+      FitEntry(&entry);
+      matrix.entries.push_back(std::move(entry));
+    }
+  }
+  matrix.probe_ns = uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
+  return matrix;
+}
+
+}  // namespace oodb::analysis

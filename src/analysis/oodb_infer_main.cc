@@ -1,0 +1,190 @@
+// oodb_infer: commutativity-inference driver.
+//
+//   oodb_infer [--json|--cpp] [--diff] [--metrics-json=PATH] [schema ...]
+//
+// Schemas: bank, document, encyclopedia, containers (default: all
+// four; "containers" registers the queue, directory, escrow-account,
+// page, B+-tree, and hash-index modules into one database). For each
+// registered type the inference engine synthesizes the tightest matrix
+// its evidence supports (see commutativity_inference.h) and renders it
+// as text (byte-stable, CI-diffable against tests/golden/infer_*.txt),
+// JSON (--json, with probe counters and timings), or a compilable C++
+// table (--cpp). --diff restricts the text to entries that disagree
+// with the shipped spec. Exit status: 0 sound, 2 when probing refuted a
+// hand entry or an observer mutated a probe state.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/commutativity_inference.h"
+#include "analysis/spec_synthesis.h"
+#include "apps/bank.h"
+#include "apps/document.h"
+#include "apps/encyclopedia.h"
+#include "cc/database.h"
+#include "containers/bptree.h"
+#include "containers/directory.h"
+#include "containers/escrow.h"
+#include "containers/fifo_queue.h"
+#include "containers/hash_index.h"
+#include "containers/page_ops.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using oodb::analysis::CompareWithHand;
+using oodb::analysis::InferredMatrix;
+using oodb::analysis::InferType;
+using oodb::analysis::MethodPairEntry;
+
+bool RegisterSchema(const std::string& name, oodb::Database* db) {
+  if (name == "bank") {
+    oodb::Bank::RegisterMethods(db, oodb::BankSemantics::kEscrow);
+    oodb::Bank::RegisterMethods(db, oodb::BankSemantics::kNameOnly);
+    oodb::Bank::RegisterMethods(db, oodb::BankSemantics::kReadWrite);
+  } else if (name == "document") {
+    oodb::Document::RegisterMethods(db);
+  } else if (name == "encyclopedia") {
+    oodb::Encyclopedia::RegisterMethods(db);
+  } else if (name == "containers") {
+    oodb::RegisterQueueMethods(db);
+    oodb::RegisterDirectoryMethods(db);
+    oodb::RegisterAccountMethods(db, oodb::EscrowAccountType());
+    oodb::RegisterAccountMethods(db, oodb::NameOnlyAccountType());
+    oodb::RegisterAccountMethods(db, oodb::RWAccountType());
+    oodb::RegisterPageMethods(db);
+    oodb::BpTree::RegisterMethods(db);
+    oodb::HashIndex::RegisterMethods(db);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// --diff: only the entries that disagree with the shipped spec.
+std::string RenderDiff(const InferredMatrix& matrix) {
+  std::string out;
+  for (const MethodPairEntry& e : matrix.entries) {
+    if (e.gained == 0 && e.unsound == 0) continue;
+    if (out.empty()) out = "type " + matrix.type_name + "\n";
+    out += "  " + e.method_a + "/" + e.method_b + ": ";
+    if (e.unsound > 0) {
+      out += "UNSOUND hand entry (" + std::to_string(e.unsound) +
+             " refuted combination(s)): " + e.unsound_witness + "\n";
+    } else {
+      out += "hand spec loses " + std::to_string(e.gained) +
+             " commuting combination(s)\n";
+    }
+  }
+  for (const auto& v : matrix.observer_violations) {
+    if (out.empty()) out = "type " + matrix.type_name + "\n";
+    out += "  observer '" + v.method + "' mutated state '" + v.state_class +
+           "'\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool cpp = false;
+  bool diff = false;
+  std::string metrics_path;
+  std::vector<std::string> schemas;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--cpp") {
+      cpp = true;
+    } else if (arg == "--diff") {
+      diff = true;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::string("--metrics-json=").size());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: oodb_infer [--json|--cpp] [--diff] "
+                  "[--metrics-json=PATH] [schema ...]\n"
+                  "schemas: bank document encyclopedia containers "
+                  "(default: all)\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "oodb_infer: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      schemas.push_back(arg);
+    }
+  }
+  if (schemas.empty()) {
+    schemas = {"bank", "containers", "document", "encyclopedia"};
+  }
+
+  int exit_code = 0;
+  oodb::analysis::InferenceStats stats;
+  std::string json_out = "[";
+  for (size_t s = 0; s < schemas.size(); ++s) {
+    oodb::Database db;
+    if (!RegisterSchema(schemas[s], &db)) {
+      std::fprintf(stderr, "oodb_infer: unknown schema '%s'\n",
+                   schemas[s].c_str());
+      return 2;
+    }
+    if (json) {
+      if (s > 0) json_out += ",";
+      json_out += "{\"schema\":\"" +
+                  oodb::analysis::JsonEscape(schemas[s]) + "\",\"types\":[";
+    } else {
+      std::printf("== oodb_infer: schema '%s' ==\n", schemas[s].c_str());
+    }
+    bool first_type = true;
+    for (const oodb::ObjectType* type : db.registry().Types()) {
+      const InferredMatrix matrix = InferType(type, db.registry());
+      stats.Add(matrix);
+      if (matrix.unsound_pairs() > 0 ||
+          !matrix.observer_violations.empty()) {
+        exit_code = 2;
+      }
+      if (json) {
+        if (!first_type) json_out += ",";
+        json_out += oodb::analysis::RenderInferredJson(matrix);
+      } else if (cpp) {
+        std::fputs(oodb::analysis::RenderInferredCpp(matrix).c_str(),
+                   stdout);
+      } else if (diff) {
+        std::fputs(RenderDiff(matrix).c_str(), stdout);
+      } else {
+        std::fputs(oodb::analysis::RenderInferredText(matrix).c_str(),
+                   stdout);
+      }
+      first_type = false;
+    }
+    if (json) json_out += "]}";
+  }
+  if (json) {
+    json_out += "]\n";
+    std::fputs(json_out.c_str(), stdout);
+  }
+  if (!metrics_path.empty()) {
+    oodb::MetricsRegistry metrics;
+    metrics.GetCounter("infer.types")->Increment(stats.types);
+    metrics.GetCounter("infer.types_probed")->Increment(stats.types_probed);
+    metrics.GetCounter("infer.pairs_probed")->Increment(stats.pairs_probed);
+    metrics.GetCounter("infer.probe_runs")->Increment(stats.probe_runs);
+    metrics.GetCounter("infer.vacuous_runs")->Increment(stats.vacuous_runs);
+    metrics.GetCounter("infer.entries_tightened")
+        ->Increment(stats.entries_tightened);
+    metrics.GetCounter("infer.entries_unsound")
+        ->Increment(stats.entries_unsound);
+    metrics.GetCounter("infer.probe_ns")->Increment(stats.probe_ns);
+    FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "oodb_infer: could not open '%s'\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    std::fputs(metrics.JsonSnapshot().c_str(), f);
+    std::fclose(f);
+  }
+  return exit_code;
+}

@@ -80,6 +80,16 @@ int main(int argc, char** argv) {
     metrics.GetCounter("lint.warnings")->Increment(report.warnings());
     metrics.GetCounter("lint.notes")->Increment(report.notes());
     metrics.GetCounter("lint.schemas")->Increment();
+    metrics.GetCounter("infer.pairs_probed")
+        ->Increment(report.inference.pairs_probed);
+    metrics.GetCounter("infer.probe_runs")
+        ->Increment(report.inference.probe_runs);
+    metrics.GetCounter("infer.entries_tightened")
+        ->Increment(report.inference.entries_tightened);
+    metrics.GetCounter("infer.entries_unsound")
+        ->Increment(report.inference.entries_unsound);
+    metrics.GetCounter("infer.probe_ns")
+        ->Increment(report.inference.probe_ns);
     if (json) {
       if (i > 0) json_out += ",";
       json_out += oodb::analysis::RenderJson(report);

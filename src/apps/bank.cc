@@ -57,7 +57,11 @@ bool TouchesCommute(BankSemantics semantics, Touch a, Touch b) {
 }
 
 /// Parameter-aware bank commutativity: derived from the footprint on
-/// shared accounts, per variant.
+/// shared accounts, per variant. Bank is composite (Def 5), so pass 6
+/// keeps this spec as declared evidence; the account types it fans out
+/// to are probed directly, where the name-only and read-write variants
+/// show their deliberately lost concurrency (the escrow variant infers
+/// exactly as declared).
 class BankCommutativity : public CommutativitySpec {
  public:
   explicit BankCommutativity(BankSemantics semantics)

@@ -92,6 +92,9 @@ Status SectionRead(MethodContext& ctx, const ValueList&, Value* result) {
 
 const ObjectType* SectionObjectType() {
   static const ObjectType* type = [] {
+    // Composite (calls into Page), so pass 6 delegates to this spec;
+    // read/read is re-derived by the deep-observer rule, edit pairs
+    // stay conflicting (edit returns the old text, so order shows).
     auto spec = std::make_unique<MatrixCommutativity>();
     spec->SetCommutes("read", "read");
     return new ObjectType("Section", std::move(spec), /*primitive=*/false);

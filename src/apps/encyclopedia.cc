@@ -398,7 +398,10 @@ const ObjectType* EncObjectType() {
     spec->SetCommutes("search", "search");
     spec->SetCommutes("readSeq", "readSeq");
     spec->SetCommutes("readSeq", "search");
-    // insert/change/erase vs readSeq conflict (phantoms).
+    // insert/change/erase vs readSeq conflict (phantoms). All three
+    // observer pairs above are independently re-derived by pass 6's
+    // deep-observer rule (search and readSeq only reach observers), so
+    // the inference drift gate pins this spec as exactly tight.
     return new ObjectType("Enc", std::move(spec), /*primitive=*/false);
   }();
   return type;

@@ -181,6 +181,10 @@ void Database::DeclareTraits(const ObjectType* type,
   registry_.SetTraits(type, method, std::move(traits));
 }
 
+void Database::DeclareProbe(const ObjectType* type, TypeProbeTraits traits) {
+  registry_.SetProbeTraits(type, std::move(traits));
+}
+
 ObjectId Database::CreateObject(const ObjectType* type, std::string name,
                                 std::unique_ptr<ObjectState> state) {
   ObjectId id = ts_.AddObject(type, std::move(name));

@@ -155,6 +155,11 @@ class Database {
   void DeclareTraits(const ObjectType* type, const std::string& method,
                      MethodTraits traits);
 
+  /// Declares the probing hooks of `type` for the commutativity
+  /// inference engine (state-class generators + fingerprint; primitive
+  /// types only — see TypeProbeTraits).
+  void DeclareProbe(const ObjectType* type, TypeProbeTraits traits);
+
   /// Creates an object with the given state. Thread-safe (splits create
   /// objects mid-transaction).
   ObjectId CreateObject(const ObjectType* type, std::string name,

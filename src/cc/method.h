@@ -28,12 +28,42 @@ namespace oodb {
 class Database;
 class MethodContext;
 
+namespace analysis {
+class StateProber;
+}  // namespace analysis
+
 /// The body of one method. `params` are the invocation parameters;
 /// `result` (never null) receives the return value. Errors propagate to
 /// the caller, which may handle them (e.g. Capacity triggers a split) or
 /// let them abort the transaction.
 using MethodImpl = std::function<Status(
     MethodContext& ctx, const ValueList& params, Value* result)>;
+
+/// One named, deterministically generated starting state for the
+/// commutativity-inference prober: an abstract-state class (Malta &
+/// Martinez) represented by one concrete member. Generators must be
+/// pure — every call yields an identical fresh state.
+struct StateClass {
+  std::string name;
+  std::function<std::unique_ptr<ObjectState>()> make;
+};
+
+/// Per-type probing hooks, declared alongside MethodTraits by primitive
+/// schemas (Def 3 types whose methods call no other object — exactly the
+/// ones whose bodies can be executed against a bare state). `states`
+/// should cover the boundary situations of the type's semantics (empty,
+/// populated, populated with the declared sample values in observable
+/// positions, escrow-tight, ...); `fingerprint` abstracts a state into a
+/// comparable string. Composite types leave these undeclared and the
+/// inference engine falls back to declared evidence.
+struct TypeProbeTraits {
+  std::vector<StateClass> states;
+  std::function<std::string(const ObjectState&)> fingerprint;
+
+  bool Declared() const {
+    return !states.empty() && fingerprint != nullptr;
+  }
+};
 
 /// Execution context of one action (or of a transaction body, where it
 /// represents the top-level action).
@@ -108,6 +138,10 @@ class MethodContext {
 
  private:
   friend class Database;
+  /// The inference prober executes primitive method bodies against
+  /// generated states outside any transaction; it constructs contexts
+  /// with a null database (sound for Def 3 methods, which never Call).
+  friend class analysis::StateProber;
   MethodContext(Database* db, ActionId action, ObjectId self,
                 ObjectState* raw_state, std::mutex* latch,
                 const MethodContext* parent = nullptr,

@@ -17,6 +17,17 @@ void MethodRegistry::SetTraits(const ObjectType* type,
   impls_[{type, method}].traits = std::move(traits);
 }
 
+void MethodRegistry::SetProbeTraits(const ObjectType* type,
+                                    TypeProbeTraits traits) {
+  probe_traits_[type] = std::move(traits);
+}
+
+const TypeProbeTraits* MethodRegistry::ProbeTraits(
+    const ObjectType* type) const {
+  auto it = probe_traits_.find(type);
+  return it == probe_traits_.end() ? nullptr : &it->second;
+}
+
 const MethodImpl* MethodRegistry::Find(const ObjectType* type,
                                        const std::string& method) const {
   auto it = impls_.find({type, method});

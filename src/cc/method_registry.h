@@ -91,6 +91,14 @@ class MethodRegistry {
   void SetTraits(const ObjectType* type, const std::string& method,
                  MethodTraits traits);
 
+  /// Declares (or replaces) the probing hooks of `type` — state-class
+  /// generators plus the abstract-state fingerprint the inference
+  /// engine compares (see TypeProbeTraits).
+  void SetProbeTraits(const ObjectType* type, TypeProbeTraits traits);
+
+  /// Declared probe traits, or null when `type` declared none.
+  const TypeProbeTraits* ProbeTraits(const ObjectType* type) const;
+
   /// The implementation, or null when unknown.
   const MethodImpl* Find(const ObjectType* type,
                          const std::string& method) const;
@@ -116,6 +124,7 @@ class MethodRegistry {
     MethodTraits traits;
   };
   std::map<std::pair<const ObjectType*, std::string>, Entry> impls_;
+  std::map<const ObjectType*, TypeProbeTraits> probe_traits_;
 };
 
 }  // namespace oodb

@@ -29,6 +29,10 @@ std::unique_ptr<PredicateCommutativity> KeyedSpec() {
   spec->SetPredicate("erase", "erase", diff);
   spec->SetPredicate("erase", "search", diff);
   spec->SetCommutes("search", "search");
+  // Proved by the inference engine's deep-observer rule: search and
+  // scan transitively only observe (Page.read / Page.scan at the
+  // bottom), so any interleaving is order-free regardless of keys.
+  spec->SetCommutes("scan", "search");
   // scan(lo, hi) commutes with a keyed mutation iff the key lies
   // outside [lo, hi] (the registration order fixes a = scan).
   auto outside_range = [](const Invocation& scan, const Invocation& keyed) {

@@ -1,6 +1,10 @@
 #include "containers/directory.h"
 
+#include <initializer_list>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "model/type_registry.h"
 
@@ -125,6 +129,34 @@ void RegisterDirectoryMethods(Database* db) {
                      .samples = {{Value("k1"), Value("v1")},
                                  {Value("k2"), Value("v2")}},
                      .compensations = {"update"}});
+
+  // Probe hooks. "loaded-mut" holds the corpus-mutated keys so
+  // same-key probes on k1~/k2~ hit present entries too; the stored
+  // values (a1, a2) deliberately differ from every sample value, so an
+  // update/write of a sample value is always an observable change.
+  auto make = [](std::initializer_list<std::pair<const char*, const char*>>
+                     entries) {
+    return [entries = std::vector<std::pair<std::string, std::string>>(
+                entries.begin(), entries.end())] {
+      auto state = std::make_unique<DirectoryState>();
+      for (const auto& [k, v] : entries) state->entries.emplace(k, v);
+      return std::unique_ptr<ObjectState>(std::move(state));
+    };
+  };
+  db->DeclareProbe(
+      DirectoryType(),
+      {.states = {{"empty", make({})},
+                  {"loaded", make({{"k1", "a1"}, {"k2", "a2"}})},
+                  {"loaded-mut", make({{"k1~", "a1~"}, {"k2~", "a2~"}})}},
+       .fingerprint = [](const ObjectState& raw) {
+         const auto& dir = static_cast<const DirectoryState&>(raw);
+         std::string out = "{";
+         for (const auto& [k, v] : dir.entries) {
+           if (out.size() > 1) out += ",";
+           out += k + "=" + v;
+         }
+         return out + "}";
+       }});
 }
 
 ObjectId CreateDirectory(Database* db, std::string name) {

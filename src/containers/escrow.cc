@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <set>
+#include <string>
 
 #include "model/type_registry.h"
 
@@ -53,7 +54,10 @@ void RegisterAccountMethods(Database* db, const ObjectType* type) {
                  auto* acct = ctx.state<AccountState>();
                  acct->balance += params[0].AsInt();
                  ctx.SetCompensation(Invocation("withdraw", {params[0]}));
-                 *result = Value(acct->balance);
+                 // Return the amount, not the balance: a balance return
+                 // would leak the other deposits' order and refute the
+                 // declared deposit Θ deposit (caught by oodb_infer).
+                 *result = params[0];
                  return Status::OK();
                });
 
@@ -73,7 +77,8 @@ void RegisterAccountMethods(Database* db, const ObjectType* type) {
                  }
                  acct->balance -= amount;
                  ctx.SetCompensation(Invocation("deposit", {params[0]}));
-                 *result = Value(acct->balance);
+                 // Amount, not balance — see deposit.
+                 *result = params[0];
                  return Status::OK();
                });
 
@@ -99,6 +104,31 @@ void RegisterAccountMethods(Database* db, const ObjectType* type) {
   db->DeclareTraits(type, "balance",
                     {.observer = true, .calls = {}, .samples = {{}},
                     .compensations = {}});
+
+  // Probe hooks: "tight" admits each sample withdrawal alone but not
+  // two together, and "floor" admits none — exercising the escrow
+  // admission rule (a kConflict refusal is vacuous evidence, not a
+  // divergence). All three account variants share these states; the
+  // coarser specs (NameOnlyAccount, RWAccount) are deliberate ablations
+  // and show up as lost-concurrency notes, not errors.
+  auto make = [](int64_t balance, int64_t min_balance) {
+    return [balance, min_balance] {
+      auto state = std::make_unique<AccountState>();
+      state->balance = balance;
+      state->min_balance = min_balance;
+      return std::unique_ptr<ObjectState>(std::move(state));
+    };
+  };
+  db->DeclareProbe(
+      type,
+      {.states = {{"ample", make(100, 0)},
+                  {"tight", make(10, 0)},
+                  {"floor", make(5, 5)}},
+       .fingerprint = [](const ObjectState& raw) {
+         const auto& acct = static_cast<const AccountState&>(raw);
+         return "bal=" + std::to_string(acct.balance) +
+                ",min=" + std::to_string(acct.min_balance);
+       }});
 }
 
 ObjectId CreateAccount(Database* db, const ObjectType* type,

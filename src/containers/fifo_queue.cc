@@ -1,7 +1,9 @@
 #include "containers/fifo_queue.h"
 
 #include <algorithm>
+#include <initializer_list>
 #include <memory>
+#include <vector>
 
 #include "model/type_registry.h"
 
@@ -9,9 +11,24 @@ namespace oodb {
 
 const ObjectType* FifoQueueType() {
   static const ObjectType* type = [] {
-    auto spec = std::make_unique<MatrixCommutativity>();
-    spec->SetCommutes("enq", "enq");
+    // Tightened to match what the inference engine proves (the earlier
+    // blanket enq Θ enq was refuted by both-orders probing: two
+    // enqueues of different values leave observably different FIFO
+    // orders). Equal-value pairs of one mutator still commute, the two
+    // ends are independent, and a cancel only interacts with operations
+    // on the same value.
+    auto spec = std::make_unique<PredicateCommutativity>();
+    spec->SetPredicate("enq", "enq",
+                       PredicateCommutativity::SameParam(0));
+    spec->SetPredicate("pushFront", "pushFront",
+                       PredicateCommutativity::SameParam(0));
+    spec->SetCommutes("enq", "pushFront");
+    spec->SetCommutes("cancel", "cancel");
     spec->SetCommutes("size", "size");
+    spec->SetPredicate("cancel", "enq",
+                       PredicateCommutativity::DifferentParam(0));
+    spec->SetPredicate("cancel", "pushFront",
+                       PredicateCommutativity::DifferentParam(0));
     return new ObjectType("FifoQueue", std::move(spec), /*primitive=*/true);
   }();
   return type;
@@ -113,6 +130,34 @@ void RegisterQueueMethods(Database* db) {
                      .calls = {},
                      .samples = {{Value("x")}, {Value("y")}},
                      .compensations = {}});
+
+  // Probe hooks for the inference engine. The states put every sample
+  // value (and its corpus mutation) at the queue head somewhere, so
+  // head-sensitive pairs (deq/cancel, deq/deq) diverge instead of
+  // probing vacuously equivalent.
+  auto make = [](std::initializer_list<const char*> items) {
+    return [items = std::vector<std::string>(items.begin(), items.end())] {
+      auto state = std::make_unique<QueueState>();
+      state->items.assign(items.begin(), items.end());
+      return std::unique_ptr<ObjectState>(std::move(state));
+    };
+  };
+  db->DeclareProbe(
+      FifoQueueType(),
+      {.states = {{"empty", make({})},
+                  {"single", make({"x"})},
+                  {"front-y", make({"y", "x"})},
+                  {"front-xm", make({"x~", "y~", "x"})},
+                  {"front-ym", make({"y~", "x"})}},
+       .fingerprint = [](const ObjectState& raw) {
+         const auto& q = static_cast<const QueueState&>(raw);
+         std::string out = "[";
+         for (size_t i = 0; i < q.items.size(); ++i) {
+           if (i > 0) out += ",";
+           out += q.items[i];
+         }
+         return out + "]";
+       }});
 }
 
 ObjectId CreateQueue(Database* db, std::string name) {

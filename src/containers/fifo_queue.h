@@ -1,7 +1,10 @@
-// FIFO queue with Weihl-style semantic commutativity [22]: enqueues
-// commute with each other (the order of concurrent enqueuers is not
-// observable to either of them), while dequeues conflict with both
-// dequeues and enqueues (emptiness and front identity are observable).
+// FIFO queue with Weihl-style semantic commutativity [22]: equal-value
+// enqueues commute (their order is unobservable), different-value
+// enqueues conflict (a later dequeuer observes the FIFO order), and
+// dequeues conflict with everything that moves the front. The spec was
+// tightened to exactly what the inference engine
+// (analysis/commutativity_inference.h) proves from both-orders state
+// probing.
 
 #pragma once
 
@@ -16,7 +19,9 @@ struct QueueState : public ObjectState {
   std::deque<std::string> items;
 };
 
-/// enq Θ enq and size Θ size; everything else conflicts.
+/// enq Θ enq and pushFront Θ pushFront on equal values; the two ends
+/// are independent (enq Θ pushFront); cancel interacts only with its
+/// own value; size Θ size; everything else conflicts.
 const ObjectType* FifoQueueType();
 
 /// Registers:

@@ -25,8 +25,13 @@ std::unique_ptr<PredicateCommutativity> HashKeyedSpec() {
   spec->SetPredicate("erase", "erase", diff);
   spec->SetPredicate("erase", "search", diff);
   spec->SetCommutes("search", "search");
-  // freeze / stamp / moveTo / info stay unregistered: structural
-  // operations conflict with everything on their bucket.
+  // Proved by the inference engine's deep-observer rule: info and
+  // search transitively only observe, so they commute with each other
+  // (and info with itself) on any keys.
+  spec->SetCommutes("info", "info");
+  spec->SetCommutes("info", "search");
+  // freeze / stamp / moveTo stay unregistered: structural operations
+  // conflict with everything on their bucket.
   return spec;
 }
 

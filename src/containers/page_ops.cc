@@ -1,7 +1,11 @@
 #include "containers/page_ops.h"
 
+#include <initializer_list>
 #include <memory>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "containers/codec.h"
 #include "model/type_registry.h"
@@ -162,6 +166,40 @@ void RegisterPageMethods(Database* db) {
   db->DeclareTraits(PageObjectType(), "count",
                     {.observer = true, .calls = {}, .samples = {{}},
                     .compensations = {}});
+
+  // Probe hooks. Capacity 8 with at most four live entries keeps every
+  // probed write admissible — a near-full page would make write
+  // admission order-dependent (kCapacity) and is a documented limit of
+  // the probe corpus, not something these states exercise. The hand
+  // spec stays the conventional reader/writer zero layer on purpose:
+  // the inferred matrix (different-param writes, evidence-table routeLE
+  // pairs) is the paper's layered-semantics delta, measured in bench/s2
+  // rather than folded back into the shipped spec.
+  auto make = [](std::initializer_list<std::pair<const char*, const char*>>
+                     entries) {
+    return [entries = std::vector<std::pair<std::string, std::string>>(
+                entries.begin(), entries.end())] {
+      auto state = std::make_unique<PageState>(8);
+      for (const auto& [k, v] : entries) {
+        (void)state->Write(k, v);
+      }
+      return std::unique_ptr<ObjectState>(std::move(state));
+    };
+  };
+  db->DeclareProbe(
+      PageObjectType(),
+      {.states = {{"empty", make({})},
+                  {"loaded", make({{"k1", "a1"}, {"k2", "a2"}})},
+                  {"loaded-mut", make({{"k1~", "a1~"}, {"k2~", "a2~"}})}},
+       .fingerprint = [](const ObjectState& raw) {
+         const auto& page = static_cast<const PageState&>(raw);
+         std::string out = "{";
+         for (const auto& [k, v] : page.entries()) {
+           if (out.size() > 1) out += ",";
+           out += k + "=" + v;
+         }
+         return out + "}";
+       }});
 }
 
 ObjectId CreatePage(Database* db, std::string name, size_t capacity) {

@@ -59,4 +59,13 @@ PredicateCommutativity::Predicate PredicateCommutativity::SameParam(
   };
 }
 
+PredicateCommutativity::Predicate
+PredicateCommutativity::DifferentParamOrIdentical(size_t index) {
+  return [index](const Invocation& a, const Invocation& b) {
+    if (a == b) return true;
+    if (a.params.size() <= index || b.params.size() <= index) return false;
+    return !(a.params[index] == b.params[index]);
+  };
+}
+
 }  // namespace oodb

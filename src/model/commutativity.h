@@ -163,6 +163,13 @@ class PredicateCommutativity : public CommutativitySpec {
   /// Convenience predicate: commute iff parameter `index` is equal.
   static Predicate SameParam(size_t index);
 
+  /// Convenience predicate: commute iff parameter `index` differs OR the
+  /// two invocations are identical (blind overwrites of one key: the
+  /// order of two equal writes is unobservable, unequal same-key writes
+  /// conflict). The shape the inference engine synthesizes for keyed
+  /// writers.
+  static Predicate DifferentParamOrIdentical(size_t index);
+
  private:
   std::map<std::pair<std::string, std::string>, Predicate> predicates_;
   bool state_dependent_ = false;

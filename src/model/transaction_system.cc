@@ -169,7 +169,25 @@ bool TransactionSystem::Commute(ActionId a, ActionId b) const {
   // construction (children inherit the process id unless respawned).
   if (ra.top_level == rb.top_level && ra.process == rb.process) return true;
   const ObjectType* type = object(ra.object).type;
-  return type->Commutes(ra.invocation, rb.invocation);
+  return SpecFor(type).Commutes(ra.invocation, rb.invocation);
+}
+
+void TransactionSystem::SetSpecOverride(const ObjectType* type,
+                                        const CommutativitySpec* spec) {
+  if (spec == nullptr) {
+    spec_overrides_.erase(type);
+  } else {
+    spec_overrides_[type] = spec;
+  }
+}
+
+const CommutativitySpec& TransactionSystem::SpecFor(
+    const ObjectType* type) const {
+  if (!spec_overrides_.empty()) {
+    auto it = spec_overrides_.find(type);
+    if (it != spec_overrides_.end()) return *it->second;
+  }
+  return type->commutativity();
 }
 
 bool TransactionSystem::MustPrecede(ActionId a, ActionId b) const {

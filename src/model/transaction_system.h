@@ -148,6 +148,20 @@ class TransactionSystem {
   /// the same object (callers must ensure this).
   bool Commute(ActionId a, ActionId b) const;
 
+  /// Installs `spec` as the Def 9 commutativity source for objects of
+  /// `type`, replacing the type's declared spec in Commute (and in the
+  /// engines' ConflictIndex, which routes through SpecFor). This is how
+  /// a matrix synthesized by the inference engine (analysis/
+  /// spec_synthesis.h) is loaded and benched against the hand spec
+  /// without re-registering types. `spec` must outlive the system; pass
+  /// null to remove. Install only while the system is quiescent — the
+  /// map is read unlocked on the validation hot path.
+  void SetSpecOverride(const ObjectType* type, const CommutativitySpec* spec);
+
+  /// The spec Commute consults for `type`: the installed override, or
+  /// the type's declared commutativity.
+  const CommutativitySpec& SpecFor(const ObjectType* type) const;
+
   /// The object-precedence relation of Def 7 restricted to a pair:
   /// a must precede b if some ancestor pair of a and b are ordered
   /// siblings of one action set (or a, b themselves are).
@@ -167,6 +181,10 @@ class TransactionSystem {
   std::deque<ObjectRecord> objects_;   // index = ObjectId.value
   std::deque<ActionRecord> actions_;   // index = ActionId.value
   std::vector<ActionId> top_level_;
+  /// Per-type commutativity overrides (SetSpecOverride); empty in the
+  /// common case. Not guarded by mutex_: written only while quiescent.
+  std::unordered_map<const ObjectType*, const CommutativitySpec*>
+      spec_overrides_;
   uint64_t next_timestamp_ = 0;
   uint64_t next_completion_ = 0;
 };

@@ -35,7 +35,9 @@ ConflictIndex::TypeCache& ConflictIndex::TypeCacheFor(
 void ConflictIndex::BuildForObject(ObjectId o) {
   PerObject& po = objects_[o.value];
   const ObjectRecord& obj = ts_.object(o);
-  const CommutativitySpec& spec = obj.type->commutativity();
+  // Route through SpecFor so an installed override (a synthesized
+  // matrix under test) replaces the declared spec uniformly.
+  const CommutativitySpec& spec = ts_.SpecFor(obj.type);
   const CommutativityMemo memo = spec.memo();
   po.built = true;
   if (memo == CommutativityMemo::kNone) {
@@ -119,7 +121,8 @@ bool ConflictIndex::Commute(ActionId a, ActionId b) const {
   const PerObject& po = objects_[ra.object.value];
   if (!po.memoized) {
     spec_calls_.fetch_add(1, std::memory_order_relaxed);
-    return ts_.object(ra.object).type->Commutes(ra.invocation, rb.invocation);
+    return ts_.SpecFor(ts_.object(ra.object).type)
+        .Commutes(ra.invocation, rb.invocation);
   }
   return po.class_commutes[size_t(class_of_action_[a.value]) *
                                po.num_classes +
@@ -133,7 +136,7 @@ void ConflictIndex::AppendConflictPairs(
   if (n < 2) return;
   const PerObject& po = objects_[o.value];
   if (!po.memoized) {
-    const ObjectType* type = ts_.object(o).type;
+    const CommutativitySpec& spec = ts_.SpecFor(ts_.object(o).type);
     for (size_t i = 0; i < n; ++i) {
       const ActionRecord& ra = ts_.action(acts[i]);
       for (size_t j = i + 1; j < n; ++j) {
@@ -142,7 +145,7 @@ void ConflictIndex::AppendConflictPairs(
           continue;
         }
         spec_calls_.fetch_add(1, std::memory_order_relaxed);
-        if (!type->Commutes(ra.invocation, rb.invocation)) {
+        if (!spec.Commutes(ra.invocation, rb.invocation)) {
           out->emplace_back(acts[i], acts[j]);
         }
       }

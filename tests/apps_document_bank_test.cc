@@ -166,15 +166,19 @@ TEST_F(BankTest, TransferMovesMoney) {
   ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
                   return txn.Call(bank_, Bank::Transfer(0, 1, 300));
                 }).ok());
-  Value b0, b1;
+  Value w0, b0;
   ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
                   OODB_RETURN_IF_ERROR(
                       txn.Call(bank_, Invocation("withdraw",
-                                                 {Value(0), Value(0)}), &b0));
-                  return Status::OK();
+                                                 {Value(0), Value(0)}), &w0));
+                  return txn.Call(bank_, Invocation("balance", {Value(0)}),
+                                  &b0);
                 }).ok());
-  EXPECT_EQ(b0.AsInt(), 700);  // withdraw of 0 returns current balance
-  (void)b1;
+  // Withdraw returns the amount — not the balance, which would leak the
+  // order of concurrent escrow operations (inference pass 6 catches
+  // that as an unsound deposit/withdraw commute declaration).
+  EXPECT_EQ(w0.AsInt(), 0);
+  EXPECT_EQ(b0.AsInt(), 700);
   EXPECT_EQ(Audit(), 8000);
 }
 
@@ -217,9 +221,8 @@ TEST_F(BankTest, AbortedTransferCompensated) {
   EXPECT_EQ(Audit(), 8000);
   Value b;
   ASSERT_TRUE(db_->RunTransaction("T", [&](MethodContext& txn) {
-                  return txn.Call(
-                      bank_, Invocation("withdraw", {Value(0), Value(0)}),
-                      &b);
+                  return txn.Call(bank_, Invocation("balance", {Value(0)}),
+                                  &b);
                 }).ok());
   EXPECT_EQ(b.AsInt(), 1000);
 }
