@@ -29,6 +29,9 @@
 #include "cc/database.h"
 #include "cc/epoch_log.h"
 #include "model/type_registry.h"
+#include "obs/metrics.h"
+#include "obs/phases.h"
+#include "obs/sampler.h"
 #include "util/histogram.h"
 #include "util/random.h"
 
@@ -96,6 +99,10 @@ struct CellConfig {
   uint64_t rate = 0;        ///< total arrivals/sec; 0 = closed loop
   double seconds = 3.0;
   uint64_t seed = 42;
+  /// Flight-recorder series destination for this cell (empty = don't
+  /// sample). %s in the path expands to the cell name.
+  std::string series_path;
+  uint64_t sample_interval_ms = 10;
 };
 
 struct CellResult {
@@ -109,13 +116,31 @@ struct CellResult {
   double txns_per_sec = 0;
   Histogram latency;  ///< ns from scheduled arrival to completion
   std::vector<LockShardStats> shard_stats;
+  /// Per-phase service-time attribution (sum of ns per phase across
+  /// committed roots) + the measured end-to-end total it must cover.
+  uint64_t phase_sum_ns[kPhaseCount] = {};
+  uint64_t phase_total_ns = 0;
+  uint64_t phase_total_count = 0;
+  SamplerStats sampler_stats;  ///< zeros when the cell did not sample
 };
+
+std::string ExpandCellName(const std::string& pattern,
+                           const std::string& name) {
+  const size_t pos = pattern.find("%s");
+  if (pos == std::string::npos) return pattern;
+  return pattern.substr(0, pos) + name + pattern.substr(pos + 2);
+}
 
 CellResult RunCell(const CellConfig& cfg) {
   DatabaseOptions options;
   options.shards = cfg.shards;
   options.history = cfg.history;
   Database db(options);
+  // One registry for the whole cell (workload + flusher + sampler):
+  // attaching it turns on per-phase latency attribution, and the
+  // sampler folds it into the flight-recorder series.
+  MetricsRegistry registry;
+  db.AttachObservability(&registry, nullptr);
   RegisterCellMethods(&db);
   std::vector<ObjectId> cells;
   cells.reserve(cfg.keys);
@@ -136,6 +161,18 @@ CellResult RunCell(const CellConfig& cfg) {
       }
       db.AdvanceEpoch();
     });
+  }
+
+  // Flight recorder: contention snapshots + counter deltas every tick,
+  // exported as the JSON-lines series oodb_top consumes.
+  std::unique_ptr<MetricsSampler> sampler;
+  if (!cfg.series_path.empty()) {
+    SamplerOptions soptions;
+    soptions.interval = std::chrono::milliseconds(cfg.sample_interval_ms);
+    soptions.tag = "s11:" + cfg.name;
+    sampler = std::make_unique<MetricsSampler>(&registry, soptions);
+    db.InstallSamplerProbes(sampler.get());
+    sampler->Start();
   }
 
   using Clock = std::chrono::steady_clock;
@@ -218,6 +255,31 @@ CellResult RunCell(const CellConfig& cfg) {
   }
 
   CellResult r;
+  if (sampler != nullptr) {
+    sampler->Stop();
+    r.sampler_stats = sampler->Stats();
+    const std::string path = ExpandCellName(cfg.series_path, cfg.name);
+    Status st = sampler->WriteJsonLines(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "series write failed: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::printf("wrote %s (%llu ticks)\n", path.c_str(),
+                  (unsigned long long)r.sampler_stats.ticks);
+    }
+  }
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    r.phase_sum_ns[i] =
+        registry
+            .GetHistogram(std::string("phase.") + PhaseSuffix(phase) +
+                          "_ns")
+            ->Snapshot()
+            .sum();
+  }
+  HistogramSnapshot total = registry.GetHistogram("phase.total_ns")->Snapshot();
+  r.phase_total_ns = total.sum();
+  r.phase_total_count = total.count();
   r.elapsed = elapsed;
   r.committed = db.counters().committed.load();
   r.aborted = db.counters().aborted.load();
@@ -232,15 +294,26 @@ CellResult RunCell(const CellConfig& cfg) {
 }
 
 void PrintRow(const CellConfig& cfg, const CellResult& r) {
+  uint64_t phase_total = 0;
+  size_t dominant = 0;
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    phase_total += r.phase_sum_ns[i];
+    if (r.phase_sum_ns[i] > r.phase_sum_ns[dominant]) dominant = i;
+  }
   std::printf(
       "%-22s %2zu shards %-13s %6.0f s  %9.0f act/s %8.0f txn/s  "
-      "p50=%.0fus p95=%.0fus p99=%.0fus  waits=%llu dl=%llu\n",
+      "p50=%.0fus p95=%.0fus p99=%.0fus  waits=%llu dl=%llu  "
+      "dom=%s(%.0f%%)\n",
       cfg.name.c_str(), cfg.shards, HistoryModeName(cfg.history),
       r.elapsed, r.actions_per_sec, r.txns_per_sec,
       double(r.latency.Quantile(0.50)) / 1e3,
       double(r.latency.Quantile(0.95)) / 1e3,
       double(r.latency.Quantile(0.99)) / 1e3,
-      (unsigned long long)r.lock_waits, (unsigned long long)r.deadlocks);
+      (unsigned long long)r.lock_waits, (unsigned long long)r.deadlocks,
+      PhaseName(static_cast<Phase>(dominant)),
+      phase_total > 0
+          ? 100.0 * double(r.phase_sum_ns[dominant]) / double(phase_total)
+          : 0.0);
 }
 
 void AppendCellJson(std::string* out, const CellConfig& cfg,
@@ -279,6 +352,26 @@ void AppendCellJson(std::string* out, const CellConfig& cfg,
       double(r.latency.Quantile(0.99)) / 1e3,
       double(r.latency.max()) / 1e3);
   *out += buf;
+  // Per-phase service-time attribution: where root-transaction time
+  // went. share is of the summed phases; execute is the residual, so
+  // the shares cover measured end-to-end time exactly.
+  uint64_t phase_total = 0;
+  for (size_t i = 0; i < kPhaseCount; ++i) phase_total += r.phase_sum_ns[i];
+  *out += "      \"phases\": {";
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": {\"sum_ns\": %llu, "
+                  "\"share\": %.4f}",
+                  i == 0 ? "" : ", ",
+                  PhaseName(static_cast<Phase>(i)),
+                  (unsigned long long)r.phase_sum_ns[i],
+                  phase_total > 0
+                      ? double(r.phase_sum_ns[i]) / double(phase_total)
+                      : 0.0);
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "},\n      \"phase_total_ns\": %llu,\n",
+                (unsigned long long)r.phase_total_ns);
+  *out += buf;
   *out += "      \"per_shard\": [";
   for (size_t i = 0; i < r.shard_stats.size(); ++i) {
     const LockShardStats& s = r.shard_stats[i];
@@ -295,10 +388,12 @@ void AppendCellJson(std::string* out, const CellConfig& cfg,
   *out += last ? "\n" : ",\n";
 }
 
-int RunSmoke() {
+int RunSmoke(const CellConfig& base) {
   // CI gate: a short fixed-small-rate open-loop run on the sharded
   // configuration must sustain nonzero throughput and shut down clean.
   CellConfig cfg;
+  cfg.series_path = base.series_path;
+  cfg.sample_interval_ms = base.sample_interval_ms;
   cfg.name = "smoke";
   cfg.shards = 4;
   cfg.history = HistoryMode::kEpochBatched;
@@ -418,16 +513,23 @@ int main(int argc, char** argv) {
       base.put_fraction = std::atof(arg.c_str() + 6);
     } else if (arg.rfind("--rate=", 0) == 0) {
       base.rate = uint64_t(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--series=", 0) == 0) {
+      base.series_path = arg.substr(9);
+    } else if (arg.rfind("--series-interval=", 0) == 0) {
+      base.sample_interval_ms = uint64_t(std::atoll(arg.c_str() + 18));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--suite] [--json=PATH] "
                    "[--seconds=N] [--threads=N] [--keys=N] [--theta=F] "
-                   "[--ops=N] [--put=F] [--rate=N]\n",
+                   "[--ops=N] [--put=F] [--rate=N] [--series=PATH] "
+                   "[--series-interval=MS]\n"
+                   "  --series: write each cell's flight-recorder series "
+                   "(%%s in PATH = cell name)\n",
                    argv[0]);
       return 1;
     }
   }
-  if (smoke) return RunSmoke();
+  if (smoke) return RunSmoke(base);
   if (suite || !json_path.empty()) return RunSuite(json_path, base);
   // Default: a quick look at the headline pair.
   base.seconds = 1.0;

@@ -143,7 +143,7 @@ SpecCell TimeValidation(TransactionSystem* ts, size_t reps) {
 /// Records one contended open-nested run, synthesizes a matrix for
 /// every registered type, and validates the same execution under the
 /// hand specs and the inferred specs.
-std::string RunInferenceComparison() {
+std::string RunInferenceComparison(MetricsRegistry* metrics) {
   constexpr size_t kThreads = 4;
   constexpr size_t kTxns = 60;
   static constexpr double kTheta = 0.9;
@@ -153,6 +153,7 @@ std::string RunInferenceComparison() {
   opts.scheduler = SchedulerKind::kOpenNested;
   opts.lock_options.wait_timeout = std::chrono::milliseconds(300);
   Database db(opts);
+  db.AttachObservability(metrics, nullptr);
   Encyclopedia::RegisterMethods(&db);
   ObjectId enc = Encyclopedia::Create(&db, "Enc", /*leaf_capacity=*/32,
                                       /*fanout=*/32, /*items_per_page=*/8);
@@ -166,6 +167,7 @@ std::string RunInferenceComparison() {
   HarnessConfig config;
   config.threads = kThreads;
   config.txns_per_thread = kTxns;
+  config.metrics = metrics;
   HarnessResult run = Harness::Run(
       &db, config, [enc](size_t thread, size_t index) -> TransactionBody {
         return [enc, thread, index](MethodContext& txn) {
@@ -260,8 +262,13 @@ int main(int argc, char** argv) {
       inference_path = arg.substr(std::string("--inference-json=").size());
     }
   }
+  // ONE registry for every phase of the bench (all scheduler cells and
+  // the inference comparison). A sampler attached to it sees monotone
+  // counter streams across phase boundaries; per-phase registries would
+  // make deltas jump backwards at each phase start (the sampler's
+  // debug fold asserts counters never decrease).
   MetricsRegistry registry;
-  MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
+  MetricsRegistry* metrics = &registry;
 
   constexpr size_t kTxnsPerThread = 60;
   std::printf("S2: encyclopedia workload (50%% search / 50%% change over "
@@ -289,7 +296,7 @@ int main(int argc, char** argv) {
       "waits on shared pages under contention, open nested waits only on\n"
       "genuine same-key conflicts. At 1 thread the three are comparable\n"
       "(the S3 bench isolates the CC overhead).\n\n");
-  const std::string inference_json = RunInferenceComparison();
+  const std::string inference_json = RunInferenceComparison(metrics);
   if (!inference_path.empty()) {
     FILE* f = std::fopen(inference_path.c_str(), "w");
     if (f == nullptr) {
@@ -301,7 +308,7 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s\n", inference_path.c_str());
   }
-  if (metrics != nullptr) {
+  if (!metrics_path.empty()) {
     FILE* f = std::fopen(metrics_path.c_str(), "w");
     if (f == nullptr) {
       std::printf("note: could not open %s for writing\n",

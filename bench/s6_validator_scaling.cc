@@ -208,9 +208,10 @@ void WriteJson(const std::vector<ValidateRow>& validate,
 // (lock acquire/wait counters, db.lock.wait_ns histogram), then its own
 // history goes through the indexed validator publishing engine metrics
 // (dep.memo.hits/misses, dep.stage.*_ns, dep.worklist.*) into the same
-// registry.
-void WriteMetricsJson(const std::string& path) {
-  MetricsRegistry registry;
+// registry. The registry is the caller's (main owns one for the whole
+// bench) so a sampler attached to it sees one monotone stream instead
+// of counters resetting at the phase boundary.
+void WriteMetricsJson(const std::string& path, MetricsRegistry& registry) {
   DatabaseOptions opts;
   opts.lock_options.wait_timeout = std::chrono::milliseconds(300);
   Database db(opts);
@@ -327,12 +328,15 @@ int main(int argc, char** argv) {
   }
   argc = kept;
 
+  // The bench-wide registry: every phase that publishes metrics shares
+  // it, keeping counter streams monotone for any attached sampler.
+  MetricsRegistry registry;
   std::vector<ValidateRow> validate_rows;
   std::vector<EngineRow> engine_rows;
   PrintScalingTable(&validate_rows);
   PrintEngineTable(&engine_rows);
   WriteJson(validate_rows, engine_rows);
-  if (!metrics_path.empty()) WriteMetricsJson(metrics_path);
+  if (!metrics_path.empty()) WriteMetricsJson(metrics_path, registry);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/sampler.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -66,6 +67,16 @@ const char* TraceOutcome(const Status& status) {
   return "?";
 }
 
+/// Monotonic nanoseconds for phase attribution. Distinct from
+/// Tracer::NowNs so phases work with no tracer attached (and in golden
+/// tracer mode, where the tracer clock is logical).
+uint64_t PhaseNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Same Fibonacci mix as LockManager::ShardOf, for the object map.
 size_t ObjectShardIndex(uint64_t id, size_t shards) {
   return static_cast<size_t>((id * 0x9E3779B97F4A7C15ULL) >> 40) % shards;
@@ -117,12 +128,15 @@ void Database::AttachObservability(MetricsRegistry* metrics,
                                    Tracer* tracer) {
   locks_.AttachMetrics(metrics);
   tracer_ = tracer;
+  metrics_ = metrics;
   if (metrics == nullptr) {
     m_committed_ = m_aborted_ = m_deadlocks_ = nullptr;
     m_retries_ = m_conflicts_ = m_operations_ = nullptr;
     m_epoch_flushes_ = m_epoch_events_ = nullptr;
+    phase_hists_.reset();
     return;
   }
+  phase_hists_ = std::make_unique<PhaseHistograms>(metrics);
   m_committed_ = metrics->GetCounter("db.txn.committed");
   m_aborted_ = metrics->GetCounter("db.txn.aborted");
   m_deadlocks_ = metrics->GetCounter("db.txn.deadlocks");
@@ -131,6 +145,91 @@ void Database::AttachObservability(MetricsRegistry* metrics,
   m_operations_ = metrics->GetCounter("db.call.operations");
   m_epoch_flushes_ = metrics->GetCounter("db.epoch.flushes");
   m_epoch_events_ = metrics->GetCounter("db.epoch.events");
+}
+
+void Database::InstallSamplerProbes(MetricsSampler* sampler) {
+  if (sampler == nullptr || metrics_ == nullptr) return;
+  MetricsRegistry* reg = metrics_;
+
+  // Gauge pointers are resolved once here; the per-tick probe then
+  // only reads runtime state and stores into pre-registered gauges.
+  struct StripeGauges {
+    Gauge* held;
+    Gauge* waiters;
+    Gauge* waits;
+    Gauge* wait_ns;
+  };
+  auto stripe_gauges = std::make_shared<std::vector<StripeGauges>>();
+  for (size_t s = 0; s < locks_.shard_count(); ++s) {
+    const std::string prefix = "lock.stripe." + std::to_string(s);
+    stripe_gauges->push_back(StripeGauges{
+        reg->GetGauge(prefix + ".held"), reg->GetGauge(prefix + ".waiters"),
+        reg->GetGauge(prefix + ".waits"),
+        reg->GetGauge(prefix + ".wait_ns")});
+  }
+  struct HotGauges {
+    Gauge* id;
+    Gauge* waits;
+  };
+  constexpr size_t kHotSlots = 8;
+  auto hot_gauges = std::make_shared<std::vector<HotGauges>>();
+  for (size_t k = 0; k < kHotSlots; ++k) {
+    const std::string prefix = "lock.hot." + std::to_string(k);
+    hot_gauges->push_back(HotGauges{reg->GetGauge(prefix + ".id"),
+                                    reg->GetGauge(prefix + ".waits")});
+  }
+  Gauge* waitsfor_nodes = reg->GetGauge("lock.waitsfor.nodes");
+  Gauge* waitsfor_edges = reg->GetGauge("lock.waitsfor.edges");
+  Gauge* epoch_number = nullptr;
+  Gauge* epoch_pending = nullptr;
+  if (epoch_log_ != nullptr) {
+    epoch_number = reg->GetGauge("epoch.number");
+    epoch_pending = reg->GetGauge("epoch.pending");
+  }
+
+  sampler->AddProbe(
+      "db.contention",
+      [this, reg, stripe_gauges, hot_gauges, waitsfor_nodes, waitsfor_edges,
+       epoch_number, epoch_pending] {
+        counters_.PublishTo(reg);
+        const auto occupancy = locks_.Occupancy();
+        for (size_t s = 0;
+             s < occupancy.size() && s < stripe_gauges->size(); ++s) {
+          (*stripe_gauges)[s].held->Set(
+              static_cast<int64_t>(occupancy[s].held));
+          (*stripe_gauges)[s].waiters->Set(
+              static_cast<int64_t>(occupancy[s].waiters));
+          (*stripe_gauges)[s].waits->Set(
+              static_cast<int64_t>(occupancy[s].waits));
+          (*stripe_gauges)[s].wait_ns->Set(
+              static_cast<int64_t>(occupancy[s].wait_ns));
+        }
+        size_t nodes = 0;
+        size_t edges = 0;
+        if (locks_.WaitsForSize(&nodes, &edges)) {
+          // Contended latch -> keep last tick's values (bounded
+          // staleness) rather than stall behind a deadlock check.
+          waitsfor_nodes->Set(static_cast<int64_t>(nodes));
+          waitsfor_edges->Set(static_cast<int64_t>(edges));
+        }
+        const auto hottest = locks_.HottestObjects(hot_gauges->size());
+        for (size_t k = 0; k < hot_gauges->size(); ++k) {
+          if (k < hottest.size()) {
+            (*hot_gauges)[k].id->Set(
+                static_cast<int64_t>(hottest[k].first.value));
+            (*hot_gauges)[k].waits->Set(
+                static_cast<int64_t>(hottest[k].second));
+          } else {
+            (*hot_gauges)[k].id->Set(-1);
+            (*hot_gauges)[k].waits->Set(0);
+          }
+        }
+        if (epoch_number != nullptr) {
+          epoch_number->Set(static_cast<int64_t>(epoch_log_->epoch()));
+          epoch_pending->Set(static_cast<int64_t>(epoch_log_->appended() -
+                                                  epoch_log_->flushed()));
+        }
+      });
 }
 
 void Database::AttachDurability(DurabilityHook* hook) {
@@ -155,7 +254,7 @@ uint32_t Database::LevelOf(ActionId action) const {
 
 void Database::TraceAction(ActionId action, ActionId parent, ObjectId obj,
                            const std::string& name, uint64_t start,
-                           const char* outcome) {
+                           const char* outcome, std::string phases) {
   TraceSpan span;
   span.id = action.value;
   span.parent = parent.value;
@@ -167,6 +266,7 @@ void Database::TraceAction(ActionId action, ActionId parent, ObjectId obj,
   span.start = start;
   span.end = tracer_->NowNs();
   span.outcome = outcome;
+  span.phases = std::move(phases);
   tracer_->RecordSpan(std::move(span));
 }
 
@@ -224,8 +324,12 @@ Status MethodContext::CallParallel(const std::vector<ParallelCall>& calls,
   std::vector<Status> statuses(calls.size());
   std::vector<std::thread> branches;
   branches.reserve(calls.size());
+  // Branch threads bill their blocked time (lock waits, WAL appends) to
+  // the same root transaction as the spawning thread.
+  PhaseAccumulator* phase_acc = PhaseAccumulator::Current();
   for (size_t i = 0; i < calls.size(); ++i) {
-    branches.emplace_back([this, &calls, &statuses, results, i] {
+    branches.emplace_back([this, &calls, &statuses, results, phase_acc, i] {
+      PhaseScope phase_scope(phase_acc);
       Value scratch;
       uint32_t process =
           db_->next_process_.fetch_add(1, std::memory_order_relaxed);
@@ -598,7 +702,17 @@ Status Database::RunTransaction(const std::string& name,
                  (std::hash<std::string>()(name) | 1));
   Rng& rng = options_.backoff_seed != 0 ? seeded_rng : backoff_rng;
   const bool epoch = epoch_log_ != nullptr;
+  // Phase attribution (obs/phases.h): one accumulator for the root
+  // transaction's whole life, all retry attempts included. The scope
+  // installs it as the thread's current accumulator so the lock manager
+  // and the storage engine can credit waits and WAL forces from their
+  // own layers; CallParallel re-installs it in branch threads.
+  const bool phased = phase_hists_ != nullptr;
+  PhaseAccumulator phase_acc;
+  PhaseScope phase_scope(phased ? &phase_acc : nullptr);
+  const uint64_t txn_start = phased ? PhaseNowNs() : 0;
   for (int attempt = 0;; ++attempt) {
+    const uint64_t attempt_start = phased ? PhaseNowNs() : 0;
     std::string attempt_name =
         attempt == 0 ? name : name + "#r" + std::to_string(attempt);
     // Each attempt holds the transaction gate shared for its whole
@@ -615,8 +729,16 @@ Status Database::RunTransaction(const std::string& name,
     const bool traced = tracer_ != nullptr && !epoch;
     const uint64_t span_start = traced ? tracer_->NowNs() : 0;
     MethodContext ctx(this, top, ObjectId(), nullptr, nullptr);
+    // Admission: gate entry plus top-level registration, body not yet
+    // running.
+    if (phased) {
+      phase_acc.Add(Phase::kAdmission, PhaseNowNs() - attempt_start);
+    }
     Status st = body(ctx);
     if (st.ok()) {
+      const uint64_t commit_start = phased ? PhaseNowNs() : 0;
+      const uint64_t wal_before =
+          phased ? phase_acc.Get(Phase::kWalForce) : 0;
       uint64_t completion_seq = 0;
       if (epoch) {
         completion_seq =
@@ -639,9 +761,22 @@ Status Database::RunTransaction(const std::string& name,
       }
       counters_.committed.fetch_add(1, std::memory_order_relaxed);
       if (m_committed_) m_committed_->Increment();
+      // Commit-publish: everything between the body returning OK and
+      // the transaction being externally visible (history/epoch
+      // publish, lock release, compensation cleanup) minus the WAL
+      // force, which the storage engine billed to wal-force directly.
+      if (phased) {
+        const uint64_t wal_ns =
+            phase_acc.Get(Phase::kWalForce) - wal_before;
+        const uint64_t publish = PhaseNowNs() - commit_start;
+        phase_acc.Add(Phase::kCommitPublish,
+                      publish > wal_ns ? publish - wal_ns : 0);
+      }
       if (traced) {
         TraceAction(top, ActionId(), ObjectId(), attempt_name, span_start,
-                    "commit");
+                    "commit",
+                    phased ? PhasesJson(phase_acc, PhaseNowNs() - txn_start)
+                           : std::string());
       }
       if (epoch) {
         ActionEvent e;
@@ -656,6 +791,9 @@ Status Database::RunTransaction(const std::string& name,
       if (durability_ != nullptr) {
         gate.unlock();
         durability_->MaybeCheckpoint(this);
+      }
+      if (phased) {
+        phase_hists_->Observe(phase_acc, PhaseNowNs() - txn_start);
       }
       return Status::OK();
     }
@@ -679,8 +817,12 @@ Status Database::RunTransaction(const std::string& name,
     counters_.aborted.fetch_add(1, std::memory_order_relaxed);
     if (m_aborted_) m_aborted_->Increment();
     if (traced) {
+      // Aborted attempts carry the breakdown accumulated so far (their
+      // compensation work lands in the execute residual).
       TraceAction(top, ActionId(), ObjectId(), attempt_name, span_start,
-                  TraceOutcome(st));
+                  TraceOutcome(st),
+                  phased ? PhasesJson(phase_acc, PhaseNowNs() - txn_start)
+                         : std::string());
     }
     if (epoch) {
       ActionEvent e;
@@ -704,10 +846,17 @@ Status Database::RunTransaction(const std::string& name,
         // Back off outside the gate so a pending checkpoint is not
         // stalled by a sleeping loser.
         if (gate.owns_lock()) gate.unlock();
+        const uint64_t backoff_start = phased ? PhaseNowNs() : 0;
         std::this_thread::sleep_for(std::chrono::microseconds(
             100 + rng.NextBelow(400) * (attempt + 1)));
+        if (phased) {
+          phase_acc.Add(Phase::kRetryBackoff, PhaseNowNs() - backoff_start);
+        }
         continue;
       }
+    }
+    if (phased) {
+      phase_hists_->Observe(phase_acc, PhaseNowNs() - txn_start);
     }
     return st;
   }

@@ -59,10 +59,13 @@
 #include "cc/method_registry.h"
 #include "model/transaction_system.h"
 #include "obs/metrics.h"
+#include "obs/phases.h"
 #include "obs/trace.h"
 #include "util/histogram.h"
 
 namespace oodb {
+
+class MetricsSampler;
 
 /// Cheap atomic tallies of everything a Database ran. Writers bump them
 /// with relaxed atomics on the hot path; readers (benches, harness,
@@ -192,14 +195,23 @@ class Database {
 
   // --- observability ---------------------------------------------------
 
-  /// Publishes into `metrics` (db.txn.* / db.call.* counters, plus the
-  /// lock manager's db.lock.* family) and records one span per action
-  /// into `tracer` from now on. Either may be null to leave that side
-  /// off; calling again with nulls detaches. Attach before running
+  /// Publishes into `metrics` (db.txn.* / db.call.* counters, the lock
+  /// manager's db.lock.* family, and per-root-transaction phase.*_ns
+  /// latency histograms — see obs/phases.h) and records one span per
+  /// action into `tracer` from now on. Either may be null to leave that
+  /// side off; calling again with nulls detaches. Attach before running
   /// transactions; attaching is not synchronized against concurrent
   /// ExecuteCall traffic. Tracing requires kRecorded history (spans
   /// read the live record); in epoch mode the tracer is ignored.
   void AttachObservability(MetricsRegistry* metrics, Tracer* tracer);
+
+  /// Registers this runtime's contention probes on `sampler`: per-stripe
+  /// lock-table occupancy/wait-depth gauges, waits-for graph size, top-K
+  /// hot objects, epoch-pipeline depth, and the run.* counters — all
+  /// refreshed on each sampler tick into the registry given to
+  /// AttachObservability (which must be the sampler's registry, attached
+  /// first). See docs/OBSERVABILITY.md ("Contention snapshots").
+  void InstallSamplerProbes(MetricsSampler* sampler);
 
   // --- durability ------------------------------------------------------
 
@@ -264,9 +276,11 @@ class Database {
   uint32_t LevelOf(ActionId action) const;
 
   /// Records the span of `action` into tracer_. Caller checks tracer_.
+  /// `phases`, when non-empty, is a PhasesJson fragment attached to the
+  /// span (root-transaction spans only).
   void TraceAction(ActionId action, ActionId parent, ObjectId obj,
                    const std::string& name, uint64_t start,
-                   const char* outcome);
+                   const char* outcome, std::string phases = {});
 
   /// Records, locks, and executes one call; the heart of the runtime.
   /// `parent_ctx` is the caller's context (the transaction body's for
@@ -338,6 +352,10 @@ class Database {
   /// Observability sinks; all null when detached, so the hot path pays
   /// one predictable branch per event.
   Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  /// Per-phase latency histograms (null when metrics are detached);
+  /// RunTransaction feeds one observation per finished root txn.
+  std::unique_ptr<PhaseHistograms> phase_hists_;
   Counter* m_committed_ = nullptr;
   Counter* m_aborted_ = nullptr;
   Counter* m_deadlocks_ = nullptr;

@@ -67,6 +67,7 @@ std::vector<ActionEvent> EpochLog::Flush() {
     }
   }
   epoch_.fetch_add(1, std::memory_order_relaxed);
+  flushed_.fetch_add(batch.size(), std::memory_order_relaxed);
   return batch;
 }
 

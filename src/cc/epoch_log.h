@@ -99,6 +99,13 @@ class EpochLog {
     return appended_.load(std::memory_order_relaxed);
   }
 
+  /// Events drained by completed flushes (relaxed; for monitoring).
+  /// appended() - flushed() is the epoch-pipeline depth: events still
+  /// sitting in per-thread buffers waiting for the next AdvanceEpoch.
+  uint64_t flushed() const {
+    return flushed_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Buffer {
     std::mutex mu;
@@ -113,6 +120,7 @@ class EpochLog {
   std::deque<std::unique_ptr<Buffer>> buffers_;
   std::atomic<uint64_t> epoch_{0};
   std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> flushed_{0};
 };
 
 /// Accumulates every epoch's batch and replays the whole run into a

@@ -4,6 +4,8 @@
 #include <deque>
 #include <thread>
 
+#include "obs/phases.h"
+
 namespace oodb {
 
 const char* DeadlockPolicyName(DeadlockPolicy policy) {
@@ -148,6 +150,9 @@ Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
             .count());
     shard.wait_ns.fetch_add(ns, std::memory_order_relaxed);
     if (m_wait_ns_ != nullptr) m_wait_ns_->Observe(ns);
+    // Bill the blocked time to the requesting root transaction's phase
+    // ledger (no-op unless the Database installed one — obs/phases.h).
+    PhaseAccumulator::AddCurrent(Phase::kLockWait, ns);
   };
   for (;;) {
     std::vector<uint64_t> blockers =
@@ -200,8 +205,10 @@ Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
       edges.insert(blockers.begin(), blockers.end());
     }
     ++shard.waiters;
+    shard.waiters_now.store(shard.waiters, std::memory_order_relaxed);
     std::cv_status cv = shard.released.wait_until(lock, deadline);
     --shard.waiters;
+    shard.waiters_now.store(shard.waiters, std::memory_order_relaxed);
     if (cv == std::cv_status::timeout) {
       deadlocks_.fetch_add(1, std::memory_order_relaxed);
       shard.deadlocks.fetch_add(1, std::memory_order_relaxed);
@@ -221,6 +228,7 @@ Status LockManager::Acquire(ObjectId obj, const ObjectType* type,
   auto& locks = shard.table[obj];
   locks.push_back(Lock{obj, type, inv, action, holder, top, semantics});
   shard.held_by[holder.value].push_back(&locks.back());
+  shard.held_now.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -243,6 +251,7 @@ void LockManager::EraseLock(Shard* shard, Lock* lock) {
   for (auto it = locks.begin(); it != locks.end(); ++it) {
     if (&*it == lock) {
       locks.erase(it);
+      shard->held_now.fetch_sub(1, std::memory_order_relaxed);
       break;
     }
   }
@@ -329,7 +338,10 @@ std::vector<std::pair<ObjectId, uint64_t>> LockManager::HottestObjects(
   std::vector<std::pair<ObjectId, uint64_t>> rows;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> guard(shard.mu);
+    // try_lock: a contended stripe just keeps its rows out of this
+    // report — a monitoring read must not slow the Acquire path.
+    std::unique_lock<std::mutex> guard(shard.mu, std::try_to_lock);
+    if (!guard.owns_lock()) continue;
     rows.reserve(rows.size() + shard.waits_per_object.size());
     for (const auto& [obj, waits] : shard.waits_per_object) {
       rows.push_back({ObjectId(obj), waits});
@@ -342,6 +354,37 @@ std::vector<std::pair<ObjectId, uint64_t>> LockManager::HottestObjects(
             });
   if (rows.size() > top_n) rows.resize(top_n);
   return rows;
+}
+
+std::vector<LockManager::StripeOccupancy> LockManager::Occupancy() const {
+  // Tallies only — no latch, no table scan. A sampler ticking every
+  // 10 ms must not contend with the workload's Acquire path.
+  std::vector<StripeOccupancy> out(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    out[s].held = shard.held_now.load(std::memory_order_relaxed);
+    out[s].waiters = shard.waiters_now.load(std::memory_order_relaxed);
+    out[s].waits = shard.waits.load(std::memory_order_relaxed);
+    out[s].wait_ns = shard.wait_ns.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+bool LockManager::WaitsForSize(size_t* nodes, size_t* edges) const {
+  // try_lock, not lock: the caller is a sampler probe, and blocking
+  // behind a deadlock-check BFS would charge the workload's contention
+  // to the sampler. On failure the caller keeps its previous values —
+  // bounded staleness, by design.
+  std::unique_lock<std::mutex> guard(graph_mu_, std::try_to_lock);
+  if (!guard.owns_lock()) return false;
+  *nodes = waits_for_.size();
+  size_t e = 0;
+  for (const auto& [from, to] : waits_for_) {
+    (void)from;
+    e += to.size();
+  }
+  *edges = e;
+  return true;
 }
 
 size_t LockManager::LockCount() const {

@@ -212,6 +212,28 @@ class LockManager {
   std::vector<std::pair<ObjectId, uint64_t>> HottestObjects(
       size_t top_n = 10) const;
 
+  /// Instantaneous per-stripe state for contention heatmaps: locks in
+  /// the stripe's table, threads blocked in its wait loop, plus the
+  /// cumulative waits/wait_ns tallies. Reads the per-stripe atomic
+  /// tallies only — O(shards), no latch, no table scan — so a 10 ms
+  /// sampler tick costs the workload nothing. The rows are mutually
+  /// staggered relaxed reads (bounded staleness, no global pause — the
+  /// property the MetricsSampler is built around).
+  struct StripeOccupancy {
+    size_t held = 0;     ///< locks currently in the stripe's table
+    size_t waiters = 0;  ///< threads blocked in the stripe's wait loop
+    uint64_t waits = 0;  ///< cumulative blocked Acquires
+    uint64_t wait_ns = 0;  ///< cumulative blocked time
+  };
+  std::vector<StripeOccupancy> Occupancy() const;
+
+  /// Current waits-for graph size (blocked top-level transactions and
+  /// the edges among them). Non-blocking: returns false (outputs
+  /// untouched) when the graph latch is contended, so a sampler probe
+  /// keeps its previous values instead of stalling behind a deadlock
+  /// check.
+  bool WaitsForSize(size_t* nodes, size_t* edges) const;
+
  private:
   struct Lock {
     ObjectId object;
@@ -235,6 +257,11 @@ class LockManager {
     /// Threads currently blocked in this shard's wait loop. Guarded by
     /// `mu`; releases skip the notify when nobody is waiting.
     size_t waiters = 0;
+    /// Mirror of `waiters` readable without `mu` (Occupancy probes).
+    std::atomic<size_t> waiters_now{0};
+    /// Locks currently in `table`, maintained at grant/erase so probes
+    /// never scan the table.
+    std::atomic<size_t> held_now{0};
 
     std::atomic<uint64_t> acquires{0};
     std::atomic<uint64_t> waits{0};

@@ -66,22 +66,49 @@ HistogramSnapshot HistogramMetric::Snapshot() const {
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+    version_.fetch_add(1, std::memory_order_release);
+  }
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+    version_.fetch_add(1, std::memory_order_release);
+  }
   return slot.get();
 }
 
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<HistogramMetric>();
+  if (!slot) {
+    slot = std::make_unique<HistogramMetric>();
+    version_.fetch_add(1, std::memory_order_release);
+  }
   return slot.get();
+}
+
+MetricsRegistry::MetricRefs MetricsRegistry::Enumerate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricRefs refs;
+  refs.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    refs.counters.emplace_back(name, counter.get());
+  }
+  refs.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    refs.gauges.emplace_back(name, gauge.get());
+  }
+  refs.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    refs.histograms.emplace_back(name, histogram.get());
+  }
+  return refs;
 }
 
 std::string MetricsRegistry::TextSnapshot() const {
@@ -121,10 +148,11 @@ std::string MetricsRegistry::JsonSnapshot() const {
     HistogramSnapshot snap = histogram->Snapshot();
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "{\"count\": %llu, \"mean\": %.1f, \"min\": %llu, "
-                  "\"max\": %llu, \"p50\": %llu, \"p95\": %llu, "
-                  "\"p99\": %llu}",
-                  static_cast<unsigned long long>(snap.count()), snap.Mean(),
+                  "{\"count\": %llu, \"sum\": %llu, \"mean\": %.1f, "
+                  "\"min\": %llu, \"max\": %llu, \"p50\": %llu, "
+                  "\"p95\": %llu, \"p99\": %llu}",
+                  static_cast<unsigned long long>(snap.count()),
+                  static_cast<unsigned long long>(snap.sum()), snap.Mean(),
                   static_cast<unsigned long long>(snap.min()),
                   static_cast<unsigned long long>(snap.max()),
                   static_cast<unsigned long long>(snap.Quantile(0.50)),

@@ -63,8 +63,12 @@ class HistogramSnapshot {
   HistogramSnapshot() : buckets_(hist_layout::kBucketCount, 0) {}
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
+  /// Per-bucket occupancy in the shared hist_layout. The sampler diffs
+  /// consecutive snapshots bucket-by-bucket to export sparse deltas.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
   double Mean() const { return count_ == 0 ? 0.0 : double(sum_) / double(count_); }
   uint64_t Quantile(double q) const {
     return hist_layout::Quantile(buckets_.data(), count_, max_, q);
@@ -111,6 +115,20 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   HistogramMetric* GetHistogram(const std::string& name);
 
+  /// A stable view of every registered metric, sorted by name. The
+  /// pointers live as long as the registry, so a sampler enumerates
+  /// once and re-reads lock-free until Version() changes.
+  struct MetricRefs {
+    std::vector<std::pair<std::string, const Counter*>> counters;
+    std::vector<std::pair<std::string, const Gauge*>> gauges;
+    std::vector<std::pair<std::string, const HistogramMetric*>> histograms;
+  };
+  MetricRefs Enumerate() const;
+
+  /// Bumped whenever a name registers a new metric; unchanged Version()
+  /// means a previously Enumerate()d MetricRefs is still complete.
+  uint64_t Version() const { return version_.load(std::memory_order_acquire); }
+
   /// Convenience for publishing one-shot statistics structs.
   void SetGauge(const std::string& name, int64_t value) {
     GetGauge(name)->Set(value);
@@ -125,6 +143,7 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mutex_;
+  std::atomic<uint64_t> version_{0};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;

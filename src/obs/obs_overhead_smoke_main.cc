@@ -17,16 +17,31 @@
 // recording path (a deliberately loose bound — the off path pays
 // nothing, so only gross regressions can trip it).
 //
+// A third phase gates the flight recorder: a MetricsSampler ticking at
+// 10 ms over an 8-worker contended run must cost <= 1% sustained — the
+// sampler's cumulative tick time against the workers' aggregate wall
+// time. The workers never block on the sampler (bounded staleness, see
+// obs/sampler.h), so its only footprint is the machine time the fold
+// and the contention probes consume; this phase pins that down. On
+// failure it prints the per-phase latency histograms so the offending
+// phase is visible in the CI log.
+//
 // Exit codes: 0 = bounds hold, 1 = a bound was exceeded.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "apps/encyclopedia.h"
 #include "obs/metrics.h"
+#include "obs/phases.h"
+#include "obs/sampler.h"
 #include "schedule/validator.h"
+#include "util/random.h"
 #include "util/stopwatch.h"
 
 using namespace oodb;
@@ -144,6 +159,117 @@ int ProvenancePhase() {
   return 0;
 }
 
+/// On a gate failure, show where transaction time went: the six phase
+/// histograms plus the end-to-end total, count/sum/p50/p99 each.
+void PrintPhaseHistograms(MetricsRegistry& registry) {
+  std::printf("  per-phase latency histograms at failure:\n");
+  auto print_one = [&registry](const char* label, const std::string& name) {
+    HistogramSnapshot snap = registry.GetHistogram(name)->Snapshot();
+    std::printf("    %-16s count=%8llu sum=%12llu ns  p50=%8llu ns  "
+                "p99=%8llu ns\n",
+                label, (unsigned long long)snap.count(),
+                (unsigned long long)snap.sum(),
+                (unsigned long long)snap.Quantile(0.50),
+                (unsigned long long)snap.Quantile(0.99));
+  };
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    print_one(PhaseName(phase),
+              std::string("phase.") + PhaseSuffix(phase) + "_ns");
+  }
+  print_one("total", "phase.total_ns");
+}
+
+/// The sampler phase: 8 contended workers, a 10 ms flight recorder, and
+/// a <= 1% sustained-overhead bound on the recorder's machine-time
+/// share.
+int SamplerPhase() {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kTxnsPerThread = 3000;
+  constexpr double kBound = 0.01;
+
+  MetricsRegistry registry;
+  Database db;
+  db.AttachObservability(&registry, nullptr);
+  Encyclopedia::RegisterMethods(&db);
+  ObjectId enc = Encyclopedia::Create(&db, "Enc", 64, 64, 16);
+
+  SamplerOptions soptions;
+  soptions.interval = std::chrono::milliseconds(10);
+  soptions.tag = "overhead-smoke";
+  MetricsSampler sampler(&registry, soptions);
+  db.InstallSamplerProbes(&sampler);
+  sampler.Start();
+
+  Stopwatch clock;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&db, enc, t] {
+      Rng rng(t * 31 + 5);
+      for (size_t i = 0; i < kTxnsPerThread; ++i) {
+        // A contended mix: half the keys are shared across workers, so
+        // the recorder has real lock traffic and waits-for churn to
+        // snapshot.
+        std::string key = rng.NextBelow(2) == 0
+                              ? "S" + std::to_string(rng.NextBelow(16))
+                              : "K" + std::to_string(t * kTxnsPerThread + i);
+        (void)db.RunTransaction(
+            "W" + std::to_string(t), [&](MethodContext& txn) -> Status {
+              Status st = txn.Call(
+                  enc, Encyclopedia::Insert(key, "d" + std::to_string(i)));
+              if (st.code() == StatusCode::kAlreadyExists) st = Status::OK();
+              OODB_RETURN_IF_ERROR(st);
+              Value out;
+              return txn.Call(enc, Encyclopedia::Search(key), &out);
+            });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const uint64_t elapsed_ns = clock.ElapsedNanos();
+  sampler.Stop();
+
+  const SamplerStats stats = sampler.Stats();
+  // Sustained overhead: the recorder's cumulative fold time against the
+  // aggregate machine time the workload occupied (workers x wall).
+  const double worker_ns = double(elapsed_ns) * double(kThreads);
+  const double fraction =
+      worker_ns > 0 ? double(stats.total_tick_ns) / worker_ns : 0.0;
+
+  std::printf("sampler phase (%zu threads x %zu txns, 10 ms tick):\n",
+              kThreads, kTxnsPerThread);
+  std::printf("  run wall time:          %10.0f ns\n", double(elapsed_ns));
+  std::printf("  sampler ticks:          %10llu  (max %llu ns, avg %.0f "
+              "ns)\n",
+              (unsigned long long)stats.ticks,
+              (unsigned long long)stats.max_tick_ns,
+              stats.ticks > 0
+                  ? double(stats.total_tick_ns) / double(stats.ticks)
+                  : 0.0);
+  std::printf("  sustained overhead:     %10.4f%% (bound %.0f%%)\n",
+              fraction * 100.0, kBound * 100.0);
+  if (stats.nonmonotone_counters != 0) {
+    std::printf("FAIL: sampler observed %llu non-monotone counter "
+                "deltas\n",
+                (unsigned long long)stats.nonmonotone_counters);
+    PrintPhaseHistograms(registry);
+    return 1;
+  }
+  if (stats.ticks == 0) {
+    std::printf("FAIL: sampler took no ticks over the run\n");
+    PrintPhaseHistograms(registry);
+    return 1;
+  }
+  if (fraction >= kBound) {
+    std::printf("FAIL: sampler overhead above %.0f%% sustained bound\n",
+                kBound * 100.0);
+    PrintPhaseHistograms(registry);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -185,6 +311,7 @@ int main() {
     return 1;
   }
   if (ProvenancePhase() != 0) return 1;
+  if (SamplerPhase() != 0) return 1;
   std::printf("OK\n");
   return 0;
 }

@@ -1,0 +1,314 @@
+// oodb_top: the bottleneck inspector.
+//
+// Replays a sampler time-series from a file — or records one live from
+// a built-in contended encyclopedia mix — and renders either the
+// "top"-style screen (throughput sparkline, phase breakdown, hottest
+// stripes and objects, cache ratio) or the machine-readable
+// "oodb-top-report-v1" JSON whose dominant_phase field names the
+// bottleneck.
+//
+// Examples:
+//   oodb_top series.jsonl                    # screen view of a recording
+//   oodb_top --report series.jsonl           # bottleneck report (JSON)
+//   oodb_top --live --threads=8 --txns=500   # record + watch a mix
+//   oodb_top --live --series-out=series.jsonl --report
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "apps/encyclopedia.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/top.h"
+#include "util/random.h"
+#include "workload/harness.h"
+
+using namespace oodb;
+
+namespace {
+
+struct Options {
+  std::string series_file;  ///< replay source (empty with --live)
+  bool report = false;
+  bool live = false;
+  size_t window = 0;
+  size_t top_k = 8;
+  std::string scheduler = "open";
+  size_t threads = 8;
+  size_t txns = 500;
+  size_t interval_ms = 10;
+  size_t refresh_ms = 500;
+  std::string series_out;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: oodb_top [options] [SERIES_FILE]\n"
+      "  oodb_top series.jsonl            replay a recorded series\n"
+      "  oodb_top --report series.jsonl   machine-readable bottleneck "
+      "report\n"
+      "  oodb_top --live                  record + inspect a built-in mix\n"
+      "options:\n"
+      "  --report            JSON report instead of the screen view\n"
+      "  --window=N          screen: fold only the last N ticks (0 = all)\n"
+      "  --top-k=N           rows in the hot lists (default 8)\n"
+      "  --scheduler=open|closed|flat2pl|exclusive  live mix (default "
+      "open)\n"
+      "  --threads=N         live: mix workers (default 8)\n"
+      "  --txns=N            live: transactions per worker (default 500)\n"
+      "  --interval=MS       live: sampler tick (default 10)\n"
+      "  --refresh=MS        live: screen refresh when on a tty (default "
+      "500)\n"
+      "  --series-out=PATH   live: also write the recorded series\n");
+}
+
+bool ParseFlag(const std::string& arg, const char* name,
+               std::string* value) {
+  std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--report") {
+      opts->report = true;
+    } else if (arg == "--live") {
+      opts->live = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (ParseFlag(arg, "--scheduler", &opts->scheduler) ||
+               ParseFlag(arg, "--series-out", &opts->series_out)) {
+      // handled
+    } else if (ParseFlag(arg, "--window", &value)) {
+      opts->window = std::stoul(value);
+    } else if (ParseFlag(arg, "--top-k", &value)) {
+      opts->top_k = std::stoul(value);
+    } else if (ParseFlag(arg, "--threads", &value)) {
+      opts->threads = std::stoul(value);
+    } else if (ParseFlag(arg, "--txns", &value)) {
+      opts->txns = std::stoul(value);
+    } else if (ParseFlag(arg, "--interval", &value)) {
+      opts->interval_ms = std::stoul(value);
+    } else if (ParseFlag(arg, "--refresh", &value)) {
+      opts->refresh_ms = std::stoul(value);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "oodb_top: unknown argument '%s'\n",
+                   arg.c_str());
+      return false;
+    } else if (opts->series_file.empty()) {
+      opts->series_file = arg;
+    } else {
+      std::fprintf(stderr, "oodb_top: extra argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opts->live == opts->series_file.empty()) return true;
+  std::fprintf(stderr,
+               opts->live ? "oodb_top: --live takes no SERIES_FILE\n"
+                          : "oodb_top: need a SERIES_FILE or --live\n");
+  return false;
+}
+
+bool SchedulerFromName(const std::string& name, SchedulerKind* out) {
+  if (name == "open") {
+    *out = SchedulerKind::kOpenNested;
+  } else if (name == "closed") {
+    *out = SchedulerKind::kClosedNested;
+  } else if (name == "flat2pl") {
+    *out = SchedulerKind::kFlat2PL;
+  } else if (name == "exclusive") {
+    *out = SchedulerKind::kObjectExclusive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The in-memory samples as a SeriesData, skipping the JSON round-trip
+/// (live screen refreshes).
+SeriesData SeriesFromRing(const MetricsSampler& sampler,
+                          const SamplerOptions& soptions) {
+  SeriesData series;
+  series.version = 1;
+  series.interval_ms =
+      static_cast<uint64_t>(soptions.interval.count());
+  series.logical = soptions.logical_clock;
+  series.tag = soptions.tag;
+  for (const Sample& s : sampler.Series()) {
+    SeriesSample out;
+    out.tick = s.tick;
+    out.ts_ns = s.ts_ns;
+    out.dur_ns = s.dur_ns;
+    out.counters = s.counters;
+    out.gauges = s.gauges;
+    for (const Sample::HistDelta& h : s.hists) {
+      SeriesSample::Hist hist;
+      hist.name = h.name;
+      hist.count = h.count;
+      hist.sum = h.sum;
+      hist.buckets = h.buckets;
+      out.hists.push_back(std::move(hist));
+    }
+    series.samples.push_back(std::move(out));
+  }
+  return series;
+}
+
+int RunLive(const Options& opts) {
+  SchedulerKind kind;
+  if (!SchedulerFromName(opts.scheduler, &kind)) {
+    std::fprintf(stderr, "oodb_top: unknown scheduler '%s'\n",
+                 opts.scheduler.c_str());
+    return 2;
+  }
+
+  MetricsRegistry registry;
+  DatabaseOptions db_options;
+  db_options.scheduler = kind;
+  Database db(db_options);
+  db.AttachObservability(&registry, nullptr);
+  Encyclopedia::RegisterMethods(&db);
+  ObjectId enc = Encyclopedia::Create(&db, "Enc", 16, 16, 4);
+
+  SamplerOptions soptions;
+  soptions.interval = std::chrono::milliseconds(opts.interval_ms);
+  soptions.tag = "live:mix:" + opts.scheduler;
+  MetricsSampler sampler(&registry, soptions);
+  db.InstallSamplerProbes(&sampler);
+  sampler.Start();
+
+  // The same contended mix oodb_trace runs, on a worker thread so the
+  // main thread can refresh the screen while it runs.
+  HarnessResult result;
+  std::thread worker([&] {
+    HarnessConfig config;
+    config.threads = opts.threads;
+    config.txns_per_thread = opts.txns;
+    config.metrics = &registry;
+    result = Harness::Run(
+        &db, config, [enc](size_t thread, size_t index) -> TransactionBody {
+          return [enc, thread, index](MethodContext& txn) -> Status {
+            Rng rng(thread * 7919 + index);
+            std::string key = "K" + std::to_string(rng.NextBelow(64));
+            switch (rng.NextBelow(10)) {
+              case 0:
+                return txn.Call(enc, Encyclopedia::ReadSeq());
+              case 1:
+              case 2: {
+                Value out;
+                return txn.Call(enc, Encyclopedia::Search(key), &out);
+              }
+              case 3:
+              case 4:
+              case 5: {
+                Status st = txn.Call(
+                    enc,
+                    Encyclopedia::Change(key, "v" + std::to_string(index)));
+                return st.IsNotFound() ? Status::OK() : st;
+              }
+              default: {
+                Status st = txn.Call(
+                    enc,
+                    Encyclopedia::Insert(key, "d" + std::to_string(index)));
+                return st.code() == StatusCode::kAlreadyExists
+                           ? Status::OK()
+                           : st;
+              }
+            }
+          };
+        });
+  });
+
+  TopOptions toptions;
+  toptions.top_k = opts.top_k;
+  const bool tty = isatty(STDOUT_FILENO) != 0 && !opts.report;
+  if (tty) {
+    // Refresh the screen until the mix drains; \x1b[H\x1b[J repaints in
+    // place like top(1).
+    std::mutex done_mu;
+    bool done = false;
+    std::thread waiter([&] {
+      worker.join();
+      std::lock_guard<std::mutex> lock(done_mu);
+      done = true;
+    });
+    for (;;) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts.refresh_ms));
+      const SeriesData live = SeriesFromRing(sampler, soptions);
+      std::string screen = RenderScreen(live, toptions, opts.window);
+      std::fputs("\x1b[H\x1b[J", stdout);
+      std::fputs(screen.c_str(), stdout);
+      std::fflush(stdout);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (done) break;
+    }
+    waiter.join();
+  } else {
+    worker.join();
+  }
+  sampler.Stop();
+  std::fprintf(stderr, "mix: %s\n", result.Row().c_str());
+
+  if (!opts.series_out.empty()) {
+    Status st = sampler.WriteJsonLines(opts.series_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "oodb_top: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const SeriesData series = SeriesFromRing(sampler, soptions);
+  std::string out = opts.report ? RenderReport(series, toptions)
+                                : RenderScreen(series, toptions, opts.window);
+  if (tty) std::fputs("\x1b[H\x1b[J", stdout);
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+int RunReplay(const Options& opts) {
+  std::ifstream in(opts.series_file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "oodb_top: cannot open '%s'\n",
+                 opts.series_file.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<SeriesData> series = ParseSeries(buffer.str());
+  if (!series.ok()) {
+    std::fprintf(stderr, "oodb_top: %s\n",
+                 series.status().ToString().c_str());
+    return 1;
+  }
+  TopOptions toptions;
+  toptions.top_k = opts.top_k;
+  std::string out = opts.report
+                        ? RenderReport(*series, toptions)
+                        : RenderScreen(*series, toptions, opts.window);
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    PrintUsage();
+    return 2;
+  }
+  return opts.live ? RunLive(opts) : RunReplay(opts);
+}

@@ -1,0 +1,80 @@
+#include "obs/phases.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace oodb {
+
+namespace {
+
+thread_local PhaseAccumulator* g_current_accumulator = nullptr;
+
+constexpr const char* kPhaseNames[kPhaseCount] = {
+    "admission",      "lock-wait",      "execute",
+    "wal-force",      "commit-publish", "retry-backoff",
+};
+
+constexpr const char* kPhaseSuffixes[kPhaseCount] = {
+    "admission",  "lock_wait",      "execute",
+    "wal_force",  "commit_publish", "retry_backoff",
+};
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  return kPhaseNames[static_cast<size_t>(phase)];
+}
+
+const char* PhaseSuffix(Phase phase) {
+  return kPhaseSuffixes[static_cast<size_t>(phase)];
+}
+
+uint64_t PhaseAccumulator::MeasuredTotal() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    if (static_cast<Phase>(i) == Phase::kExecute) continue;
+    total += ns_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+PhaseAccumulator* PhaseAccumulator::Current() { return g_current_accumulator; }
+
+void PhaseAccumulator::SetCurrent(PhaseAccumulator* acc) {
+  g_current_accumulator = acc;
+}
+
+PhaseHistograms::PhaseHistograms(MetricsRegistry* registry) {
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    phase_[i] = registry->GetHistogram(
+        std::string("phase.") + kPhaseSuffixes[i] + "_ns");
+  }
+  total_ = registry->GetHistogram("phase.total_ns");
+}
+
+void PhaseHistograms::Observe(const PhaseAccumulator& acc, uint64_t total_ns) {
+  const uint64_t measured = acc.MeasuredTotal();
+  const uint64_t execute = total_ns > measured ? total_ns - measured : 0;
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    phase_[i]->Observe(phase == Phase::kExecute ? execute : acc.Get(phase));
+  }
+  total_->Observe(total_ns);
+}
+
+std::string PhasesJson(const PhaseAccumulator& acc, uint64_t total_ns) {
+  const uint64_t measured = acc.MeasuredTotal();
+  const uint64_t execute = total_ns > measured ? total_ns - measured : 0;
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    os << "\"" << kPhaseNames[i] << "\":"
+       << (phase == Phase::kExecute ? execute : acc.Get(phase)) << ",";
+  }
+  os << "\"total\":" << total_ns << "}";
+  return os.str();
+}
+
+}  // namespace oodb

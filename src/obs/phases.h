@@ -1,0 +1,142 @@
+// Phase-latency attribution: where a root transaction's wall-clock time
+// actually goes.
+//
+// Every root transaction owns one PhaseAccumulator for its whole
+// lifetime (all retry attempts included). Instrumented layers credit
+// nanoseconds to a phase at the exact point the time is spent, through
+// a thread-local "current accumulator" pointer — so the lock manager
+// can credit a blocked wait and the storage engine a WAL force without
+// either knowing about the Database's control flow. Parallel branches
+// (MethodContext::CallParallel) propagate the pointer into their worker
+// threads, so a branch blocked on a lock still bills its root.
+//
+// The taxonomy (see docs/OBSERVABILITY.md for the instrumentation point
+// of each phase):
+//
+//   admission       gate + top-level context setup, before the body runs
+//   lock-wait       blocked time inside LockManager::Acquire
+//   execute         the residual: total minus every measured phase
+//   wal-force       DurabilityHook::LogOp appends + the commit-time force
+//   commit-publish  commit bookkeeping after the body: history/epoch
+//                   publish, lock release, compensation cleanup (minus
+//                   the WAL force, which bills wal-force)
+//   retry-backoff   deadlock-retry sleeps between attempts
+//
+// Computing execute as the residual is a deliberate accounting choice:
+// the six phases always sum exactly to the measured end-to-end latency,
+// so per-phase histograms reconcile against harness latency with no
+// double counting, at the cost of "execute" absorbing measurement slop.
+//
+// With no accumulator installed every credit point is one thread-local
+// load and a branch; the detached cost rides under obs_overhead_smoke's
+// bound like the rest of the metrics hooks.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace oodb {
+
+class MetricsRegistry;
+class HistogramMetric;
+
+enum class Phase : uint8_t {
+  kAdmission = 0,
+  kLockWait,
+  kExecute,
+  kWalForce,
+  kCommitPublish,
+  kRetryBackoff,
+};
+
+inline constexpr size_t kPhaseCount = 6;
+
+/// Stable lowercase name ("admission", "lock-wait", ...). Part of the
+/// exported-surface vocabulary, like metric names.
+const char* PhaseName(Phase phase);
+
+/// Metric-name suffix form ("admission", "lock_wait", ...): phase
+/// histograms register as "phase.<suffix>_ns".
+const char* PhaseSuffix(Phase phase);
+
+/// Per-transaction phase ledger. Credits are relaxed atomic adds so
+/// parallel branches of one transaction can bill concurrently.
+class PhaseAccumulator {
+ public:
+  PhaseAccumulator() { Reset(); }
+
+  void Add(Phase phase, uint64_t ns) {
+    ns_[static_cast<size_t>(phase)].fetch_add(ns, std::memory_order_relaxed);
+  }
+  uint64_t Get(Phase phase) const {
+    return ns_[static_cast<size_t>(phase)].load(std::memory_order_relaxed);
+  }
+  /// Sum over the explicitly measured phases (everything but execute).
+  uint64_t MeasuredTotal() const;
+  void Reset() {
+    for (auto& slot : ns_) slot.store(0, std::memory_order_relaxed);
+  }
+
+  /// The calling thread's active accumulator (null when detached).
+  static PhaseAccumulator* Current();
+  static void SetCurrent(PhaseAccumulator* acc);
+  /// Credit the calling thread's accumulator, if any. The detached
+  /// path is one thread-local load and a branch.
+  static void AddCurrent(Phase phase, uint64_t ns) {
+    PhaseAccumulator* acc = Current();
+    if (acc != nullptr) acc->Add(phase, ns);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kPhaseCount> ns_;
+};
+
+/// RAII install/restore of the thread-local current accumulator. Used
+/// per attempt in Database::RunTransaction and per branch thread in
+/// CallParallel.
+class PhaseScope {
+ public:
+  explicit PhaseScope(PhaseAccumulator* acc)
+      : previous_(PhaseAccumulator::Current()) {
+    PhaseAccumulator::SetCurrent(acc);
+  }
+  ~PhaseScope() { PhaseAccumulator::SetCurrent(previous_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseAccumulator* previous_;
+};
+
+/// The per-phase histograms ("phase.<suffix>_ns" plus "phase.total_ns"),
+/// registered once per registry and fed one observation per finished
+/// root transaction.
+class PhaseHistograms {
+ public:
+  explicit PhaseHistograms(MetricsRegistry* registry);
+
+  /// Record one finished root transaction: each measured phase as
+  /// accumulated, execute as total minus the measured sum (clamped at
+  /// zero), and the end-to-end total. After this, summing the phase
+  /// histograms' sums reproduces phase.total_ns's sum exactly.
+  void Observe(const PhaseAccumulator& acc, uint64_t total_ns);
+
+  HistogramMetric* histogram(Phase phase) const {
+    return phase_[static_cast<size_t>(phase)];
+  }
+  HistogramMetric* total() const { return total_; }
+
+ private:
+  std::array<HistogramMetric*, kPhaseCount> phase_;
+  HistogramMetric* total_;
+};
+
+/// Render an accumulator as a flat JSON object fragment
+/// ({"admission":N,...,"execute":R,"total":T}), with execute the same
+/// residual Observe() records. Attached to Tracer spans.
+std::string PhasesJson(const PhaseAccumulator& acc, uint64_t total_ns);
+
+}  // namespace oodb

@@ -133,7 +133,13 @@ std::string Tracer::ToJsonLines() const {
        << ",\"txn\":" << s->txn << ",\"level\":" << s->level
        << ",\"tid\":" << s->tid << ",\"start\":" << s->start
        << ",\"end\":" << s->end << ",\"outcome\":\"" << Escape(s->outcome)
-       << "\"}\n";
+       << "\"";
+    // Phase breakdowns are wall-clock ns, so golden (logical-clock)
+    // traces omit them to stay byte-stable.
+    if (!s->phases.empty() && !options_.golden) {
+      os << ",\"phases\":" << s->phases;
+    }
+    os << "}\n";
   }
   return os.str();
 }

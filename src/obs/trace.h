@@ -46,6 +46,11 @@ struct TraceSpan {
   uint64_t start = 0;       ///< NowNs() at entry
   uint64_t end = 0;         ///< NowNs() at exit
   std::string outcome;      ///< "ok","commit","abort","deadlock",...
+  /// Root-transaction spans only: the per-phase ns breakdown as a JSON
+  /// object fragment (obs/phases.h PhasesJson). Empty when phase
+  /// attribution is off. Wall-clock ns, so the JSON-lines exporter
+  /// omits it in golden mode to keep goldens byte-stable.
+  std::string phases;
 };
 
 /// A point event (virtual-object split, retry backoff, ...).

@@ -6,6 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/top.h"
+#include "util/histogram.h"
+
 namespace oodb {
 
 namespace {
@@ -155,6 +158,38 @@ Status ValidateTraceLines(const std::string& jsonl) {
     }
     if (child.level != parent.level + 1) {
       return Fail(at, "span level is not parent level + 1");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateSeriesLines(const std::string& jsonl) {
+  // ParseSeries already enforces the document structure: one meta line
+  // first, known version, contiguous 1-based ticks, flat JSON samples.
+  Result<SeriesData> series = ParseSeries(jsonl);
+  if (!series.ok()) return series.status();
+  for (size_t i = 0; i < series->samples.size(); ++i) {
+    const SeriesSample& sample = series->samples[i];
+    for (const SeriesSample::Hist& hist : sample.hists) {
+      uint64_t bucket_total = 0;
+      for (const auto& [bucket, delta] : hist.buckets) {
+        if (bucket >= hist_layout::kBucketCount) {
+          return Status::InvalidArgument(
+              "series tick " + std::to_string(sample.tick) + ": hist '" +
+              hist.name + "' bucket " + std::to_string(bucket) +
+              " outside layout (" +
+              std::to_string(hist_layout::kBucketCount) + " buckets)");
+        }
+        bucket_total += delta;
+      }
+      // Every observation lands in exactly one bucket, so the per-tick
+      // count delta must equal the sum of the bucket deltas.
+      if (bucket_total != hist.count) {
+        return Status::InvalidArgument(
+            "series tick " + std::to_string(sample.tick) + ": hist '" +
+            hist.name + "' count " + std::to_string(hist.count) +
+            " != bucket delta sum " + std::to_string(bucket_total));
+      }
     }
   }
   return Status::OK();

@@ -26,4 +26,11 @@ namespace oodb {
 /// naming the first offending line.
 Status ValidateTraceLines(const std::string& jsonl);
 
+/// Validates a sampler time-series document (obs/sampler.h JSON lines):
+/// one series-meta line first, known version, contiguous 1-based ticks,
+/// well-formed samples, histogram bucket indexes inside the shared
+/// hist_layout, and each histogram's count equal to the sum of its
+/// bucket deltas (every observation lands in exactly one bucket).
+Status ValidateSeriesLines(const std::string& jsonl);
+
 }  // namespace oodb

@@ -1,10 +1,13 @@
 // trace_schema_check: validate a JSON-lines trace against the span
-// schema (docs/OBSERVABILITY.md). The CI gate behind `oodb_trace
-// --format=jsonl | trace_schema_check -`.
+// schema, or (with --series) a sampler time-series against the series
+// schema (both documented in docs/OBSERVABILITY.md). The CI gates
+// behind `oodb_trace --format=jsonl | trace_schema_check -` and
+// `s11_throughput --series=F && trace_schema_check --series F`.
 //
 // Exit codes: 0 = valid, 1 = schema violation, 2 = usage/IO error.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -13,11 +16,24 @@
 #include "obs/trace_check.h"
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: trace_schema_check FILE  ('-' = stdin)\n");
+  bool series = false;
+  const char* path_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--series") == 0) {
+      series = true;
+    } else if (path_arg == nullptr) {
+      path_arg = argv[i];
+    } else {
+      path_arg = nullptr;  // too many positionals
+      break;
+    }
+  }
+  if (path_arg == nullptr) {
+    std::fprintf(stderr,
+                 "usage: trace_schema_check [--series] FILE  ('-' = stdin)\n");
     return 2;
   }
-  std::string path = argv[1];
+  std::string path = path_arg;
   std::string content;
   if (path == "-") {
     std::ostringstream buf;
@@ -35,11 +51,12 @@ int main(int argc, char** argv) {
     content = buf.str();
   }
 
-  oodb::Status st = oodb::ValidateTraceLines(content);
+  oodb::Status st = series ? oodb::ValidateSeriesLines(content)
+                           : oodb::ValidateTraceLines(content);
   if (!st.ok()) {
     std::fprintf(stderr, "trace_schema_check: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("trace_schema_check: OK\n");
+  std::printf("trace_schema_check: OK (%s)\n", series ? "series" : "trace");
   return 0;
 }

@@ -4,8 +4,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
+#include "obs/phases.h"
+#include "obs/sampler.h"
 #include "storage/serde.h"
 #include "util/logging.h"
 
@@ -18,6 +21,31 @@ constexpr PageNo kFirstDataPage = 2;
 /// Each chain page: [u64 next][payload].
 constexpr size_t kChainHeader = 8;
 constexpr size_t kChainPayload = kPageSize - kChainHeader;
+
+/// Bills the enclosing scope's duration to the calling root
+/// transaction's wal-force phase (no-op when no accumulator is
+/// installed — obs/phases.h). The WAL append/force paths are the only
+/// storage calls on a transaction's critical path.
+class WalForceScope {
+ public:
+  WalForceScope()
+      : active_(PhaseAccumulator::Current() != nullptr),
+        start_(active_ ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point()) {}
+  ~WalForceScope() {
+    if (!active_) return;
+    PhaseAccumulator::AddCurrent(
+        Phase::kWalForce,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count()));
+  }
+
+ private:
+  const bool active_;
+  const std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace
 
@@ -367,6 +395,7 @@ bool StorageEngine::IsPersistent(ObjectId obj) const {
 Lsn StorageEngine::LogOp(uint64_t top, const std::string& txn_name,
                          const std::string& root_name, const Invocation& inv,
                          const Invocation* comp) {
+  WalForceScope phase;
   std::lock_guard<std::mutex> guard(log_mutex_);
   if (begun_.insert(top).second) {
     WalRecord begin;
@@ -399,6 +428,7 @@ Lsn StorageEngine::LogOp(uint64_t top, const std::string& txn_name,
 }
 
 Lsn StorageEngine::OnCommit(uint64_t top) {
+  WalForceScope phase;
   uint64_t lsn = 0;
   {
     std::lock_guard<std::mutex> guard(log_mutex_);
@@ -463,6 +493,11 @@ void StorageEngine::AttachMetrics(MetricsRegistry* registry) {
   wal_.AttachMetrics(registry);
   m_checkpoints_ =
       registry == nullptr ? nullptr : registry->GetCounter("storage.checkpoints");
+}
+
+void StorageEngine::InstallSamplerProbes(MetricsSampler* sampler) {
+  if (sampler == nullptr || metrics_ == nullptr) return;
+  sampler->AddProbe("storage.stats", [this] { PublishStorageStats(); });
 }
 
 void StorageEngine::PublishStorageStats() {

@@ -136,6 +136,11 @@ class StorageEngine : public DurabilityHook {
   MetricsRegistry* metrics() const { return metrics_; }
   /// Copies cache/allocator/engine tallies onto storage.* gauges.
   void PublishStorageStats();
+  /// Registers a probe on `sampler` that refreshes the storage.*
+  /// gauges (buffer-cache hits/misses, pins, allocator, log failures)
+  /// on every sampler tick. AttachMetrics with the sampler's registry
+  /// first.
+  void InstallSamplerProbes(MetricsSampler* sampler);
 
   // --- introspection (recovery, harness, tests) ------------------------
   const StorageEngineOptions& options() const { return options_; }
