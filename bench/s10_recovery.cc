@@ -14,9 +14,21 @@
 //               Open + Recover on a fresh process image. Logical redo
 //               re-executes real methods, so this is the cost model for
 //               "how often should I checkpoint".
+//
+// Each recovery cell runs with a metrics registry attached, so the
+// JSON rows carry the recovery-phase split (scan/analysis/redo/undo/
+// checkpoint/finish, coverage 1.0 by construction) and the buffer-cache
+// introspection headline numbers (hit ratio, evictions, pin p50/p99).
+//
+//   --recovery-only        skip the throughput cells (the series job
+//                          only gates the recovery axis)
+//   --series=PATH          record a sampler series (tag "s10-recovery")
+//                          over the largest recovery cell
+//   --series-interval=MS   sampler tick period (default 5)
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -27,6 +39,7 @@
 #include "containers/directory.h"
 #include "containers/hash_index.h"
 #include "containers/persist.h"
+#include "obs/sampler.h"
 #include "storage/recovery.h"
 #include "util/random.h"
 
@@ -133,9 +146,14 @@ struct RecoveryRow {
   uint64_t redo_records = 0;
   uint64_t winners = 0;
   double recover_ms = 0;
+  RecoveryTimeline timeline;
+  PageCacheStats cache;
+  uint64_t pin_p50_ns = 0;
+  uint64_t pin_p99_ns = 0;
 };
 
-RecoveryRow RecoveryCell(size_t txns) {
+RecoveryRow RecoveryCell(size_t txns, const std::string& series_path,
+                         uint64_t series_interval_ms) {
   const std::string dir = FreshDir("rec_" + std::to_string(txns));
   StorageEngineOptions opts;
   opts.dir = dir;
@@ -155,14 +173,39 @@ RecoveryRow RecoveryCell(size_t txns) {
     Database db;
     Register(&db);
     StorageEngine engine(opts);
+    MetricsRegistry registry;
+    engine.AttachMetrics(&registry);
     if (!RegisterStandardSerdes(&engine).ok()) std::exit(1);
     if (!engine.Open(&db).ok()) std::exit(1);
+    SamplerOptions sampler_opts;
+    sampler_opts.interval = std::chrono::milliseconds(series_interval_ms);
+    sampler_opts.tag = "s10-recovery";
+    MetricsSampler sampler(&registry, sampler_opts);
+    engine.InstallSamplerProbes(&sampler);
+    const bool record = !series_path.empty();
+    if (record) sampler.Start();
     RecoveryStats stats;
     auto start = std::chrono::steady_clock::now();
     if (!Recover(&engine, &db, &stats).ok()) std::exit(1);
     row.recover_ms = MsSince(start);
+    if (record) {
+      sampler.Stop();
+      Status wrote = sampler.WriteJsonLines(series_path);
+      if (!wrote.ok()) {
+        std::printf("note: could not write %s: %s\n", series_path.c_str(),
+                    wrote.ToString().c_str());
+      } else {
+        std::printf("wrote %s\n", series_path.c_str());
+      }
+    }
     row.redo_records = stats.redo_records;
     row.winners = stats.winners;
+    row.timeline = stats.timeline;
+    row.cache = engine.cache()->stats();
+    const HistogramSnapshot pins =
+        registry.GetHistogram("storage.cache.pin_ns")->Snapshot();
+    row.pin_p50_ns = pins.Quantile(0.5);
+    row.pin_p99_ns = pins.Quantile(0.99);
   }
   std::filesystem::remove_all(dir);
   return row;
@@ -188,11 +231,38 @@ void WriteJson(const std::vector<ThroughputRow>& throughput,
   std::fprintf(f, "  ],\n  \"recovery\": [\n");
   for (size_t i = 0; i < recovery.size(); ++i) {
     const RecoveryRow& r = recovery[i];
+    auto phase_ms = [&r](RecoveryPhase p) {
+      return double(r.timeline.Ns(p)) / 1e6;
+    };
     std::fprintf(f,
                  "    {\"logged_txns\": %zu, \"winners\": %llu, "
-                 "\"redo_records\": %llu, \"recover_ms\": %.2f}%s\n",
+                 "\"redo_records\": %llu, \"recover_ms\": %.2f,\n",
                  r.logged_txns, (unsigned long long)r.winners,
-                 (unsigned long long)r.redo_records, r.recover_ms,
+                 (unsigned long long)r.redo_records, r.recover_ms);
+    std::fprintf(f,
+                 "     \"phases\": {\"scan_ms\": %.3f, \"analysis_ms\": "
+                 "%.3f, \"redo_ms\": %.3f, \"undo_ms\": %.3f, "
+                 "\"checkpoint_ms\": %.3f, \"finish_ms\": %.3f, "
+                 "\"coverage\": %.4f},\n",
+                 phase_ms(RecoveryPhase::kScan),
+                 phase_ms(RecoveryPhase::kAnalysis),
+                 phase_ms(RecoveryPhase::kRedo),
+                 phase_ms(RecoveryPhase::kUndo),
+                 phase_ms(RecoveryPhase::kCheckpoint),
+                 phase_ms(RecoveryPhase::kFinish), r.timeline.Coverage());
+    const uint64_t lookups = r.cache.hits + r.cache.misses;
+    std::fprintf(f,
+                 "     \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"hit_ratio\": %.4f, \"evictions\": %llu, "
+                 "\"writebacks\": %llu, \"pin_p50_ns\": %llu, "
+                 "\"pin_p99_ns\": %llu}}%s\n",
+                 (unsigned long long)r.cache.hits,
+                 (unsigned long long)r.cache.misses,
+                 lookups > 0 ? double(r.cache.hits) / double(lookups) : 0.0,
+                 (unsigned long long)r.cache.evictions,
+                 (unsigned long long)r.cache.writebacks,
+                 (unsigned long long)r.pin_p50_ns,
+                 (unsigned long long)r.pin_p99_ns,
                  i + 1 < recovery.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -202,28 +272,61 @@ void WriteJson(const std::vector<ThroughputRow>& throughput,
 
 }  // namespace
 
-int main() {
-  std::printf("S10: durability cost and recovery scaling\n\n");
-
-  constexpr size_t kTxns = 600;
-  constexpr size_t kThreads = 2;
-  std::printf("%-10s %6s %10s %12s\n", "mode", "txns", "ms", "txns/sec");
-  std::vector<ThroughputRow> throughput;
-  for (const char* mode : {"no-wal", "wal-nosync", "wal-fsync"}) {
-    ThroughputRow row = ThroughputCell(mode, kTxns, kThreads);
-    std::printf("%-10s %6zu %10.1f %12.0f\n", row.mode.c_str(), row.txns,
-                row.ms, row.txns_per_sec());
-    throughput.push_back(row);
+int main(int argc, char** argv) {
+  bool recovery_only = false;
+  std::string series_path;
+  uint64_t series_interval_ms = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--recovery-only") {
+      recovery_only = true;
+    } else if (arg.rfind("--series=", 0) == 0) {
+      series_path = arg.substr(9);
+    } else if (arg.rfind("--series-interval=", 0) == 0) {
+      series_interval_ms = std::strtoull(arg.c_str() + 18, nullptr, 10);
+      if (series_interval_ms == 0) series_interval_ms = 5;
+    } else {
+      std::fprintf(stderr, "s10_recovery: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
   }
 
-  std::printf("\n%-12s %8s %13s %12s\n", "logged_txns", "winners",
-              "redo_records", "recover_ms");
+  std::printf("S10: durability cost and recovery scaling\n\n");
+
+  std::vector<ThroughputRow> throughput;
+  if (!recovery_only) {
+    constexpr size_t kTxns = 600;
+    constexpr size_t kThreads = 2;
+    std::printf("%-10s %6s %10s %12s\n", "mode", "txns", "ms", "txns/sec");
+    for (const char* mode : {"no-wal", "wal-nosync", "wal-fsync"}) {
+      ThroughputRow row = ThroughputCell(mode, kTxns, kThreads);
+      std::printf("%-10s %6zu %10.1f %12.0f\n", row.mode.c_str(), row.txns,
+                  row.ms, row.txns_per_sec());
+      throughput.push_back(row);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-12s %8s %13s %12s %9s %9s\n", "logged_txns", "winners",
+              "redo_records", "recover_ms", "redo%", "cache-hit%");
   std::vector<RecoveryRow> recovery;
-  for (size_t txns : {200, 800, 3200}) {
-    RecoveryRow row = RecoveryCell(txns);
-    std::printf("%-12zu %8llu %13llu %12.2f\n", row.logged_txns,
-                (unsigned long long)row.winners,
-                (unsigned long long)row.redo_records, row.recover_ms);
+  const std::vector<size_t> cells = {200, 800, 3200};
+  for (size_t txns : cells) {
+    // The series (when asked for) records the largest cell — the one
+    // long enough for per-tick phase/progress gauges to mean anything.
+    const bool record = txns == cells.back();
+    RecoveryRow row = RecoveryCell(txns, record ? series_path : "",
+                                   series_interval_ms);
+    const uint64_t lookups = row.cache.hits + row.cache.misses;
+    std::printf("%-12zu %8llu %13llu %12.2f %8.1f%% %8.1f%%\n",
+                row.logged_txns, (unsigned long long)row.winners,
+                (unsigned long long)row.redo_records, row.recover_ms,
+                row.timeline.total_ns > 0
+                    ? 100.0 * double(row.timeline.Ns(RecoveryPhase::kRedo)) /
+                          double(row.timeline.total_ns)
+                    : 0.0,
+                lookups > 0 ? 100.0 * double(row.cache.hits) / double(lookups)
+                            : 0.0);
     recovery.push_back(row);
   }
 

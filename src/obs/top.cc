@@ -629,20 +629,29 @@ std::string RenderScreen(const SeriesData& series, const TopOptions& options,
     }
   }
 
-  auto gauge = [&agg](const char* name) -> const int64_t* {
-    auto it = agg.last_gauges.find(name);
-    return it == agg.last_gauges.end() ? nullptr : &it->second;
+  // storage.cache.{hits,misses} are counters (summed deltas over the
+  // window); fall back to the gauges older series published.
+  auto cache_tally = [&agg](const char* name, int64_t* out) {
+    auto cit = agg.counters.find(name);
+    if (cit != agg.counters.end()) {
+      *out = static_cast<int64_t>(cit->second);
+      return true;
+    }
+    auto git = agg.last_gauges.find(name);
+    if (git == agg.last_gauges.end()) return false;
+    *out = git->second;
+    return true;
   };
-  const int64_t* hits = gauge("storage.cache.hits");
-  const int64_t* misses = gauge("storage.cache.misses");
-  if (hits != nullptr && misses != nullptr) {
-    const int64_t total = *hits + *misses;
+  int64_t hit_n = 0, miss_n = 0;
+  if (cache_tally("storage.cache.hits", &hit_n) &&
+      cache_tally("storage.cache.misses", &miss_n)) {
+    const int64_t total = hit_n + miss_n;
     char buf[96];
     std::snprintf(buf, sizeof(buf),
                   "cache  %lld hits, %lld misses (%.1f%% hit)\n",
-                  static_cast<long long>(*hits),
-                  static_cast<long long>(*misses),
-                  total > 0 ? 100.0 * double(*hits) / double(total) : 0.0);
+                  static_cast<long long>(hit_n),
+                  static_cast<long long>(miss_n),
+                  total > 0 ? 100.0 * double(hit_n) / double(total) : 0.0);
     os << buf;
   }
   auto max_gauge = [&agg](const char* name) -> int64_t {
@@ -745,12 +754,15 @@ std::string RenderReport(const SeriesData& series,
   }
   os << "],\n";
 
-  auto last_gauge = [&agg](const char* name, int64_t fallback) {
-    auto it = agg.last_gauges.find(name);
-    return it == agg.last_gauges.end() ? fallback : it->second;
+  // Counters first (summed deltas), gauge fallback for older series.
+  auto cache_tally = [&agg](const char* name) -> int64_t {
+    auto cit = agg.counters.find(name);
+    if (cit != agg.counters.end()) return static_cast<int64_t>(cit->second);
+    auto git = agg.last_gauges.find(name);
+    return git == agg.last_gauges.end() ? -1 : git->second;
   };
-  const int64_t hits = last_gauge("storage.cache.hits", -1);
-  const int64_t misses = last_gauge("storage.cache.misses", -1);
+  const int64_t hits = cache_tally("storage.cache.hits");
+  const int64_t misses = cache_tally("storage.cache.misses");
   if (hits >= 0 && misses >= 0) {
     const int64_t total = hits + misses;
     std::snprintf(buf, sizeof(buf), "%.4f",

@@ -11,6 +11,7 @@
 #include "obs/sampler.h"
 #include "storage/serde.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace oodb {
 
@@ -217,6 +218,7 @@ Status StorageEngine::Open(Database* db) {
   ::mkdir(options_.dir.c_str(), 0755);  // EEXIST is fine
   OODB_RETURN_IF_ERROR(file_.Open(options_.dir + "/pages.db"));
   cache_ = std::make_unique<PageCache>(&file_, options_.cache_frames);
+  if (metrics_ != nullptr) cache_->AttachMetrics(metrics_);
   allocator_ =
       std::make_unique<PageAllocator>(kFirstDataPage, options_.max_pages);
 
@@ -331,6 +333,7 @@ Status StorageEngine::Checkpoint(Database* db) {
 
 Status StorageEngine::CheckpointQuiesced(Database* db) {
   if (!opened_) return Status::InvalidArgument("checkpoint before Open");
+  Stopwatch ckpt_watch;
   // 1. Serialize every root into shadow pages; the old chains stay
   //    allocated and referenced by the current meta until the flip.
   std::map<std::string, std::pair<PageNo, uint64_t>> fresh;
@@ -348,6 +351,7 @@ Status StorageEngine::CheckpointQuiesced(Database* db) {
   }
   OODB_RETURN_IF_ERROR(cache_->FlushAll());
   OODB_RETURN_IF_ERROR(file_.Sync());
+  const uint64_t writeback_done_ns = ckpt_watch.ElapsedNanos();
 
   // 2. Free the old chains *before* the meta write: the new bitmap
   //    must show them free. If the flip never lands, the crash restores
@@ -369,6 +373,7 @@ Status StorageEngine::CheckpointQuiesced(Database* db) {
   const uint64_t old_epoch = epoch_;
   epoch_ = new_epoch;
   next_lsn_ = lsn;
+  const uint64_t flip_done_ns = ckpt_watch.ElapsedNanos();
 
   // 4. Fresh WAL epoch; the finished one becomes the archive.
   const bool had_wal = wal_.IsOpen();
@@ -383,6 +388,13 @@ Status StorageEngine::CheckpointQuiesced(Database* db) {
   }
   commits_since_ckpt_.store(0, std::memory_order_relaxed);
   if (m_checkpoints_) m_checkpoints_->Increment();
+  if (h_ckpt_total_ns_ != nullptr) {
+    const uint64_t total_ns = ckpt_watch.ElapsedNanos();
+    h_ckpt_writeback_ns_->Observe(writeback_done_ns);
+    h_ckpt_meta_flip_ns_->Observe(flip_done_ns - writeback_done_ns);
+    h_ckpt_wal_rotate_ns_->Observe(total_ns - flip_done_ns);
+    h_ckpt_total_ns_->Observe(total_ns);
+  }
   return Status::OK();
 }
 
@@ -404,6 +416,7 @@ Lsn StorageEngine::LogOp(uint64_t top, const std::string& txn_name,
     begin.txn_name = txn_name;
     if (!wal_.Append(std::move(begin)).ok()) {
       ++stats_.log_failures;
+      if (m_log_failures_ != nullptr) m_log_failures_->Increment();
       begun_.erase(top);
       OODB_ERROR("wal begin append failed for txn " << top);
       return 0;
@@ -421,6 +434,7 @@ Lsn StorageEngine::LogOp(uint64_t top, const std::string& txn_name,
   Result<uint64_t> lsn = wal_.Append(std::move(rec));
   if (!lsn.ok()) {
     ++stats_.log_failures;
+    if (m_log_failures_ != nullptr) m_log_failures_->Increment();
     OODB_ERROR("wal op append failed: " << lsn.status().ToString());
     return 0;
   }
@@ -439,6 +453,7 @@ Lsn StorageEngine::OnCommit(uint64_t top) {
     Result<uint64_t> r = wal_.Append(std::move(rec));
     if (!r.ok()) {
       ++stats_.log_failures;
+      if (m_log_failures_ != nullptr) m_log_failures_->Increment();
       OODB_ERROR("wal commit append failed: " << r.status().ToString());
       return 0;
     }
@@ -448,6 +463,7 @@ Lsn StorageEngine::OnCommit(uint64_t top) {
   if (!forced.ok()) {
     std::lock_guard<std::mutex> guard(log_mutex_);
     ++stats_.log_failures;
+    if (m_log_failures_ != nullptr) m_log_failures_->Increment();
     OODB_ERROR("wal force failed: " << forced.ToString());
   }
   commits_since_ckpt_.fetch_add(1, std::memory_order_relaxed);
@@ -464,6 +480,7 @@ void StorageEngine::OnAbort(uint64_t top) {
     // Harmless for correctness: recovery will treat the transaction as
     // a loser and re-run the compensations it already ran.
     ++stats_.log_failures;
+    if (m_log_failures_ != nullptr) m_log_failures_->Increment();
   }
 }
 
@@ -491,8 +508,23 @@ void StorageEngine::MaybeCheckpoint(Database* db) {
 void StorageEngine::AttachMetrics(MetricsRegistry* registry) {
   metrics_ = registry;
   wal_.AttachMetrics(registry);
-  m_checkpoints_ =
-      registry == nullptr ? nullptr : registry->GetCounter("storage.checkpoints");
+  if (cache_ != nullptr) cache_->AttachMetrics(registry);
+  if (registry == nullptr) {
+    m_checkpoints_ = nullptr;
+    m_log_failures_ = nullptr;
+    h_ckpt_writeback_ns_ = nullptr;
+    h_ckpt_meta_flip_ns_ = nullptr;
+    h_ckpt_wal_rotate_ns_ = nullptr;
+    h_ckpt_total_ns_ = nullptr;
+    return;
+  }
+  m_checkpoints_ = registry->GetCounter("storage.checkpoints");
+  m_log_failures_ = registry->GetCounter("storage.log_failures");
+  h_ckpt_writeback_ns_ = registry->GetHistogram("storage.ckpt.writeback_ns");
+  h_ckpt_meta_flip_ns_ = registry->GetHistogram("storage.ckpt.meta_flip_ns");
+  h_ckpt_wal_rotate_ns_ =
+      registry->GetHistogram("storage.ckpt.wal_rotate_ns");
+  h_ckpt_total_ns_ = registry->GetHistogram("storage.ckpt.total_ns");
 }
 
 void StorageEngine::InstallSamplerProbes(MetricsSampler* sampler) {
@@ -502,25 +534,35 @@ void StorageEngine::InstallSamplerProbes(MetricsSampler* sampler) {
 
 void StorageEngine::PublishStorageStats() {
   if (metrics_ == nullptr) return;
+  // The monotone tallies (storage.cache.{hits,misses,evictions,
+  // writebacks}, storage.log_failures) are counters fed inline — only
+  // the point-in-time readings are published as gauges here.
   if (cache_ != nullptr) {
-    const PageCacheStats cs = cache_->stats();
-    metrics_->SetGauge("storage.cache.hits", static_cast<int64_t>(cs.hits));
-    metrics_->SetGauge("storage.cache.misses",
-                       static_cast<int64_t>(cs.misses));
-    metrics_->SetGauge("storage.cache.evictions",
-                       static_cast<int64_t>(cs.evictions));
-    metrics_->SetGauge("storage.cache.writebacks",
-                       static_cast<int64_t>(cs.writebacks));
     metrics_->SetGauge("storage.cache.pinned",
                        static_cast<int64_t>(cache_->PinnedCount()));
+    // Keep-last-value hot-page slots (same discipline as the
+    // lock.hot.<k> gauges): slot i holds the i-th most-pinned page;
+    // page -1 / pins 0 marks an empty slot.
+    constexpr size_t kHotSlots = 4;
+    const std::vector<PageCache::HotPage> hot = cache_->HotPages(kHotSlots);
+    for (size_t i = 0; i < kHotSlots; ++i) {
+      const std::string prefix =
+          "storage.cache.hot." + std::to_string(i) + ".";
+      if (i < hot.size()) {
+        metrics_->SetGauge(prefix + "page",
+                           static_cast<int64_t>(hot[i].page));
+        metrics_->SetGauge(prefix + "pins",
+                           static_cast<int64_t>(hot[i].pins));
+      } else {
+        metrics_->SetGauge(prefix + "page", -1);
+        metrics_->SetGauge(prefix + "pins", 0);
+      }
+    }
   }
   if (allocator_ != nullptr) {
     metrics_->SetGauge("storage.pages.allocated",
                        static_cast<int64_t>(allocator_->AllocatedCount()));
   }
-  std::lock_guard<std::mutex> guard(log_mutex_);
-  metrics_->SetGauge("storage.log_failures",
-                     static_cast<int64_t>(stats_.log_failures));
 }
 
 }  // namespace oodb

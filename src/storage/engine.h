@@ -131,15 +131,23 @@ class StorageEngine : public DurabilityHook {
 
   // --- observability ---------------------------------------------------
 
-  /// Wires wal.* metrics and keeps `registry` for checkpoint counters.
+  /// Wires wal.* metrics, the buffer cache's counters/histograms
+  /// (storage.cache.*, see PageCache::AttachMetrics), the
+  /// storage.checkpoints and storage.log_failures counters, and the
+  /// checkpoint cost-split histograms storage.ckpt.{writeback_ns,
+  /// meta_flip_ns,wal_rotate_ns,total_ns}. Keeps `registry` for the
+  /// gauges PublishStorageStats refreshes.
   void AttachMetrics(MetricsRegistry* registry);
   MetricsRegistry* metrics() const { return metrics_; }
-  /// Copies cache/allocator/engine tallies onto storage.* gauges.
+  /// Refreshes the point-in-time storage gauges: storage.cache.pinned,
+  /// storage.pages.allocated, and the keep-last-value hot-page slots
+  /// storage.cache.hot.<i>.{page,pins} (top-4 lifetime-pinned pages;
+  /// page -1 / pins 0 marks an empty slot). Monotone tallies are
+  /// counters fed inline by the cache, not published here.
   void PublishStorageStats();
   /// Registers a probe on `sampler` that refreshes the storage.*
-  /// gauges (buffer-cache hits/misses, pins, allocator, log failures)
-  /// on every sampler tick. AttachMetrics with the sampler's registry
-  /// first.
+  /// gauges on every sampler tick. AttachMetrics with the sampler's
+  /// registry first.
   void InstallSamplerProbes(MetricsSampler* sampler);
 
   // --- introspection (recovery, harness, tests) ------------------------
@@ -204,6 +212,14 @@ class StorageEngine : public DurabilityHook {
 
   MetricsRegistry* metrics_ = nullptr;
   Counter* m_checkpoints_ = nullptr;
+  Counter* m_log_failures_ = nullptr;
+  /// Checkpoint cost split: page writeback (serialize + shadow pages +
+  /// flush + sync), the meta flip (synced slot write), and the WAL
+  /// rotation (fresh epoch file), plus the quiesced total.
+  HistogramMetric* h_ckpt_writeback_ns_ = nullptr;
+  HistogramMetric* h_ckpt_meta_flip_ns_ = nullptr;
+  HistogramMetric* h_ckpt_wal_rotate_ns_ = nullptr;
+  HistogramMetric* h_ckpt_total_ns_ = nullptr;
 };
 
 }  // namespace oodb

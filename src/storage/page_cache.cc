@@ -1,8 +1,21 @@
 #include "storage/page_cache.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace oodb {
+
+namespace {
+
+uint64_t NanosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 PageCache::PageCache(PagedFile* file, size_t frames) : file_(file) {
   frames_.resize(frames);
@@ -30,9 +43,17 @@ Result<size_t> PageCache::EvictLocked() {
   if (f.dirty) {
     OODB_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
     ++stats_.writebacks;
+    if (m_writebacks_ != nullptr) m_writebacks_->Increment();
     f.dirty = false;
   }
   ++stats_.evictions;
+  if (m_evictions_ != nullptr) {
+    m_evictions_->Increment();
+    // idle_since is unset for frames that went idle before attach.
+    if (f.idle_since != std::chrono::steady_clock::time_point{}) {
+      h_evict_age_ns_->Observe(NanosSince(f.idle_since));
+    }
+  }
   map_.erase(f.page);
   f.valid = false;
   return idx;
@@ -46,6 +67,11 @@ Result<char*> PageCache::Pin(PageNo page) {
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
       f.in_lru = false;
+    }
+    if (m_hits_ != nullptr) {
+      m_hits_->Increment();
+      if (f.pins == 0) f.pinned_at = std::chrono::steady_clock::now();
+      ++pin_tally_[page];
     }
     ++f.pins;
     ++stats_.hits;
@@ -61,6 +87,11 @@ Result<char*> PageCache::Pin(PageNo page) {
   f.pins = 1;
   map_[page] = *idx;
   ++stats_.misses;
+  if (m_misses_ != nullptr) {
+    m_misses_->Increment();
+    f.pinned_at = std::chrono::steady_clock::now();
+    ++pin_tally_[page];
+  }
   return f.data.data();
 }
 
@@ -77,6 +108,17 @@ Status PageCache::Unpin(PageNo page, bool dirty) {
   if (--f.pins == 0) {
     f.lru_pos = lru_.insert(lru_.end(), it->second);
     f.in_lru = true;
+    if (h_pin_ns_ != nullptr) {
+      const auto now = std::chrono::steady_clock::now();
+      // pinned_at is unset for pins taken before attach.
+      if (f.pinned_at != std::chrono::steady_clock::time_point{}) {
+        h_pin_ns_->Observe(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - f.pinned_at)
+                .count()));
+      }
+      f.idle_since = now;
+    }
   }
   return Status::OK();
 }
@@ -124,6 +166,48 @@ size_t PageCache::PinnedCount() const {
 PageCacheStats PageCache::stats() const {
   std::lock_guard<std::mutex> guard(mutex_);
   return stats_;
+}
+
+void PageCache::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  std::lock_guard<std::mutex> guard(mutex_);
+  m_hits_ = registry->GetCounter("storage.cache.hits");
+  m_misses_ = registry->GetCounter("storage.cache.misses");
+  m_evictions_ = registry->GetCounter("storage.cache.evictions");
+  m_writebacks_ = registry->GetCounter("storage.cache.writebacks");
+  h_pin_ns_ = registry->GetHistogram("storage.cache.pin_ns");
+  h_evict_age_ns_ = registry->GetHistogram("storage.cache.eviction_age_ns");
+  // Seed the counters with what already happened detached, so counter
+  // values always match stats() and sampler deltas start meaningful.
+  if (stats_.hits > m_hits_->Value()) {
+    m_hits_->Increment(stats_.hits - m_hits_->Value());
+  }
+  if (stats_.misses > m_misses_->Value()) {
+    m_misses_->Increment(stats_.misses - m_misses_->Value());
+  }
+  if (stats_.evictions > m_evictions_->Value()) {
+    m_evictions_->Increment(stats_.evictions - m_evictions_->Value());
+  }
+  if (stats_.writebacks > m_writebacks_->Value()) {
+    m_writebacks_->Increment(stats_.writebacks - m_writebacks_->Value());
+  }
+}
+
+std::vector<PageCache::HotPage> PageCache::HotPages(size_t k) const {
+  std::vector<HotPage> hot;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    hot.reserve(pin_tally_.size());
+    for (const auto& entry : pin_tally_) {
+      hot.push_back(HotPage{entry.first, entry.second});
+    }
+  }
+  std::sort(hot.begin(), hot.end(), [](const HotPage& a, const HotPage& b) {
+    if (a.pins != b.pins) return a.pins > b.pins;
+    return a.page < b.page;
+  });
+  if (hot.size() > k) hot.resize(k);
+  return hot;
 }
 
 }  // namespace oodb

@@ -13,12 +13,14 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/paged_file.h"
 #include "util/result.h"
 
@@ -65,6 +67,24 @@ class PageCache {
   size_t FrameCount() const { return frames_.size(); }
   PageCacheStats stats() const;
 
+  /// Registers the cache's introspection metrics and starts feeding
+  /// them: counters storage.cache.{hits,misses,evictions,writebacks}
+  /// (seeded with the already-accumulated stats, so counter values and
+  /// stats() agree), histogram storage.cache.pin_ns (outermost
+  /// pin-to-unpin span per frame), histogram
+  /// storage.cache.eviction_age_ns (how long an evicted frame sat idle
+  /// in the LRU), and the per-page pin tally behind HotPages(). The
+  /// detached cache skips all of it (null-pointer tests only).
+  void AttachMetrics(MetricsRegistry* registry);
+
+  struct HotPage {
+    PageNo page = 0;
+    uint64_t pins = 0;  ///< lifetime pins since AttachMetrics
+  };
+  /// The k most-pinned pages (lifetime tally, count desc then page
+  /// asc). Empty until AttachMetrics — the tally only runs attached.
+  std::vector<HotPage> HotPages(size_t k) const;
+
  private:
   struct Frame {
     PageNo page = 0;
@@ -75,6 +95,10 @@ class PageCache {
     /// Position in lru_ when pins == 0 && valid.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
+    /// Metrics timestamps (only maintained while attached): when the
+    /// outermost pin was taken, and when the frame last went idle.
+    std::chrono::steady_clock::time_point pinned_at{};
+    std::chrono::steady_clock::time_point idle_since{};
   };
 
   /// Frees a frame to hold a new page. Requires mutex_ held.
@@ -87,6 +111,15 @@ class PageCache {
   std::list<size_t> lru_;                   ///< unpinned frames, LRU first
   std::vector<size_t> free_;                ///< never-used frame indexes
   PageCacheStats stats_;
+
+  /// Introspection (null until AttachMetrics).
+  Counter* m_hits_ = nullptr;
+  Counter* m_misses_ = nullptr;
+  Counter* m_evictions_ = nullptr;
+  Counter* m_writebacks_ = nullptr;
+  HistogramMetric* h_pin_ns_ = nullptr;
+  HistogramMetric* h_evict_age_ns_ = nullptr;
+  std::unordered_map<PageNo, uint64_t> pin_tally_;  ///< lifetime pins/page
 };
 
 }  // namespace oodb

@@ -1,16 +1,21 @@
 #include "storage/recovery.h"
 
-#include <sys/stat.h>
-
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace oodb {
 
 namespace {
+
+constexpr const char* kRecoveryPhaseNames[kRecoveryPhaseCount] = {
+    "scan", "analysis", "redo", "undo", "checkpoint", "finish",
+};
 
 /// Re-executes one logged invocation against its root as an ordinary
 /// (unlogged — durability is not attached yet) serial transaction.
@@ -32,7 +37,114 @@ Status Apply(StorageEngine* engine, Database* db, const std::string& label,
   return Status::OK();
 }
 
+/// Publishes the live progress gauges the sampler folds into a series
+/// during a long recovery. All no-ops when no registry is attached.
+class RecoveryProgress {
+ public:
+  explicit RecoveryProgress(MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  /// Enter `phase` with `target` records to process.
+  void Enter(RecoveryPhase phase, uint64_t target) {
+    done_ = 0;
+    if (registry_ == nullptr) return;
+    registry_->SetGauge("recovery.phase",
+                        static_cast<int64_t>(static_cast<size_t>(phase)));
+    registry_->SetGauge("recovery.progress", 0);
+    registry_->SetGauge("recovery.target", static_cast<int64_t>(target));
+  }
+
+  void Step() {
+    ++done_;
+    if (registry_ != nullptr) {
+      registry_->SetGauge("recovery.progress",
+                          static_cast<int64_t>(done_));
+    }
+  }
+
+ private:
+  MetricsRegistry* const registry_;
+  uint64_t done_ = 0;
+};
+
+/// Accumulates phase durations against one run-wide stopwatch and
+/// finalizes the residual, so every exit path (including the
+/// stop_after_clrs hook) leaves a timeline whose phases sum to the
+/// measured wall time exactly.
+class TimelineClock {
+ public:
+  explicit TimelineClock(RecoveryTimeline* timeline) : timeline_(timeline) {
+    *timeline_ = RecoveryTimeline{};
+  }
+
+  void Credit(RecoveryPhase phase, uint64_t records) {
+    const uint64_t now = run_.ElapsedNanos();
+    const size_t i = static_cast<size_t>(phase);
+    timeline_->phase_ns[i] += now - segment_start_;
+    timeline_->phase_records[i] += records;
+    segment_start_ = now;
+  }
+
+  /// Total = wall time; finish = residual over the measured phases.
+  void Finalize() {
+    timeline_->total_ns = run_.ElapsedNanos();
+    uint64_t measured = 0;
+    for (size_t i = 0; i < kRecoveryPhaseCount; ++i) {
+      if (static_cast<RecoveryPhase>(i) == RecoveryPhase::kFinish) continue;
+      measured += timeline_->phase_ns[i];
+    }
+    const size_t finish = static_cast<size_t>(RecoveryPhase::kFinish);
+    timeline_->phase_ns[finish] =
+        timeline_->total_ns > measured ? timeline_->total_ns - measured : 0;
+  }
+
+ private:
+  RecoveryTimeline* const timeline_;
+  Stopwatch run_;
+  uint64_t segment_start_ = 0;
+};
+
 }  // namespace
+
+const char* RecoveryPhaseName(RecoveryPhase phase) {
+  return kRecoveryPhaseNames[static_cast<size_t>(phase)];
+}
+
+const char* RecoveryPhaseSuffix(RecoveryPhase phase) {
+  return kRecoveryPhaseNames[static_cast<size_t>(phase)];
+}
+
+uint64_t RecoveryTimeline::SumNs() const {
+  uint64_t sum = 0;
+  for (uint64_t ns : phase_ns) sum += ns;
+  return sum;
+}
+
+double RecoveryTimeline::Coverage() const {
+  return total_ns == 0 ? 0.0 : double(SumNs()) / double(total_ns);
+}
+
+std::string RecoveryTimeline::Json() const {
+  std::ostringstream os;
+  char buf[64];
+  os << "{\"format\": \"oodb-recovery-timeline-v1\", \"total_ns\": "
+     << total_ns << ", \"coverage\": ";
+  std::snprintf(buf, sizeof(buf), "%.4f", Coverage());
+  os << buf << ", \"phases\": [";
+  for (size_t i = 0; i < kRecoveryPhaseCount; ++i) {
+    os << (i == 0 ? "" : ", ") << "{\"phase\": \"" << kRecoveryPhaseNames[i]
+       << "\", \"ns\": " << phase_ns[i]
+       << ", \"records\": " << phase_records[i];
+    if (phase_ns[i] > 0 && phase_records[i] > 0) {
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    double(phase_records[i]) / (double(phase_ns[i]) * 1e-9));
+      os << ", \"records_per_sec\": " << buf;
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
 
 void RecoveryStats::PublishTo(MetricsRegistry* registry) const {
   if (registry == nullptr) return;
@@ -49,6 +161,13 @@ void RecoveryStats::PublishTo(MetricsRegistry* registry) const {
                      static_cast<int64_t>(undo_records));
   registry->SetGauge("recovery.unundoable",
                      static_cast<int64_t>(unundoable));
+  for (size_t i = 0; i < kRecoveryPhaseCount; ++i) {
+    registry->SetGauge(
+        std::string("recovery.phase.") + kRecoveryPhaseNames[i] + "_ns",
+        static_cast<int64_t>(timeline.phase_ns[i]));
+  }
+  registry->SetGauge("recovery.total_ns",
+                     static_cast<int64_t>(timeline.total_ns));
 }
 
 Status Recover(StorageEngine* engine, Database* db, RecoveryStats* stats,
@@ -60,31 +179,37 @@ Status Recover(StorageEngine* engine, Database* db, RecoveryStats* stats,
   RecoveryStats local;
   RecoveryStats& st = stats != nullptr ? *stats : local;
   st = RecoveryStats{};
+  TimelineClock clock(&st.timeline);
+  RecoveryProgress progress(engine->metrics());
 
+  // --- scan ------------------------------------------------------------
+  progress.Enter(RecoveryPhase::kScan, 0);
   const std::string path = engine->WalPath(engine->epoch());
-  std::vector<WalRecord> records;
-  uint64_t valid_bytes = 0, next_lsn = engine->next_lsn();
-  Status scan = Wal::Scan(path, &records, &valid_bytes, &next_lsn);
+  WalScanResult scan_result;
+  Status scan = Wal::ScanDetailed(path, &scan_result);
   if (scan.code() == StatusCode::kNotFound) {
     // Crash between the meta flip and the new epoch file's creation:
     // a valid, empty epoch. Checkpoint to open the next one cleanly.
+    clock.Credit(RecoveryPhase::kScan, 0);
+    progress.Enter(RecoveryPhase::kCheckpoint, 0);
     OODB_RETURN_IF_ERROR(engine->Checkpoint(db));
+    clock.Credit(RecoveryPhase::kCheckpoint, 0);
+    clock.Finalize();
     st.PublishTo(engine->metrics());
     return Status::OK();
   }
   OODB_RETURN_IF_ERROR(scan);
+  const std::vector<WalScannedRecord>& records = scan_result.records;
   st.scanned_records = records.size();
-  struct ::stat file_info;
-  if (::stat(path.c_str(), &file_info) == 0 &&
-      static_cast<uint64_t>(file_info.st_size) >= valid_bytes + 16) {
-    st.torn_bytes =
-        static_cast<uint64_t>(file_info.st_size) - valid_bytes - 16;
-  }
+  st.torn_bytes = scan_result.torn_bytes;
+  clock.Credit(RecoveryPhase::kScan, records.size());
 
   // --- analysis --------------------------------------------------------
+  progress.Enter(RecoveryPhase::kAnalysis, records.size());
   std::unordered_set<uint64_t> committed, aborted, seen;
   std::unordered_set<uint64_t> undone;  ///< op LSNs a CLR already covers
-  for (const WalRecord& rec : records) {
+  for (const WalScannedRecord& scanned : records) {
+    const WalRecord& rec = scanned.record;
     seen.insert(rec.txn);
     switch (rec.type) {
       case WalRecordType::kCommit:
@@ -99,6 +224,7 @@ Status Recover(StorageEngine* engine, Database* db, RecoveryStats* stats,
       default:
         break;
     }
+    progress.Step();
   }
   std::vector<uint64_t> losers;
   for (uint64_t txn : seen) {
@@ -108,14 +234,18 @@ Status Recover(StorageEngine* engine, Database* db, RecoveryStats* stats,
   st.winners = committed.size();
   st.resolved = aborted.size();
   st.losers = losers.size();
+  clock.Credit(RecoveryPhase::kAnalysis, records.size());
 
   // Re-open the scanned epoch for append (dropping the torn tail), so
   // undo progress (CLRs) and the losers' abort records land in it.
   OODB_RETURN_IF_ERROR(engine->wal().OpenForAppend(
-      path, valid_bytes, next_lsn, engine->options().wal));
+      path, scan_result.valid_bytes, scan_result.next_lsn,
+      engine->options().wal));
 
   // --- redo: repeat history -------------------------------------------
-  for (const WalRecord& rec : records) {
+  progress.Enter(RecoveryPhase::kRedo, records.size());
+  for (const WalScannedRecord& scanned : records) {
+    const WalRecord& rec = scanned.record;
     switch (rec.type) {
       case WalRecordType::kOp:
         OODB_RETURN_IF_ERROR(
@@ -132,12 +262,15 @@ Status Recover(StorageEngine* engine, Database* db, RecoveryStats* stats,
       default:
         break;
     }
+    progress.Step();
   }
+  clock.Credit(RecoveryPhase::kRedo, st.redo_records);
 
   // --- undo: compensate the losers, newest first ----------------------
   std::unordered_set<uint64_t> loser_set(losers.begin(), losers.end());
   std::vector<const WalRecord*> to_undo;
-  for (const WalRecord& rec : records) {
+  for (const WalScannedRecord& scanned : records) {
+    const WalRecord& rec = scanned.record;
     if (rec.type != WalRecordType::kOp || !loser_set.count(rec.txn)) {
       continue;
     }
@@ -157,6 +290,7 @@ Status Recover(StorageEngine* engine, Database* db, RecoveryStats* stats,
             [](const WalRecord* a, const WalRecord* b) {
               return a->lsn > b->lsn;
             });
+  progress.Enter(RecoveryPhase::kUndo, to_undo.size());
   for (const WalRecord* rec : to_undo) {
     OODB_RETURN_IF_ERROR(Apply(engine, db,
                                "undo#" + std::to_string(rec->lsn),
@@ -169,12 +303,17 @@ Status Recover(StorageEngine* engine, Database* db, RecoveryStats* stats,
     clr.undoes_lsn = rec->lsn;
     OODB_RETURN_IF_ERROR(engine->wal().Append(std::move(clr)).status());
     ++st.undo_records;
+    progress.Step();
     if (options.stop_after_clrs != 0 &&
         st.undo_records >= options.stop_after_clrs) {
       OODB_RETURN_IF_ERROR(engine->wal().Force());
+      clock.Credit(RecoveryPhase::kUndo, st.undo_records);
+      clock.Finalize();
+      st.PublishTo(engine->metrics());
       return Status::Aborted("recovery stopped by stop_after_clrs hook");
     }
   }
+  clock.Credit(RecoveryPhase::kUndo, st.undo_records);
   for (uint64_t txn : losers) {
     WalRecord end;
     end.type = WalRecordType::kAbort;
@@ -184,7 +323,10 @@ Status Recover(StorageEngine* engine, Database* db, RecoveryStats* stats,
   OODB_RETURN_IF_ERROR(engine->wal().Force());
 
   // --- fresh checkpoint: recovered state becomes the image ------------
+  progress.Enter(RecoveryPhase::kCheckpoint, 0);
   OODB_RETURN_IF_ERROR(engine->Checkpoint(db));
+  clock.Credit(RecoveryPhase::kCheckpoint, 0);
+  clock.Finalize();
   st.PublishTo(engine->metrics());
   return Status::OK();
 }

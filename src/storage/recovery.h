@@ -33,7 +33,9 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 
 #include "cc/database.h"
 #include "obs/metrics.h"
@@ -47,6 +49,51 @@ struct RecoveryOptions {
   uint64_t stop_after_clrs = 0;
 };
 
+/// The recovery phase taxonomy — the restart-time analogue of the
+/// root-transaction phases in obs/phases.h. `finish` is the residual
+/// (WAL re-open, loser abort records, the final force), computed as
+/// total minus the measured phases so the six durations always sum
+/// exactly to measured recovery wall time (coverage 1.0).
+enum class RecoveryPhase : uint8_t {
+  kScan = 0,    ///< read + CRC-check + decode the epoch WAL
+  kAnalysis,    ///< sort transactions into winners/resolved/losers
+  kRedo,        ///< repeat history: re-execute ops and CLRs in LSN order
+  kUndo,        ///< compensate the losers, newest first, appending CLRs
+  kCheckpoint,  ///< the fresh checkpoint that rotates the epoch
+  kFinish,      ///< residual: everything between the measured phases
+};
+
+inline constexpr size_t kRecoveryPhaseCount = 6;
+
+/// Stable lowercase name ("scan", "analysis", ...). Part of the
+/// exported-surface vocabulary, like the obs/phases names.
+const char* RecoveryPhaseName(RecoveryPhase phase);
+
+/// Metric-name suffix ("scan", ..., used as "recovery.phase.<suffix>_ns").
+const char* RecoveryPhaseSuffix(RecoveryPhase phase);
+
+/// Per-phase durations and record throughput of one recovery run.
+struct RecoveryTimeline {
+  std::array<uint64_t, kRecoveryPhaseCount> phase_ns{};
+  /// Records the phase processed (scan/analysis: scanned records,
+  /// redo: re-executed records, undo: CLRs appended; 0 elsewhere).
+  std::array<uint64_t, kRecoveryPhaseCount> phase_records{};
+  uint64_t total_ns = 0;  ///< measured recovery wall time
+
+  uint64_t Ns(RecoveryPhase phase) const {
+    return phase_ns[static_cast<size_t>(phase)];
+  }
+  /// Sum over the phase durations; equals total_ns by construction
+  /// (kFinish is the residual).
+  uint64_t SumNs() const;
+  /// SumNs()/total_ns — 1.0 exactly whenever total_ns > 0.
+  double Coverage() const;
+
+  /// Deterministic-schema JSON ("oodb-recovery-timeline-v1"): total,
+  /// coverage, and one row per phase with ns, records, records/sec.
+  std::string Json() const;
+};
+
 struct RecoveryStats {
   uint64_t scanned_records = 0;
   uint64_t torn_bytes = 0;  ///< dropped from the WAL tail
@@ -56,8 +103,10 @@ struct RecoveryStats {
   uint64_t redo_records = 0;  ///< op + CLR records re-executed
   uint64_t undo_records = 0;  ///< compensations applied (CLRs appended)
   uint64_t unundoable = 0;    ///< loser ops that had no compensation
+  RecoveryTimeline timeline;  ///< where the recovery wall time went
 
-  /// Copies the values onto recovery.* gauges.
+  /// Copies the values onto recovery.* gauges (end-state counts plus
+  /// recovery.phase.<suffix>_ns and recovery.total_ns).
   void PublishTo(MetricsRegistry* registry) const;
 };
 

@@ -267,8 +267,23 @@ void Wal::AttachMetrics(MetricsRegistry* registry) {
   m_fsync_ns_ = registry->GetHistogram("wal.fsync_ns");
 }
 
-Status Wal::Scan(const std::string& path, std::vector<WalRecord>* out,
-                 uint64_t* valid_bytes, uint64_t* next_lsn) {
+const char* WalTornKindName(WalTornKind kind) {
+  switch (kind) {
+    case WalTornKind::kNone:
+      return "clean";
+    case WalTornKind::kShortHeader:
+      return "short-header";
+    case WalTornKind::kShortPayload:
+      return "short-payload";
+    case WalTornKind::kBadCrc:
+      return "bad-crc";
+    case WalTornKind::kBadPayload:
+      return "bad-payload";
+  }
+  return "?";
+}
+
+Status Wal::ScanDetailed(const std::string& path, WalScanResult* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("no wal file '" + path + "'");
   std::string data((std::istreambuf_iterator<char>(in)),
@@ -277,30 +292,62 @@ Status Wal::Scan(const std::string& path, std::vector<WalRecord>* out,
       std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
     return Status::InvalidArgument("'" + path + "' is not a wal file");
   }
+  *out = WalScanResult{};
+  out->file_bytes = data.size();
   BlobReader header(data.data() + sizeof(kWalMagic), 8);
-  uint64_t first_lsn = 1;
-  header.U64(&first_lsn);
+  header.U64(&out->first_lsn);
 
-  out->clear();
-  uint64_t last_lsn = first_lsn - 1;
+  uint64_t last_lsn = out->first_lsn - 1;
   size_t pos = kWalHeaderSize;
   while (pos < data.size()) {
     // [u32 len][u32 crc][payload]; any mismatch is the torn tail.
-    if (pos + 8 > data.size()) break;
+    if (pos + 8 > data.size()) {
+      out->torn = WalTornKind::kShortHeader;
+      break;
+    }
     BlobReader head(data.data() + pos, 8);
     uint32_t len = 0, crc = 0;
     head.U32(&len);
     head.U32(&crc);
-    if (pos + 8 + len > data.size()) break;
-    if (Crc32(data.data() + pos + 8, len) != crc) break;
-    WalRecord rec;
-    if (!DecodePayload(std::string(data, pos + 8, len), &rec)) break;
-    last_lsn = rec.lsn;
-    out->push_back(std::move(rec));
+    if (pos + 8 + len > data.size()) {
+      out->torn = WalTornKind::kShortPayload;
+      break;
+    }
+    if (Crc32(data.data() + pos + 8, len) != crc) {
+      out->torn = WalTornKind::kBadCrc;
+      break;
+    }
+    WalScannedRecord scanned;
+    if (!DecodePayload(std::string(data, pos + 8, len), &scanned.record)) {
+      out->torn = WalTornKind::kBadPayload;
+      break;
+    }
+    scanned.offset = pos;
+    scanned.frame_bytes = 8 + len;
+    last_lsn = scanned.record.lsn;
+    out->records.push_back(std::move(scanned));
     pos += 8 + len;
   }
-  if (valid_bytes != nullptr) *valid_bytes = pos - kWalHeaderSize;
-  if (next_lsn != nullptr) *next_lsn = last_lsn + 1;
+  out->valid_bytes = pos - kWalHeaderSize;
+  out->next_lsn = last_lsn + 1;
+  if (out->torn != WalTornKind::kNone) {
+    out->torn_offset = pos;
+    out->torn_bytes = data.size() - pos;
+  }
+  return Status::OK();
+}
+
+Status Wal::Scan(const std::string& path, std::vector<WalRecord>* out,
+                 uint64_t* valid_bytes, uint64_t* next_lsn) {
+  WalScanResult scan;
+  OODB_RETURN_IF_ERROR(ScanDetailed(path, &scan));
+  out->clear();
+  out->reserve(scan.records.size());
+  for (WalScannedRecord& rec : scan.records) {
+    out->push_back(std::move(rec.record));
+  }
+  if (valid_bytes != nullptr) *valid_bytes = scan.valid_bytes;
+  if (next_lsn != nullptr) *next_lsn = scan.next_lsn;
   return Status::OK();
 }
 

@@ -61,6 +61,37 @@ struct WalRecord {
   std::string ToString() const;
 };
 
+/// Why a scan stopped before the end of the file.
+enum class WalTornKind : uint8_t {
+  kNone = 0,       ///< clean tail: the file ends on a record boundary
+  kShortHeader,    ///< fewer than 8 frame-header bytes remain
+  kShortPayload,   ///< the frame header promises more bytes than exist
+  kBadCrc,         ///< payload present but its CRC32 does not match
+  kBadPayload,     ///< CRC ok but the payload does not decode
+};
+
+const char* WalTornKindName(WalTornKind kind);
+
+/// One decoded record plus where its frame sits in the file.
+struct WalScannedRecord {
+  WalRecord record;
+  uint64_t offset = 0;       ///< absolute file offset of the frame
+  uint32_t frame_bytes = 0;  ///< 8-byte frame header + payload
+};
+
+/// Everything a detailed scan learns about one epoch file.
+struct WalScanResult {
+  uint64_t first_lsn = 1;    ///< from the epoch header
+  uint64_t file_bytes = 0;   ///< total size on disk
+  uint64_t valid_bytes = 0;  ///< intact record-region bytes (excl. header)
+  uint64_t next_lsn = 1;     ///< after the last intact record
+  std::vector<WalScannedRecord> records;
+  /// The torn tail: everything after the valid prefix.
+  WalTornKind torn = WalTornKind::kNone;
+  uint64_t torn_offset = 0;  ///< absolute offset of the first bad byte
+  uint64_t torn_bytes = 0;   ///< file_bytes - torn_offset (0 when clean)
+};
+
 struct WalOptions {
   /// Force (fsync) the file on LogCommit. Off = buffered durability:
   /// commits survive process death but not power loss.
@@ -121,6 +152,13 @@ class Wal {
   static Status Scan(const std::string& path, std::vector<WalRecord>* out,
                      uint64_t* valid_bytes = nullptr,
                      uint64_t* next_lsn = nullptr);
+
+  /// Scan with full framing detail: per-record byte offsets and sizes,
+  /// plus an explicit classification of the torn tail. Scan() is a thin
+  /// wrapper over this, so the inspector (`oodb_walinspect`) and
+  /// recovery read one log with one decoder and can never disagree on
+  /// where the valid prefix ends.
+  static Status ScanDetailed(const std::string& path, WalScanResult* out);
 
  private:
   Status WriteHeader(uint64_t first_lsn);

@@ -1,0 +1,80 @@
+// WAL inspection: decode an epoch file into human/machine-readable
+// form, the way pg_waldump makes Postgres's WAL a debugging surface.
+//
+// The decoder is Wal::ScanDetailed — the exact scan recovery runs — so
+// the inspector and recovery can never disagree about which records are
+// intact or where the torn tail starts. Everything here is a pure
+// function of the file bytes: two runs over the same file render
+// byte-identical text and JSON (the CI golden gate's contract).
+//
+// Three views:
+//
+//   * record listing (text or JSON lines): per-record LSN, kind, txn,
+//     byte offset/length, object, invocation, and the registered
+//     compensation, with --txn/--object/--kind/--from/--to filters;
+//   * --stats: per-kind record counts, byte totals, and shares, plus a
+//     totals row that equals the sum of the listed records;
+//   * the torn-tail report: offset, byte count, and why the scan
+//     stopped (short-header / short-payload / bad-crc / bad-payload) —
+//     an explicit verdict instead of silent truncation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/wal.h"
+
+namespace oodb {
+
+/// Record filters; default-constructed = keep everything.
+struct WalInspectOptions {
+  bool has_txn = false;
+  uint64_t txn = 0;          ///< keep records of this transaction only
+  std::string object;        ///< keep records naming this root only
+  std::string kind;          ///< keep this record kind only (by name)
+  uint64_t from_lsn = 0;     ///< keep lsn >= from_lsn
+  uint64_t to_lsn = UINT64_MAX;  ///< keep lsn <= to_lsn
+};
+
+/// Whether `rec` survives `options`' filters.
+bool WalInspectMatch(const WalRecord& rec, const WalInspectOptions& options);
+
+/// Per-kind tallies over the (filtered) records.
+struct WalInspectStats {
+  struct Row {
+    uint64_t count = 0;
+    uint64_t bytes = 0;  ///< frame bytes (8-byte frame header + payload)
+  };
+  Row kinds[5];  ///< indexed by WalRecordType - 1
+  Row total;     ///< sum over the kind rows, by construction
+};
+
+WalInspectStats ComputeWalStats(const WalScanResult& scan,
+                                const WalInspectOptions& options);
+
+/// One record as its listing line (no trailing newline):
+/// `lsn=7 op txn=3 off=50 len=61 D.insert("k", "v") / undo remove("k")`.
+std::string WalRecordLine(const WalScannedRecord& rec);
+
+/// One record as a flat JSON object.
+std::string WalRecordJson(const WalScannedRecord& rec);
+
+/// The full text report: header line, one line per matching record,
+/// the torn-tail verdict, and a one-line summary. `label` names the
+/// file in the output (pass the path, or a stable name for goldens).
+std::string RenderWalText(const std::string& label, const WalScanResult& scan,
+                          const WalInspectOptions& options);
+
+/// The full JSON report ("oodb-walinspect-v1"): header fields, the
+/// matching records, the torn-tail object, and the per-kind stats.
+std::string RenderWalJson(const std::string& label, const WalScanResult& scan,
+                          const WalInspectOptions& options);
+
+/// The pg_waldump-style stats table (text).
+std::string RenderWalStats(const std::string& label,
+                           const WalScanResult& scan,
+                           const WalInspectOptions& options);
+
+}  // namespace oodb

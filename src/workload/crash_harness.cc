@@ -158,6 +158,41 @@ std::string CrashHarnessReport::Row() const {
   return row;
 }
 
+std::string CrashHarnessReport::Json(int64_t crash_after) const {
+  auto b = [](bool v) { return v ? "true" : "false"; };
+  std::string esc;
+  for (char c : failure) {
+    if (c == '"' || c == '\\') esc += '\\';
+    esc += c;
+  }
+  std::string out = "{\"crash_after\": " + std::to_string(crash_after) +
+                    ", \"ok\": " + b(ok()) +
+                    ", \"crashed\": " + b(crashed) +
+                    ", \"recovered\": " + b(recovered) +
+                    ", \"oracle_match\": " + b(state_matches_oracle) +
+                    ", \"lock_leaks\": " + b(!no_lock_leaks) +
+                    ", \"pin_leaks\": " + b(!no_pin_leaks) +
+                    ", \"history_valid\": " + b(history_valid) +
+                    ", \"oracle_committed\": " +
+                    std::to_string(oracle_committed) +
+                    ", \"wal_epochs\": " + std::to_string(wal_epochs) +
+                    ", \"recovery\": {\"scanned_records\": " +
+                    std::to_string(recovery.scanned_records) +
+                    ", \"torn_bytes\": " + std::to_string(recovery.torn_bytes) +
+                    ", \"winners\": " + std::to_string(recovery.winners) +
+                    ", \"resolved\": " + std::to_string(recovery.resolved) +
+                    ", \"losers\": " + std::to_string(recovery.losers) +
+                    ", \"redo_records\": " +
+                    std::to_string(recovery.redo_records) +
+                    ", \"undo_records\": " +
+                    std::to_string(recovery.undo_records) +
+                    ", \"unundoable\": " + std::to_string(recovery.unundoable) +
+                    ", \"timeline\": " + recovery.timeline.Json() + "}";
+  if (!failure.empty()) out += ", \"failure\": \"" + esc + "\"";
+  out += "}";
+  return out;
+}
+
 CrashHarnessReport CrashHarness::Run(const CrashHarnessConfig& config) {
   CrashHarnessReport report;
   pid_t pid = ::fork();

@@ -71,6 +71,11 @@ struct CrashHarnessReport {
   }
 
   std::string Row() const;
+
+  /// One machine-readable JSON object for this crash point: the checks,
+  /// the recovery stats, and the embedded recovery timeline. The CLI's
+  /// --json mode emits one per sweep point.
+  std::string Json(int64_t crash_after) const;
 };
 
 class CrashHarness {

@@ -2,22 +2,38 @@
 //
 //   oodb_crash [--dir=PATH] [--seed=N] [--txns=N] [--threads=N]
 //              [--crash-after=N] [--checkpoint-every=N] [--post-txns=N]
-//              [--sweep=A:B[:STEP]] [--verbose]
+//              [--sweep=A:B[:STEP]] [--json=PATH] [--timeline=PATH]
+//              [--verbose]
 //
 // One run forks a child workload, SIGKILLs it after the Nth WAL append,
 // recovers the store, and verifies the recovered state against a
 // committed-only oracle (see workload/crash_harness.h). --sweep repeats
 // the run for every crash point in [A, B] (step STEP, default 1), each
-// in its own store directory under --dir. Exit status: 0 when every
-// point passed, 1 otherwise.
+// in its own store directory under --dir. --json writes the
+// machine-readable per-point report ("oodb-crash-report-v1", one entry
+// per crash point in both single and sweep mode); --timeline writes the
+// last run's recovery timeline ("oodb-recovery-timeline-v1"). Exit
+// status: 0 when every point passed, 1 otherwise.
 
 #include <sys/stat.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "workload/crash_harness.h"
+
+namespace {
+
+bool WriteText(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
 
 namespace {
 
@@ -35,6 +51,7 @@ int main(int argc, char** argv) {
   config.dir = "/tmp/oodb_crash";
   uint64_t sweep_from = 0, sweep_to = 0, sweep_step = 1;
   bool sweep = false;
+  std::string json_path, timeline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     uint64_t v = 0;
@@ -71,6 +88,10 @@ int main(int argc, char** argv) {
           if (sweep_step == 0) sweep_step = 1;
         }
       }
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--timeline=", 0) == 0) {
+      timeline_path = arg.substr(11);
     } else if (arg == "--verbose") {
       config.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -78,7 +99,8 @@ int main(int argc, char** argv) {
           "usage: oodb_crash [--dir=PATH] [--seed=N] [--txns=N]\n"
           "                  [--threads=N] [--crash-after=N]\n"
           "                  [--checkpoint-every=N] [--post-txns=N]\n"
-          "                  [--sweep=A:B[:STEP]] [--verbose]\n");
+          "                  [--sweep=A:B[:STEP]] [--json=PATH]\n"
+          "                  [--timeline=PATH] [--verbose]\n");
       return 0;
     } else {
       std::fprintf(stderr, "oodb_crash: unknown flag '%s'\n", arg.c_str());
@@ -87,6 +109,8 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
+  std::vector<std::string> point_json;
+  std::string last_timeline;
   if (!sweep) {
     const std::string cmd = "rm -rf " + config.dir;
     (void)std::system(cmd.c_str());
@@ -94,6 +118,8 @@ int main(int argc, char** argv) {
     std::printf("crash-after=%lld %s\n",
                 static_cast<long long>(config.crash_after_appends),
                 report.Row().c_str());
+    point_json.push_back(report.Json(config.crash_after_appends));
+    last_timeline = report.recovery.timeline.Json();
     failures += report.ok() ? 0 : 1;
   } else {
     const std::string base = config.dir;
@@ -111,7 +137,28 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(point),
                   report.Row().c_str());
       std::fflush(stdout);
+      point_json.push_back(report.Json(static_cast<int64_t>(point)));
+      last_timeline = report.recovery.timeline.Json();
       if (!report.ok()) ++failures;
+    }
+  }
+  if (!json_path.empty()) {
+    std::string doc = "{\"schema\": \"oodb-crash-report-v1\", \"points\": [";
+    for (size_t i = 0; i < point_json.size(); ++i) {
+      doc += (i == 0 ? "\n  " : ",\n  ") + point_json[i];
+    }
+    doc += "\n]}\n";
+    if (!WriteText(json_path, doc)) {
+      std::fprintf(stderr, "oodb_crash: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+  }
+  if (!timeline_path.empty()) {
+    if (!WriteText(timeline_path, last_timeline + "\n")) {
+      std::fprintf(stderr, "oodb_crash: cannot write %s\n",
+                   timeline_path.c_str());
+      return 2;
     }
   }
   if (failures > 0) {

@@ -142,6 +142,104 @@ TEST_F(PageCacheTest, FlushAllThenInvalidateClean) {
   ASSERT_TRUE(cache.Unpin(0, false).ok());
 }
 
+TEST_F(PageCacheTest, AttachMetricsRegistersCountersMatchingStats) {
+  PageCache cache(&file_, /*frames=*/2);
+  // Traffic before attach: counters must be seeded from stats() so the
+  // registered counters and the struct snapshot never disagree.
+  WriteThrough(&cache, 0, 'a');
+  WriteThrough(&cache, 1, 'b');
+  WriteThrough(&cache, 2, 'c');  // evicts + writes back page 0
+
+  MetricsRegistry registry;
+  cache.AttachMetrics(&registry);
+  auto expect_matches_stats = [&]() {
+    const PageCacheStats& s = cache.stats();
+    EXPECT_EQ(registry.GetCounter("storage.cache.hits")->Value(),
+              static_cast<int64_t>(s.hits));
+    EXPECT_EQ(registry.GetCounter("storage.cache.misses")->Value(),
+              static_cast<int64_t>(s.misses));
+    EXPECT_EQ(registry.GetCounter("storage.cache.evictions")->Value(),
+              static_cast<int64_t>(s.evictions));
+    EXPECT_EQ(registry.GetCounter("storage.cache.writebacks")->Value(),
+              static_cast<int64_t>(s.writebacks));
+  };
+  expect_matches_stats();
+
+  // Traffic after attach feeds the counters inline (monotone counters,
+  // not republished gauges — sampler deltas stay meaningful).
+  WriteThrough(&cache, 1, 'd');  // hit or miss depending on residency
+  WriteThrough(&cache, 3, 'e');
+  WriteThrough(&cache, 4, 'f');
+  expect_matches_stats();
+  EXPECT_GT(registry.GetCounter("storage.cache.misses")->Value(), 0);
+  EXPECT_GT(registry.GetCounter("storage.cache.evictions")->Value(), 0);
+}
+
+TEST_F(PageCacheTest, PinDurationHistogramCountsOutermostUnpins) {
+  PageCache cache(&file_, /*frames=*/4);
+  MetricsRegistry registry;
+  cache.AttachMetrics(&registry);
+  HistogramMetric* pin_ns = registry.GetHistogram("storage.cache.pin_ns");
+
+  // A nested pin observes once, on the outermost unpin.
+  ASSERT_TRUE(cache.Pin(0).ok());
+  ASSERT_TRUE(cache.Pin(0).ok());
+  ASSERT_TRUE(cache.Unpin(0, false).ok());
+  EXPECT_EQ(pin_ns->Snapshot().count(), 0u);
+  ASSERT_TRUE(cache.Unpin(0, false).ok());
+  EXPECT_EQ(pin_ns->Snapshot().count(), 1u);
+
+  ASSERT_TRUE(cache.Pin(1).ok());
+  ASSERT_TRUE(cache.Unpin(1, true).ok());
+  const auto snap = pin_ns->Snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_GT(snap.sum(), 0u);
+}
+
+TEST_F(PageCacheTest, EvictionAgeHistogramObservesEvictions) {
+  PageCache cache(&file_, /*frames=*/2);
+  MetricsRegistry registry;
+  cache.AttachMetrics(&registry);
+  HistogramMetric* age = registry.GetHistogram("storage.cache.eviction_age_ns");
+
+  WriteThrough(&cache, 0, 'x');
+  WriteThrough(&cache, 1, 'y');
+  EXPECT_EQ(age->Snapshot().count(), 0u);
+  WriteThrough(&cache, 2, 'z');  // evicts the idle page 0
+  EXPECT_EQ(age->Snapshot().count(), 1u);
+}
+
+TEST_F(PageCacheTest, HotPagesRanksByPinCount) {
+  PageCache cache(&file_, /*frames=*/4);
+  MetricsRegistry registry;
+  cache.AttachMetrics(&registry);
+
+  auto touch = [&](PageNo page, int times) {
+    for (int i = 0; i < times; ++i) {
+      ASSERT_TRUE(cache.Pin(page).ok());
+      ASSERT_TRUE(cache.Unpin(page, false).ok());
+    }
+  };
+  touch(7, 5);
+  touch(3, 2);
+  touch(9, 2);
+  touch(1, 1);
+
+  // Pins descending, then page ascending on ties; k truncates.
+  const auto hot = cache.HotPages(3);
+  ASSERT_EQ(hot.size(), 3u);
+  EXPECT_EQ(hot[0].page, 7u);
+  EXPECT_EQ(hot[0].pins, 5u);
+  EXPECT_EQ(hot[1].page, 3u);
+  EXPECT_EQ(hot[1].pins, 2u);
+  EXPECT_EQ(hot[2].page, 9u);
+  EXPECT_EQ(hot[2].pins, 2u);
+
+  const auto all = cache.HotPages(16);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[3].page, 1u);
+}
+
 TEST(PageAllocatorTest, AllocateLowestFreeAndFree) {
   PageAllocator alloc(/*first_page=*/4, /*max_pages=*/16);
   EXPECT_EQ(alloc.AllocatedCount(), 0u);

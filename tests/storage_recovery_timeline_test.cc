@@ -1,0 +1,214 @@
+// Recovery timeline: the six instrumented phases must tile measured
+// recovery wall time exactly (coverage 1.0 — kFinish is the residual),
+// phase record counts must agree with the recovery stats, the JSON
+// artifact must carry the stable schema, and the invariants must hold
+// on every exit path: the clean run, the fresh (no-WAL) store, the
+// crash-during-undo Aborted path, and real kill -9 sweep points.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "containers/directory.h"
+#include "containers/persist.h"
+#include "storage/recovery.h"
+#include "workload/crash_harness.h"
+
+namespace oodb {
+namespace {
+
+void ExpectExactCoverage(const RecoveryTimeline& t) {
+  EXPECT_GT(t.total_ns, 0u);
+  EXPECT_EQ(t.SumNs(), t.total_ns);
+  EXPECT_DOUBLE_EQ(t.Coverage(), 1.0);
+}
+
+class RecoveryTimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = "/tmp/oodb_recovery_timeline_test_" + std::string(info->name()) +
+           "_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Status OpenRecovered(StorageEngine* engine, Database* db,
+                       RecoveryStats* stats = nullptr,
+                       RecoveryOptions options = {}) {
+    RegisterDirectoryMethods(db);
+    OODB_RETURN_IF_ERROR(RegisterStandardSerdes(engine));
+    OODB_RETURN_IF_ERROR(engine->Open(db));
+    if (!engine->RootId("D").valid()) {
+      OODB_RETURN_IF_ERROR(
+          engine->AttachRoot("D", "directory", CreateDirectory(db, "D")));
+    }
+    OODB_RETURN_IF_ERROR(Recover(engine, db, stats, options));
+    db->AttachDurability(engine);
+    return Status::OK();
+  }
+
+  StorageEngineOptions Opts() const {
+    StorageEngineOptions opts;
+    opts.dir = dir_;
+    return opts;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RecoveryTimelineTest, PhaseNamesAreStable) {
+  EXPECT_STREQ(RecoveryPhaseName(RecoveryPhase::kScan), "scan");
+  EXPECT_STREQ(RecoveryPhaseName(RecoveryPhase::kAnalysis), "analysis");
+  EXPECT_STREQ(RecoveryPhaseName(RecoveryPhase::kRedo), "redo");
+  EXPECT_STREQ(RecoveryPhaseName(RecoveryPhase::kUndo), "undo");
+  EXPECT_STREQ(RecoveryPhaseName(RecoveryPhase::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(RecoveryPhaseName(RecoveryPhase::kFinish), "finish");
+}
+
+TEST_F(RecoveryTimelineTest, FreshStoreStillCoversFully) {
+  // First-ever open: no epoch WAL exists, recovery takes the NotFound
+  // path — the timeline must still be finalized and fully covered.
+  Database db;
+  StorageEngine engine(Opts());
+  RecoveryStats stats;
+  ASSERT_TRUE(OpenRecovered(&engine, &db, &stats).ok());
+  ExpectExactCoverage(stats.timeline);
+  EXPECT_EQ(stats.timeline.phase_records[static_cast<size_t>(
+                RecoveryPhase::kScan)],
+            0u);
+}
+
+TEST_F(RecoveryTimelineTest, NormalRecoveryTilesWallTime) {
+  {
+    Database db;
+    StorageEngine engine(Opts());
+    ASSERT_TRUE(OpenRecovered(&engine, &db).ok());
+    ObjectId root = engine.RootId("D");
+    for (int i = 0; i < 8; ++i) {
+      const std::string k = "k" + std::to_string(i);
+      ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                      return txn.Call(
+                          root, Invocation("insert", {Value(k), Value(k)}));
+                    }).ok());
+    }
+  }
+
+  Database db;
+  StorageEngine engine(Opts());
+  RecoveryStats stats;
+  ASSERT_TRUE(OpenRecovered(&engine, &db, &stats).ok());
+  ASSERT_GT(stats.scanned_records, 0u);
+  ExpectExactCoverage(stats.timeline);
+
+  // Phase record attribution matches the recovery stats.
+  const auto records = [&](RecoveryPhase p) {
+    return stats.timeline.phase_records[static_cast<size_t>(p)];
+  };
+  EXPECT_EQ(records(RecoveryPhase::kScan), stats.scanned_records);
+  EXPECT_EQ(records(RecoveryPhase::kAnalysis), stats.scanned_records);
+  EXPECT_EQ(records(RecoveryPhase::kRedo), stats.redo_records);
+  EXPECT_EQ(records(RecoveryPhase::kUndo), stats.undo_records);
+  EXPECT_GT(stats.timeline.Ns(RecoveryPhase::kCheckpoint), 0u);
+
+  // The JSON artifact carries the stable schema and all six phases.
+  const std::string json = stats.timeline.Json();
+  EXPECT_NE(json.find("\"format\": \"oodb-recovery-timeline-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"coverage\": 1.0000"), std::string::npos);
+  for (size_t i = 0; i < kRecoveryPhaseCount; ++i) {
+    const std::string name =
+        RecoveryPhaseName(static_cast<RecoveryPhase>(i));
+    EXPECT_NE(json.find("\"phase\": \"" + name + "\""), std::string::npos)
+        << name;
+  }
+
+  // PublishTo exposes the per-phase gauges, and they sum to the total.
+  MetricsRegistry registry;
+  stats.PublishTo(&registry);
+  int64_t sum = 0;
+  for (size_t i = 0; i < kRecoveryPhaseCount; ++i) {
+    const std::string metric =
+        "recovery.phase." +
+        std::string(RecoveryPhaseSuffix(static_cast<RecoveryPhase>(i))) +
+        "_ns";
+    sum += registry.GetGauge(metric)->Value();
+  }
+  EXPECT_EQ(sum, registry.GetGauge("recovery.total_ns")->Value());
+  EXPECT_EQ(static_cast<uint64_t>(sum), stats.timeline.total_ns);
+}
+
+TEST_F(RecoveryTimelineTest, AbortedMidUndoStillCoversFully) {
+  {
+    Database db;
+    StorageEngine engine(Opts());
+    ASSERT_TRUE(OpenRecovered(&engine, &db).ok());
+    ObjectId root = engine.RootId("D");
+    ASSERT_TRUE(db.RunTransaction("T", [&](MethodContext& txn) {
+                    return txn.Call(root, Invocation("insert", {Value("a"),
+                                                               Value("1")}));
+                  }).ok());
+    // A synthetic loser: ops on the log, no commit/abort record.
+    WalRecord begin;
+    begin.type = WalRecordType::kBegin;
+    begin.txn = 777;
+    begin.txn_name = "loser";
+    ASSERT_TRUE(engine.wal().Append(begin).ok());
+    for (int i = 0; i < 3; ++i) {
+      WalRecord op;
+      op.type = WalRecordType::kOp;
+      op.txn = 777;
+      op.root = "D";
+      op.op = Invocation(
+          "insert", {Value("lost" + std::to_string(i)), Value("x")});
+      op.has_comp = true;
+      op.comp = Invocation("remove", {Value("lost" + std::to_string(i))});
+      ASSERT_TRUE(engine.wal().Append(op).ok());
+    }
+    ASSERT_TRUE(engine.wal().Force().ok());
+  }
+
+  // Stop after the first CLR: recovery returns Aborted (the simulated
+  // second crash) — the timeline must still be finalized.
+  Database db;
+  StorageEngine engine(Opts());
+  RecoveryStats stats;
+  RecoveryOptions options;
+  options.stop_after_clrs = 1;
+  const Status st = OpenRecovered(&engine, &db, &stats, options);
+  ASSERT_TRUE(st.IsAborted()) << st.ToString();
+  ExpectExactCoverage(stats.timeline);
+  EXPECT_EQ(stats.timeline.phase_records[static_cast<size_t>(
+                RecoveryPhase::kUndo)],
+            1u);
+}
+
+TEST_F(RecoveryTimelineTest, CrashSweepPointsCoverFully) {
+  // Real kill -9 crash points, spanning early/mid/late in the workload:
+  // the acceptance criterion is coverage 1.0 at every sweep point.
+  std::filesystem::create_directories(dir_);
+  for (const int64_t crash_after : {5, 17, 29}) {
+    SCOPED_TRACE("crash_after=" + std::to_string(crash_after));
+    CrashHarnessConfig config;
+    config.dir = dir_ + "/p" + std::to_string(crash_after);
+    config.txns = 40;
+    config.threads = 2;
+    config.crash_after_appends = crash_after;
+    config.post_txns = 8;
+    const CrashHarnessReport report = CrashHarness::Run(config);
+    ASSERT_TRUE(report.ok()) << report.failure;
+    ExpectExactCoverage(report.recovery.timeline);
+
+    // The per-point JSON embeds the timeline with full coverage.
+    const std::string json = report.Json(crash_after);
+    EXPECT_NE(json.find("\"timeline\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"coverage\": 1.0000"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace oodb
